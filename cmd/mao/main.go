@@ -1,0 +1,98 @@
+// Mao is the command-line driver of the micro-architectural optimizer:
+// it reads an assembly file, runs the pass pipeline given by --mao=
+// options, and (when the pipeline contains the ASM pass) emits
+// assembly again, exactly following the paper's invocation style:
+//
+//	mao --mao=LFIND=trace[2]:ASM=o[/dev/null] in.s
+//	mao --mao=REDTEST:REDMOV:ASM=o[out.s] in.s
+//
+// Pass order on the command line is pass invocation order; reading and
+// parsing the input is implicitly the first pass. Multiple --mao=
+// options concatenate. -stats prints per-pass transformation counts,
+// -passes lists the catalog.
+//
+// Like the original, passes may also be loaded dynamically: build a
+// plugin exporting RegisterMAOPasses (see testdata/plugin) with
+//
+//	go build -buildmode=plugin -o mypass.so ./mypassdir
+//
+// and load it with -plugin mypass.so; its passes then appear in the
+// registry by name like any built-in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"plugin"
+	"strings"
+
+	"mao"
+	"mao/internal/pass"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mao: ")
+
+	var specs, plugins multiFlag
+	flag.Var(&specs, "mao", "pass pipeline, e.g. REDTEST:REDMOV:ASM=o[out.s] (repeatable)")
+	flag.Var(&plugins, "plugin", "load additional passes from a Go plugin .so (repeatable)")
+	stats := flag.Bool("stats", false, "print per-pass transformation statistics")
+	list := flag.Bool("passes", false, "list registered passes")
+	flag.Parse()
+
+	// Dynamically loaded passes, as in the original MAO ("passes can
+	// be statically linked into MAO, or dynamically loaded as
+	// plug-ins"). A plugin exports RegisterMAOPasses, which calls
+	// pass.Register for each pass it provides.
+	for _, so := range plugins {
+		pl, err := plugin.Open(so)
+		if err != nil {
+			log.Fatalf("plugin %s: %v", so, err)
+		}
+		sym, err := pl.Lookup("RegisterMAOPasses")
+		if err != nil {
+			log.Fatalf("plugin %s: %v", so, err)
+		}
+		reg, ok := sym.(func())
+		if !ok {
+			log.Fatalf("plugin %s: RegisterMAOPasses must be func()", so)
+		}
+		reg()
+	}
+
+	if *list {
+		for _, name := range mao.Passes() {
+			p := pass.Lookup(name)
+			fmt.Printf("%-12s %s\n", name, p.Description())
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		log.Fatal("usage: mao [--mao=PIPELINE]... input.s")
+	}
+
+	u, err := mao.ParseFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline := strings.Join(specs, ":")
+	st, err := mao.RunPipeline(u, pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, st.String())
+	}
+}
+
+// multiFlag accumulates repeated --mao options.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ":") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

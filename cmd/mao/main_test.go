@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDriver compiles the mao binary once per test run.
+func buildDriver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mao")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const driverInput = `	.text
+	.type f,@function
+f:
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+.Lz:
+	ret
+	.size f,.-f
+`
+
+func TestDriverPipeline(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	out := filepath.Join(dir, "out.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "--mao=REDTEST:REDMOV:ASM=o["+out+"]", "-stats", in)
+	outBytes, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mao failed: %v\n%s", err, outBytes)
+	}
+	if !strings.Contains(string(outBytes), "REDTEST.removed = 1") {
+		t.Errorf("stats missing:\n%s", outBytes)
+	}
+	emitted, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(emitted)
+	if strings.Contains(text, "testl") {
+		t.Error("redundant test survived")
+	}
+	if !strings.Contains(text, "movq\t%rdx, %rcx") {
+		t.Errorf("REDMOV rewrite missing:\n%s", text)
+	}
+}
+
+func TestDriverAnalysisOnly(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Analysis-only pipeline: no ASM pass, no output file expected.
+	out, err := exec.Command(bin, "--mao=LFIND", "-stats", in).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mao failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "LFIND.") && len(out) != 0 {
+		t.Logf("output: %s", out)
+	}
+}
+
+func TestDriverListPasses(t *testing.T) {
+	bin := buildDriver(t)
+	out, err := exec.Command(bin, "-passes").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"REDTEST", "LOOP16", "SCHED", "ASM"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pass list missing %s", want)
+		}
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	bin := buildDriver(t)
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no-args invocation must fail")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	os.WriteFile(in, []byte(driverInput), 0o644)
+	if err := exec.Command(bin, "--mao=NOSUCHPASS", in).Run(); err == nil {
+		t.Error("unknown pass must fail")
+	}
+	if err := exec.Command(bin, "--mao=ASM", "/nonexistent.s").Run(); err == nil {
+		t.Error("missing input must fail")
+	}
+}
+
+// TestDriverPlugin exercises the dynamic pass-loading path: build the
+// example plugin, load it, and run its pass. Skips when the toolchain
+// cannot produce plugins (needs cgo).
+func TestDriverPlugin(t *testing.T) {
+	dir := t.TempDir()
+	so := filepath.Join(dir, "retcount.so")
+	build := exec.Command("go", "build", "-buildmode=plugin", "-o", so, "./testdata/plugin")
+	build.Env = append(os.Environ(), "CGO_ENABLED=1")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Skipf("plugin buildmode unavailable: %v\n%s", err, out)
+	}
+	bin := buildDriver(t)
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-plugin", so, "--mao=RETCOUNT", "-stats", in).CombinedOutput()
+	if err != nil {
+		t.Skipf("plugin load failed (toolchain/flag mismatch): %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "RETCOUNT.returns = 1") {
+		t.Errorf("plugin pass stats missing:\n%s", out)
+	}
+}

@@ -1,0 +1,36 @@
+// Retcount is a minimal example of a dynamically loaded MAO pass (the
+// paper's plug-in mechanism): an analysis pass counting return
+// instructions per function. Build with
+//
+//	go build -buildmode=plugin -o retcount.so ./testdata/plugin
+//
+// and load via mao -plugin retcount.so --mao=RETCOUNT=trace[1] in.s.
+package main
+
+import (
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/x86"
+)
+
+type retCount struct{}
+
+func (retCount) Name() string        { return "RETCOUNT" }
+func (retCount) Description() string { return "plugin example: count return instructions" }
+
+func (retCount) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	n := 0
+	for _, node := range f.Instructions() {
+		if node.Inst.Op == x86.OpRET {
+			n++
+		}
+	}
+	ctx.Trace(1, "%s: %d returns", f.Name, n)
+	ctx.Count("returns", n)
+	return false, nil
+}
+
+// RegisterMAOPasses is the symbol the mao driver looks up.
+func RegisterMAOPasses() {
+	pass.Register(func() pass.Pass { return retCount{} })
+}

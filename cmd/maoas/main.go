@@ -1,0 +1,110 @@
+// Maoas is the assembler-wrapper integration described in paper
+// Section V-A: the original authors renamed the GCC installation's
+// `as` to `as-orig` and installed a replacement script that filters
+// MAO-specific options out of the assembler command line, runs MAO
+// first, and then invokes the original assembler on MAO's output.
+// This program is that replacement, so a stock compiler driver picks
+// up MAO transparently:
+//
+//	mv $(gcc -print-prog-name=as) $(dirname $(gcc -print-prog-name=as))/as-orig
+//	go build -o $(gcc -print-prog-name=as) ./cmd/maoas
+//	gcc -O2 -Wa,--mao=REDTEST:REDMOV foo.c     # now runs MAO inline
+//
+// Behaviour:
+//   - --mao=... options select the MAO pipeline and are consumed.
+//   - With no --mao options, maoas simply execs the original
+//     assembler (named by $MAO_AS, default "as-orig" next to this
+//     binary or on $PATH) with the unchanged arguments.
+//   - Otherwise the input file (the last non-option argument) is run
+//     through the pipeline into a temporary file, which replaces the
+//     input in the forwarded argument list.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"mao"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maoas: ")
+
+	var pipelines []string
+	var fwd []string
+	inputIdx := -1
+	for _, a := range os.Args[1:] {
+		if spec, ok := strings.CutPrefix(a, "--mao="); ok {
+			pipelines = append(pipelines, spec)
+			continue
+		}
+		fwd = append(fwd, a)
+		if !strings.HasPrefix(a, "-") && strings.HasSuffix(a, ".s") {
+			inputIdx = len(fwd) - 1
+		}
+	}
+
+	if len(pipelines) > 0 {
+		if inputIdx < 0 {
+			log.Fatal("--mao given but no .s input file on the command line")
+		}
+		in := fwd[inputIdx]
+		u, err := mao.ParseFile(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mao.RunPipeline(u, strings.Join(pipelines, ":")); err != nil {
+			log.Fatal(err)
+		}
+		tmp, err := os.CreateTemp("", "maoas-*.s")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.Remove(tmp.Name())
+		if _, err := u.WriteTo(tmp); err != nil {
+			log.Fatal(err)
+		}
+		if err := tmp.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fwd[inputIdx] = tmp.Name()
+	}
+
+	asPath := findAssembler()
+	cmd := exec.Command(asPath, fwd...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// findAssembler locates the original assembler: $MAO_AS, then
+// "as-orig" beside this binary, then "as-orig" or "as" on $PATH.
+func findAssembler() string {
+	if p := os.Getenv("MAO_AS"); p != "" {
+		return p
+	}
+	if self, err := os.Executable(); err == nil {
+		sib := filepath.Join(filepath.Dir(self), "as-orig")
+		if _, err := os.Stat(sib); err == nil {
+			return sib
+		}
+	}
+	if p, err := exec.LookPath("as-orig"); err == nil {
+		return p
+	}
+	if p, err := exec.LookPath("as"); err == nil {
+		return p
+	}
+	fmt.Fprintln(os.Stderr, "maoas: no underlying assembler found (set MAO_AS)")
+	os.Exit(1)
+	return ""
+}

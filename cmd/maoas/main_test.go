@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWrapperEndToEnd exercises the paper's integration flow: gcc (or
+// the test, standing in for the driver) invokes maoas with --mao
+// options mixed into regular assembler arguments; maoas runs the
+// pipeline and hands the optimized file to the real `as`. Requires
+// binutils; skips otherwise.
+func TestWrapperEndToEnd(t *testing.T) {
+	realAs, err := exec.LookPath("as")
+	if err != nil {
+		t.Skip("binutils not installed")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "maoas")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	src := filepath.Join(dir, "in.s")
+	obj := filepath.Join(dir, "out.o")
+	prog := `	.text
+	.globl f
+	.type f,@function
+f:
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	movl $1, %eax
+.Lz:
+	ret
+	.size f,.-f
+`
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "--mao=REDTEST", "--64", "-o", obj, src)
+	cmd.Env = append(os.Environ(), "MAO_AS="+realAs)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("maoas: %v\n%s", err, out)
+	}
+
+	// The object must exist, and disassembly must show the test gone.
+	objdump, err := exec.LookPath("objdump")
+	if err != nil {
+		t.Skip("objdump not installed")
+	}
+	out, err := exec.Command(objdump, "-d", obj).Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "test") {
+		t.Errorf("redundant test survived the wrapper pipeline:\n%s", out)
+	}
+	if !strings.Contains(string(out), "sub") {
+		t.Errorf("expected code missing:\n%s", out)
+	}
+}
+
+// TestWrapperPassthrough: without --mao options the wrapper must
+// behave exactly like the underlying assembler.
+func TestWrapperPassthrough(t *testing.T) {
+	realAs, err := exec.LookPath("as")
+	if err != nil {
+		t.Skip("binutils not installed")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "maoas")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	src := filepath.Join(dir, "in.s")
+	obj := filepath.Join(dir, "out.o")
+	if err := os.WriteFile(src, []byte("\t.text\n\tnop\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "--64", "-o", obj, src)
+	cmd.Env = append(os.Environ(), "MAO_AS="+realAs)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("passthrough failed: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(obj); err != nil {
+		t.Fatal("object file missing after passthrough")
+	}
+}

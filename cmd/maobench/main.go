@@ -1,0 +1,51 @@
+// Maobench regenerates every table and figure of the MAO paper's
+// evaluation on the repository's simulated micro-architectures and
+// synthetic workloads.
+//
+// Usage:
+//
+//	maobench                     # run every experiment
+//	maobench -experiment fig1-nop
+//	maobench -list
+//	maobench -scale 0.1          # shrink corpora for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mao/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maobench: ")
+	name := flag.String("experiment", "", "run a single experiment by name")
+	list := flag.Bool("list", false, "list experiment names")
+	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = the paper's sizes)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	run := experiments.All()
+	if *name != "" {
+		e := experiments.Find(*name)
+		if e == nil {
+			log.Fatalf("unknown experiment %q (use -list)", *name)
+		}
+		run = []experiments.Experiment{*e}
+	}
+	for _, e := range run {
+		fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
+		if err := e.Run(os.Stdout, *scale); err != nil {
+			log.Fatalf("experiment %s: %v", e.Name, err)
+		}
+		fmt.Println()
+	}
+}

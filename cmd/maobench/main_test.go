@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "maobench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestListMode(t *testing.T) {
+	bin := build(t)
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig1-nop", "fig7-aggregate", "ablations", "relax"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("list missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	bin := build(t)
+	out, err := exec.Command(bin, "-experiment", "relax", "-scale", "0.02").CombinedOutput()
+	if err != nil {
+		t.Fatalf("maobench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "eb7f") {
+		t.Errorf("relax output missing the paper's encoding:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	bin := build(t)
+	if err := exec.Command(bin, "-experiment", "nope").Run(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mao/internal/x86/sidefx"
+)
+
+// TestGenerateMatchesCommitted regenerates the side-effect tables from
+// the embedded configuration and compares with the committed
+// tables.gen.go — the end-to-end version of the sidefx package's
+// in-sync test.
+func TestGenerateMatchesCommitted(t *testing.T) {
+	table, err := sidefx.ParseConfig(sidefx.ConfigSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated, err := Generate(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("../../internal/x86/sidefx/tables.gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(generated) != string(committed) {
+		t.Error("tables.gen.go is stale; re-run go generate ./internal/x86/sidefx")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	table, err := sidefx.ParseConfig("add r=1,2 w=2 fset=ALL\nmov r=1 w=2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("generator output is not deterministic")
+	}
+	if !strings.Contains(string(a), `"add"`) || !strings.Contains(string(a), "x86.AllFlags") {
+		t.Errorf("generated source malformed:\n%s", a)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProbeModels(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "uarchprobe")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	for model, wants := range map[string][]string{
+		"core2":   {"loops up to 4 decode lines stream", "granularity: 32 bytes", "bandwidth: 2"},
+		"opteron": {"not present", "granularity: 16 bytes", "bandwidth: 3"},
+	} {
+		out, err := exec.Command(bin, "-model", model).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", model, err, out)
+		}
+		for _, w := range wants {
+			if !strings.Contains(string(out), w) {
+				t.Errorf("%s output missing %q:\n%s", model, w, out)
+			}
+		}
+	}
+	if err := exec.Command(bin, "-model", "bogus").Run(); err == nil {
+		t.Error("bogus model accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: parse an assembly file, run a small optimization
+// pipeline, and emit the result — MAO's core parse→optimize→emit flow
+// on the paper's own Section III-B pattern examples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mao"
+)
+
+// src carries one instance of each peephole pattern from paper
+// Section III-B: a redundant zero-extension, a redundant test, a
+// repeated load, and a foldable add/add chain.
+const src = `
+	.text
+	.type compute,@function
+compute:
+	# III-B.a: the andl already zero-extended %eax.
+	andl $255, %eax
+	mov %eax, %eax
+	# III-B.b: the subl already set the flags the je consumes.
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Ldone
+	# III-B.c: the second load can reuse %rdx.
+	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+	addq %rcx, %rax
+	# III-B.d: two add-immediates fold into one.
+	addq $8, %rdi
+	movq %rax, %rsi
+	addq $16, %rdi
+.Ldone:
+	ret
+	.size compute,.-compute
+`
+
+func main() {
+	u, err := mao.ParseString("quickstart.s", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== input ==")
+	fmt.Print(u)
+
+	stats, err := mao.RunPipeline(u, "REDZEXT:REDTEST:REDMOV:ADDADD")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== after REDZEXT:REDTEST:REDMOV:ADDADD ==")
+	fmt.Print(u)
+
+	fmt.Println("\n== transformations ==")
+	fmt.Print(stats)
+
+	// Relaxation gives byte-accurate addresses and encodings — the
+	// capability every alignment pass builds on.
+	layout, err := mao.Relax(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimized .text size: %d bytes\n", layout.SectionEnd[".text"])
+}

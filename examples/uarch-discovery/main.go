@@ -1,0 +1,53 @@
+// Uarch-discovery runs the paper's Section IV parameter-detection
+// framework against the simulated Core-2 and Opteron models,
+// reproducing the Figure 6 instruction-latency case study and then
+// discovering structures the manuals would not document: the LSD
+// window, the branch-predictor index granularity, and the forwarding
+// bandwidth. Every answer is checked against the simulator's
+// configured ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mao"
+	"mao/internal/mbench"
+)
+
+func main() {
+	for _, model := range []*mao.CPUModel{mao.Core2(), mao.Opteron()} {
+		proc := mbench.NewProcessor(model)
+		fmt.Printf("=== %s ===\n", model.Name)
+
+		// Figure 6: InstructionLatency via a CYCLE dependence chain.
+		for _, tpl := range []string{"addl %r, %w", "imull %r, %w"} {
+			lat, err := mbench.InstructionLatency(proc, tpl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("latency %-16s = %d cycle(s)\n", tpl, lat)
+		}
+
+		lsd, err := mbench.DetectLSDWindow(proc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LSD window           = %d lines (ground truth: %d)\n",
+			lsd, model.LSDMaxLines)
+
+		gran, err := mbench.DetectBranchAliasGranularity(proc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predictor granularity = %d bytes (ground truth: PC>>%d = %d)\n",
+			gran, model.BPIndexShift, 1<<model.BPIndexShift)
+
+		fwd, err := mbench.DetectForwardingBandwidth(proc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("forwarding bandwidth  = %d (ground truth: %d)\n\n",
+			fwd, model.FwdBandwidth)
+	}
+}

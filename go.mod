@@ -1,0 +1,3 @@
+module mao
+
+go 1.23

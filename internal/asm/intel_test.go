@@ -1,0 +1,144 @@
+package asm
+
+import (
+	"testing"
+
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// TestIntelSyntaxEquivalence parses semantically identical programs in
+// both syntaxes and compares the normalized (AT&T) emissions.
+func TestIntelSyntaxEquivalence(t *testing.T) {
+	att := `
+	.text
+	mov %eax, %eax
+	movl $5, %eax
+	addq $8, %rsp
+	movq 24(%rsp), %rdx
+	movl %edx, (%rsi,%r8,4)
+	movsbl 1(%rdi,%r8,4), %edx
+	leaq 2(%rdx), %r8
+	cmpl %r8d, %r9d
+	jg .L3
+.L3:
+	testl %r15d, %r15d
+	shrl $12, %edi
+	movzwl 6(%rax), %ecx
+	ret
+`
+	intel := `
+	.text
+	.intel_syntax noprefix
+	mov eax, eax
+	mov eax, 5
+	add rsp, 8
+	mov rdx, qword ptr [rsp+24]
+	mov dword ptr [rsi+r8*4], edx
+	movsx edx, byte ptr [rdi+r8*4+1]
+	lea r8, [rdx+2]
+	cmp r9d, r8d
+	jg .L3
+.L3:
+	test r15d, r15d
+	shr edi, 12
+	movzx ecx, word ptr [rax+6]
+	ret
+	.att_syntax
+`
+	u1, err := ParseString("att.s", att)
+	if err != nil {
+		t.Fatalf("AT&T: %v", err)
+	}
+	u2, err := ParseString("intel.s", intel)
+	if err != nil {
+		t.Fatalf("Intel: %v", err)
+	}
+	if got, want := u2.String(), u1.String(); got != want {
+		t.Errorf("Intel parse does not normalize to the AT&T program:\n--- att ---\n%s\n--- intel ---\n%s", want, got)
+	}
+}
+
+func TestIntelOperandForms(t *testing.T) {
+	cases := []struct {
+		intel string
+		att   string // expected canonical printing
+	}{
+		{"mov rax, rbx", "movq\t%rbx, %rax"},
+		{"mov eax, 100", "movl\t$100, %eax"},
+		{"add dword ptr [rbp-4], 1", "addl\t$1, -4(%rbp)"},
+		{"mov rcx, [rax+rbx*8-16]", "movq\t-16(%rax,%rbx,8), %rcx"},
+		{"mov rcx, [8*rbx+rax]", "movq\t(%rax,%rbx,8), %rcx"},
+		{"imul edx, esi", "imull\t%esi, %edx"},
+		{"movsxd rax, edi", "movslq\t%edi, %rax"},
+		{"xor r8d, r8d", "xorl\t%r8d, %r8d"},
+		{"inc qword ptr [rsp]", "incq\t(%rsp)"},
+		{"jmp .Lx", "jmp\t.Lx"},
+	}
+	for _, c := range cases {
+		src := ".intel_syntax noprefix\n" + c.intel + "\n.Lx:\n"
+		u, err := ParseString("i.s", src)
+		if err != nil {
+			t.Errorf("%q: %v", c.intel, err)
+			continue
+		}
+		var in *x86.Inst
+		for n := u.List.Front(); n != nil; n = n.Next() {
+			if n.Kind == ir.NodeInst {
+				in = n.Inst
+				break
+			}
+		}
+		if in == nil {
+			t.Errorf("%q parsed to nothing", c.intel)
+			continue
+		}
+		if got := in.String(); got != c.att {
+			t.Errorf("%q => %q, want %q", c.intel, got, c.att)
+		}
+	}
+}
+
+func TestIntelSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"mov eax, [rax+rbx*3]",   // bad scale
+		"mov eax, [rax+rbx+rcx]", // three registers
+		"mov eax, [rax",          // unterminated
+		"frobnicate eax",         // unknown mnemonic
+	}
+	for _, s := range bad {
+		src := ".intel_syntax noprefix\n" + s + "\n"
+		if _, err := ParseString("bad.s", src); err == nil {
+			t.Errorf("%q accepted", s)
+		}
+	}
+}
+
+func TestSyntaxModeSwitching(t *testing.T) {
+	src := `
+	movl $1, %eax
+	.intel_syntax noprefix
+	mov ebx, 2
+	.att_syntax
+	movl $3, %ecx
+`
+	u, err := ParseString("mix.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var insts []string
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		if n.Kind == ir.NodeInst {
+			insts = append(insts, n.Inst.String())
+		}
+	}
+	want := []string{"movl\t$1, %eax", "movl\t$2, %ebx", "movl\t$3, %ecx"}
+	if len(insts) != 3 {
+		t.Fatalf("insts: %v", insts)
+	}
+	for i := range want {
+		if insts[i] != want[i] {
+			t.Errorf("inst %d = %q, want %q", i, insts[i], want[i])
+		}
+	}
+}

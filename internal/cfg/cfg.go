@@ -1,0 +1,315 @@
+// Package cfg builds per-function control-flow graphs over the MAO IR.
+//
+// Indirect jumps make CFG construction undecidable in general; like
+// the original MAO, this package relies on the fact that it sees
+// compiler-generated assembly and recognizes a small set of jump-table
+// patterns. When a branch cannot be resolved the function is flagged
+// (ir.Function.Unresolved) and optimization passes decide for
+// themselves whether to proceed.
+package cfg
+
+import (
+	"fmt"
+
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// BasicBlock is a maximal straight-line instruction sequence.
+type BasicBlock struct {
+	Index int
+	// Label is the name of the block's leading label, if any.
+	Label string
+	// Insts are the instruction nodes of the block in order.
+	Insts []*ir.Node
+
+	Succs []*BasicBlock
+	Preds []*BasicBlock
+}
+
+// Last returns the block's final instruction node, or nil for an empty
+// block.
+func (b *BasicBlock) Last() *ir.Node {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	return b.Insts[len(b.Insts)-1]
+}
+
+// Terminator returns the block-ending branch instruction, or nil when
+// the block falls through.
+func (b *BasicBlock) Terminator() *x86.Inst {
+	last := b.Last()
+	if last == nil || !last.Inst.Op.IsBranch() || last.Inst.Op == x86.OpCALL {
+		return nil
+	}
+	return last.Inst
+}
+
+func (b *BasicBlock) String() string {
+	if b.Label != "" {
+		return fmt.Sprintf("B%d(%s)", b.Index, b.Label)
+	}
+	return fmt.Sprintf("B%d", b.Index)
+}
+
+// Graph is a function's control-flow graph. Blocks[0] is the entry.
+type Graph struct {
+	Fn     *ir.Function
+	Blocks []*BasicBlock
+
+	// Unresolved lists indirect branches no pattern could resolve.
+	// When non-empty the function was flagged and the graph's edges
+	// are incomplete.
+	Unresolved []*ir.Node
+
+	blockOf map[*ir.Node]*BasicBlock
+	byLabel map[string]*BasicBlock
+}
+
+// Options controls CFG construction.
+type Options struct {
+	// ResolveWithDataflow enables the second jump-table pattern the
+	// paper describes: following the reaching definition of an
+	// indirect jump's target register back to a table load. Without
+	// it, only direct "jmp *table(,r,8)" forms resolve.
+	ResolveWithDataflow bool
+}
+
+// Build constructs the CFG of f with default options.
+func Build(f *ir.Function) *Graph { return BuildWith(f, Options{ResolveWithDataflow: true}) }
+
+// BuildWith constructs the CFG of f.
+func BuildWith(f *ir.Function, opts Options) *Graph {
+	g := &Graph{
+		Fn:      f,
+		blockOf: make(map[*ir.Node]*BasicBlock),
+		byLabel: make(map[string]*BasicBlock),
+	}
+
+	entries := f.CodeEntries()
+
+	// Pass 1: identify leaders. Every label starts a block; every
+	// instruction after a control transfer starts a block.
+	leader := make(map[*ir.Node]bool)
+	afterBranch := true // function entry
+	for _, n := range entries {
+		switch n.Kind {
+		case ir.NodeLabel:
+			leader[n] = true
+			afterBranch = false
+		case ir.NodeInst:
+			if afterBranch {
+				leader[n] = true
+			}
+			afterBranch = n.Inst.Op.IsBranch() && n.Inst.Op != x86.OpCALL
+		}
+	}
+
+	// Pass 2: materialize blocks.
+	var cur *BasicBlock
+	newBlock := func(label string) *BasicBlock {
+		b := &BasicBlock{Index: len(g.Blocks), Label: label}
+		g.Blocks = append(g.Blocks, b)
+		if label != "" {
+			g.byLabel[label] = b
+		}
+		return b
+	}
+	for _, n := range entries {
+		switch n.Kind {
+		case ir.NodeLabel:
+			if cur == nil || len(cur.Insts) > 0 || cur.Label != "" && cur.Label != n.Label {
+				cur = newBlock(n.Label)
+			} else if cur.Label == "" {
+				cur.Label = n.Label
+				g.byLabel[n.Label] = cur
+			}
+			g.blockOf[n] = cur
+		case ir.NodeInst:
+			if cur == nil || leader[n] && len(cur.Insts) > 0 {
+				cur = newBlock("")
+			}
+			cur.Insts = append(cur.Insts, n)
+			g.blockOf[n] = cur
+		}
+	}
+	if len(g.Blocks) == 0 {
+		newBlock("")
+	}
+
+	// Pass 3: edges.
+	addEdge := func(from, to *BasicBlock) {
+		if from == nil || to == nil {
+			return
+		}
+		for _, s := range from.Succs {
+			if s == to {
+				return
+			}
+		}
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	for i, b := range g.Blocks {
+		var next *BasicBlock
+		if i+1 < len(g.Blocks) {
+			next = g.Blocks[i+1]
+		}
+		last := b.Last()
+		if last == nil {
+			addEdge(b, next)
+			continue
+		}
+		in := last.Inst
+		switch {
+		case in.Op == x86.OpRET:
+			// no successors
+		case in.Op == x86.OpJMP:
+			if tgt, ok := in.BranchTarget(); ok {
+				addEdge(b, g.targetBlock(tgt))
+			} else if targets, ok := g.resolveIndirect(b, last, opts); ok {
+				for _, t := range targets {
+					addEdge(b, g.targetBlock(t))
+				}
+			} else {
+				g.Unresolved = append(g.Unresolved, last)
+			}
+		case in.Op == x86.OpJCC:
+			if tgt, ok := in.BranchTarget(); ok {
+				addEdge(b, g.targetBlock(tgt))
+			} else {
+				g.Unresolved = append(g.Unresolved, last)
+			}
+			addEdge(b, next)
+		default:
+			addEdge(b, next)
+		}
+	}
+
+	f.Unresolved = len(g.Unresolved) > 0
+	return g
+}
+
+// targetBlock maps a branch-target label to its block. Targets outside
+// the function (tail calls, cross-function jumps) return nil.
+func (g *Graph) targetBlock(label string) *BasicBlock {
+	return g.byLabel[label]
+}
+
+// BlockOf returns the block containing node n, or nil.
+func (g *Graph) BlockOf(n *ir.Node) *BasicBlock { return g.blockOf[n] }
+
+// BlockByLabel returns the block led by the given label, or nil.
+func (g *Graph) BlockByLabel(label string) *BasicBlock { return g.byLabel[label] }
+
+// resolveIndirect attempts to enumerate the targets of an indirect
+// jump via jump-table pattern matching.
+func (g *Graph) resolveIndirect(b *BasicBlock, jmp *ir.Node, opts Options) ([]string, bool) {
+	in := jmp.Inst
+	if len(in.Args) != 1 || !in.Args[0].Star {
+		return nil, false
+	}
+	a := in.Args[0]
+
+	// Pattern 1: jmp *table(,%reg,8) — the jump-table dispatch older
+	// GCC emits for position-dependent code.
+	if a.Kind == x86.KindMem && a.Mem.Sym != "" && a.Mem.Base != x86.RIP {
+		if targets, ok := g.readJumpTable(a.Mem.Sym); ok {
+			return targets, true
+		}
+	}
+
+	// Pattern 2 (added after the compiler upgrade described in the
+	// paper): the target register is loaded from a jump table by a
+	// reaching definition, e.g.
+	//
+	//	movq table(,%rdi,8), %rax
+	//	...
+	//	jmp *%rax
+	if opts.ResolveWithDataflow && a.Kind == x86.KindReg {
+		if def := g.reachingDefInBlock(b, jmp, a.Reg); def != nil {
+			di := def.Inst
+			if (di.Op == x86.OpMOV || di.Op == x86.OpMOVSX) &&
+				len(di.Args) == 2 && di.Args[0].Kind == x86.KindMem &&
+				di.Args[0].Mem.Sym != "" {
+				if targets, ok := g.readJumpTable(di.Args[0].Mem.Sym); ok {
+					return targets, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// reachingDefInBlock walks backward from use within its block (and
+// through straight-line single-predecessor chains) to find the unique
+// instruction writing reg, giving up at barriers or joins. This is the
+// block-local slice of reaching definitions that jump-table resolution
+// needs; the full iterative analysis lives in mao/internal/dataflow.
+func (g *Graph) reachingDefInBlock(b *BasicBlock, use *ir.Node, reg x86.Reg) *ir.Node {
+	idx := -1
+	for i, n := range b.Insts {
+		if n == use {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	for depth := 0; depth < 8; depth++ { // bound single-pred chain walks
+		for i := idx - 1; i >= 0; i-- {
+			n := b.Insts[i]
+			if writesReg(n.Inst, reg) {
+				return n
+			}
+			if isBarrier(n.Inst) {
+				return nil
+			}
+		}
+		if len(b.Preds) != 1 {
+			return nil
+		}
+		b = b.Preds[0]
+		idx = len(b.Insts)
+	}
+	return nil
+}
+
+func writesReg(in *x86.Inst, reg x86.Reg) bool {
+	if len(in.Args) == 0 {
+		return false
+	}
+	dst := in.Args[len(in.Args)-1]
+	return dst.Kind == x86.KindReg && dst.Reg.Family() == reg.Family() &&
+		in.Op != x86.OpCMP && in.Op != x86.OpTEST && !in.Op.IsBranch()
+}
+
+func isBarrier(in *x86.Inst) bool {
+	return in.Op == x86.OpCALL || in.Op == x86.OpRET
+}
+
+// readJumpTable reads the .quad label entries at the given table
+// symbol. It returns ok=false when the symbol is unknown or holds no
+// label entries.
+func (g *Graph) readJumpTable(sym string) ([]string, bool) {
+	start := g.Fn.Unit().FindLabel(sym)
+	if start == nil {
+		return nil, false
+	}
+	var targets []string
+	for n := start.Next(); n != nil; n = n.Next() {
+		if n.Kind != ir.NodeDirective {
+			break
+		}
+		if n.Dir.Name != ".quad" && n.Dir.Name != ".long" {
+			break
+		}
+		targets = append(targets, n.Dir.Args...)
+	}
+	if len(targets) == 0 {
+		return nil, false
+	}
+	return targets, true
+}

@@ -1,0 +1,68 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the control-flow graph in Graphviz format — one of the
+// "various formats" the original framework could dump IR state in.
+// Blocks show their label (if any) and instruction listing; dashed
+// red edges mark the unresolved indirect branches.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	name := "cfg"
+	if g.Fn != nil {
+		name = sanitizeDOT(g.Fn.Name)
+	}
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+
+	for _, blk := range g.Blocks {
+		var lines []string
+		if blk.Label != "" {
+			lines = append(lines, blk.Label+":")
+		}
+		for _, n := range blk.Insts {
+			lines = append(lines, n.Inst.String())
+		}
+		if len(lines) == 0 {
+			lines = append(lines, "(empty)")
+		}
+		fmt.Fprintf(&b, "\tb%d [label=\"%s\"];\n", blk.Index,
+			escapeDOT(strings.Join(lines, "\\l"))+"\\l")
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, "\tb%d -> b%d;\n", blk.Index, s.Index)
+		}
+	}
+	for _, n := range g.Unresolved {
+		if blk := g.BlockOf(n); blk != nil {
+			fmt.Fprintf(&b, "\tb%d -> unresolved [style=dashed, color=red];\n", blk.Index)
+		}
+	}
+	if len(g.Unresolved) > 0 {
+		b.WriteString("\tunresolved [shape=diamond, color=red, label=\"?\"];\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// escapeDOT escapes characters special inside DOT double-quoted
+// labels, preserving the \l line terminators already present.
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\t", " ")
+	return s
+}
+
+func sanitizeDOT(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,634 @@
+// Package corpus generates the synthetic workloads this reproduction
+// measures instead of SPEC 2000/2006 binaries and the paper's internal
+// Google core library (neither of which is available or redistributable).
+//
+// Each named workload is a deterministic, seeded assembly program with
+// a runnable entry point (main_<name>) whose hot spots exhibit, in
+// workload-specific proportions, exactly the pathologies the paper's
+// passes address: redundant zero-extensions/tests/loads, foldable
+// add/add chains, short loops crossing 16-byte decode lines, loops
+// straddling the LSD's 4-line window, nested short loops with aliased
+// back branches, and schedulable fan-out blocks. The paper's tables
+// report (a) static pattern counts and (b) runtime deltas from passes
+// that fix these patterns — both are functions of this pattern mix
+// plus the simulator's mechanisms, not of SPEC's actual algorithms,
+// which is why the substitution preserves the shape of every result.
+package corpus
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Hotspot kinds.
+type HotKind int
+
+// Hotspot kinds: each generates one hot function dominated by the
+// named micro-architectural behaviour.
+const (
+	// ShortLoop is a <=16-byte loop placed at a configurable offset
+	// from a 16-byte boundary (LOOP16 material).
+	ShortLoop HotKind = iota
+	// BigLoop is a multi-line loop sized/placed relative to the LSD
+	// window (LSD pass material).
+	BigLoop
+	// NestedShort is a two-deep nest of short-running loops whose
+	// back branches can alias in the predictor (BRALIGN material).
+	NestedShort
+	// SchedChain is the hashing-benchmark fan-out block (SCHED
+	// material).
+	SchedChain
+	// RedundantHot is a hot loop body carrying redundant test/mov
+	// instructions (REDTEST/REDMOV material: removing them shrinks
+	// the loop's decode footprint).
+	RedundantHot
+	// StreamScan alternates a small working set with a streaming
+	// scan (PREFNTA material).
+	StreamScan
+	// DiluterLoop is the neutral hot loop: 16 short instructions in 47
+	// bytes, so decode width — not line fetch — binds on both machine
+	// models at (almost) any placement. Workloads carry one so that
+	// their pathological hot spot is a realistic fraction of cycles.
+	DiluterLoop
+	// TightLoop is a 26-byte, 5-instruction loop that fits one 32-byte
+	// fetch window only when aligned — the structure whose compiler
+	// alignment directive actually matters on the Opteron-like model
+	// (what NOPKILL breaks for 454.calculix).
+	TightLoop
+	// AlignTrap is the eon-style alignment-sensitive structure: two
+	// interleaved short-running loops separated by a .p2align 5, laid
+	// out so their back branches occupy different predictor buckets.
+	// Any pass that shifts the first loop relative to the aligned
+	// second one (LOOP16's padding, NOPKILL removing the align,
+	// REDTEST deleting bytes, NOPIN inserting them) can push the
+	// branches into the same PC>>shift bucket and regress the
+	// workload — the paper's "counter-intuitive" eon behaviour.
+	AlignTrap
+)
+
+// Hotspot parameterizes one hot function.
+type Hotspot struct {
+	Kind HotKind
+	// Offset is the loop head's byte offset past the hotspot's
+	// 32-byte anchor, realized as real filler instructions (so that
+	// nop- and alignment-stripping passes cannot disturb it). It must
+	// be fill-representable: 0, 3, 4, or >= 6.
+	Offset int
+	// Trips is the iteration count per entry.
+	Trips int
+	// Entries is how many times the loop is entered.
+	Entries int
+	// Body scales the loop body size (instruction count, kind-specific).
+	Body int
+	// Aligned emits a compiler-style .p2align before the loop (what
+	// NOPKILL removes).
+	Aligned bool
+}
+
+// PatternMix sets how many of each peephole pattern the cold code of a
+// workload carries (absolute counts across the whole program).
+type PatternMix struct {
+	RedZext     int // andl $imm; mov %eNN,%eNN pairs
+	RedTest     int // sub/and + redundant test pairs
+	PlainTest   int // non-redundant tests (paper counts totals too)
+	RedMem      int // duplicate load pairs
+	AddAdd      int // foldable add/add chains
+	IndirectReg int // jump tables dispatched via register loads
+	IndirectTab int // jump tables dispatched via jmp *tab(,r,8)
+	Unresolved  int // deliberately unresolvable indirect branches
+}
+
+// Workload is a complete synthetic benchmark definition.
+type Workload struct {
+	Name string
+	Lang string // "C" or "C++", for table rendering
+	Seed uint64
+
+	Hot       []Hotspot
+	ColdFuncs int
+	Patterns  PatternMix
+}
+
+// EntryName returns the name of the workload's runnable entry function.
+func (w Workload) EntryName() string { return "main_" + sanitize(w.Name) }
+
+func sanitize(s string) string {
+	out := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+	if out != "" && out[0] >= '0' && out[0] <= '9' {
+		out = "wl_" + out // labels must not start with a digit
+	}
+	return out
+}
+
+// Generate renders the workload as AT&T assembly text.
+func Generate(w Workload) string {
+	g := &gen{
+		rng:  rand.New(rand.NewPCG(w.Seed, w.Seed^0x9e3779b97f4a7c15)),
+		name: sanitize(w.Name),
+	}
+	g.emitf("# synthetic workload %q (seed %d)", w.Name, w.Seed)
+	g.emit("\t.text")
+
+	var hotNames []string
+	for i, h := range w.Hot {
+		name := fmt.Sprintf("%s_hot%d", g.name, i)
+		hotNames = append(hotNames, name)
+		g.hotFunc(name, h)
+	}
+	var coldNames []string
+	for i := 0; i < w.ColdFuncs; i++ {
+		name := fmt.Sprintf("%s_cold%d", g.name, i)
+		coldNames = append(coldNames, name)
+		g.coldFunc(name, distribute(w.Patterns, i, w.ColdFuncs))
+	}
+
+	// Entry point: call every hot function; touch a few cold ones so
+	// they execute at least once (their patterns must be semantically
+	// neutral under the executor).
+	g.beginFunc(w.EntryName())
+	g.emit("\tpush %rbx")
+	g.emit("\tpush %r12")
+	g.emit("\tpush %r13")
+	g.emit("\tpush %r14")
+	g.emit("\tpush %r15")
+	for _, n := range hotNames {
+		g.emitf("\tcall %s", n)
+	}
+	for i, n := range coldNames {
+		if i < 4 {
+			g.emitf("\tcall %s", n)
+		}
+	}
+	g.emit("\tpop %r15")
+	g.emit("\tpop %r14")
+	g.emit("\tpop %r13")
+	g.emit("\tpop %r12")
+	g.emit("\tpop %rbx")
+	g.emit("\tret")
+	g.endFunc(w.EntryName())
+
+	// Shared data: scratch buffers the hot loops walk.
+	g.emit("\t.data")
+	g.emit("\t.p2align 6")
+	g.emitf("%s_ws:", g.name)
+	g.emit("\t.zero 2048")
+	g.emitf("%s_buf:", g.name)
+	g.emit("\t.zero 65536")
+	g.emitf("%s_tab:", g.name)
+	for i := 0; i < 8; i++ {
+		g.emitf("\t.quad %s_ret", g.name)
+	}
+	g.emit("\t.text")
+	g.emitf("%s_ret:", g.name)
+	g.emit("\tret")
+
+	return g.b.String()
+}
+
+// distribute splits a total pattern mix across cold functions.
+func distribute(m PatternMix, idx, total int) PatternMix {
+	share := func(v int) int {
+		base := v / total
+		if idx < v%total {
+			base++
+		}
+		return base
+	}
+	return PatternMix{
+		RedZext:     share(m.RedZext),
+		RedTest:     share(m.RedTest),
+		PlainTest:   share(m.PlainTest),
+		RedMem:      share(m.RedMem),
+		AddAdd:      share(m.AddAdd),
+		IndirectReg: share(m.IndirectReg),
+		IndirectTab: share(m.IndirectTab),
+		Unresolved:  share(m.Unresolved),
+	}
+}
+
+type gen struct {
+	b    strings.Builder
+	rng  *rand.Rand
+	name string
+	lbl  int
+}
+
+func (g *gen) emit(s string)            { g.b.WriteString(s); g.b.WriteByte('\n') }
+func (g *gen) emitf(f string, a ...any) { fmt.Fprintf(&g.b, f+"\n", a...) }
+func (g *gen) label(prefix string) string {
+	g.lbl++
+	return fmt.Sprintf(".L%s_%s%d", g.name, prefix, g.lbl)
+}
+func (g *gen) beginFunc(name string) { g.emitf("\t.type %s,@function", name); g.emitf("%s:", name) }
+func (g *gen) endFunc(name string)   { g.emitf("\t.size %s,.-%s", name, name) }
+func (g *gen) pad(n int) {
+	for i := 0; i < n; i++ {
+		g.emit("\tnop")
+	}
+}
+
+// fill emits exactly n bytes of real (non-nop) filler instructions on
+// the reserved scratch register r11, so that placement control
+// survives passes that strip nops and alignment directives. n must be
+// 0, 3, 4, or any value >= 6 (sums of 3s and 4s).
+func (g *gen) fill(n int) {
+	if n == 0 {
+		return
+	}
+	for n%3 != 0 {
+		g.emit("\taddl $1, %r11d") // 4 bytes
+		n -= 4
+		if n < 0 {
+			panic("corpus: unrepresentable fill")
+		}
+	}
+	for ; n > 0; n -= 3 {
+		g.emit("\tmovl %r11d, %r11d") // 3 bytes
+	}
+}
+
+// anchor pins the next instruction to a 32-byte boundary plus off
+// bytes. The alignment directive is what compilers emit; passes that
+// strip it (NOPKILL) deliberately lose the placement.
+func (g *gen) anchor(off int) {
+	g.emit("\t.p2align 5")
+	g.fill(off)
+}
+
+// hotFunc emits one hot function of the given kind.
+func (g *gen) hotFunc(name string, h Hotspot) {
+	g.beginFunc(name)
+	switch h.Kind {
+	case ShortLoop:
+		g.shortLoop(h)
+	case BigLoop:
+		g.bigLoop(h)
+	case NestedShort:
+		g.nestedShort(h)
+	case SchedChain:
+		g.schedChain(h)
+	case RedundantHot:
+		g.redundantHot(h)
+	case StreamScan:
+		g.streamScan(h)
+	case DiluterLoop:
+		g.diluterLoop(h)
+	case TightLoop:
+		g.tightLoop(h)
+	case AlignTrap:
+		g.alignTrap(h)
+	}
+	g.emit("\tret")
+	g.endFunc(name)
+}
+
+// shortLoop: the 252.eon-style loop — movss + add + cmp + jne, 15
+// bytes, placed Offset bytes past a 16-byte boundary. Entries times:
+// an outer counting loop re-enters it (keeping per-entry trip counts
+// below the LSD threshold is the caller's knob).
+func (g *gen) shortLoop(h Hotspot) {
+	outer, top := g.label("o"), g.label("t")
+	g.emitf("\tmovl $%d, %%r13d", h.Entries)
+	g.emit("\txorps %xmm0, %xmm0")
+	g.emitf("\tleaq %s_buf(%%rip), %%rdi", g.name)
+	g.emitf("%s:", outer)
+	g.emitf("\tmovl $%d, %%ecx", h.Trips)
+	g.anchor(h.Offset)
+	if h.Aligned {
+		g.emit("\t.p2align 4")
+	}
+	// Body: 5 + 2 + 2 = 9 bytes, 3 instructions, for any trip count
+	// (the store indexes downward through the buffer).
+	g.emitf("%s:", top)
+	g.emit("\tmovss %xmm0, (%rdi,%rcx,4)")
+	g.emit("\tdecl %ecx")
+	g.emitf("\tjne %s", top)
+	g.emit("\tdecl %r13d")
+	g.emitf("\tjne %s", outer)
+}
+
+// bigLoop: independent 7-byte adds + compare + branch, sized by Body
+// (instructions) and placed at Offset — the Figure 4/5 material.
+func (g *gen) bigLoop(h Hotspot) {
+	top := g.label("t")
+	regs := []string{"%r8d", "%r9d", "%r10d", "%r14d", "%r15d", "%ebx"}
+	g.emit("\txorl %eax, %eax")
+	g.anchor(h.Offset)
+	if h.Aligned {
+		g.emit("\t.p2align 4")
+	}
+	g.emitf("%s:", top)
+	for i := 0; i < h.Body; i++ {
+		g.emitf("\taddl $100000, %s", regs[i%len(regs)])
+	}
+	g.emit("\taddl $1, %eax")
+	g.emitf("\tcmpl $%d, %%eax", h.Trips)
+	g.emitf("\tjl %s", top)
+}
+
+// nestedShort: the branch-alias nest — inner trip count 1, so the
+// inner back branch is never taken while the outer one always is.
+// Offset shifts the second branch relative to the 32-byte bucket.
+func (g *gen) nestedShort(h Hotspot) {
+	outer, inner := g.label("o"), g.label("i")
+	g.emit("\t.p2align 5") // quantize against upstream size changes
+	g.emitf("\tmovl $%d, %%r12d", h.Trips)
+	g.emit("\t.p2align 5")
+	g.emitf("%s:", outer)
+	g.emit("\tmovl $1, %edx")
+	g.emitf("%s:", inner)
+	g.emit("\taddl $1, %eax")
+	g.emit("\taddl $2, %ebx")
+	g.emit("\tdecl %edx")
+	g.emitf("\tjne %s", inner)
+	g.fill(h.Offset)
+	g.emit("\tdecl %r12d")
+	g.emitf("\tjne %s", outer)
+}
+
+// schedChain: the Section III-F hashing block, iterated. The mix
+// result feeds three consumers; compiler order puts the two sinks
+// first, so the critical-path consumer (movl, which continues the
+// hash chain) arrives third and eats the forwarding-bandwidth delay
+// every iteration. List scheduling with the critical-path cost
+// function hoists it — the paper's 15% recovery.
+func (g *gen) schedChain(h Hotspot) {
+	top := g.label("t")
+	g.emit("\t.p2align 5") // quantize against upstream size changes
+	g.emitf("\tmovl $%d, %%r9d", h.Trips)
+	g.emit("\tmovl $1, %ebx")
+	g.emitf("%s:", top)
+	for i := 0; i < h.Body; i++ {
+		g.emit("\timull $-1640531527, %ebx, %ebx")
+		g.emit("\tsubl %ebx, %ecx")
+		g.emit("\tsubl %ebx, %edx")
+		g.emit("\tmovl %ebx, %esi")
+		g.emit("\tshrl $12, %esi")
+		g.emit("\txorl %esi, %ebx")
+	}
+	g.emit("\tdecl %r9d")
+	g.emitf("\tjne %s", top)
+}
+
+// redundantHot: a hot loop whose body carries redundant tests and
+// duplicate loads. Removing them (REDTEST/REDMOV) shrinks the body
+// across a decode-line boundary — the calculix second-order effect.
+func (g *gen) redundantHot(h Hotspot) {
+	top := g.label("t")
+	g.emitf("\tmovl $%d, %%r10d", h.Trips)
+	g.emitf("\tleaq %s_ws(%%rip), %%rsi", g.name)
+	g.anchor(h.Offset)
+	if h.Aligned {
+		g.emit("\t.p2align 4")
+	}
+	g.emitf("%s:", top)
+	for i := 0; i < h.Body; i++ {
+		// Redundant tests: the subs already set the flags. Removing
+		// them (REDTEST) cuts instructions from the decode-width-
+		// bound body.
+		g.emit("\tsubl $1, %r8d")
+		g.emit("\ttestl %r8d, %r8d")
+		g.emit("\tsubl $2, %r9d")
+		g.emit("\ttestl %r9d, %r9d")
+		// Reload into the same register — the fully redundant form:
+		// REDMOV deletes it outright, cutting both an instruction
+		// and a load.
+		g.emit("\tmovq 8(%rsi), %rdx")
+		g.emit("\tmovq 8(%rsi), %rdx")
+		// ALU filler keeping decode width (not the load port) the
+		// binding resource.
+		g.emit("\taddq %rdx, %rcx")
+		g.emit("\taddl $3, %r14d")
+		g.emit("\taddl $5, %r15d")
+	}
+	g.emit("\tdecl %r10d")
+	g.emitf("\tjne %s", top)
+}
+
+// streamScan: re-reads a working set of Entries cache lines (default
+// 8), then streams through Body lines of a large buffer, per iteration
+// (the cache-pollution scenario behind inverse prefetching).
+func (g *gen) streamScan(h Hotspot) {
+	outer, ws, stream := g.label("o"), g.label("w"), g.label("s")
+	wsLines := h.Entries
+	if wsLines <= 0 {
+		wsLines = 8
+	}
+	g.emit("\t.p2align 5") // quantize against upstream size changes
+	g.emitf("\tmovl $%d, %%r9d", h.Trips)
+	g.emitf("%s:", outer)
+	g.emitf("\tleaq %s_ws(%%rip), %%rcx", g.name)
+	g.emitf("\tmovl $%d, %%r8d", wsLines)
+	g.emitf("%s:", ws)
+	// The accumulator chain makes every working-set miss cost its
+	// full latency (a dead load would be hidden by the OOO core).
+	g.emit("\taddq (%rcx), %rbx")
+	g.emit("\taddq $64, %rcx")
+	g.emit("\tdecl %r8d")
+	g.emitf("\tjne %s", ws)
+	g.emitf("\tleaq %s_buf(%%rip), %%rdx", g.name)
+	g.emitf("\tmovl $%d, %%r8d", h.Body)
+	g.emitf("%s:", stream)
+	g.emit("\tmovq (%rdx), %rax")
+	g.emit("\taddq $64, %rdx")
+	g.emit("\tdecl %r8d")
+	g.emitf("\tjne %s", stream)
+	g.emit("\tdecl %r9d")
+	g.emitf("\tjne %s", outer)
+}
+
+// alignTrap: an outer loop alternating two short-running inner loops.
+// Loop 1 (trip count Trips, head Offset bytes past a 16-byte boundary,
+// containing one redundant test) and loop 2 (behind a .p2align 5, so
+// its position is quantized regardless of earlier code). In the
+// baseline layout the two back branches sit in different predictor
+// buckets; passes that change loop 1's size or alignment move its
+// branch relative to the quantized loop 2 and can create aliasing.
+func (g *gen) alignTrap(h Hotspot) {
+	outer, l1, l2 := g.label("o"), g.label("a"), g.label("b")
+	g.emitf("\tmovl $%d, %%r13d", h.Entries)
+
+	// The partner loop sits right at the 32-byte-aligned outer head,
+	// so its back branch's predictor bucket is fixed. Trip count 2
+	// gives the taken/not-taken pattern the paper describes.
+	g.emit("\t.p2align 5")
+	g.emitf("%s:", outer)
+	g.emit("\tmovl $2, %edx")
+	g.emitf("%s:", l2)
+	g.emit("\taddl $1, %r9d")
+	g.emit("\tdecl %edx")
+	g.emitf("\tjne %s", l2)
+
+	// The movable loop: trip count 1 (back branch never taken —
+	// trivially predictable with its own counter, poison when it
+	// shares one), placed Offset filler bytes further, with a
+	// redundant test inside so REDTEST changes its size.
+	g.emit("\tmovl $1, %eax")
+	g.fill(h.Offset)
+	g.emitf("%s:", l1)
+	g.emit("\taddl $1, %r8d")
+	g.emit("\tsubl $1, %eax")
+	g.emit("\ttestl %eax, %eax")
+	g.emitf("\tjne %s", l1)
+
+	// Body knob: extra filler separating the outer back branch.
+	g.fill(h.Body)
+	g.emit("\tdecl %r13d")
+	g.emitf("\tjne %s", outer)
+}
+
+// diluterLoop: 16 instructions of mostly 3-byte adds in 47 bytes. The
+// decode width (4 on Core-2, 3 on Opteron) is the binding constraint
+// at any placement, so the loop's cost barely depends on alignment —
+// making it a neutral dilution target for every alignment-shifting
+// pass. Trips is the total iteration count, run as Entries x 120
+// inner iterations (the inner count stays in imm8 range).
+func (g *gen) diluterLoop(h Hotspot) {
+	outer, top := g.label("o"), g.label("t")
+	entries := h.Trips/120 + 1
+	g.emit("\t.p2align 5") // quantize against upstream size changes
+	g.emitf("\tmovl $%d, %%r13d", entries)
+	g.emitf("%s:", outer)
+	g.emit("\txorl %eax, %eax")
+	g.emitf("%s:", top)
+	regs := []string{"%ecx", "%edx", "%esi", "%edi"}
+	for i := 0; i < 13; i++ {
+		g.emitf("\taddl $%d, %s", 1+i%7, regs[i%len(regs)])
+	}
+	g.emit("\taddl $1, %eax")
+	g.emit("\tcmpl $120, %eax")
+	g.emitf("\tjl %s", top)
+	g.emit("\tdecl %r13d")
+	g.emitf("\tjne %s", outer)
+}
+
+// tightLoop: a 12-byte, 3-instruction loop. Decoded in one cycle when
+// it sits inside a single fetch window; two cycles when it straddles
+// one (3 instructions never hide a second line fetch). The h.Aligned
+// directive (the compiler's work) keeps it inside; removing it
+// (NOPKILL) exposes the placement — the calculix -8.8% mechanism.
+func (g *gen) tightLoop(h Hotspot) {
+	top := g.label("t")
+	g.emitf("\tmovl $%d, %%ebx", h.Trips)
+	g.anchor(h.Offset)
+	if h.Aligned {
+		// Full fetch-window alignment.
+		g.emit("\t.p2align 5")
+	}
+	g.emitf("%s:", top)
+	g.emit("\taddl $100000, %r8d")
+	g.emit("\tsubl $1, %ebx") // last: jne consumes its flags
+	g.emitf("\tjne %s", top)
+}
+
+// coldFunc emits a mostly-straight-line function carrying the given
+// pattern counts, padded with neutral filler so patterns sit in
+// realistic surroundings. Cold functions must execute safely (the
+// entry calls a few), so every pattern is semantically neutral.
+func (g *gen) coldFunc(name string, m PatternMix) {
+	g.beginFunc(name)
+	g.emit("\tpush %rbx")
+
+	emitFiller := func() {
+		switch g.rng.IntN(5) {
+		case 0:
+			g.emitf("\tmovl $%d, %%ecx", g.rng.IntN(1000))
+		case 1:
+			g.emit("\taddq $3, %rcx")
+		case 2:
+			g.emit("\tleaq 4(%rcx,%rcx,2), %rdx")
+		case 3:
+			g.emit("\txorl %ebx, %ebx")
+		case 4:
+			g.emitf("\tmovl $%d, %%edx", g.rng.IntN(1000))
+		}
+	}
+
+	type emitter func()
+	var work []emitter
+	addN := func(n int, f emitter) {
+		for i := 0; i < n; i++ {
+			work = append(work, f)
+		}
+	}
+	addN(m.RedZext, func() {
+		g.emit("\tandl $255, %eax")
+		g.emit("\tmov %eax, %eax")
+	})
+	addN(m.RedTest, func() {
+		l := g.label("rt")
+		g.emit("\tsubl $16, %ebx")
+		g.emit("\ttestl %ebx, %ebx")
+		g.emitf("\tje %s", l)
+		g.emit("\taddl $1, %ecx")
+		g.emitf("%s:", l)
+	})
+	addN(m.PlainTest, func() {
+		// Not redundant: mov doesn't set flags.
+		l := g.label("pt")
+		g.emitf("\tmovl $%d, %%ebx", 1+g.rng.IntN(100))
+		g.emit("\ttestl %ebx, %ebx")
+		g.emitf("\tje %s", l)
+		g.emit("\taddl $1, %edx")
+		g.emitf("%s:", l)
+	})
+	addN(m.RedMem, func() {
+		off := 8 * g.rng.IntN(16)
+		g.emitf("\tmovq %s_ws+%d(%%rip), %%rdx", g.name, off)
+		g.emitf("\tmovq %s_ws+%d(%%rip), %%rcx", g.name, off)
+	})
+	addN(m.AddAdd, func() {
+		g.emitf("\taddq $%d, %%rcx", 1+g.rng.IntN(64))
+		g.emit("\tmovq %rdx, %rbx")
+		g.emitf("\taddq $%d, %%rcx", 1+g.rng.IntN(64))
+	})
+	// Indirect dispatches are emitted on jumped-over paths: the CFG
+	// builder analyses them statically (that is the experiment), but
+	// the executor never reaches them, keeping cold functions safely
+	// runnable. This mirrors switch statements whose hot cases the
+	// benchmark inputs never select.
+	addN(m.IndirectTab, func() {
+		skip, dead := g.label("its"), g.label("itd")
+		g.emitf("\tjmp %s", skip)
+		g.emitf("%s:", dead)
+		g.emit("\txorl %edi, %edi")
+		g.emitf("\tjmp *%s_tab(,%%rdi,8)", g.name)
+		g.emitf("%s:", skip)
+	})
+	addN(m.IndirectReg, func() {
+		skip, dead := g.label("irs"), g.label("ird")
+		g.emitf("\tjmp %s", skip)
+		g.emitf("%s:", dead)
+		g.emit("\txorl %edi, %edi")
+		g.emitf("\tmovq %s_tab(,%%rdi,8), %%rax", g.name)
+		g.emit("\tjmp *%rax")
+		g.emitf("%s:", skip)
+	})
+	addN(m.Unresolved, func() {
+		// Complex target computation no pattern matches.
+		skip, dead := g.label("us"), g.label("ud")
+		g.emitf("\tjmp %s", skip)
+		g.emitf("%s:", dead)
+		g.emit("\tjmp *%rax")
+		g.emitf("%s:", skip)
+	})
+
+	// Shuffle pattern emission order deterministically.
+	g.rng.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+	for _, f := range work {
+		emitFiller()
+		f()
+	}
+	emitFiller()
+
+	g.emit("\tpop %rbx")
+	g.emit("\tret")
+	g.endFunc(name)
+}

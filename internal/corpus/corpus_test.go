@@ -1,0 +1,169 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mao/internal/asm"
+	"mao/internal/relax"
+)
+
+func TestGenerateParses(t *testing.T) {
+	for _, w := range append(Spec2000Int(0.05), Spec2006Subset(0.05)...) {
+		src := Generate(w)
+		u, err := asm.ParseString(w.Name+".s", src)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", w.Name, err)
+			continue
+		}
+		if u.Function(w.EntryName()) == nil {
+			t.Errorf("%s: entry %s missing", w.Name, w.EntryName())
+		}
+		if _, err := relax.Relax(u, nil); err != nil {
+			t.Errorf("%s does not relax: %v", w.Name, err)
+		}
+	}
+}
+
+func TestFillExactness(t *testing.T) {
+	// Every representable fill amount must relax to exactly that many
+	// bytes of real instructions.
+	for _, n := range []int{0, 3, 4, 6, 7, 8, 9, 11, 19, 25, 32, 41, 50} {
+		g := &gen{name: "t"}
+		g.emit("\t.text")
+		g.emit("\t.type f,@function")
+		g.emit("f:")
+		g.fill(n)
+		g.emit("\tret")
+		g.emit("\t.size f,.-f")
+		u, err := asm.ParseString("fill.s", g.b.String())
+		if err != nil {
+			t.Fatalf("fill(%d): %v", n, err)
+		}
+		l, err := relax.Relax(u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Total = fill + 1-byte ret.
+		if got := l.SectionEnd[".text"]; got != int64(n+1) {
+			t.Errorf("fill(%d) produced %d bytes", n, got-1)
+		}
+		// None of the filler may be a nop (NOPKILL immunity).
+		for _, f := range u.Functions() {
+			for _, in := range f.Instructions() {
+				if in.Inst.IsNop() {
+					t.Errorf("fill(%d) emitted a nop", n)
+				}
+			}
+		}
+	}
+}
+
+func TestFillPanicsOnUnrepresentable(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fill(%d) did not panic", n)
+				}
+			}()
+			g := &gen{name: "t"}
+			g.fill(n)
+		}()
+	}
+}
+
+func TestPatternCounts(t *testing.T) {
+	w := Workload{
+		Name: "counts", Seed: 3, ColdFuncs: 4,
+		Patterns: PatternMix{
+			RedZext: 11, RedTest: 7, PlainTest: 5, RedMem: 9,
+			AddAdd: 6, IndirectReg: 3, IndirectTab: 2, Unresolved: 1,
+		},
+	}
+	src := Generate(w)
+	count := func(sub string) int { return strings.Count(src, sub) }
+	if got := count("mov %eax, %eax"); got != 11 {
+		t.Errorf("RedZext sites = %d, want 11", got)
+	}
+	// Each RedTest plants subl+testl; each PlainTest plants movl+testl.
+	if got := count("testl %ebx, %ebx"); got != 7+5 {
+		t.Errorf("test sites = %d, want 12", got)
+	}
+	if got := count("jmp *%rax"); got != 3+1 { // IndirectReg + Unresolved
+		t.Errorf("register-indirect jumps = %d, want 4", got)
+	}
+	if got := count("jmp *counts_tab"); got != 2 {
+		t.Errorf("table-indirect jumps = %d, want 2", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"164.gzip": "wl_164_gzip",
+		"foo":      "foo",
+		"a-b":      "a_b",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDistributeConserves(t *testing.T) {
+	f := func(total uint8, parts uint8) bool {
+		n := int(parts%7) + 1
+		m := PatternMix{RedZext: int(total), RedTest: int(total) / 2}
+		sumZ, sumT := 0, 0
+		for i := 0; i < n; i++ {
+			d := distribute(m, i, n)
+			sumZ += d.RedZext
+			sumT += d.RedTest
+		}
+		return sumZ == m.RedZext && sumT == m.RedTest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreLibraryFullScaleCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale corpus generation in -short mode")
+	}
+	w := CoreLibrary(1)
+	if w.Patterns.RedTest != 19272 || w.Patterns.PlainTest != 60491 ||
+		w.Patterns.RedMem != 13362 || w.Patterns.RedZext != 1000 {
+		t.Errorf("full-scale pattern mix wrong: %+v", w.Patterns)
+	}
+	if w.Patterns.IndirectReg+w.Patterns.IndirectTab+w.Patterns.Unresolved != 320 {
+		t.Errorf("indirect branch total != 320")
+	}
+}
+
+func TestHotspotKindsEmit(t *testing.T) {
+	kinds := []HotKind{ShortLoop, BigLoop, NestedShort, SchedChain,
+		RedundantHot, StreamScan, DiluterLoop, TightLoop, AlignTrap}
+	for _, k := range kinds {
+		w := Workload{
+			Name: "k", Seed: 1, ColdFuncs: 1,
+			Hot: []Hotspot{{Kind: k, Offset: 9, Trips: 10, Entries: 3, Body: 3, Aligned: true}},
+		}
+		if _, err := asm.ParseString("k.s", Generate(w)); err != nil {
+			t.Errorf("hotspot kind %d does not parse: %v", k, err)
+		}
+	}
+}
+
+func TestEntryPreservesCalleeSaved(t *testing.T) {
+	// The generated entry must save/restore rbx and r12-r15 so the
+	// executor's final state comparison is stable.
+	src := Generate(Spec2000Int(0.02)[0])
+	for _, want := range []string{"push %rbx", "push %r12", "pop %r15", "pop %rbx"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("entry missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package corpus
+
+// Named synthetic workloads standing in for the paper's SPEC 2000/2006
+// benchmarks. Each workload's hot-spot geometry (loop sizes, head
+// offsets, trip counts, redundancy density, dilution against a neutral
+// loop) is calibrated against the simulator so that the pass-versus-
+// model matrix reproduces the paper's result *shape*: which passes
+// help which workloads on which machine model, and roughly by how
+// much. The cold-code pattern mixes reproduce the paper's static
+// transformation counts (Figure 7 columns M and T exactly, L and NOP
+// approximately).
+//
+// Calibrated geometry constants (probed against the Core-2/Opteron
+// models):
+//
+//   - ShortLoop Offset 9: the 9-byte body crosses a 16-byte decode
+//     line but not a 32-byte window — LOOP16 helps Core-2, is neutral
+//     on Opteron (the vpr/gcc/twolf row signs).
+//   - ShortLoop Offset 25, Trips >= 64: crosses a 32-byte window; on
+//     Core-2 the LSD hides most of it, on Opteron (no LSD) LOOP16
+//     recovers it (the mcf/crafty row signs).
+//   - AlignTrap Offset 32: baseline is alias-free; LOOP16's padding,
+//     REDTEST's byte removal, NOPKILL's alignment stripping and
+//     NOPIN's random insertion each shift the movable loop's
+//     never-taken back branch into the quantized partner's predictor
+//     bucket (the eon regressions).
+//   - RedundantHot Offset 19 + Aligned: head lands on a 32-byte
+//     boundary; REDMOV/REDTEST shrink the port-2/decode footprint
+//     (the calculix +20%).
+//   - TightLoop Offset 19 + Aligned: fits one 32-byte fetch window
+//     only while its .p2align survives (the calculix NOPKILL -8.8%).
+
+// diluter is the neutral hot loop every workload carries so that its
+// pathological hot spot is a realistic fraction of total cycles. The
+// 46-byte body fits the LSD window at any placement, so it is robust
+// to every alignment-shifting pass.
+func diluter(trips int) Hotspot {
+	return Hotspot{Kind: DiluterLoop, Trips: trips}
+}
+
+// Spec2000Int returns the twelve SPEC 2000 integer workloads of the
+// paper's Figure 7. scale (0 < scale <= 1) shrinks the cold-code
+// pattern counts for fast tests; scale 1 reproduces the paper's
+// static counts. Hot-spot geometry (and therefore the performance
+// results) is scale-independent.
+func Spec2000Int(scale float64) []Workload {
+	s := scaler(scale)
+	type row struct {
+		name, lang string
+		l, m, t    int // Figure 7 columns: L (LOOP16), M (REDMOV), T (REDTEST)
+		cold       int
+		hot        []Hotspot
+	}
+	rows := []row{
+		{"164.gzip", "C", 1, 0, 5, 12, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 40, Entries: 20},
+			{Kind: SchedChain, Trips: 300, Body: 1},
+			diluter(12000)}},
+		{"175.vpr", "C", 3, 7, 4, 25, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 40, Entries: 20},
+			diluter(12000)}},
+		{"176.gcc", "C", 62, 35, 57, 160, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 40, Entries: 22},
+			{Kind: NestedShort, Offset: 0, Trips: 300},
+			{Kind: SchedChain, Trips: 300, Body: 1},
+			diluter(12000)}},
+		{"181.mcf", "C", 0, 1, 0, 4, []Hotspot{
+			{Kind: ShortLoop, Offset: 25, Trips: 300, Entries: 6},
+			{Kind: StreamScan, Trips: 25, Body: 100},
+			diluter(8000)}},
+		{"186.crafty", "C", 3, 7, 18, 45, []Hotspot{
+			{Kind: ShortLoop, Offset: 25, Trips: 300, Entries: 6},
+			{Kind: SchedChain, Trips: 250, Body: 1},
+			diluter(8000)}},
+		{"197.parser", "C", 13, 4, 0, 35, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 40, Entries: 15},
+			diluter(12000)}},
+		{"252.eon", "C++", 1, 10, 6, 70, []Hotspot{
+			{Kind: AlignTrap, Offset: 32, Body: 0, Entries: 60},
+			diluter(6000)}},
+		{"253.perlbmk", "C++", 21, 9, 21, 120, []Hotspot{
+			{Kind: AlignTrap, Offset: 32, Body: 0, Entries: 14},
+			{Kind: ShortLoop, Offset: 0, Trips: 30, Entries: 60},
+			diluter(8000)}},
+		{"254.gap", "C", 62, 23, 9, 110, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 50, Entries: 16},
+			diluter(12000)}},
+		{"255.vortex", "C", 1, 3, 5, 90, []Hotspot{
+			{Kind: SchedChain, Trips: 200, Body: 1},
+			diluter(12000)}},
+		{"256.bzip2", "C", 2, 3, 0, 10, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 45, Entries: 18},
+			{Kind: SchedChain, Trips: 250, Body: 1},
+			diluter(10000)}},
+		{"300.twolf", "C", 18, 24, 43, 40, []Hotspot{
+			{Kind: ShortLoop, Offset: 9, Trips: 40, Entries: 20},
+			{Kind: RedundantHot, Offset: 19, Trips: 400, Body: 1, Aligned: true},
+			diluter(10000)}},
+	}
+	var out []Workload
+	for i, r := range rows {
+		out = append(out, Workload{
+			Name: r.name, Lang: r.lang, Seed: uint64(1000 + i),
+			Hot:       r.hot,
+			ColdFuncs: maxi(1, s(r.cold)),
+			Patterns: PatternMix{
+				RedZext:     s(r.cold * 6),
+				RedTest:     s(r.t),
+				PlainTest:   s(r.t * 3),
+				RedMem:      s(r.m),
+				AddAdd:      s(r.cold),
+				IndirectTab: s(2),
+			},
+		})
+		// The L column: misaligned short loops planted as extra
+		// rarely-executed hotspot functions, with fill-representable
+		// 16-misaligned offsets.
+		for j := 0; j < s(r.l); j++ {
+			out[i].Hot = append(out[i].Hot, Hotspot{
+				Kind: ShortLoop, Offset: 3 + 4*(j%6), Trips: 2, Entries: 1,
+			})
+		}
+	}
+	return out
+}
+
+func scaler(scale float64) func(int) int {
+	return func(v int) int {
+		out := int(float64(v) * scale)
+		if v > 0 && out == 0 {
+			out = 1
+		}
+		return out
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Spec2006Subset returns the SPEC 2006 workloads the paper's tables
+// report: the REDMOV/REDTEST/NOPKILL table (447.dealII, 454.calculix)
+// and the SCHED table (410.bwaves, 434.zeusmp, 483.xalancbmk, 429.mcf,
+// 464.h264ref).
+func Spec2006Subset(scale float64) []Workload {
+	s := scaler(scale)
+	mk := func(name, lang string, seed uint64, hot []Hotspot, cold int, m PatternMix) Workload {
+		return Workload{Name: name, Lang: lang, Seed: seed, Hot: hot,
+			ColdFuncs: maxi(1, s(cold)), Patterns: m}
+	}
+	return []Workload{
+		mk("447.dealII", "C++", 2001, []Hotspot{
+			{Kind: RedundantHot, Offset: 19, Trips: 1500, Body: 3, Aligned: true},
+			diluter(14000),
+		}, 60, PatternMix{RedTest: s(40), RedMem: s(40), PlainTest: s(120), RedZext: s(80)}),
+		mk("454.calculix", "F", 2002, []Hotspot{
+			{Kind: RedundantHot, Offset: 19, Trips: 12000, Body: 3, Aligned: true},
+			// Several tight loops at varied fills: wherever the
+			// stripped-alignment layout lands them, most straddle.
+			{Kind: TightLoop, Offset: 39, Trips: 5500, Aligned: true},
+			{Kind: TightLoop, Offset: 46, Trips: 5500, Aligned: true},
+			{Kind: TightLoop, Offset: 50, Trips: 5500, Aligned: true},
+		}, 30, PatternMix{RedTest: s(30), RedMem: s(30), PlainTest: s(60), RedZext: s(40)}),
+		mk("410.bwaves", "F", 2003, []Hotspot{
+			{Kind: SchedChain, Trips: 270, Body: 1},
+			diluter(2500)}, 20, PatternMix{PlainTest: s(40)}),
+		mk("434.zeusmp", "F", 2004, []Hotspot{
+			{Kind: SchedChain, Trips: 245, Body: 1},
+			diluter(2800)}, 20, PatternMix{PlainTest: s(40)}),
+		mk("483.xalancbmk", "C++", 2005, []Hotspot{
+			{Kind: SchedChain, Trips: 265, Body: 1},
+			diluter(2600)}, 40, PatternMix{PlainTest: s(60), RedZext: s(40)}),
+		mk("429.mcf", "C", 2006, []Hotspot{
+			{Kind: SchedChain, Trips: 280, Body: 1},
+			{Kind: StreamScan, Trips: 10, Body: 80},
+			diluter(1600)}, 10, PatternMix{PlainTest: s(20)}),
+		mk("464.h264ref", "C", 2007, []Hotspot{
+			{Kind: SchedChain, Trips: 220, Body: 2},
+			diluter(2600)}, 25, PatternMix{PlainTest: s(30)}),
+	}
+}
+
+// CoreLibrary returns the stand-in for the paper's "core library at
+// Google" — the corpus behind the static counts of Section III-B
+// (~1000 redundant zero-extensions; 79763 test instructions of which
+// 19272 are redundant; 13362 repeated-load pairs) and Section II's
+// indirect-branch story (320 indirect branches: 246 resolvable only
+// through the reaching-definition pattern, 70 directly, 4 never).
+// scale 1 reproduces the paper's counts exactly.
+func CoreLibrary(scale float64) Workload {
+	s := scaler(scale)
+	return Workload{
+		Name: "corelib", Lang: "C++", Seed: 4242,
+		// The paper describes ~80 complex C++ files.
+		ColdFuncs: maxi(1, s(80)),
+		Patterns: PatternMix{
+			RedZext:     s(1000),
+			RedTest:     s(19272),
+			PlainTest:   s(79763 - 19272),
+			RedMem:      s(13362),
+			AddAdd:      s(800),
+			IndirectReg: s(246),
+			IndirectTab: s(70),
+			Unresolved:  s(4),
+		},
+	}
+}

@@ -1,0 +1,336 @@
+// Package dataflow implements the register-level data-flow analyses
+// MAO offers its passes: liveness and reaching definitions, plus
+// bit-precise condition-code liveness. There is no alias or points-to
+// analysis — as in the original system, memory is modeled as a single
+// location and calls as conservative barriers, which is enough to
+// solve most problems passes encounter on compiler-generated assembly.
+package dataflow
+
+import (
+	"mao/internal/cfg"
+	"mao/internal/ir"
+	"mao/internal/x86"
+	"mao/internal/x86/sidefx"
+)
+
+// RegSet is a bit set over register families: bits 0–15 are the GPR
+// families rax..r15, bits 16–31 are xmm0..xmm15.
+type RegSet uint64
+
+const allRegs RegSet = 0xFFFFFFFF
+
+func regBit(r x86.Reg) (int, bool) {
+	f := r.Family()
+	switch {
+	case f >= x86.RAX && f <= x86.R15:
+		return int(f - x86.RAX), true
+	case f.IsXMM():
+		return 16 + f.Num(), true
+	}
+	return 0, false
+}
+
+// Add inserts the family of r into the set.
+func (s *RegSet) Add(r x86.Reg) {
+	if b, ok := regBit(r); ok {
+		*s |= 1 << b
+	}
+}
+
+// Remove deletes the family of r from the set.
+func (s *RegSet) Remove(r x86.Reg) {
+	if b, ok := regBit(r); ok {
+		*s &^= 1 << b
+	}
+}
+
+// Has reports whether the family of r is in the set.
+func (s RegSet) Has(r x86.Reg) bool {
+	b, ok := regBit(r)
+	return ok && s&(1<<b) != 0
+}
+
+// Union returns s ∪ t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// DefUse is the data-flow view of one instruction: the register
+// families and flag bits it uses and defines.
+type DefUse struct {
+	Uses RegSet
+	Defs RegSet
+
+	FlagUses x86.Flags
+	FlagDefs x86.Flags // set or clobbered (undefined counts as a def)
+
+	MemUse  bool
+	MemDef  bool
+	Barrier bool
+}
+
+// InstDefUse computes the def/use sets of an instruction from the
+// side-effect tables.
+func InstDefUse(in *x86.Inst) DefUse {
+	e := sidefx.InstEffects(in)
+	var d DefUse
+	for _, r := range e.RegsRead {
+		d.Uses.Add(r)
+	}
+	for _, r := range e.RegsWritten {
+		d.Defs.Add(r)
+	}
+	d.FlagUses = e.FlagsRead
+	d.FlagDefs = e.FlagsSet | e.FlagsUndef
+	d.MemUse = e.MemRead
+	d.MemDef = e.MemWrite
+	d.Barrier = e.Barrier
+	if d.Barrier {
+		// Calls and returns conservatively use and define every
+		// register and all of memory. Flags, however, are dead across
+		// calls under the System V ABI: the callee neither reads nor
+		// preserves the caller's flags, so a barrier clobbers them.
+		d.Uses = allRegs
+		d.Defs = allRegs
+		d.MemUse, d.MemDef = true, true
+		d.FlagDefs = x86.AllFlags
+	}
+
+	// A sub-64-bit write does not fully define its family (the upper
+	// bits survive), except that 32-bit writes zero-extend. For
+	// liveness, a partial def must not kill the family; drop partial
+	// defs from Defs but keep them as uses of the old value.
+	if len(in.Args) > 0 && !d.Barrier {
+		for _, r := range e.RegsWritten {
+			if r.IsGPR() && (r.Width() == x86.W8 || r.Width() == x86.W16) {
+				d.Uses.Add(r) // merge with surviving upper bits
+			}
+		}
+	}
+	return d
+}
+
+// Liveness holds per-node live-out register and flag sets for one
+// function CFG.
+type Liveness struct {
+	liveOut  map[*ir.Node]RegSet
+	flagsOut map[*ir.Node]x86.Flags
+}
+
+// Live computes backward liveness over g. Values possibly live on
+// function exit (return registers, callee-saved restores) are handled
+// by treating ret as a barrier that uses everything.
+func Live(g *cfg.Graph) *Liveness {
+	l := &Liveness{
+		liveOut:  make(map[*ir.Node]RegSet),
+		flagsOut: make(map[*ir.Node]x86.Flags),
+	}
+
+	// Per-block gen/kill, computed backward within the block on the
+	// fly during iteration (block bodies are short in practice).
+	blockLiveIn := make([]RegSet, len(g.Blocks))
+	blockFlagsIn := make([]x86.Flags, len(g.Blocks))
+
+	changed := true
+	for changed {
+		changed = false
+		for i := len(g.Blocks) - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			var live RegSet
+			var flags x86.Flags
+			for _, s := range b.Succs {
+				live |= blockLiveIn[s.Index]
+				flags |= blockFlagsIn[s.Index]
+			}
+			// An unresolved indirect branch can reach anywhere; stay
+			// conservative.
+			if term := b.Terminator(); term != nil && term.IsIndirectBranch() && len(b.Succs) == 0 {
+				live = allRegs
+				flags = x86.AllFlags
+			}
+			for j := len(b.Insts) - 1; j >= 0; j-- {
+				n := b.Insts[j]
+				l.liveOut[n] = live
+				l.flagsOut[n] = flags
+				d := InstDefUse(n.Inst)
+				live = live&^d.Defs | d.Uses
+				flags = flags&^d.FlagDefs | d.FlagUses
+			}
+			if live != blockLiveIn[b.Index] || flags != blockFlagsIn[b.Index] {
+				blockLiveIn[b.Index] = live
+				blockFlagsIn[b.Index] = flags
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// LiveOut returns the registers live immediately after n.
+func (l *Liveness) LiveOut(n *ir.Node) RegSet { return l.liveOut[n] }
+
+// FlagsLiveOut returns the flag bits live immediately after n.
+func (l *Liveness) FlagsLiveOut(n *ir.Node) x86.Flags { return l.flagsOut[n] }
+
+// bitvec is a packed bit vector over definition-site indices.
+type bitvec []uint64
+
+func newBitvec(n int) bitvec { return make(bitvec, (n+63)/64) }
+
+func (v bitvec) set(i int)      { v[i/64] |= 1 << (i % 64) }
+func (v bitvec) clear(i int)    { v[i/64] &^= 1 << (i % 64) }
+func (v bitvec) has(i int) bool { return v[i/64]&(1<<(i%64)) != 0 }
+
+// or merges src into v, reporting change.
+func (v bitvec) or(src bitvec) bool {
+	changed := false
+	for i, w := range src {
+		if v[i]|w != v[i] {
+			v[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (v bitvec) clone() bitvec {
+	cp := make(bitvec, len(v))
+	copy(cp, v)
+	return cp
+}
+
+// ReachingDefs maps each instruction and register family to the set
+// of definitions that may reach it.
+type ReachingDefs struct {
+	defs    []*ir.Node          // all def sites, indexed
+	defIdx  map[*ir.Node][]int  // def-site indices per node
+	reachIn map[*ir.Node]bitvec // def bits reaching each node
+	byReg   map[int]RegSet      // def index -> families defined
+}
+
+// Reach computes reaching definitions over g. Barriers (calls) define
+// every register, so definitions never flow across them.
+func Reach(g *cfg.Graph) *ReachingDefs {
+	r := &ReachingDefs{
+		defIdx:  make(map[*ir.Node][]int),
+		reachIn: make(map[*ir.Node]bitvec),
+	}
+
+	// Enumerate definition sites.
+	var defRegs []RegSet
+	for _, b := range g.Blocks {
+		for _, n := range b.Insts {
+			d := InstDefUse(n.Inst)
+			if d.Defs != 0 {
+				r.defIdx[n] = append(r.defIdx[n], len(r.defs))
+				r.defs = append(r.defs, n)
+				defRegs = append(defRegs, d.Defs)
+			}
+		}
+	}
+	nd := len(r.defs)
+	r.byReg = make(map[int]RegSet, nd)
+	for i, s := range defRegs {
+		r.byReg[i] = s
+	}
+
+	// killMask[S] would be per def-set; precompute per single family
+	// slot (32 slots) the defs wholly contained in that slot set —
+	// kills require defRegs[i] ⊆ killed set, so build per-slot masks
+	// of defs whose families are a subset of any superset containing
+	// the slot. For kill computation we use: def i killed by set S
+	// iff defRegs[i] & S == defRegs[i]. Precompute per-slot "defs
+	// mentioning slot" masks; a kill candidate must mention only
+	// killed slots.
+	slotDefs := make([]bitvec, 32)
+	for s := 0; s < 32; s++ {
+		slotDefs[s] = newBitvec(nd)
+	}
+	for i, regs := range defRegs {
+		for s := 0; s < 32; s++ {
+			if regs&(1<<s) != 0 {
+				slotDefs[s].set(i)
+			}
+		}
+	}
+	// kills(S) = defs whose every slot is in S = union over slots in
+	// S of slotDefs minus defs mentioning any slot outside S. Compute
+	// on demand per distinct def set (few distinct sets in practice).
+	killCache := make(map[RegSet]bitvec)
+	kills := func(S RegSet) bitvec {
+		if v, ok := killCache[S]; ok {
+			return v
+		}
+		v := newBitvec(nd)
+		for s := 0; s < 32; s++ {
+			if S&(1<<s) != 0 {
+				v.or(slotDefs[s])
+			}
+		}
+		// Remove defs that also touch slots outside S.
+		for i := 0; i < nd; i++ {
+			if v.has(i) && defRegs[i]&^S != 0 {
+				v.clear(i)
+			}
+		}
+		killCache[S] = v
+		return v
+	}
+
+	blockOut := make([]bitvec, len(g.Blocks))
+	for i := range blockOut {
+		blockOut[i] = newBitvec(nd)
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			in := newBitvec(nd)
+			for _, p := range b.Preds {
+				in.or(blockOut[p.Index])
+			}
+			for _, n := range b.Insts {
+				r.reachIn[n] = in.clone()
+
+				d := InstDefUse(n.Inst)
+				if d.Defs != 0 {
+					k := kills(d.Defs)
+					for i := range in {
+						in[i] &^= k[i]
+					}
+					for _, idx := range r.defIdx[n] {
+						in.set(idx)
+					}
+				}
+			}
+			if blockOut[b.Index].or(in) {
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// DefsReaching returns the definition sites of reg that may reach the
+// use at n.
+func (r *ReachingDefs) DefsReaching(n *ir.Node, reg x86.Reg) []*ir.Node {
+	in := r.reachIn[n]
+	var out []*ir.Node
+	var want RegSet
+	want.Add(reg)
+	for i := range r.defs {
+		if in.has(i) && r.byReg[i]&want != 0 {
+			out = append(out, r.defs[i])
+		}
+	}
+	return out
+}
+
+// UniqueDefReaching returns the single definition of reg reaching n,
+// or nil when there are zero or several.
+func (r *ReachingDefs) UniqueDefReaching(n *ir.Node, reg x86.Reg) *ir.Node {
+	ds := r.DefsReaching(n, reg)
+	if len(ds) == 1 {
+		return ds[0]
+	}
+	return nil
+}

@@ -1,0 +1,606 @@
+// Package experiments implements every table and figure reproduction
+// from the paper, as named experiments shared by cmd/maobench and the
+// repository's benchmark suite. Each experiment prints a paper-style
+// table; EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mao/internal/asm"
+	"mao/internal/bench"
+	"mao/internal/cfg"
+	"mao/internal/corpus"
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/passes"
+	"mao/internal/relax"
+	"mao/internal/uarch"
+	"mao/internal/uarch/exec"
+	"mao/internal/uarch/sim"
+	"mao/internal/x86"
+)
+
+// Experiment is one reproducible paper result.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(w io.Writer, scale float64) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1-nop", "Figure 1: high-impact NOP in the mcf hot loop", Fig1NOP},
+		{"relax", "Section II: repeated relaxation example", RelaxExample},
+		{"cfg-indirect", "Section II: indirect-branch resolution (246/320 -> 4/320)", CFGIndirect},
+		{"counts-static", "Section III-B: static pattern counts on the core library", StaticCounts},
+		{"fig45-lsd", "Figures 4/5: LSD decode-line fitting (2x)", Fig45LSD},
+		{"sched-hash", "Section III-F: hashing microbenchmark scheduling", SchedHash},
+		{"eon-regress", "Section V-B: 252.eon regressions (NOPIN/NOPKILL/REDTEST)", EonRegress},
+		{"loop16-core2", "Section V-B: LOOP16 on the Core-2 model", Loop16Core2},
+		{"loop16-opteron", "Section V-B: LOOP16 on the Opteron model", Loop16Opteron},
+		{"spec2006-opteron", "Section V-B: REDMOV/REDTEST/NOPKILL on SPEC2006 (Opteron)", Spec2006Opteron},
+		{"sched-suite", "Section V-B: SCHED across SPEC2006", SchedSuite},
+		{"fig7-aggregate", "Figure 7: transformation counts and aggregate performance", Fig7Aggregate},
+		{"nopkill-size", "Section III-E.j: NOPKILL code-size effect (~1%)", NopKillSize},
+		{"simaddr-gain", "Section III-E.m: address-sample multiplication (4.1-6.3x)", SimAddrGain},
+		{"instrument", "Section III-E.l: instrumentation-point overhead", Instrument},
+		{"compile-time", "Section V-A: MAO pipeline vs parse-only time", CompileTime},
+		{"bralign", "Section III-C.g: branch-alias separation (image benchmark, 3%)", BrAlign},
+		{"prefnta", "Section III-E.k: inverse prefetching end-to-end", PrefNTA},
+		{"nopin-p4", "Section III-E.i: Nopinizer blind search on the P4 model", NopinP4},
+		{"ablations", "DESIGN.md ablations: LSD, predictor shift, forwarding, cost functions, relaxation", Ablations},
+	}
+}
+
+// Find returns the named experiment, or nil.
+func Find(name string) *Experiment {
+	for _, e := range All() {
+		if e.Name == name {
+			return &e
+		}
+	}
+	return nil
+}
+
+// measureSrc assembles, optionally optimizes, and simulates a source
+// string.
+func measureSrc(src, pipeline, entry string, model *uarch.CPUModel) (*sim.Counters, error) {
+	u, err := asm.ParseString("exp.s", src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bench.Optimize(u, pipeline); err != nil {
+		return nil, err
+	}
+	c, _, _, err := bench.Measure(u, entry, model)
+	return c, err
+}
+
+// ---------------------------------------------------------------------------
+
+// Fig1NOP reproduces the paper's introduction example: inserting a
+// single NOP right before .L5 in the twice-unrolled 181.mcf hot loop
+// speeds the loop up (~5% on the authors' Core-2 silicon, attributed
+// to an undocumented branch-predictor structure). On the simulated
+// Core-2 the same insertion helps through a different but equally
+// cliff-like front-end mechanism: the one-byte shift changes which
+// instructions straddle 16-byte fetch-line boundaries, repacking the
+// decode groups and saving a cycle per iteration. Either way the
+// paper's headline stands — one NOP, a measurable speedup, and no way
+// for a conventional compiler to see it.
+func Fig1NOP(w io.Writer, scale float64) error {
+	prog := func(nop string) string {
+		return `
+	.text
+	.type f,@function
+f:
+	leaq buf(%rip), %rdi
+	leaq out(%rip), %rsi
+	movl $6000, %r10d
+	.p2align 5
+.Louter:
+	cmpl $0, %r10d
+	jle .Ldone
+	movl $4, %r9d
+	xorl %r8d, %r8d
+	nop
+	nop
+	nop
+.L3:
+	movsbl 1(%rdi,%r8,4), %edx
+	movsbl (%rdi,%r8,4), %eax
+	movl %edx, (%rsi,%r8,4)
+	addq $1, %r8
+` + nop + `.L5:
+	movsbl 1(%rdi,%r8,4), %edx
+	movsbl (%rdi,%r8,4), %eax
+	movl %edx, (%rsi,%r8,4)
+	addq $1, %r8
+	cmpl %r8d, %r9d
+	jg .L3
+	decl %r10d
+	jmp .Louter
+.Ldone:
+	ret
+	.size f,.-f
+	.data
+buf:
+	.zero 16384
+out:
+	.zero 16384
+`
+	}
+	model := uarch.Core2()
+	without, err := measureSrc(prog(""), "", "f", model)
+	if err != nil {
+		return err
+	}
+	with, err := measureSrc(prog("\tnop\n"), "", "f", model)
+	if err != nil {
+		return err
+	}
+	d := bench.DeltaPct(without, with)
+	fmt.Fprintf(w, "Figure 1 (mcf unrolled loop, Core-2 model):\n")
+	fmt.Fprintf(w, "  without nop: %8d cycles (%d mispredicts, %d lines)\n",
+		without.Cycles, without.Mispredicts, without.DecodeLines)
+	fmt.Fprintf(w, "  with nop:    %8d cycles (%d mispredicts, %d lines)\n",
+		with.Cycles, with.Mispredicts, with.DecodeLines)
+	fmt.Fprintf(w, "  speedup from inserting one nop: %+.2f%%  (paper: ~5%%)\n", d)
+	return nil
+}
+
+// RelaxExample prints the Section II relaxation listings byte-for-byte.
+func RelaxExample(w io.Writer, scale float64) error {
+	src := `
+	push %rbp
+	mov %rsp,%rbp
+	movl $0x5,-0x4(%rbp)
+	jmp .Lcheck
+.Lbody:
+	addl $0x1,-0x4(%rbp)
+	subl $0x1,-0x4(%rbp)
+	.skip 119
+.Lcheck:
+	cmpl $0x0,-0x4(%rbp)
+	jne .Lbody
+`
+	show := func(title, text string) error {
+		u, err := asm.ParseString("relax.s", text)
+		if err != nil {
+			return err
+		}
+		layout, err := relax.Relax(u, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s (relaxation converged in %d iterations):\n", title, layout.Iterations)
+		for n := u.List.Front(); n != nil; n = n.Next() {
+			if n.Kind != ir.NodeInst {
+				continue
+			}
+			fmt.Fprintf(w, "  %4x: %-24x %s\n", layout.Addr[n], layout.Bytes[n], n.Inst)
+		}
+		return nil
+	}
+	if err := show("before nop insertion", src); err != nil {
+		return err
+	}
+	return show("after nop insertion", strings.Replace(src, ".Lcheck:", "\tnop\n.Lcheck:", 1))
+}
+
+// CFGIndirect reproduces the indirect-branch resolution story: with
+// only the direct jump-table pattern most branches are unresolved;
+// adding the reaching-definition pattern leaves ~1.2%.
+func CFGIndirect(w io.Writer, scale float64) error {
+	u, err := bench.Prepare(corpus.CoreLibrary(scale))
+	if err != nil {
+		return err
+	}
+	count := func(useDataflow bool) (resolved, unresolved int) {
+		for _, f := range u.Functions() {
+			g := cfg.BuildWith(f, cfg.Options{ResolveWithDataflow: useDataflow})
+			unresolved += len(g.Unresolved)
+			resolved += indirectCount(f) - len(g.Unresolved)
+		}
+		return
+	}
+	total := 0
+	for _, f := range u.Functions() {
+		total += indirectCount(f)
+	}
+	_, u1 := count(false)
+	_, u2 := count(true)
+	fmt.Fprintf(w, "indirect branches in corpus:            %4d (paper: 320)\n", total)
+	fmt.Fprintf(w, "unresolved with direct pattern only:    %4d (paper: 246)\n", u1)
+	fmt.Fprintf(w, "unresolved with reaching-defs pattern:  %4d (paper: 4, 1.2%%)\n", u2)
+	if total > 0 {
+		fmt.Fprintf(w, "residual rate:                          %4.1f%%\n",
+			float64(u2)/float64(total)*100)
+	}
+	return nil
+}
+
+// StaticCounts reproduces the Section III-B pattern counts.
+func StaticCounts(w io.Writer, scale float64) error {
+	u, err := bench.Prepare(corpus.CoreLibrary(scale))
+	if err != nil {
+		return err
+	}
+	totalTests := 0
+	for _, f := range u.Functions() {
+		for _, n := range f.Instructions() {
+			if n.Inst.Op == x86.OpTEST {
+				totalTests++
+			}
+		}
+	}
+	stats, err := bench.Optimize(u, "REDZEXT:REDTEST:REDMOV:ADDADD")
+	if err != nil {
+		return err
+	}
+	redT := stats.Get("REDTEST", "removed")
+	fmt.Fprintf(w, "scale %.3f of the paper's core library:\n", scale)
+	fmt.Fprintf(w, "  redundant zero-extensions removed: %6d (paper: ~1000)\n",
+		stats.Get("REDZEXT", "removed"))
+	fmt.Fprintf(w, "  test instructions total:           %6d (paper: 79763)\n", totalTests)
+	pct := 0.0
+	if totalTests > 0 {
+		pct = float64(redT) / float64(totalTests) * 100
+	}
+	fmt.Fprintf(w, "  redundant tests removed:           %6d = %.1f%% (paper: 19272 = 24%%)\n", redT, pct)
+	fmt.Fprintf(w, "  repeated loads rewritten/removed:  %6d (paper: 13362)\n",
+		stats.Get("REDMOV", "rewritten")+stats.Get("REDMOV", "removed"))
+	fmt.Fprintf(w, "  add/add chains folded:             %6d\n", stats.Get("ADDADD", "folded"))
+	return nil
+}
+
+// Fig45LSD reproduces the Figure 4/5 experiment: a three-block loop
+// spanning six decode lines, then shifted by NOP insertion to span
+// four, reproducing the ~2x LSD speedup.
+func Fig45LSD(w io.Writer, scale float64) error {
+	limit := 3000 + int(300000*scale)
+	prog := func(pad int) string {
+		var b strings.Builder
+		b.WriteString("\t.text\n\t.type f,@function\nf:\n")
+		b.WriteString("\tmovl $3000, %r10d\n\tmovl $1, %ecx\n")
+		b.WriteString("\t.p2align 5\n")
+		for i := 0; i < pad; i++ {
+			b.WriteString("\tnop\n")
+		}
+		// The paper's three-basic-block loop (Figure 4: l0/l1/l2 with
+		// two internal forward branches and a backward jl), sized to
+		// span 6 decode lines as placed and 4 when shifted by 6 nops.
+		b.WriteString(`
+.L0:
+	cmpl %r14d, %edx
+	jne .L1
+	addl $100000, %ebx
+	addl $9, %esi
+	.p2align 3
+.L1:
+	addl $7, %r9d
+	movl %r14d, %edx
+	addl $100000, %edi
+	cmpl %edx, %ecx
+	jne .L2
+	addl $100000, %r15d
+	.p2align 3
+.L2:
+	addl $1, %r10d
+	addl $9, %r8d
+	addl $1, %esi
+	addl $1, %r14d
+	cmpl $LIMIT, %r10d
+	jl .L0
+	ret
+	.size f,.-f
+`)
+		return strings.Replace(b.String(), "$LIMIT", fmt.Sprintf("$%d", limit), 1)
+	}
+	model := uarch.Core2()
+	bad, err := measureSrc(prog(12), "", "f", model)
+	if err != nil {
+		return err
+	}
+	good, err := measureSrc(prog(12+6), "", "f", model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 4 layout (straddling): %8d cycles, LSD uops %d\n", bad.Cycles, bad.LSDUops)
+	fmt.Fprintf(w, "Figure 5 layout (+6 nops):    %8d cycles, LSD uops %d\n", good.Cycles, good.LSDUops)
+	fmt.Fprintf(w, "speedup: %.2fx (paper: ~2x)\n", float64(bad.Cycles)/float64(good.Cycles))
+	return nil
+}
+
+// SchedHash reproduces the hashing-microbenchmark scheduling result.
+func SchedHash(w io.Writer, scale float64) error {
+	wld := corpus.Workload{Name: "hash_ub", Seed: 5, ColdFuncs: 1,
+		Hot: []corpus.Hotspot{{Kind: corpus.SchedChain, Trips: 4000, Body: 2}}}
+	model := uarch.Core2()
+	base, opt, d, err := bench.Compare(wld, "SCHED", model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hashing microbenchmark (Core-2 model):\n")
+	fmt.Fprintf(w, "  baseline:  %8d cycles, RS_FULL stalls %6d\n",
+		base.Counters.Cycles, base.Counters.RSFullStalls)
+	fmt.Fprintf(w, "  scheduled: %8d cycles, RS_FULL stalls %6d (%d insts moved)\n",
+		opt.Counters.Cycles, opt.Counters.RSFullStalls, opt.Stats.Get("SCHED", "moved"))
+	fmt.Fprintf(w, "  speedup: %+.2f%% (paper: 15%%; stall counts must drop)\n", d)
+	return nil
+}
+
+// table runs a workload list against one pipeline/model and prints
+// paper-style rows.
+func table(w io.Writer, title string, wls []corpus.Workload, pipelines []string, model *uarch.CPUModel) error {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s", "Benchmark")
+	for _, p := range pipelines {
+		fmt.Fprintf(w, "%12s", strings.SplitN(p, "=", 2)[0])
+	}
+	fmt.Fprintln(w)
+	for _, wl := range wls {
+		fmt.Fprintf(w, "%-16s", wl.Lang+"/"+wl.Name)
+		base, err := bench.RunWorkload(wl, "", model)
+		if err != nil {
+			return err
+		}
+		for _, p := range pipelines {
+			opt, err := bench.RunWorkload(wl, p, model)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%+11.2f%%", bench.DeltaPct(base.Counters, opt.Counters))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func pick(wls []corpus.Workload, names ...string) []corpus.Workload {
+	var out []corpus.Workload
+	for _, n := range names {
+		for _, w := range wls {
+			if strings.Contains(w.Name, n) {
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// EonRegress reproduces the first Section V-B table.
+func EonRegress(w io.Writer, scale float64) error {
+	wls := pick(corpus.Spec2000Int(scale), "eon")
+	return table(w, "252.eon regressions on Core-2 (paper: NOPIN -9.23, NOPKILL -5.34, REDTEST -5.97):",
+		wls, []string{"NOPIN=seed[1],density[4]", "NOPKILL", "REDTEST"}, uarch.Core2())
+}
+
+// Loop16Core2 reproduces the second Section V-B table.
+func Loop16Core2(w io.Writer, scale float64) error {
+	wls := pick(corpus.Spec2000Int(scale), "eon", "vpr", "gcc", "twolf")
+	return table(w, "LOOP16 on Core-2 (paper: eon -4.43, vpr +1.25, gcc +1.41, twolf +1.18):",
+		wls, []string{"LOOP16"}, uarch.Core2())
+}
+
+// Loop16Opteron reproduces the third Section V-B table.
+func Loop16Opteron(w io.Writer, scale float64) error {
+	wls := pick(corpus.Spec2000Int(scale), "eon", "mcf", "crafty")
+	return table(w, "LOOP16 on Opteron (paper: eon -5.86, mcf +2.47, crafty +2.45):",
+		wls, []string{"LOOP16"}, uarch.Opteron())
+}
+
+// Spec2006Opteron reproduces the dealII/calculix table.
+func Spec2006Opteron(w io.Writer, scale float64) error {
+	wls := pick(corpus.Spec2006Subset(scale), "dealII", "calculix")
+	return table(w, "SPEC2006 on Opteron (paper: dealII +2.78/+3.21/-0.12, calculix +20.12/+20.58/-8.81):",
+		wls, []string{"REDMOV", "REDTEST", "NOPKILL"}, uarch.Opteron())
+}
+
+// SchedSuite reproduces the SCHED table.
+func SchedSuite(w io.Writer, scale float64) error {
+	wls := pick(corpus.Spec2006Subset(scale), "bwaves", "zeusmp", "xalancbmk", "429.mcf", "h264ref")
+	return table(w, "SCHED (paper: bwaves +1.29, zeusmp +1.20, xalancbmk +1.25, mcf +1.43, h264ref +1.75):",
+		wls, []string{"SCHED"}, uarch.Core2())
+}
+
+// Fig7Aggregate reproduces Figure 7: per-benchmark transformation
+// counts under the combined pipeline, and the aggregate performance.
+func Fig7Aggregate(w io.Writer, scale float64) error {
+	const pipeline = "LOOP16:NOPIN=seed[3],density[2]:REDMOV:REDTEST:SCHED"
+	model := uarch.Core2()
+	wls := corpus.Spec2000Int(scale)
+
+	fmt.Fprintf(w, "Figure 7 (combined pipeline %s):\n", pipeline)
+	fmt.Fprintf(w, "%-14s %5s %7s %5s %5s %7s %9s\n", "Benchmark", "L", "NOP", "M", "T", "SCHED", "Perf")
+	var deltas, deltasNoPerl []float64
+	for _, wl := range wls {
+		base, err := bench.RunWorkload(wl, "", model)
+		if err != nil {
+			return err
+		}
+		opt, err := bench.RunWorkload(wl, pipeline, model)
+		if err != nil {
+			return err
+		}
+		d := bench.DeltaPct(base.Counters, opt.Counters)
+		deltas = append(deltas, d)
+		if !strings.Contains(wl.Name, "perlbmk") {
+			deltasNoPerl = append(deltasNoPerl, d)
+		}
+		s := opt.Stats
+		fmt.Fprintf(w, "%-14s %5d %7d %5d %5d %7d %+8.2f%%\n", wl.Name,
+			s.Get("LOOP16", "aligned"),
+			s.Get("NOPIN", "inserted"),
+			s.Get("REDMOV", "rewritten")+s.Get("REDMOV", "removed"),
+			s.Get("REDTEST", "removed"),
+			s.Get("SCHED", "moved"),
+			d)
+	}
+	fmt.Fprintf(w, "%-14s %37s %+8.2f%% (paper: +0.38%%)\n", "Geomean", "", bench.Geomean(deltas))
+	fmt.Fprintf(w, "%-14s %37s %+8.2f%% (paper: +0.61%%)\n", "Geomean w/o perlbmk", "", bench.Geomean(deltasNoPerl))
+	return nil
+}
+
+// NopKillSize reproduces the ~1% code-size improvement.
+func NopKillSize(w io.Writer, scale float64) error {
+	var before, after int64
+	for _, wl := range corpus.Spec2000Int(scale) {
+		u, err := bench.Prepare(wl)
+		if err != nil {
+			return err
+		}
+		l1, err := relax.Relax(u, nil)
+		if err != nil {
+			return err
+		}
+		before += l1.SectionEnd[".text"]
+		if _, err := bench.Optimize(u, "NOPKILL"); err != nil {
+			return err
+		}
+		l2, err := relax.Relax(u, nil)
+		if err != nil {
+			return err
+		}
+		after += l2.SectionEnd[".text"]
+	}
+	fmt.Fprintf(w, "text bytes before NOPKILL: %d\n", before)
+	fmt.Fprintf(w, "text bytes after NOPKILL:  %d\n", after)
+	fmt.Fprintf(w, "code-size reduction: %.2f%% (paper: ~1%%)\n",
+		float64(before-after)/float64(before)*100)
+	return nil
+}
+
+// SimAddrGain reproduces the 4.1-6.3x address-sample multiplication.
+func SimAddrGain(w io.Writer, scale float64) error {
+	wls := pick(corpus.Spec2000Int(scale), "gzip", "vpr", "mcf", "twolf")
+	fmt.Fprintf(w, "address-sample multiplication (paper: 4.1x - 6.3x):\n")
+	for _, wl := range wls {
+		u, err := bench.Prepare(wl)
+		if err != nil {
+			return err
+		}
+		layout, err := relax.Relax(u, nil)
+		if err != nil {
+			return err
+		}
+		res, err := exec.Run(&exec.Config{
+			Unit: u, Layout: layout, Entry: wl.EntryName(),
+			MaxInsts: bench.MaxInsts, SampleEvery: 97,
+		})
+		if err != nil {
+			return err
+		}
+		p := pass.Lookup("SIMADDR")
+		sa := p.(interface {
+			SetSamples([]passes.RegSnapshot)
+			Gain() float64
+		})
+		var snaps []passes.RegSnapshot
+		for _, s := range res.Samples {
+			snaps = append(snaps, passes.RegSnapshot{Node: s.Node, GPR: s.GPR})
+		}
+		sa.SetSamples(snaps)
+		stats := pass.NewStats()
+		for _, f := range u.Functions() {
+			ctx := pass.NewCtx(u, "SIMADDR", pass.NewOptions(), stats)
+			if _, err := p.(pass.FuncPass).RunFunc(ctx, f); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "  %-14s samples %5d -> recovered addrs (fwd %d, bwd %d, direct %d), gain %.1fx\n",
+			wl.Name, len(res.Samples),
+			stats.Get("SIMADDR", "forward_addrs"),
+			stats.Get("SIMADDR", "backward_addrs"),
+			stats.Get("SIMADDR", "sampled_addrs"),
+			sa.Gain())
+	}
+	return nil
+}
+
+// Instrument reproduces the III-E.l result: all entry/exit points get
+// patchable 5-byte probes and overall runtime is not degraded much.
+func Instrument(w io.Writer, scale float64) error {
+	model := uarch.Core2()
+	var worst float64
+	for _, wl := range pick(corpus.Spec2000Int(scale), "gzip", "vpr", "mcf") {
+		_, opt, d, err := bench.Compare(wl, "INSTRUMENT", model)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-14s probes %4d, pads %4d, delta %+.2f%%\n", wl.Name,
+			opt.Stats.Get("INSTRUMENT", "entry_exit_points"),
+			opt.Stats.Get("INSTRUMENT", "pad_nops"), d)
+		if -d > worst {
+			worst = -d
+		}
+	}
+	fmt.Fprintf(w, "worst degradation %.2f%% (paper: no overall degradation; one +8%% surprise)\n", worst)
+	return nil
+}
+
+// CompileTime reproduces the Section V-A measurement shape: a full
+// pass pipeline costs a small multiple of parse-only processing.
+func CompileTime(w io.Writer, scale float64) error {
+	wl := corpus.CoreLibrary(scale)
+	src := corpus.Generate(wl)
+
+	parseOnly := timeIt(func() error {
+		_, err := asm.ParseString("cl.s", src)
+		return err
+	})
+	fullPipe := timeIt(func() error {
+		u, err := asm.ParseString("cl.s", src)
+		if err != nil {
+			return err
+		}
+		_, err = bench.Optimize(u, "REDZEXT:REDTEST:REDMOV:ADDADD:LOOP16:SCHED")
+		if err != nil {
+			return err
+		}
+		_, err = relax.Relax(u, nil)
+		return err
+	})
+	fmt.Fprintf(w, "parse-only (the 'gas' baseline): %v\n", parseOnly)
+	fmt.Fprintf(w, "full MAO pipeline:               %v\n", fullPipe)
+	fmt.Fprintf(w, "slowdown: %.1fx (paper: ~5x gas)\n", float64(fullPipe)/float64(parseOnly))
+	return nil
+}
+
+// timeIt measures the wall time of one action, panicking on error
+// (experiments are driver code).
+func timeIt(f func() error) time.Duration {
+	start := time.Now()
+	if err := f(); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+// --- small helpers ----------------------------------------------------------
+
+func indirectCount(f *ir.Function) int {
+	n := 0
+	for _, in := range f.Instructions() {
+		if in.Inst.IsIndirectBranch() && in.Inst.Op == x86.OpJMP {
+			n++
+		}
+	}
+	return n
+}
+
+// sortedNames is used by maobench's list mode.
+func SortedNames() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}

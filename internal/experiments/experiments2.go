@@ -1,0 +1,257 @@
+package experiments
+
+// Additional reproductions and ablations beyond the paper's numbered
+// tables: the branch-alignment anecdote (III-C.g), inverse prefetching
+// end-to-end (III-E.k), the Nopinizer's blind search on the P4 model
+// (III-E.i), and sensitivity ablations for the design choices called
+// out in DESIGN.md.
+
+import (
+	"fmt"
+	"io"
+
+	"mao/internal/bench"
+	"mao/internal/corpus"
+	"mao/internal/pass"
+	"mao/internal/passes"
+	"mao/internal/relax"
+	"mao/internal/uarch"
+	"mao/internal/uarch/exec"
+	"mao/internal/uarch/pmu"
+)
+
+// BrAlign reproduces the Section III-C.g anecdote: a two-deep nest of
+// short-running loops places both back branches in the same PC>>5
+// bucket; separating them by NOP insertion recovered 3% on a full
+// image-manipulation benchmark.
+func BrAlign(w io.Writer, scale float64) error {
+	wl := corpus.Workload{
+		Name: "image_bench", Seed: 31, ColdFuncs: 2,
+		Hot: []corpus.Hotspot{
+			{Kind: corpus.NestedShort, Offset: 0, Trips: 1200},
+			{Kind: corpus.DiluterLoop, Trips: 140000},
+		},
+		Patterns: corpus.PatternMix{PlainTest: 10},
+	}
+	model := uarch.Core2()
+	base, opt, d, err := bench.Compare(wl, "BRALIGN", model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "image-manipulation stand-in (Core-2 model):\n")
+	fmt.Fprintf(w, "  baseline: %8d cycles, %6d mispredicts\n",
+		base.Counters.Cycles, base.Counters.Mispredicts)
+	fmt.Fprintf(w, "  BRALIGN:  %8d cycles, %6d mispredicts (%d pairs separated, %d nops)\n",
+		opt.Counters.Cycles, opt.Counters.Mispredicts,
+		opt.Stats.Get("BRALIGN", "separated"), opt.Stats.Get("BRALIGN", "nops"))
+	fmt.Fprintf(w, "  speedup: %+.2f%% (paper: 3%%)\n", d)
+	return nil
+}
+
+// PrefNTA reproduces Section III-E.k end to end: the reuse-distance
+// profiler identifies the streaming loads, the PREFNTA pass plants
+// prefetchnta hints, and the cache model confines the stream to a
+// single way — reducing misses on the re-used working set.
+func PrefNTA(w io.Writer, scale float64) error {
+	wl := corpus.Workload{
+		Name: "pollute", Seed: 41, ColdFuncs: 1,
+		Hot: []corpus.Hotspot{
+			{Kind: corpus.StreamScan, Trips: 60, Body: 256, Entries: 20},
+		},
+	}
+	model := uarch.Core2()
+	model.CacheSets = 8 // a small L1 so pollution is visible
+	model.CacheWays = 4
+
+	u, err := bench.Prepare(wl)
+	if err != nil {
+		return err
+	}
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		return err
+	}
+
+	// Profile: run once, collect the trace, compute reuse distances.
+	res, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: wl.EntryName(),
+		MaxInsts: bench.MaxInsts, CollectTrace: true,
+	})
+	if err != nil {
+		return err
+	}
+	profile := pmu.ReuseProfile(u, res.Trace, model.CacheLineBytes)
+
+	before, _, _, err := bench.Measure(u, wl.EntryName(), model)
+	if err != nil {
+		return err
+	}
+
+	// Plant the hints via the pass, using the profile programmatically
+	// (the paper's "novel memory reuse distance profiler" flow).
+	p := pass.Lookup("PREFNTA")
+	p.(interface{ SetProfile([]passes.ReuseSite) }).SetProfile(profile)
+	stats := pass.NewStats()
+	for _, f := range u.Functions() {
+		ctx := pass.NewCtx(u, "PREFNTA", pass.NewOptions("mindist", "512", "minfootprint", "64"), stats)
+		if _, err := p.(pass.FuncPass).RunFunc(ctx, f); err != nil {
+			return err
+		}
+	}
+	if err := u.Analyze(); err != nil {
+		return err
+	}
+
+	after, _, _, err := bench.Measure(u, wl.EntryName(), model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "profiled %d load sites; %d prefetchnta hints planted\n",
+		len(profile), stats.Get("PREFNTA", "prefetches"))
+	fmt.Fprintf(w, "  L1 misses: %6d -> %6d\n", before.CacheMisses, after.CacheMisses)
+	fmt.Fprintf(w, "  cycles:    %6d -> %6d (%+.2f%%)\n",
+		before.Cycles, after.Cycles, bench.DeltaPct(before, after))
+	fmt.Fprintf(w, "(paper: technique promising, detailed in a follow-up paper)\n")
+	return nil
+}
+
+// NopinP4 reproduces the Section III-E.i methodology: run many seeded
+// random NOP-insertion experiments on the P4-like model and report the
+// best layout found — the blind-optimization search that uncovered an
+// unexplained 4% on the authors' Pentium 4.
+func NopinP4(w io.Writer, scale float64) error {
+	wl := corpus.Workload{
+		Name: "compress", Seed: 51, ColdFuncs: 2,
+		Hot: []corpus.Hotspot{
+			// A placement-sensitive loop left misaligned: random
+			// insertion can shift it either way.
+			{Kind: corpus.TightLoop, Offset: 30, Trips: 12000},
+			{Kind: corpus.DiluterLoop, Trips: 25000},
+		},
+		Patterns: corpus.PatternMix{PlainTest: 8},
+	}
+	model := uarch.P4()
+
+	base, err := bench.RunWorkload(wl, "", model)
+	if err != nil {
+		return err
+	}
+	bestSeed, bestDelta := 0, -1e9
+	var worst float64
+	trials := 12
+	for seed := 1; seed <= trials; seed++ {
+		pipe := fmt.Sprintf("NOPIN=seed[%d],density[6]", seed)
+		opt, err := bench.RunWorkload(wl, pipe, model)
+		if err != nil {
+			return err
+		}
+		d := bench.DeltaPct(base.Counters, opt.Counters)
+		if d > bestDelta {
+			bestDelta, bestSeed = d, seed
+		}
+		if d < worst {
+			worst = d
+		}
+	}
+	fmt.Fprintf(w, "%d random NOP-insertion experiments on the P4 model:\n", trials)
+	fmt.Fprintf(w, "  best:  seed %d at %+.2f%% (paper: a 4%% opportunity, cause unknown)\n",
+		bestSeed, bestDelta)
+	fmt.Fprintf(w, "  worst: %+.2f%%\n", worst)
+	if bestDelta <= 0 {
+		fmt.Fprintf(w, "  (no positive layout found at this density)\n")
+	}
+	return nil
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out by
+// re-running key experiments with individual mechanisms varied.
+func Ablations(w io.Writer, scale float64) error {
+	// 1. LSD on/off: the mcf-style loop's LOOP16 gain on Core-2 is
+	// hidden by the LSD; disabling it exposes the full effect.
+	mcf := corpus.Workload{Name: "mcf_abl", Seed: 61, ColdFuncs: 1,
+		Hot: []corpus.Hotspot{
+			{Kind: corpus.ShortLoop, Offset: 25, Trips: 300, Entries: 12},
+			{Kind: corpus.DiluterLoop, Trips: 8000},
+		}}
+	withLSD := uarch.Core2()
+	noLSD := uarch.Core2()
+	noLSD.HasLSD = false
+	_, _, dLSD, err := bench.Compare(mcf, "LOOP16", withLSD)
+	if err != nil {
+		return err
+	}
+	_, _, dNoLSD, err := bench.Compare(mcf, "LOOP16", noLSD)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "LSD ablation (LOOP16 on the mcf-style loop, Core-2):\n")
+	fmt.Fprintf(w, "  LSD on:  %+6.2f%%   LSD off: %+6.2f%%  (the LSD hides misalignment)\n",
+		dLSD, dNoLSD)
+
+	// 2. Predictor index shift: the eon alignment trap only fires
+	// when the shifted branch shares a bucket; changing the shift
+	// moves the cliff.
+	eon := corpus.Workload{Name: "eon_abl", Seed: 62, ColdFuncs: 1,
+		Hot: []corpus.Hotspot{
+			{Kind: corpus.AlignTrap, Offset: 32, Entries: 60},
+			{Kind: corpus.DiluterLoop, Trips: 6000},
+		}}
+	fmt.Fprintf(w, "predictor-shift ablation (REDTEST on the eon trap):\n")
+	for _, shift := range []uint{4, 5, 6} {
+		m := uarch.Core2()
+		m.BPIndexShift = shift
+		_, _, d, err := bench.Compare(eon, "REDTEST", m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  PC>>%d: %+6.2f%%\n", shift, d)
+	}
+
+	// 3. Forwarding bandwidth: SCHED's hash gain exists only while
+	// the bandwidth is scarce.
+	hash := corpus.Workload{Name: "hash_abl", Seed: 63, ColdFuncs: 1,
+		Hot: []corpus.Hotspot{{Kind: corpus.SchedChain, Trips: 4000, Body: 2}}}
+	fmt.Fprintf(w, "forwarding-bandwidth ablation (SCHED on the hash kernel):\n")
+	for _, bw := range []int{1, 2, 3} {
+		m := uarch.Core2()
+		m.FwdBandwidth = bw
+		_, _, d, err := bench.Compare(hash, "SCHED", m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  bandwidth %d: %+6.2f%%\n", bw, d)
+	}
+
+	// 4. Scheduler cost functions.
+	fmt.Fprintf(w, "scheduler cost-function ablation (hash kernel, Core-2):\n")
+	for _, fn := range []string{"naive", "critpath", "ports"} {
+		_, _, d, err := bench.Compare(hash, "SCHED=costfn["+fn+"]", uarch.Core2())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  costfn %-9s %+6.2f%%\n", fn, d)
+	}
+
+	// 5. Relaxation behaviour: iteration counts across the corpus
+	// (the paper: "almost every relaxation succeeds in a few
+	// iterations, and it never fails").
+	maxIter, total, n := 0, 0, 0
+	for _, wl := range corpus.Spec2000Int(scale) {
+		u, err := bench.Prepare(wl)
+		if err != nil {
+			return err
+		}
+		layout, err := relax.Relax(u, nil)
+		if err != nil {
+			return err
+		}
+		total += layout.Iterations
+		n++
+		if layout.Iterations > maxIter {
+			maxIter = layout.Iterations
+		}
+	}
+	fmt.Fprintf(w, "relaxation iterations across %d units: mean %.1f, max %d (limit 100)\n",
+		n, float64(total)/float64(n), maxIter)
+	return nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun smoke-tests every experiment at a tiny corpus
+// scale: each must complete and produce output mentioning its topic.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, 0.02); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+		})
+	}
+}
+
+// TestRelaxExperimentMatchesPaper pins the Section II listings: the
+// byte-for-byte encodings the paper prints must appear in the output.
+func TestRelaxExperimentMatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RelaxExample(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"eb7f",         // jmp rel8 before insertion
+		"e980000000",   // jmp rel32 after insertion
+		"0f8576ffffff", // the paper's post-insertion jne encoding
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("relax output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestResultShapes asserts the qualitative paper results at a reduced
+// scale: signs of the headline numbers, not magnitudes.
+func TestResultShapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig45LSD(&buf, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	var speedup float64
+	if i := strings.Index(buf.String(), "speedup: "); i < 0 {
+		t.Fatalf("fig45 output malformed:\n%s", buf.String())
+	} else {
+		fmt.Sscanf(buf.String()[i:], "speedup: %f", &speedup)
+	}
+	if speedup < 1.5 {
+		t.Errorf("fig45 LSD speedup %.2f, want >= 1.5 (paper ~2x)", speedup)
+	}
+
+	buf.Reset()
+	if err := SchedHash(&buf, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	var sched float64
+	if i := strings.Index(buf.String(), "speedup: "); i < 0 {
+		t.Fatalf("sched-hash output malformed:\n%s", buf.String())
+	} else {
+		fmt.Sscanf(buf.String()[i:], "speedup: %f%%", &sched)
+	}
+	if sched < 10 {
+		t.Errorf("sched-hash speedup %.2f%%, want >= 10%% (paper 15%%)", sched)
+	}
+
+	buf.Reset()
+	if err := StaticCounts(&buf, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "24.2% (paper: 19272 = 24%)") {
+		t.Errorf("static counts ratio drifted:\n%s", buf.String())
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find("fig1-nop") == nil {
+		t.Error("fig1-nop not found")
+	}
+	if Find("nope") != nil {
+		t.Error("bogus experiment found")
+	}
+	if len(SortedNames()) != len(All()) {
+		t.Error("SortedNames incomplete")
+	}
+}

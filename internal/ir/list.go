@@ -1,0 +1,102 @@
+package ir
+
+// List is the doubly-linked node list backing a Unit. The zero value
+// is an empty list.
+type List struct {
+	head, tail *Node
+	len        int
+}
+
+// Front returns the first node or nil.
+func (l *List) Front() *Node { return l.head }
+
+// Back returns the last node or nil.
+func (l *List) Back() *Node { return l.tail }
+
+// Len returns the number of nodes.
+func (l *List) Len() int { return l.len }
+
+// Append adds n at the end of the list and returns it.
+func (l *List) Append(n *Node) *Node {
+	n.list = l
+	n.prev = l.tail
+	n.next = nil
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.len++
+	return n
+}
+
+// InsertAfter inserts n immediately after at and returns n. at must
+// belong to this list.
+func (l *List) InsertAfter(n, at *Node) *Node {
+	if at.list != l {
+		panic("ir: InsertAfter anchor not in list")
+	}
+	n.list = l
+	n.prev = at
+	n.next = at.next
+	if at.next != nil {
+		at.next.prev = n
+	} else {
+		l.tail = n
+	}
+	at.next = n
+	n.Section = at.Section
+	l.len++
+	return n
+}
+
+// InsertBefore inserts n immediately before at and returns n. at must
+// belong to this list.
+func (l *List) InsertBefore(n, at *Node) *Node {
+	if at.list != l {
+		panic("ir: InsertBefore anchor not in list")
+	}
+	n.list = l
+	n.next = at
+	n.prev = at.prev
+	if at.prev != nil {
+		at.prev.next = n
+	} else {
+		l.head = n
+	}
+	at.prev = n
+	n.Section = at.Section
+	l.len++
+	return n
+}
+
+// Remove unlinks n from the list. Its Next/Prev pointers are cleared;
+// iteration in progress must capture the successor before removing.
+func (l *List) Remove(n *Node) {
+	if n.list != l {
+		panic("ir: Remove of node not in list")
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next, n.list = nil, nil, nil
+	l.len--
+}
+
+// Nodes returns every node in order. The snapshot is safe to iterate
+// while mutating the list.
+func (l *List) Nodes() []*Node {
+	out := make([]*Node, 0, l.len)
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n)
+	}
+	return out
+}

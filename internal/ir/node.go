@@ -1,0 +1,164 @@
+// Package ir implements the MAO intermediate representation.
+//
+// After parsing, an assembly file is one long doubly-linked list of
+// nodes — instructions, labels and directives — exactly mirroring the
+// original MAO design. On top of the flat list the package recovers
+// the higher-level structure of assembly files: sections and
+// functions, with iterators that transparently skip the data fragments
+// a compiler may interleave into a function body (e.g. jump tables
+// emitted for C switch statements).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"mao/internal/x86"
+)
+
+// NodeKind discriminates the three kinds of IR nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	NodeInst NodeKind = iota
+	NodeLabel
+	NodeDirective
+)
+
+// Node is one element of the IR list. Exactly one of Inst, Label and
+// Dir is meaningful, selected by Kind.
+type Node struct {
+	prev, next *Node
+	list       *List
+
+	Kind  NodeKind
+	Inst  *x86.Inst  // NodeInst
+	Label string     // NodeLabel: label name (without trailing colon)
+	Dir   *Directive // NodeDirective
+
+	// Section is the name of the section the node lives in, filled in
+	// by Unit structure analysis.
+	Section string
+}
+
+// Directive is an assembler directive with its raw arguments, e.g.
+// {Name: ".p2align", Args: ["4", "", "15"]}.
+type Directive struct {
+	Name string
+	Args []string
+}
+
+// String renders the directive as it appears in an assembly file.
+func (d *Directive) String() string {
+	if len(d.Args) == 0 {
+		return d.Name
+	}
+	return d.Name + "\t" + strings.Join(d.Args, ",")
+}
+
+// InstNode returns a fresh instruction node.
+func InstNode(in *x86.Inst) *Node { return &Node{Kind: NodeInst, Inst: in} }
+
+// LabelNode returns a fresh label node.
+func LabelNode(name string) *Node { return &Node{Kind: NodeLabel, Label: name} }
+
+// DirectiveNode returns a fresh directive node.
+func DirectiveNode(name string, args ...string) *Node {
+	return &Node{Kind: NodeDirective, Dir: &Directive{Name: name, Args: args}}
+}
+
+// Next returns the following node in the unit list, or nil at the end.
+func (n *Node) Next() *Node { return n.next }
+
+// Prev returns the preceding node in the unit list, or nil at the
+// start.
+func (n *Node) Prev() *Node { return n.prev }
+
+// IsInst reports whether the node is an instruction node.
+func (n *Node) IsInst() bool { return n.Kind == NodeInst }
+
+// NextInst returns the next instruction node, skipping labels and
+// directives, or nil.
+func (n *Node) NextInst() *Node {
+	for m := n.next; m != nil; m = m.next {
+		if m.Kind == NodeInst {
+			return m
+		}
+	}
+	return nil
+}
+
+// PrevInst returns the previous instruction node, skipping labels and
+// directives, or nil.
+func (n *Node) PrevInst() *Node {
+	for m := n.prev; m != nil; m = m.prev {
+		if m.Kind == NodeInst {
+			return m
+		}
+	}
+	return nil
+}
+
+// String renders the node as one line of assembly (without newline).
+func (n *Node) String() string {
+	switch n.Kind {
+	case NodeInst:
+		return "\t" + n.Inst.String()
+	case NodeLabel:
+		return n.Label + ":"
+	case NodeDirective:
+		return "\t" + n.Dir.String()
+	}
+	return fmt.Sprintf("<bad node kind %d>", n.Kind)
+}
+
+// IsAlignDirective reports whether the node is an alignment directive
+// (.align, .p2align, .balign) and returns the resulting alignment in
+// bytes. The GNU assembler treats .p2align's first argument as a power
+// of two and .balign's as a byte count; .align behaves like .p2align
+// on x86 ELF targets.
+func (n *Node) IsAlignDirective() (align int, ok bool) {
+	if n.Kind != NodeDirective {
+		return 0, false
+	}
+	var pow2 bool
+	switch n.Dir.Name {
+	case ".p2align", ".align":
+		pow2 = true
+	case ".balign":
+		pow2 = false
+	default:
+		return 0, false
+	}
+	if len(n.Dir.Args) == 0 {
+		return 1, true
+	}
+	var v int
+	if _, err := fmt.Sscanf(strings.TrimSpace(n.Dir.Args[0]), "%d", &v); err != nil {
+		return 0, false
+	}
+	if pow2 {
+		if v < 0 || v > 31 {
+			return 0, false
+		}
+		return 1 << v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// AlignMax returns the third argument of a .p2align directive (the
+// maximum number of padding bytes), or -1 when unbounded/absent.
+func (n *Node) AlignMax() int {
+	if n.Kind != NodeDirective || len(n.Dir.Args) < 3 {
+		return -1
+	}
+	var v int
+	if _, err := fmt.Sscanf(strings.TrimSpace(n.Dir.Args[2]), "%d", &v); err != nil {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,94 @@
+package ir
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mao/internal/x86"
+)
+
+// TestListRandomOperations drives the IR list with random
+// insert/remove sequences and checks structural invariants after
+// every step: consistent prev/next links, correct length, and
+// front/back integrity.
+func TestListRandomOperations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	var l List
+	var nodes []*Node
+
+	check := func() {
+		t.Helper()
+		// Forward walk must see exactly Len nodes with consistent
+		// back links.
+		count := 0
+		var prev *Node
+		for n := l.Front(); n != nil; n = n.Next() {
+			if n.Prev() != prev {
+				t.Fatal("prev link broken")
+			}
+			prev = n
+			count++
+		}
+		if count != l.Len() {
+			t.Fatalf("walk found %d nodes, Len says %d", count, l.Len())
+		}
+		if l.Back() != prev {
+			t.Fatal("Back() inconsistent")
+		}
+		if count != len(nodes) {
+			t.Fatalf("shadow list has %d, list has %d", len(nodes), count)
+		}
+	}
+
+	newNode := func() *Node {
+		return InstNode(x86.NewInst(x86.Mnem{Op: x86.OpNOP}))
+	}
+
+	for step := 0; step < 2000; step++ {
+		switch op := rng.IntN(4); {
+		case op == 0 || len(nodes) == 0: // append
+			n := newNode()
+			l.Append(n)
+			nodes = append(nodes, n)
+		case op == 1: // insert before a random node
+			at := rng.IntN(len(nodes))
+			n := newNode()
+			l.InsertBefore(n, nodes[at])
+			nodes = append(nodes[:at], append([]*Node{n}, nodes[at:]...)...)
+		case op == 2: // insert after a random node
+			at := rng.IntN(len(nodes))
+			n := newNode()
+			l.InsertAfter(n, nodes[at])
+			nodes = append(nodes[:at+1], append([]*Node{n}, nodes[at+1:]...)...)
+		default: // remove a random node
+			at := rng.IntN(len(nodes))
+			l.Remove(nodes[at])
+			nodes = append(nodes[:at], nodes[at+1:]...)
+		}
+		check()
+		// The shadow and real orders must agree.
+		i := 0
+		for n := l.Front(); n != nil; n = n.Next() {
+			if n != nodes[i] {
+				t.Fatalf("order mismatch at %d", i)
+			}
+			i++
+		}
+	}
+}
+
+// TestNodesSnapshotStability: Nodes() snapshots survive arbitrary
+// mutation during iteration.
+func TestNodesSnapshotStability(t *testing.T) {
+	var l List
+	for i := 0; i < 20; i++ {
+		l.Append(LabelNode("x"))
+	}
+	snap := l.Nodes()
+	for _, n := range snap {
+		l.Remove(n)
+	}
+	if l.Len() != 0 || l.Front() != nil {
+		t.Fatal("removal via snapshot left residue")
+	}
+}

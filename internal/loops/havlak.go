@@ -1,0 +1,254 @@
+// Package loops implements loop detection based on Havlak's algorithm
+// ("Nesting of reducible and irreducible loops", TOPLAS 1997), as the
+// original MAO does. It builds a hierarchical loop structure graph
+// (LSG) representing the nesting relationships of a loop nest and
+// distinguishes reducible from irreducible loops; passes decide for
+// themselves how to proceed in the presence of irreducible ones.
+package loops
+
+import (
+	"mao/internal/cfg"
+)
+
+// Loop is one node of the loop structure graph.
+type Loop struct {
+	// Header is the loop-entry block (nil for the artificial root).
+	Header *cfg.BasicBlock
+	// Blocks are the basic blocks directly contained in this loop,
+	// excluding blocks of nested loops (those belong to the children).
+	// The header itself is included.
+	Blocks []*cfg.BasicBlock
+
+	Parent   *Loop
+	Children []*Loop
+
+	// Reducible is false for loops entered at more than one point.
+	Reducible bool
+	// Depth is the nesting depth; top-level loops have depth 1.
+	Depth int
+}
+
+// Contains reports whether b is in the loop or any nested loop.
+func (l *Loop) Contains(b *cfg.BasicBlock) bool {
+	for _, x := range l.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	for _, c := range l.Children {
+		if c.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllBlocks returns the blocks of the loop including nested loops.
+func (l *Loop) AllBlocks() []*cfg.BasicBlock {
+	out := append([]*cfg.BasicBlock(nil), l.Blocks...)
+	for _, c := range l.Children {
+		out = append(out, c.AllBlocks()...)
+	}
+	return out
+}
+
+// LSG is the loop structure graph of one function.
+type LSG struct {
+	// Root is the artificial outermost region containing everything.
+	Root *Loop
+	// Loops lists every real loop (excluding Root), outermost first
+	// within each DFS region.
+	Loops []*Loop
+}
+
+// InnerLoops returns the loops with no children (the innermost ones).
+func (g *LSG) InnerLoops() []*Loop {
+	var out []*Loop
+	for _, l := range g.Loops {
+		if len(l.Children) == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (g *LSG) LoopOf(b *cfg.BasicBlock) *Loop {
+	var best *Loop
+	for _, l := range g.Loops {
+		for _, x := range l.Blocks {
+			if x == b && (best == nil || l.Depth > best.Depth) {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// block type classification used by the algorithm.
+type bbKind uint8
+
+const (
+	bbNonHeader bbKind = iota
+	bbReducible
+	bbSelf
+	bbIrreducible
+	bbDead
+)
+
+// unionFind is the path-compressing disjoint-set forest Havlak uses to
+// collapse inner loops into their headers.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(x, header int) { u.parent[u.find(x)] = u.find(header) }
+
+// Find runs Havlak's algorithm over the CFG and returns the LSG.
+func Find(g *cfg.Graph) *LSG {
+	n := len(g.Blocks)
+	lsg := &LSG{Root: &Loop{Reducible: true}}
+	if n == 0 {
+		return lsg
+	}
+
+	// Depth-first numbering from the entry block.
+	number := make([]int, n) // block index -> preorder number (-1 unreached)
+	last := make([]int, n)   // preorder -> highest preorder in subtree
+	nodes := make([]*cfg.BasicBlock, 0, n)
+	for i := range number {
+		number[i] = -1
+	}
+	var dfs func(b *cfg.BasicBlock) int
+	dfs = func(b *cfg.BasicBlock) int {
+		num := len(nodes)
+		number[b.Index] = num
+		nodes = append(nodes, b)
+		lastNum := num
+		for _, s := range b.Succs {
+			if number[s.Index] == -1 {
+				lastNum = dfs(s)
+			}
+		}
+		last[num] = lastNum
+		return lastNum
+	}
+	dfs(g.Blocks[0])
+	nn := len(nodes) // reachable node count
+
+	isAncestor := func(w, v int) bool { return w <= v && v <= last[w] }
+
+	// Edge classification.
+	backPreds := make([][]int, nn)
+	nonBackPreds := make([][]int, nn)
+	for w := 0; w < nn; w++ {
+		for _, p := range nodes[w].Preds {
+			v := number[p.Index]
+			if v == -1 {
+				continue // predecessor unreachable from entry
+			}
+			if isAncestor(w, v) {
+				backPreds[w] = append(backPreds[w], v)
+			} else {
+				nonBackPreds[w] = append(nonBackPreds[w], v)
+			}
+		}
+	}
+
+	kind := make([]bbKind, nn)
+	uf := newUnionFind(nn)
+	loopOfHeader := make(map[int]*Loop)
+
+	// Process in reverse preorder: inner loops first.
+	for w := nn - 1; w >= 0; w-- {
+		var body []int // collapsed nodes forming the loop body (sans header)
+		inBody := make(map[int]bool)
+		kind[w] = bbNonHeader
+
+		for _, v := range backPreds[w] {
+			if v != w {
+				root := uf.find(v)
+				if !inBody[root] && root != w {
+					inBody[root] = true
+					body = append(body, root)
+				}
+			} else {
+				kind[w] = bbSelf
+			}
+		}
+		if len(body) > 0 {
+			kind[w] = bbReducible
+		}
+
+		worklist := append([]int(nil), body...)
+		for len(worklist) > 0 {
+			x := worklist[len(worklist)-1]
+			worklist = worklist[:len(worklist)-1]
+			for _, y := range nonBackPreds[x] {
+				yy := uf.find(y)
+				if !isAncestor(w, yy) {
+					// Entry from outside the DFS subtree: the loop is
+					// entered at more than one point.
+					kind[w] = bbIrreducible
+					nonBackPreds[w] = append(nonBackPreds[w], yy)
+				} else if yy != w && !inBody[yy] {
+					inBody[yy] = true
+					body = append(body, yy)
+					worklist = append(worklist, yy)
+				}
+			}
+		}
+
+		if len(body) == 0 && kind[w] != bbSelf {
+			continue
+		}
+
+		loop := &Loop{
+			Header:    nodes[w],
+			Reducible: kind[w] != bbIrreducible,
+		}
+		loop.Blocks = append(loop.Blocks, nodes[w])
+		for _, x := range body {
+			uf.union(x, w)
+			if child, ok := loopOfHeader[x]; ok {
+				child.Parent = loop
+				loop.Children = append(loop.Children, child)
+			} else {
+				loop.Blocks = append(loop.Blocks, nodes[x])
+			}
+		}
+		loopOfHeader[w] = loop
+		lsg.Loops = append(lsg.Loops, loop)
+	}
+
+	// Attach top-level loops to the root and assign depths.
+	for _, l := range lsg.Loops {
+		if l.Parent == nil {
+			l.Parent = lsg.Root
+			lsg.Root.Children = append(lsg.Root.Children, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	setDepth(lsg.Root, 0)
+	return lsg
+}

@@ -1,0 +1,210 @@
+package loops
+
+import (
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/cfg"
+	"mao/internal/ir"
+)
+
+func buildGraph(t *testing.T, body string) (*ir.Function, *cfg.Graph) {
+	t.Helper()
+	src := "\t.text\n\t.type f,@function\nf:\n" + body + "\t.size f,.-f\n"
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := u.Function("f")
+	return f, cfg.Build(f)
+}
+
+func TestNoLoops(t *testing.T) {
+	_, g := buildGraph(t, "\tmovl $1, %eax\n\tret\n")
+	lsg := Find(g)
+	if len(lsg.Loops) != 0 {
+		t.Errorf("found %d loops in straight-line code", len(lsg.Loops))
+	}
+}
+
+func TestSimpleLoop(t *testing.T) {
+	_, g := buildGraph(t, `
+	xorl %eax, %eax
+.Ltop:
+	addl $1, %eax
+	cmpl $10, %eax
+	jl .Ltop
+	ret
+`)
+	lsg := Find(g)
+	if len(lsg.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(lsg.Loops))
+	}
+	l := lsg.Loops[0]
+	if !l.Reducible {
+		t.Error("natural loop must be reducible")
+	}
+	if l.Header == nil || l.Header.Label != ".Ltop" {
+		t.Errorf("header = %v", l.Header)
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d, want 1", l.Depth)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	_, g := buildGraph(t, `
+.Lspin:
+	decl %edi
+	jne .Lspin
+	ret
+`)
+	lsg := Find(g)
+	if len(lsg.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(lsg.Loops))
+	}
+	if !lsg.Loops[0].Reducible {
+		t.Error("self loop must be reducible")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	_, g := buildGraph(t, `
+	xorl %eax, %eax
+	xorl %ecx, %ecx
+.Louter:
+	xorl %edx, %edx
+.Linner:
+	addl $1, %eax
+	addl $1, %edx
+	cmpl $3, %edx
+	jl .Linner
+	addl $1, %ecx
+	cmpl $5, %ecx
+	jl .Louter
+	ret
+`)
+	lsg := Find(g)
+	if len(lsg.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(lsg.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range lsg.Loops {
+		switch l.Header.Label {
+		case ".Louter":
+			outer = l
+		case ".Linner":
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("loop headers not identified")
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop must nest inside outer")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d, %d; want 1, 2", outer.Depth, inner.Depth)
+	}
+	if got := lsg.InnerLoops(); len(got) != 1 || got[0] != inner {
+		t.Error("InnerLoops must return only the innermost loop")
+	}
+	if !outer.Contains(inner.Header) {
+		t.Error("outer loop must contain the inner header transitively")
+	}
+}
+
+// TestIrreducible builds the classic two-entry loop:
+//
+//	entry -> A -> B -> A (cycle), entry -> B (second entry)
+func TestIrreducible(t *testing.T) {
+	_, g := buildGraph(t, `
+	testl %edi, %edi
+	jne .Lb
+.La:
+	decl %edi
+	testl %esi, %esi
+	jne .Lb
+	ret
+.Lb:
+	incl %esi
+	cmpl $100, %esi
+	jl .La
+	ret
+`)
+	lsg := Find(g)
+	if len(lsg.Loops) == 0 {
+		t.Fatal("irreducible region not detected as a loop")
+	}
+	var sawIrreducible bool
+	for _, l := range lsg.Loops {
+		if !l.Reducible {
+			sawIrreducible = true
+		}
+	}
+	if !sawIrreducible {
+		t.Error("expected an irreducible loop in two-entry cycle")
+	}
+}
+
+func TestTwoDeepShortLoops(t *testing.T) {
+	// The paper's branch-alignment scenario: a two-deep nest of two
+	// short-running loops with back branches near each other.
+	_, g := buildGraph(t, `
+.Louter:
+	movl $0, %edx
+.Linner:
+	addl $1, %eax
+	addl $2, %ebx
+	decl %edx
+	je .Linner
+	decl %ecx
+	je .Louter
+	ret
+`)
+	lsg := Find(g)
+	if len(lsg.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(lsg.Loops))
+	}
+}
+
+func TestLoopOf(t *testing.T) {
+	_, g := buildGraph(t, `
+.Ltop:
+	addl $1, %eax
+	cmpl $10, %eax
+	jl .Ltop
+	ret
+`)
+	lsg := Find(g)
+	top := g.BlockByLabel(".Ltop")
+	if lsg.LoopOf(top) == nil {
+		t.Error("loop header must map to its loop")
+	}
+	// The exit block (ret) is not in the loop.
+	exit := g.Blocks[len(g.Blocks)-1]
+	if lsg.LoopOf(exit) != nil {
+		t.Error("exit block must not be in the loop")
+	}
+}
+
+func TestMultipleDisjointLoops(t *testing.T) {
+	_, g := buildGraph(t, `
+.L1:
+	decl %eax
+	jne .L1
+.L2:
+	decl %ebx
+	jne .L2
+	ret
+`)
+	lsg := Find(g)
+	if len(lsg.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(lsg.Loops))
+	}
+	for _, l := range lsg.Loops {
+		if l.Depth != 1 || l.Parent != lsg.Root {
+			t.Error("disjoint loops must both be top-level")
+		}
+	}
+}

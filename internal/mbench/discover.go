@@ -1,0 +1,175 @@
+package mbench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// InstructionLatency is the paper's Figure 6 case study, transliterated
+// from its Python: form a loop with a cycle of instructions, one
+// dependent on the other; execute the chain; collect CPU cycles and
+// obtain the latency by division. The CYCLE dependence pattern ensures
+// exactly one instruction is in the execution unit every cycle.
+func InstructionLatency(proc *Processor, template string) (int, error) {
+	seq := NewInstructionSequence(proc)
+	seq.SetInstructionTemplate(template)
+	seq.SetDagType(CYCLE)
+	seq.SetLength(16)
+	if err := seq.Generate(); err != nil {
+		return 0, err
+	}
+	loop := NewStraightLineLoop([]*InstructionSequence{seq}, proc)
+	loopList := NewLoopList([]Loop{loop})
+	bench := NewBenchmark(loopList)
+	results, err := bench.Execute(proc, []Counter{CPU_CYCLES})
+	if err != nil {
+		return 0, err
+	}
+	insnsInLoop := loop.BodyInstructions()
+	latency := math.Round(float64(results[CPU_CYCLES]) / float64(insnsInLoop))
+	return int(latency), nil
+}
+
+// DetectLSDWindow discovers the Loop Stream Detector's decode-line
+// budget by growing a loop one decode line at a time until streaming
+// stops (LSD_UOPS collapses). It returns the detected maximum number
+// of lines, or 0 when the processor shows no LSD behaviour.
+func DetectLSDWindow(proc *Processor) (int, error) {
+	lineBytes := proc.Model.DecodeLineBytes
+	detected := 0
+	for lines := 1; lines <= 8; lines++ {
+		// Build a loop of exactly `lines` decode lines out of 7-byte
+		// adds (plus the 2-byte branch and 3-byte counter op).
+		bodyBytes := lines*lineBytes - 8
+		n := bodyBytes / 7
+		if n < 1 {
+			n = 1
+		}
+		var sb strings.Builder
+		sb.WriteString("\t.text\n\t.type mb_main,@function\nmb_main:\n")
+		sb.WriteString("\tmovl $3000, %r15d\n\t.p2align 5\n.Ltop:\n")
+		regs := []string{"%r8d", "%r9d", "%r10d", "%r11d", "%r12d", "%r13d", "%r14d"}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "\taddl $100000, %s\n", regs[i%len(regs)])
+		}
+		sb.WriteString("\tdecl %r15d\n\tjne .Ltop\n\tret\n\t.size mb_main,.-mb_main\n")
+
+		res, err := runSource(proc, sb.String())
+		if err != nil {
+			return 0, err
+		}
+		if res.LSDUops > 0 {
+			detected = lines
+		}
+	}
+	return detected, nil
+}
+
+// DetectBranchAliasGranularity discovers the branch-predictor index
+// granularity (1 << BPIndexShift): two conflicting-pattern branches
+// are placed at increasing distances, and the aliasing (visible as a
+// mispredict cliff) disappears once they fall into separate buckets.
+func DetectBranchAliasGranularity(proc *Processor) (int, error) {
+	mispAt := func(gap int) (uint64, error) {
+		var sb strings.Builder
+		sb.WriteString("\t.text\n\t.type mb_main,@function\nmb_main:\n")
+		sb.WriteString("\tmovl $4000, %esi\n\t.p2align 6\n.Louter:\n")
+		// Branch A: never taken.
+		sb.WriteString("\tmovl $1, %edx\n.Linner:\n\taddl $1, %eax\n\tdecl %edx\n\tjne .Linner\n")
+		for i := 0; i < gap; i++ {
+			sb.WriteString("\tnop\n")
+		}
+		// Branch B: always taken (the outer back edge).
+		sb.WriteString("\tdecl %esi\n\tjne .Louter\n\tret\n\t.size mb_main,.-mb_main\n")
+		res, err := runSource(proc, sb.String())
+		if err != nil {
+			return 0, err
+		}
+		return res.Mispredicts, nil
+	}
+
+	base, err := mispAt(0)
+	if err != nil {
+		return 0, err
+	}
+	// Find the smallest padding that drops mispredicts well below the
+	// aliased baseline; the granularity is the bucket size containing
+	// that boundary.
+	for gap := 1; gap <= 128; gap++ {
+		m, err := mispAt(gap)
+		if err != nil {
+			return 0, err
+		}
+		if base > 100 && m < base/4 {
+			// The second branch crossed a bucket boundary; branch B
+			// sits ~13 bytes into the structure, so the granularity
+			// is the next power of two covering gap+13.
+			g := 1
+			for g < gap+13 {
+				g *= 2
+			}
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("mbench: no aliasing cliff found (baseline mispredicts %d)", base)
+}
+
+// DetectForwardingBandwidth discovers how many consumers can receive a
+// result in its completion cycle: fan-out k consumers off one producer
+// and find the k at which RS_FULL stalls start accumulating.
+func DetectForwardingBandwidth(proc *Processor) (int, error) {
+	stallsAt := func(consumers int) (uint64, error) {
+		var sb strings.Builder
+		sb.WriteString("\t.text\n\t.type mb_main,@function\nmb_main:\n")
+		sb.WriteString("\tmovl $1, %ebx\n\tmovl $4000, %r15d\n.Ltop:\n")
+		sb.WriteString("\timull $-1640531527, %ebx, %ebx\n")
+		regs := []string{"%ecx", "%edx", "%esi", "%edi", "%r8d", "%r9d"}
+		for i := 0; i < consumers; i++ {
+			fmt.Fprintf(&sb, "\tsubl %%ebx, %s\n", regs[i%len(regs)])
+		}
+		sb.WriteString("\tdecl %r15d\n\tjne .Ltop\n\tret\n\t.size mb_main,.-mb_main\n")
+		res, err := runSource(proc, sb.String())
+		if err != nil {
+			return 0, err
+		}
+		return res.FwdDelays, nil
+	}
+	for k := 1; k <= 6; k++ {
+		stalls, err := stallsAt(k)
+		if err != nil {
+			return 0, err
+		}
+		if stalls > 1000 {
+			// The loop-carried imull is itself one same-cycle
+			// consumer, so delays begin when the k explicit sinks
+			// plus that one exceed the bandwidth: the cliff appears
+			// at k == bandwidth.
+			return k, nil
+		}
+	}
+	return 6, nil
+}
+
+// DetectSustainedIPC discovers the machine's sustained instructions
+// per cycle on independent ALU work — min(issue ports, decode width)
+// on these models, the kind of aggregate the paper's framework infers
+// when individual structures are opaque.
+func DetectSustainedIPC(proc *Processor) (int, error) {
+	var sb strings.Builder
+	sb.WriteString("\t.text\n\t.type mb_main,@function\nmb_main:\n")
+	sb.WriteString("\tmovl $4000, %r15d\n\t.p2align 5\n.Ltop:\n")
+	// 24 independent 3-byte adds: no port pressure beyond ALU count,
+	// no line pressure (72 bytes but fetch runs ahead).
+	regs := []string{"%eax", "%ecx", "%edx", "%esi", "%edi", "%r8d"}
+	for i := 0; i < 24; i++ {
+		fmt.Fprintf(&sb, "\taddl $%d, %s\n", 1+i%7, regs[i%len(regs)])
+	}
+	sb.WriteString("\tdecl %r15d\n\tjne .Ltop\n\tret\n\t.size mb_main,.-mb_main\n")
+	res, err := runSource(proc, sb.String())
+	if err != nil {
+		return 0, err
+	}
+	ipc := float64(res.Insts) / float64(res.Cycles)
+	return int(math.Round(ipc)), nil
+}

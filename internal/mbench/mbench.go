@@ -1,0 +1,389 @@
+// Package mbench is the micro-architectural parameter-detection
+// framework of paper Section IV. Building an accurate model of a
+// modern processor is impractical and the manuals are incomplete, so
+// parameters are discovered by experiment: generate a microbenchmark
+// from constraints, run it in isolation on the target, read the PMU,
+// infer the parameter.
+//
+// The paper implements the framework as Python classes (Processor,
+// Instruction, InstructionSequence, Loop, Benchmark); this package
+// provides the same abstractions in Go. Execution targets the
+// simulated processors of mao/internal/uarch — and because every
+// simulator parameter is explicit, the framework's inferences can be
+// checked against ground truth, closing the discovery loop the paper
+// envisions.
+package mbench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"mao/internal/asm"
+	"mao/internal/relax"
+	"mao/internal/uarch"
+	"mao/internal/uarch/exec"
+	"mao/internal/uarch/sim"
+	"mao/internal/x86"
+)
+
+// Counter names a PMU counter the framework can collect.
+type Counter string
+
+// Counters the simulated PMU exposes.
+const (
+	CPU_CYCLES   Counter = "CPU_CYCLES"
+	INST_RETIRED Counter = "INST_RETIRED"
+	DECODE_LINES Counter = "DECODE_LINES"
+	LSD_UOPS     Counter = "LSD_UOPS"
+	BR_MISP      Counter = "BR_MISP"
+	RS_FULL      Counter = "RESOURCE_STALLS:RS_FULL"
+)
+
+// Processor encapsulates a target architecture: its register set and
+// the machine model benchmarks execute on (paper IV.a).
+type Processor struct {
+	Name  string
+	Model *uarch.CPUModel
+	// Regs are the general-purpose registers microbenchmarks may
+	// allocate (a subset keeps rsp/rbp and the frameworks' own
+	// counters out of generated code).
+	Regs []x86.Reg
+}
+
+// NewProcessor wraps a machine model as a benchmark target.
+func NewProcessor(model *uarch.CPUModel) *Processor {
+	return &Processor{
+		Name:  model.Name,
+		Model: model,
+		Regs: []x86.Reg{
+			x86.RAX, x86.RBX, x86.RDX, x86.RSI, x86.RDI,
+			x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14,
+		},
+	}
+}
+
+// DagType selects the dependence structure of a generated sequence
+// (paper IV.c).
+type DagType int
+
+// Dependence graph types.
+const (
+	// CHAIN: each instruction has a RAW dependence on the previous.
+	CHAIN DagType = iota
+	// CYCLE: a CHAIN whose first instruction depends on the last —
+	// across loop iterations this fully serializes execution.
+	CYCLE
+	// RANDOM: arbitrary dependencies between instructions.
+	RANDOM
+	// DISJOINT: each instruction independent of the others.
+	DISJOINT
+)
+
+// InstructionSequence generates an acyclic instruction sequence from a
+// candidate template and a dependence type (paper IV.c). Operands are
+// drawn randomly from the processor's valid register set.
+type InstructionSequence struct {
+	proc     *Processor
+	template string
+	dag      DagType
+	count    int
+	seed     uint64
+
+	insts []string // rendered AT&T lines
+}
+
+// NewInstructionSequence returns an empty sequence for the processor.
+func NewInstructionSequence(proc *Processor) *InstructionSequence {
+	return &InstructionSequence{proc: proc, count: 8, seed: 1}
+}
+
+// SetInstructionTemplate sets the candidate template. Placeholders:
+// %r a register read, %w the written register (destination), %i a
+// small immediate. AT&T operand order (sources first). Examples:
+//
+//	"addl %r, %w"        two-operand ALU
+//	"imull %r, %w"       integer multiply
+//	"movl %i, %w"        immediate load
+func (s *InstructionSequence) SetInstructionTemplate(t string) { s.template = t }
+
+// SetDagType sets the dependence structure.
+func (s *InstructionSequence) SetDagType(d DagType) { s.dag = d }
+
+// SetLength sets the number of instructions (default 8).
+func (s *InstructionSequence) SetLength(n int) { s.count = n }
+
+// SetSeed makes generation repeatable under a chosen seed.
+func (s *InstructionSequence) SetSeed(seed uint64) { s.seed = seed }
+
+// Len returns the number of generated instructions.
+func (s *InstructionSequence) Len() int { return len(s.insts) }
+
+// Generate materializes the sequence under the configured constraints.
+func (s *InstructionSequence) Generate() error {
+	if s.template == "" {
+		return fmt.Errorf("mbench: no instruction template set")
+	}
+	rng := rand.New(rand.NewPCG(s.seed, s.seed^0xabcdef))
+	regs := s.proc.Regs
+	fresh := func(exclude x86.Reg) x86.Reg {
+		for {
+			r := regs[rng.IntN(len(regs))]
+			if r != exclude {
+				return r
+			}
+		}
+	}
+
+	s.insts = nil
+	// dests[i] is the register written by instruction i.
+	var dests []x86.Reg
+	var lastDest x86.Reg
+	first := true
+	for i := 0; i < s.count; i++ {
+		var src, dst x86.Reg
+		switch s.dag {
+		case CHAIN:
+			dst = fresh(x86.RegNone)
+			if first {
+				src = fresh(dst)
+			} else {
+				src = lastDest
+			}
+		case CYCLE:
+			// One register threads the whole chain; the loop's back
+			// edge closes the cycle.
+			if first {
+				dst = fresh(x86.RegNone)
+			} else {
+				dst = lastDest
+			}
+			src = dst
+		case RANDOM:
+			dst = fresh(x86.RegNone)
+			if len(dests) > 0 && rng.IntN(2) == 0 {
+				src = dests[rng.IntN(len(dests))]
+			} else {
+				src = fresh(dst)
+			}
+		case DISJOINT:
+			// Each instruction reads and writes its own register.
+			dst = regs[i%len(regs)]
+			src = dst
+		}
+		line, err := s.render(rng, src, dst)
+		if err != nil {
+			return err
+		}
+		s.insts = append(s.insts, line)
+		dests = append(dests, dst)
+		lastDest = dst
+		first = false
+	}
+	return nil
+}
+
+// render substitutes template placeholders. The written register takes
+// the last %w (or the last %r when no %w appears, matching AT&T's
+// source-first order).
+func (s *InstructionSequence) render(rng *rand.Rand, src, dst x86.Reg) (string, error) {
+	t := s.template
+	width := x86.W32
+	if m, ok := x86.ParseMnemonic(strings.Fields(t)[0]); ok && m.Width != 0 {
+		width = m.Width
+	}
+	regName := func(r x86.Reg) string { return r.WithWidth(width).ATT() }
+
+	// Substitute placeholders in a single left-to-right scan so that
+	// substituted register names (which themselves contain "%r...")
+	// are never rescanned. Without an explicit %w, the LAST %r is the
+	// destination (AT&T source-first order).
+	lastR := strings.LastIndex(t, "%r")
+	hasW := strings.Contains(t, "%w")
+	var out strings.Builder
+	for i := 0; i < len(t); {
+		switch {
+		case strings.HasPrefix(t[i:], "%w"):
+			out.WriteString(regName(dst))
+			i += 2
+		case strings.HasPrefix(t[i:], "%r"):
+			if !hasW && i == lastR {
+				out.WriteString(regName(dst))
+			} else {
+				out.WriteString(regName(src))
+			}
+			i += 2
+		case strings.HasPrefix(t[i:], "%i"):
+			fmt.Fprintf(&out, "$%d", 1+rng.IntN(100))
+			i += 2
+		default:
+			out.WriteByte(t[i])
+			i++
+		}
+	}
+	return "\t" + strings.TrimSpace(out.String()), nil
+}
+
+// Loop is the common interface of loop shapes (paper IV.d).
+type Loop interface {
+	// Emit renders the loop body into b with the given unique id.
+	Emit(b *strings.Builder, id int)
+	// DynamicInstructions returns the instructions executed by one
+	// full run of the loop.
+	DynamicInstructions() int64
+}
+
+// StraightLineLoop wraps instruction sequences in a loop with a fixed
+// trip count and no internal control flow (paper IV.d).
+type StraightLineLoop struct {
+	Seqs  []*InstructionSequence
+	Trips int
+}
+
+// NewStraightLineLoop builds a loop over the sequences (default 10000
+// trips).
+func NewStraightLineLoop(seqs []*InstructionSequence, _ *Processor) *StraightLineLoop {
+	return &StraightLineLoop{Seqs: seqs, Trips: 10000}
+}
+
+// Emit renders the loop.
+func (l *StraightLineLoop) Emit(b *strings.Builder, id int) {
+	fmt.Fprintf(b, "\tmovl $%d, %%r15d\n", l.Trips)
+	fmt.Fprintf(b, "\t.p2align 5\n.Lmb_loop%d:\n", id)
+	for _, s := range l.Seqs {
+		for _, line := range s.insts {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(b, "\tdecl %%r15d\n\tjne .Lmb_loop%d\n", id)
+}
+
+// DynamicInstructions counts the loop's executed instructions.
+func (l *StraightLineLoop) DynamicInstructions() int64 {
+	body := 0
+	for _, s := range l.Seqs {
+		body += s.Len()
+	}
+	return int64(l.Trips) * int64(body+2) // +2 for decl/jne
+}
+
+// BodyInstructions counts one iteration's sequence instructions
+// (excluding loop overhead) — the denominator of the latency case
+// study.
+func (l *StraightLineLoop) BodyInstructions() int64 {
+	body := 0
+	for _, s := range l.Seqs {
+		body += s.Len()
+	}
+	return int64(l.Trips) * int64(body)
+}
+
+// LoopList aggregates the loops of one benchmark (paper IV.d).
+type LoopList struct{ Loops []Loop }
+
+// NewLoopList wraps loops.
+func NewLoopList(loops []Loop) *LoopList { return &LoopList{Loops: loops} }
+
+// NumDynamicInstructions sums executed instructions over all loops.
+func (ll *LoopList) NumDynamicInstructions() int64 {
+	var total int64
+	for _, l := range ll.Loops {
+		total += l.DynamicInstructions()
+	}
+	return total
+}
+
+// Benchmark assembles a program from loops, executes it in isolation
+// on the target processor, and collects PMU counters (paper IV.e).
+type Benchmark struct {
+	loops *LoopList
+}
+
+// NewBenchmark wraps a loop list.
+func NewBenchmark(loops *LoopList) *Benchmark { return &Benchmark{loops: loops} }
+
+// Source renders the benchmark's assembly program.
+func (b *Benchmark) Source() string {
+	var sb strings.Builder
+	sb.WriteString("\t.text\n\t.type mb_main,@function\nmb_main:\n")
+	sb.WriteString("\tpush %rbx\n\tpush %r12\n\tpush %r13\n\tpush %r14\n\tpush %r15\n")
+	// Seed every benchmark register with a small value so arithmetic
+	// stays well-defined.
+	for i, r := range []x86.Reg{x86.RAX, x86.RBX, x86.RDX, x86.RSI, x86.RDI,
+		x86.R8, x86.R9, x86.R10, x86.R11, x86.R12, x86.R13, x86.R14} {
+		fmt.Fprintf(&sb, "\tmovq $%d, %s\n", i+1, r.ATT())
+	}
+	for i, l := range b.loops.Loops {
+		l.Emit(&sb, i)
+	}
+	sb.WriteString("\tpop %r15\n\tpop %r14\n\tpop %r13\n\tpop %r12\n\tpop %rbx\n\tret\n")
+	sb.WriteString("\t.size mb_main,.-mb_main\n")
+	return sb.String()
+}
+
+// runSource assembles, executes and simulates one probe program with
+// entry mb_main, returning the raw simulator counters. The discovery
+// probes use it for hand-shaped layouts the sequence generator cannot
+// express.
+func runSource(proc *Processor, src string) (*sim.Counters, error) {
+	u, err := asm.ParseString("probe.s", src)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(proc.Model)
+	if _, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: "mb_main",
+		MaxInsts: 20_000_000,
+		OnEvent:  func(ev exec.Event) { s.Feed(ev) },
+	}); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}
+
+// Execute runs the benchmark in isolation on the processor and
+// returns the requested counters.
+func (b *Benchmark) Execute(proc *Processor, counters []Counter) (map[Counter]uint64, error) {
+	u, err := asm.ParseString("mbench.s", b.Source())
+	if err != nil {
+		return nil, err
+	}
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(proc.Model)
+	if _, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: "mb_main",
+		MaxInsts: 20_000_000,
+		OnEvent:  func(ev exec.Event) { s.Feed(ev) },
+	}); err != nil {
+		return nil, err
+	}
+	c := s.Finish()
+	out := make(map[Counter]uint64, len(counters))
+	for _, name := range counters {
+		switch name {
+		case CPU_CYCLES:
+			out[name] = c.Cycles
+		case INST_RETIRED:
+			out[name] = c.Insts
+		case DECODE_LINES:
+			out[name] = c.DecodeLines
+		case LSD_UOPS:
+			out[name] = c.LSDUops
+		case BR_MISP:
+			out[name] = c.Mispredicts
+		case RS_FULL:
+			out[name] = c.RSFullStalls
+		default:
+			return nil, fmt.Errorf("mbench: unknown counter %q", name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package mbench
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/uarch"
+)
+
+func core2() *Processor   { return NewProcessor(uarch.Core2()) }
+func opteron() *Processor { return NewProcessor(uarch.Opteron()) }
+
+// TestInstructionLatency closes the discovery loop of the paper's
+// Figure 6 case study: the measured latency of each template must
+// equal the latency configured into the simulated processor.
+func TestInstructionLatency(t *testing.T) {
+	proc := core2()
+	cases := []struct {
+		template string
+		want     int
+	}{
+		{"addl %r, %w", 1},
+		{"subl %r, %w", 1},
+		{"xorl %r, %w", 1},
+		{"imull %r, %w", 3},
+		{"addq %r, %w", 1},
+	}
+	for _, c := range cases {
+		got, err := InstructionLatency(proc, c.template)
+		if err != nil {
+			t.Fatalf("InstructionLatency(%q): %v", c.template, err)
+		}
+		if got != c.want {
+			t.Errorf("latency(%q) = %d, want %d", c.template, got, c.want)
+		}
+	}
+}
+
+func TestSequenceGeneration(t *testing.T) {
+	proc := core2()
+	seq := NewInstructionSequence(proc)
+	seq.SetInstructionTemplate("addl %r, %w")
+	seq.SetDagType(CHAIN)
+	seq.SetLength(10)
+	if err := seq.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 10 {
+		t.Fatalf("generated %d instructions, want 10", seq.Len())
+	}
+	// CHAIN: every instruction's source must be the previous
+	// destination.
+	for i := 1; i < len(seq.insts); i++ {
+		prev := strings.Fields(strings.ReplaceAll(seq.insts[i-1], ",", ""))
+		cur := strings.Fields(strings.ReplaceAll(seq.insts[i], ",", ""))
+		prevDst := prev[len(prev)-1]
+		curSrc := cur[1]
+		if prevDst != curSrc {
+			t.Errorf("chain broken at %d: %q then %q", i, seq.insts[i-1], seq.insts[i])
+		}
+	}
+}
+
+func TestSequenceDeterminism(t *testing.T) {
+	proc := core2()
+	gen := func(seed uint64) []string {
+		seq := NewInstructionSequence(proc)
+		seq.SetInstructionTemplate("addl %i, %w")
+		seq.SetDagType(RANDOM)
+		seq.SetSeed(seed)
+		if err := seq.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		return seq.insts
+	}
+	a, b := gen(7), gen(7)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Error("same seed must generate identical sequences")
+	}
+	c := gen(8)
+	if strings.Join(a, ";") == strings.Join(c, ";") {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestDisjointFasterThanCycle(t *testing.T) {
+	proc := core2()
+	run := func(dag DagType) uint64 {
+		seq := NewInstructionSequence(proc)
+		seq.SetInstructionTemplate("addl %r, %w")
+		seq.SetDagType(dag)
+		seq.SetLength(12)
+		if err := seq.Generate(); err != nil {
+			t.Fatal(err)
+		}
+		loop := NewStraightLineLoop([]*InstructionSequence{seq}, proc)
+		loop.Trips = 3000
+		res, err := NewBenchmark(NewLoopList([]Loop{loop})).Execute(proc, []Counter{CPU_CYCLES})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[CPU_CYCLES]
+	}
+	cycle, disjoint := run(CYCLE), run(DISJOINT)
+	if disjoint*2 > cycle {
+		t.Errorf("disjoint (%d cycles) must be much faster than cycle (%d)", disjoint, cycle)
+	}
+}
+
+func TestExecuteCounters(t *testing.T) {
+	proc := core2()
+	seq := NewInstructionSequence(proc)
+	seq.SetInstructionTemplate("addl %r, %w")
+	seq.SetDagType(DISJOINT)
+	if err := seq.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	loop := NewStraightLineLoop([]*InstructionSequence{seq}, proc)
+	loop.Trips = 100
+	bench := NewBenchmark(NewLoopList([]Loop{loop}))
+	res, err := bench.Execute(proc, []Counter{CPU_CYCLES, INST_RETIRED, BR_MISP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[CPU_CYCLES] == 0 || res[INST_RETIRED] == 0 {
+		t.Errorf("counters empty: %v", res)
+	}
+	if _, err := bench.Execute(proc, []Counter{"NO_SUCH_COUNTER"}); err == nil {
+		t.Error("unknown counter accepted")
+	}
+}
+
+// TestDetectLSDWindow rediscovers the LSD's configured 4-line budget
+// on the Core-2 model and its absence on the Opteron model.
+func TestDetectLSDWindow(t *testing.T) {
+	got, err := DetectLSDWindow(core2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("Core-2 LSD window = %d lines, want 4", got)
+	}
+	got, err = DetectLSDWindow(opteron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("Opteron LSD window = %d, want 0 (no LSD)", got)
+	}
+}
+
+// TestDetectBranchAliasGranularity rediscovers the predictor's
+// 32-byte (PC>>5) indexing on the Core-2 model.
+func TestDetectBranchAliasGranularity(t *testing.T) {
+	got, err := DetectBranchAliasGranularity(core2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("alias granularity = %d, want 32 (PC>>5)", got)
+	}
+}
+
+// TestDetectForwardingBandwidth rediscovers the configured forwarding
+// limits (2 on Core-2, 3 on Opteron).
+func TestDetectForwardingBandwidth(t *testing.T) {
+	got, err := DetectForwardingBandwidth(core2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("Core-2 forwarding bandwidth = %d, want 2", got)
+	}
+	got, err = DetectForwardingBandwidth(opteron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("Opteron forwarding bandwidth = %d, want 3", got)
+	}
+}
+
+func TestDetectSustainedIPC(t *testing.T) {
+	got, err := DetectSustainedIPC(core2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("Core-2 sustained IPC = %d, want 3 (three ALU ports)", got)
+	}
+}
+
+func TestBenchmarkSourceParses(t *testing.T) {
+	proc := core2()
+	seq := NewInstructionSequence(proc)
+	seq.SetInstructionTemplate("imull %r, %w")
+	seq.SetDagType(CHAIN)
+	if err := seq.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBenchmark(NewLoopList([]Loop{NewStraightLineLoop([]*InstructionSequence{seq}, proc)}))
+	src := b.Source()
+	for _, want := range []string{"mb_main:", ".Lmb_loop0:", "imull"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("benchmark source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestNumDynamicInstructions(t *testing.T) {
+	proc := core2()
+	seq := NewInstructionSequence(proc)
+	seq.SetInstructionTemplate("addl %r, %w")
+	seq.SetDagType(CHAIN)
+	seq.SetLength(5)
+	if err := seq.Generate(); err != nil {
+		t.Fatal(err)
+	}
+	loop := NewStraightLineLoop([]*InstructionSequence{seq}, proc)
+	loop.Trips = 10
+	ll := NewLoopList([]Loop{loop})
+	if got := ll.NumDynamicInstructions(); got != 10*(5+2) {
+		t.Errorf("NumDynamicInstructions = %d, want 70", got)
+	}
+}

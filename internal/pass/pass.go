@@ -1,0 +1,380 @@
+// Package pass implements MAO's pass framework: a registry of named
+// optimization and analysis passes, per-pass options, a tracing
+// facility, transformation statistics, and a manager that runs a
+// ':'-separated pass pipeline parsed from the MAO command-line syntax
+//
+//	--mao=LFIND=trace[2]:REDTEST:ASM=o[out.s]
+//
+// Passes come in two kinds, mirroring the original: function passes,
+// invoked once per identified function, and unit passes, which process
+// the whole IR (reading input and emitting output are unit passes).
+package pass
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mao/internal/ir"
+)
+
+// Pass is the common interface of all passes.
+type Pass interface {
+	// Name is the registry key, canonically upper-case (e.g. "REDTEST").
+	Name() string
+	// Description is a one-line summary shown by pass listings.
+	Description() string
+}
+
+// FuncPass is a pass invoked for every function in the unit.
+type FuncPass interface {
+	Pass
+	// RunFunc transforms one function, reporting whether it changed
+	// anything.
+	RunFunc(ctx *Ctx, f *ir.Function) (changed bool, err error)
+}
+
+// UnitPass is a pass invoked once for the whole unit.
+type UnitPass interface {
+	Pass
+	RunUnit(ctx *Ctx) (changed bool, err error)
+}
+
+// Ctx carries everything a pass invocation can reach: the unit, the
+// parsed options of this invocation, tracing, and the statistics
+// sink.
+type Ctx struct {
+	Unit  *ir.Unit
+	Opts  *Options
+	Stats *Stats
+
+	// TraceW receives trace output; nil silences tracing regardless
+	// of level.
+	TraceW io.Writer
+
+	passName string
+}
+
+// NewCtx builds a pass invocation context for programmatic invocation
+// outside a Manager pipeline — e.g. for passes that need data injected
+// on the instance (SIMADDR samples, PREFNTA profiles) before running.
+func NewCtx(u *ir.Unit, passName string, opts *Options, stats *Stats) *Ctx {
+	return &Ctx{Unit: u, Opts: opts, Stats: stats, passName: passName}
+}
+
+// Trace emits a trace line when the invocation's trace level is at
+// least level.
+func (c *Ctx) Trace(level int, format string, args ...any) {
+	if c.TraceW == nil || c.Opts.TraceLevel() < level {
+		return
+	}
+	fmt.Fprintf(c.TraceW, "[%s] %s\n", c.passName, fmt.Sprintf(format, args...))
+}
+
+// Count adds n to the named statistic of the current pass (e.g. the
+// number of patterns rewritten — the data behind the paper's Figure 7).
+func (c *Ctx) Count(key string, n int) {
+	if c.Stats != nil {
+		c.Stats.Add(c.passName, key, n)
+	}
+}
+
+// Stats accumulates per-pass counters across a pipeline run.
+type Stats struct {
+	counters map[string]map[string]int
+}
+
+// NewStats returns an empty statistics sink.
+func NewStats() *Stats { return &Stats{counters: make(map[string]map[string]int)} }
+
+// Add increments pass/key by n.
+func (s *Stats) Add(pass, key string, n int) {
+	m := s.counters[pass]
+	if m == nil {
+		m = make(map[string]int)
+		s.counters[pass] = m
+	}
+	m[key] += n
+}
+
+// Get returns the value of pass/key.
+func (s *Stats) Get(pass, key string) int { return s.counters[pass][key] }
+
+// Total returns the sum of all counters of one pass.
+func (s *Stats) Total(pass string) int {
+	t := 0
+	for _, v := range s.counters[pass] {
+		t += v
+	}
+	return t
+}
+
+// String renders all counters deterministically.
+func (s *Stats) String() string {
+	var passes []string
+	for p := range s.counters {
+		passes = append(passes, p)
+	}
+	sort.Strings(passes)
+	var b strings.Builder
+	for _, p := range passes {
+		var keys []string
+		for k := range s.counters[p] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s.%s = %d\n", p, k, s.counters[p][k])
+		}
+	}
+	return b.String()
+}
+
+// Options holds one pass invocation's key/value options.
+type Options struct{ m map[string]string }
+
+// NewOptions builds an option set from explicit pairs (tests and
+// programmatic invocation).
+func NewOptions(pairs ...string) *Options {
+	o := &Options{m: make(map[string]string)}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		o.m[pairs[i]] = pairs[i+1]
+	}
+	return o
+}
+
+// String returns the option's value or def when absent.
+func (o *Options) String(key, def string) string {
+	if o == nil {
+		return def
+	}
+	if v, ok := o.m[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the option parsed as an integer, or def.
+func (o *Options) Int(key string, def int) int {
+	if o == nil {
+		return def
+	}
+	v, ok := o.m[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Bool returns the option parsed as a boolean. A key present with no
+// value counts as true.
+func (o *Options) Bool(key string, def bool) bool {
+	if o == nil {
+		return def
+	}
+	v, ok := o.m[key]
+	if !ok {
+		return def
+	}
+	if v == "" {
+		return true
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return def
+	}
+	return b
+}
+
+// TraceLevel returns the invocation's trace level (the "trace[N]"
+// option).
+func (o *Options) TraceLevel() int { return o.Int("trace", 0) }
+
+// registry of pass factories.
+var registry = map[string]func() Pass{}
+
+// Register adds a pass factory under its name. It panics on duplicate
+// registration (a programming error).
+func Register(factory func() Pass) {
+	name := factory().Name()
+	if _, dup := registry[name]; dup {
+		panic("pass: duplicate registration of " + name)
+	}
+	registry[name] = factory
+}
+
+// Lookup returns a new instance of the named pass, or nil.
+func Lookup(name string) Pass {
+	if f, ok := registry[strings.ToUpper(name)]; ok {
+		return f()
+	}
+	return nil
+}
+
+// Names returns all registered pass names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invocation is one parsed pipeline element: a pass and its options.
+type Invocation struct {
+	Pass Pass
+	Opts *Options
+}
+
+// ParsePipeline parses the MAO option syntax "P1=k[v]:P2:P3=k[v],k2[v2]"
+// into an ordered pass list. Each pass spec is NAME or NAME=opts where
+// opts is a comma-separated list of key[value] (value optional).
+func ParsePipeline(spec string) ([]Invocation, error) {
+	var out []Invocation
+	for _, ps := range splitPipeline(spec) {
+		if ps == "" {
+			continue
+		}
+		name, optStr, _ := strings.Cut(ps, "=")
+		p := Lookup(name)
+		if p == nil {
+			return nil, fmt.Errorf("pass: unknown pass %q (known: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		opts := &Options{m: make(map[string]string)}
+		if optStr != "" {
+			for _, kv := range strings.Split(optStr, ",") {
+				if kv == "" {
+					continue
+				}
+				key, val, err := parseOpt(kv)
+				if err != nil {
+					return nil, fmt.Errorf("pass %s: %v", name, err)
+				}
+				opts.m[key] = val
+			}
+		}
+		out = append(out, Invocation{Pass: p, Opts: opts})
+	}
+	return out, nil
+}
+
+// splitPipeline splits on ':' outside of brackets (option values may
+// contain path colons, e.g. ASM=o[C:/out.s] never occurs on our
+// platforms but robustness is cheap).
+func splitPipeline(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			if depth > 0 {
+				depth--
+			}
+		case ':':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// parseOpt parses "key[value]" or bare "key".
+func parseOpt(s string) (key, val string, err error) {
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return "", "", fmt.Errorf("malformed option %q", s)
+		}
+		return s[:i], s[i+1 : len(s)-1], nil
+	}
+	return s, "", nil
+}
+
+// Manager runs a pipeline over a unit.
+type Manager struct {
+	Pipeline []Invocation
+	TraceW   io.Writer
+}
+
+// NewManager parses a pipeline spec into a runnable manager.
+func NewManager(spec string) (*Manager, error) {
+	pl, err := ParsePipeline(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{Pipeline: pl}, nil
+}
+
+// Run executes the pipeline over u, returning the accumulated
+// statistics.
+//
+// Every invocation understands two standard options in addition to its
+// own, mirroring the original framework's common base-class
+// functionality: dump_before[path] and dump_after[path] write the
+// unit's current assembly to the named file (or stderr for an empty
+// value) around the pass.
+func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
+	stats := NewStats()
+	for _, inv := range m.Pipeline {
+		ctx := &Ctx{
+			Unit:     u,
+			Opts:     inv.Opts,
+			Stats:    stats,
+			TraceW:   m.TraceW,
+			passName: inv.Pass.Name(),
+		}
+		if err := dumpIR(u, inv, "dump_before"); err != nil {
+			return stats, err
+		}
+		switch p := inv.Pass.(type) {
+		case UnitPass:
+			if _, err := p.RunUnit(ctx); err != nil {
+				return stats, fmt.Errorf("pass %s: %w", p.Name(), err)
+			}
+		case FuncPass:
+			for _, f := range u.Functions() {
+				if _, err := p.RunFunc(ctx, f); err != nil {
+					return stats, fmt.Errorf("pass %s on %s: %w", p.Name(), f.Name, err)
+				}
+			}
+		default:
+			return stats, fmt.Errorf("pass %s implements neither FuncPass nor UnitPass", inv.Pass.Name())
+		}
+		if err := dumpIR(u, inv, "dump_after"); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// dumpIR implements the dump_before/dump_after standard options.
+func dumpIR(u *ir.Unit, inv Invocation, key string) error {
+	if _, present := inv.Opts.m[key]; !present {
+		return nil
+	}
+	path := inv.Opts.String(key, "")
+	w := io.Writer(os.Stderr)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("pass %s: %s: %w", inv.Pass.Name(), key, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "# IR %s pass %s\n", strings.TrimPrefix(key, "dump_"), inv.Pass.Name())
+	_, err := u.WriteTo(w)
+	return err
+}

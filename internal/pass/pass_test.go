@@ -1,0 +1,137 @@
+package pass
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"mao/internal/ir"
+)
+
+type fakePass struct {
+	name string
+	ran  *[]string
+}
+
+func (f *fakePass) Name() string        { return f.name }
+func (f *fakePass) Description() string { return "test pass" }
+func (f *fakePass) RunUnit(ctx *Ctx) (bool, error) {
+	*f.ran = append(*f.ran, f.name+"/"+ctx.Opts.String("o", ""))
+	ctx.Count("runs", 1)
+	return false, nil
+}
+
+func TestRegistryAndPipeline(t *testing.T) {
+	var ran []string
+	Register(func() Pass { return &fakePass{"TESTA", &ran} })
+	Register(func() Pass { return &fakePass{"TESTB", &ran} })
+
+	mgr, err := NewManager("TESTA=o[x]:TESTB:TESTA=o[y],trace[2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ir.NewUnit("t.s")
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mgr.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"TESTA/x", "TESTB/", "TESTA/y"}
+	if strings.Join(ran, " ") != strings.Join(want, " ") {
+		t.Errorf("ran %v, want %v", ran, want)
+	}
+	if stats.Get("TESTA", "runs") != 2 || stats.Get("TESTB", "runs") != 1 {
+		t.Errorf("stats wrong:\n%s", stats)
+	}
+}
+
+func TestUnknownPass(t *testing.T) {
+	if _, err := NewManager("NOSUCHPASS"); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
+
+func TestOptionTypes(t *testing.T) {
+	invs, err := ParsePipeline("TESTA=trace[3],flag,count[42],b[false]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := invs[0].Opts
+	if o.TraceLevel() != 3 {
+		t.Errorf("trace = %d", o.TraceLevel())
+	}
+	if !o.Bool("flag", false) {
+		t.Error("bare option must read as true")
+	}
+	if o.Int("count", 0) != 42 {
+		t.Error("int option wrong")
+	}
+	if o.Bool("b", true) {
+		t.Error("b[false] must be false")
+	}
+	if o.String("missing", "d") != "d" {
+		t.Error("default not returned")
+	}
+}
+
+func TestTraceRespectsLevel(t *testing.T) {
+	var sb strings.Builder
+	ctx := &Ctx{Opts: NewOptions("trace", "1"), TraceW: &sb, passName: "P"}
+	ctx.Trace(1, "visible %d", 1)
+	ctx.Trace(2, "hidden")
+	out := sb.String()
+	if !strings.Contains(out, "visible 1") || strings.Contains(out, "hidden") {
+		t.Errorf("trace output wrong: %q", out)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats()
+	s.Add("B", "x", 2)
+	s.Add("A", "y", 1)
+	s.Add("B", "x", 3)
+	out := s.String()
+	if !strings.Contains(out, "A.y = 1") || !strings.Contains(out, "B.x = 5") {
+		t.Errorf("stats output: %q", out)
+	}
+	if s.Total("B") != 5 {
+		t.Errorf("Total = %d", s.Total("B"))
+	}
+}
+
+func TestParsePipelineMalformed(t *testing.T) {
+	Register(func() Pass { var r []string; return &fakePass{"TESTC", &r} })
+	if _, err := ParsePipeline("TESTC=bad[unterminated"); err == nil {
+		t.Error("malformed option accepted")
+	}
+}
+
+func TestDumpOptions(t *testing.T) {
+	Register(func() Pass { var r []string; return &fakePass{"TESTDUMP", &r} })
+	dir := t.TempDir()
+	before := dir + "/before.s"
+	after := dir + "/after.s"
+	mgr, err := NewManager("TESTDUMP=dump_before[" + before + "],dump_after[" + after + "]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ir.NewUnit("t.s")
+	u.Append(ir.LabelNode("x"))
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{before, after} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("dump %s missing: %v", path, err)
+		}
+		if !strings.Contains(string(b), "x:") {
+			t.Errorf("dump %s lacks IR content:\n%s", path, b)
+		}
+	}
+}

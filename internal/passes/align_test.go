@@ -1,0 +1,302 @@
+package passes
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mao/internal/ir"
+	"mao/internal/relax"
+	"mao/internal/x86"
+)
+
+// relaxOf re-relaxes the unit after a pass ran.
+func relaxOf(t *testing.T, u *ir.Unit) *relax.Layout {
+	t.Helper()
+	l, err := relax.Relax(u, nil)
+	if err != nil {
+		t.Fatalf("relax: %v", err)
+	}
+	return l
+}
+
+// --- LOOP16 -------------------------------------------------------------
+
+func TestLoop16AlignsShortLoop(t *testing.T) {
+	// 13 bytes of prologue leave the loop head misaligned; the body
+	// (movss 5 + add 4 + cmp 4 + jne 2 = 15 bytes) fits one decode
+	// line once aligned. This mirrors the paper's 252.eon loop.
+	u, stats := runPass(t, "LOOP16", `
+	nop
+	nop
+	nop
+	nop
+	nop
+.Lloop:
+	movss %xmm0, (%rdi,%rax,4)
+	addq $1, %rax
+	cmpq $8, %rax
+	jne .Lloop
+	ret
+`)
+	if stats.Get("LOOP16", "aligned") != 1 {
+		t.Fatalf("aligned = %d, want 1\n%s", stats.Get("LOOP16", "aligned"), u)
+	}
+	l := relaxOf(t, u)
+	head := u.FindLabel(".Lloop")
+	if addr := l.Addr[head]; addr%16 != 0 {
+		t.Errorf("loop head at %#x, want 16-byte aligned", addr)
+	}
+}
+
+func TestLoop16SkipsAlignedLoop(t *testing.T) {
+	_, stats := runPass(t, "LOOP16", `
+.Lloop:
+	movss %xmm0, (%rdi,%rax,4)
+	addq $1, %rax
+	cmpq $8, %rax
+	jne .Lloop
+	ret
+`)
+	if stats.Get("LOOP16", "aligned") != 0 {
+		t.Error("already-aligned loop must be left alone")
+	}
+}
+
+func TestLoop16SkipsBigLoop(t *testing.T) {
+	var body strings.Builder
+	body.WriteString("\tnop\n.Lloop:\n")
+	for i := 0; i < 10; i++ {
+		body.WriteString("\taddq $100000, %rax\n") // 7 bytes each
+	}
+	body.WriteString("\tjne .Lloop\n\tret\n")
+	_, stats := runPass(t, "LOOP16", body.String())
+	if stats.Get("LOOP16", "aligned") != 0 {
+		t.Error("loop larger than 16 bytes must not be aligned by LOOP16")
+	}
+}
+
+// --- LSD ------------------------------------------------------------------
+
+func TestLSDShiftsStraddlingLoop(t *testing.T) {
+	// A ~60-byte loop placed at offset 9 spans 5 lines
+	// ((9%16 + 60 - 1)/16 + 1 = 5); shifting it fits 4.
+	var body strings.Builder
+	body.WriteString("\tnop\n\tnop\n\tnop\n\tnop\n\tnop\n\tnop\n\tnop\n\tnop\n\tnop\n")
+	body.WriteString(".Lloop:\n")
+	for i := 0; i < 14; i++ {
+		body.WriteString("\taddq $1, %rax\n") // 4 bytes each = 56
+	}
+	body.WriteString("\tjne .Lloop\n") // +2 = 58 bytes total
+	body.WriteString("\tret\n")
+
+	u, stats := runPass(t, "LSD", body.String())
+	if stats.Get("LSD", "shifted") != 1 {
+		t.Fatalf("shifted = %d, want 1\n%s", stats.Get("LSD", "shifted"), u)
+	}
+	l := relaxOf(t, u)
+	head := u.FindLabel(".Lloop")
+	start := l.Addr[head]
+	var end int64
+	for _, f := range u.Functions() {
+		for _, n := range f.Instructions() {
+			if n.Inst.Op == x86.OpJCC {
+				end = l.Addr[n] + int64(l.Len[n])
+			}
+		}
+	}
+	size := end - start
+	lines := (start%16+size-1)/16 + 1
+	if lines > 4 {
+		t.Errorf("loop still spans %d lines (start %#x size %d)", lines, start, size)
+	}
+}
+
+func TestLSDLeavesFittingLoop(t *testing.T) {
+	_, stats := runPass(t, "LSD", `
+.Lloop:
+	addq $1, %rax
+	jne .Lloop
+	ret
+`)
+	if stats.Get("LSD", "shifted") != 0 {
+		t.Error("loop already within the LSD window must be untouched")
+	}
+}
+
+func TestLSDGivesUpOnHugeLoop(t *testing.T) {
+	var body strings.Builder
+	body.WriteString(".Lloop:\n")
+	for i := 0; i < 30; i++ {
+		body.WriteString("\taddq $1, %rax\n") // 120 bytes > 64
+	}
+	body.WriteString("\tjne .Lloop\n\tret\n")
+	_, stats := runPass(t, "LSD", body.String())
+	if stats.Get("LSD", "shifted") != 0 {
+		t.Error("loop that can never fit must not be shifted")
+	}
+}
+
+// --- BRALIGN -----------------------------------------------------------------
+
+func TestBrAlignSeparatesAliasedBranches(t *testing.T) {
+	// Two-deep nest of short loops: both back branches land in the
+	// same 32-byte bucket, as in the paper's image-benchmark example.
+	u, stats := runPass(t, "BRALIGN", `
+.Louter:
+	movl $2, %edx
+.Linner:
+	addl $1, %eax
+	addl $2, %ebx
+	decl %edx
+	jne .Linner
+	decl %ecx
+	jne .Louter
+	ret
+`)
+	if stats.Get("BRALIGN", "separated") != 1 {
+		t.Fatalf("separated = %d, want 1\n%s", stats.Get("BRALIGN", "separated"), u)
+	}
+	l := relaxOf(t, u)
+	var branchAddrs []int64
+	for _, f := range u.Functions() {
+		for _, n := range f.Instructions() {
+			if n.Inst.Op == x86.OpJCC {
+				branchAddrs = append(branchAddrs, l.Addr[n])
+			}
+		}
+	}
+	if len(branchAddrs) != 2 {
+		t.Fatalf("branches = %d", len(branchAddrs))
+	}
+	if branchAddrs[0]>>5 == branchAddrs[1]>>5 {
+		t.Errorf("branches still alias: %#x and %#x", branchAddrs[0], branchAddrs[1])
+	}
+}
+
+func TestBrAlignLeavesSeparatedBranches(t *testing.T) {
+	// Layout places the first back branch at byte 27 (bucket 0) and
+	// the second at byte 34 (bucket 1): no aliasing, nothing to do.
+	var body strings.Builder
+	body.WriteString(".Louter:\n\tmovl $2, %edx\n.Linner:\n")
+	for i := 0; i < 5; i++ {
+		body.WriteString("\taddq $1, %rax\n") // 4 bytes each
+	}
+	body.WriteString("\tdecl %edx\n\tjne .Linner\n\tdecl %ecx\n")
+	body.WriteString("\tnop\n\tnop\n\tnop\n")
+	body.WriteString("\tjne .Louter\n\tret\n")
+	u, stats := runPass(t, "BRALIGN", body.String())
+	if stats.Get("BRALIGN", "separated") != 0 {
+		l := relaxOf(t, u)
+		var addrs []int64
+		for _, f := range u.Functions() {
+			for _, n := range f.Instructions() {
+				if n.Inst.Op == x86.OpJCC {
+					addrs = append(addrs, l.Addr[n])
+				}
+			}
+		}
+		t.Errorf("branches in different buckets must be untouched (addrs %#x)", addrs)
+	}
+}
+
+// --- INSTRUMENT -----------------------------------------------------------------
+
+func TestInstrumentPlantsProbes(t *testing.T) {
+	u, stats := runPass(t, "INSTRUMENT", `
+	movl $1, %eax
+	testl %edi, %edi
+	je .Lout
+	movl $2, %eax
+.Lout:
+	ret
+`)
+	if got := stats.Get("INSTRUMENT", "entry_exit_points"); got != 2 {
+		t.Fatalf("probes = %d, want 2 (entry + one ret)", got)
+	}
+	l := relaxOf(t, u)
+	probes := 0
+	for _, f := range u.Functions() {
+		for _, n := range f.Instructions() {
+			if n.Inst.Op == x86.OpNOP && l.Len[n] == 5 {
+				probes++
+				a := l.Addr[n]
+				if a/32 != (a+4)/32 {
+					t.Errorf("probe at %#x crosses a 32-byte line", a)
+				}
+			}
+		}
+	}
+	if probes != 2 {
+		t.Errorf("found %d five-byte probes, want 2", probes)
+	}
+}
+
+func TestInstrumentPadsAcrossLineBoundary(t *testing.T) {
+	// 29 bytes of padding put the pre-ret probe at offset 34 without
+	// padding... construct a function whose ret-probe would straddle:
+	// entry probe (5) + 25 bytes of body = 30; a probe at 30 crosses
+	// the 32-byte line, forcing pad nops.
+	var body strings.Builder
+	for i := 0; i < 6; i++ {
+		body.WriteString("\taddq $1, %rax\n") // 24 bytes
+	}
+	body.WriteString("\tnop\n\tret\n")
+	u, stats := runPass(t, "INSTRUMENT", body.String())
+	if stats.Get("INSTRUMENT", "pad_nops") == 0 {
+		t.Fatalf("expected pad nops\n%s", u)
+	}
+	l := relaxOf(t, u)
+	for _, f := range u.Functions() {
+		for _, n := range f.Instructions() {
+			if n.Inst.Op == x86.OpNOP && l.Len[n] == 5 {
+				if a := l.Addr[n]; a/32 != (a+4)/32 {
+					t.Errorf("probe at %#x still crosses line", a)
+				}
+			}
+		}
+	}
+}
+
+// --- PREFNTA ----------------------------------------------------------------------
+
+func TestPrefNTAFromProfileFile(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "reuse.prof")
+	// Instruction index 1 is the load from (%rsi).
+	if err := os.WriteFile(prof, []byte("# reuse profile\nf 1 100000\nf 0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, stats := runPass(t, "PREFNTA=profile["+prof+"],mindist[4096]", `
+	movq (%rdi), %rax
+	movq (%rsi), %rbx
+	ret
+`)
+	if stats.Get("PREFNTA", "prefetches") != 1 {
+		t.Fatalf("prefetches = %d, want 1\n%s", stats.Get("PREFNTA", "prefetches"), u)
+	}
+	insts := instStrings(u)
+	if insts[1] != "prefetchnta\t(%rsi)" {
+		t.Errorf("prefetch placement wrong: %v", insts)
+	}
+}
+
+func TestPrefNTAIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "reuse.prof")
+	if err := os.WriteFile(prof, []byte("f 0 100000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pipeline := "PREFNTA=profile[" + prof + "]"
+	u, _ := runPass(t, pipeline+":"+pipeline, "\tmovq (%rdi), %rax\n\tret\n")
+	count := 0
+	for _, s := range instStrings(u) {
+		if strings.HasPrefix(s, "prefetchnta") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("prefetch count = %d, want 1 (idempotence)", count)
+	}
+}

@@ -1,0 +1,65 @@
+// Package passes implements MAO's optimization and analysis pass
+// catalog: the pattern-matching peepholes of paper Section III-B, the
+// alignment optimizations of III-C, the scalar optimizations of III-D,
+// the experimental passes of III-E, and the scheduling pass of III-F.
+//
+// Importing this package registers every pass with the pass framework;
+// pipelines are then assembled by name:
+//
+//	mgr, _ := pass.NewManager("REDTEST:REDMOV:ASM=o[out.s]")
+package passes
+
+import (
+	"mao/internal/dataflow"
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// base provides the Name/Description plumbing shared by all passes.
+type base struct {
+	name, desc string
+}
+
+func (b base) Name() string        { return b.name }
+func (b base) Description() string { return b.desc }
+
+// writesRegFamily reports whether the instruction writes any register
+// aliasing r.
+func writesRegFamily(in *x86.Inst, r x86.Reg) bool {
+	d := dataflow.InstDefUse(in)
+	return d.Defs.Has(r)
+}
+
+// usesRegFamily reports whether the instruction reads any register
+// aliasing r.
+func usesRegFamily(in *x86.Inst, r x86.Reg) bool {
+	d := dataflow.InstDefUse(in)
+	return d.Uses.Has(r)
+}
+
+// sameMem reports whether two memory references are syntactically
+// identical (the only memory equivalence MAO reasons about — it has no
+// alias analysis).
+func sameMem(a, b x86.Mem) bool {
+	return a.Disp == b.Disp && a.Sym == b.Sym && a.Base == b.Base &&
+		a.Index == b.Index && a.EffScale() == b.EffScale()
+}
+
+// resultFlagsOps lists the opcodes whose SF/ZF/PF reflect their result
+// value — the precondition for removing a following "test r, r".
+// and/or/xor additionally define CF=OF=0 exactly as test does.
+var resultFlagsOps = map[x86.Op]bool{
+	x86.OpADD: true, x86.OpSUB: true, x86.OpADC: true, x86.OpSBB: true,
+	x86.OpAND: true, x86.OpOR: true, x86.OpXOR: true,
+	x86.OpINC: true, x86.OpDEC: true, x86.OpNEG: true,
+}
+
+// zeroesCFOF lists opcodes that define CF=OF=0 like test does.
+var zeroesCFOF = map[x86.Op]bool{
+	x86.OpAND: true, x86.OpOR: true, x86.OpXOR: true,
+}
+
+// removeInst unlinks an instruction node from its unit.
+func removeInst(f *ir.Function, n *ir.Node) {
+	f.Unit().List.Remove(n)
+}

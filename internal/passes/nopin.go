@@ -1,0 +1,61 @@
+package passes
+
+import (
+	"math/rand/v2"
+
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/x86/encode"
+)
+
+func init() {
+	pass.Register(func() pass.Pass {
+		return &nopin{base{"NOPIN", "Nopinizer: insert random nop sequences to expose micro-architectural cliffs"}}
+	})
+}
+
+// nopin is the Nopinizer of paper Section III-E.i, inspired by blind
+// optimization: it inserts random sequences of nop instructions into
+// the code stream so that code gets shifted around enough to expose
+// micro-architectural cliffs (alias constraints, branch-predictor
+// limitations). A seed makes experiments repeatable.
+//
+// Options:
+//
+//	seed[N]    PRNG seed (default 1)
+//	density[P] insertion probability in percent per instruction
+//	           (default 10)
+//	maxlen[L]  maximum nop-sequence length in instructions (default 1)
+type nopin struct{ base }
+
+func (p *nopin) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	seed := uint64(ctx.Opts.Int("seed", 1))
+	density := ctx.Opts.Int("density", 10)
+	maxLen := ctx.Opts.Int("maxlen", 1)
+	if maxLen < 1 {
+		maxLen = 1
+	}
+
+	// The stream is derived from the seed and the function name so
+	// that the insertion pattern is stable per function regardless of
+	// file-level context.
+	h := seed
+	for _, c := range f.Name {
+		h = h*131 + uint64(c)
+	}
+	rng := rand.New(rand.NewPCG(seed, h))
+
+	changed := false
+	for _, n := range f.Instructions() {
+		if rng.IntN(100) >= density {
+			continue
+		}
+		count := 1 + rng.IntN(maxLen)
+		for _, nop := range encode.OneByteNops(count) {
+			f.Unit().List.InsertBefore(ir.InstNode(nop), n)
+		}
+		ctx.Count("inserted", count)
+		changed = true
+	}
+	return changed, nil
+}

@@ -1,0 +1,47 @@
+package passes
+
+import (
+	"mao/internal/ir"
+	"mao/internal/pass"
+)
+
+func init() {
+	pass.Register(func() pass.Pass { return &nopKill{base{"NOPKILL", "remove alignment directives and nop instructions"}} })
+}
+
+// nopKill implements the paper's III-E.j experiment. Compilers insert
+// alignment directives based on rough micro-architectural assumptions
+// (align branch targets to 8 or 16 bytes); the assembler materializes
+// them as variable-length nops. This pass removes them to measure how
+// effective they actually are. The paper found the performance effect
+// in the noise on several platforms, with a ~1% code-size improvement.
+//
+// Options: aligns[0] keeps alignment directives; nops[0] keeps nop
+// instructions.
+type nopKill struct{ base }
+
+func (p *nopKill) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	killAligns := ctx.Opts.Bool("aligns", true)
+	killNops := ctx.Opts.Bool("nops", true)
+
+	changed := false
+	for _, n := range f.CodeEntries() {
+		switch n.Kind {
+		case ir.NodeDirective:
+			if _, isAlign := n.IsAlignDirective(); isAlign && killAligns {
+				ctx.Trace(2, "%s: removing %v", f.Name, n.Dir)
+				f.Unit().List.Remove(n)
+				ctx.Count("aligns", 1)
+				changed = true
+			}
+		case ir.NodeInst:
+			if n.Inst.IsNop() && killNops {
+				ctx.Trace(2, "%s: removing %v", f.Name, n.Inst)
+				f.Unit().List.Remove(n)
+				ctx.Count("nops", 1)
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,531 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/pass"
+)
+
+// runPass parses a function body, runs one pass over it, and returns
+// the resulting unit and stats.
+func runPass(t *testing.T, pipeline, body string) (*ir.Unit, *pass.Stats) {
+	t.Helper()
+	src := "\t.text\n\t.type f,@function\nf:\n" + body + "\t.size f,.-f\n"
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mgr, err := pass.NewManager(pipeline)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	stats, err := mgr.Run(u)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return u, stats
+}
+
+func instStrings(u *ir.Unit) []string {
+	var out []string
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		if n.Kind == ir.NodeInst {
+			out = append(out, n.Inst.String())
+		}
+	}
+	return out
+}
+
+func countInsts(u *ir.Unit) int { return len(instStrings(u)) }
+
+// --- REDZEXT -----------------------------------------------------------
+
+func TestRedZextRemoves(t *testing.T) {
+	u, stats := runPass(t, "REDZEXT", `
+	andl $255, %eax
+	mov %eax, %eax
+	movl %eax, %ebx
+	ret
+`)
+	if stats.Get("REDZEXT", "removed") != 1 {
+		t.Fatalf("removed = %d, want 1", stats.Get("REDZEXT", "removed"))
+	}
+	for _, s := range instStrings(u) {
+		if s == "movl\t%eax, %eax" {
+			t.Error("redundant zero-extension still present")
+		}
+	}
+}
+
+func TestRedZextKeepsArgumentExtension(t *testing.T) {
+	// No reaching def: the self-move zero-extends an incoming
+	// argument whose upper bits the ABI leaves undefined.
+	_, stats := runPass(t, "REDZEXT", `
+	mov %edi, %edi
+	movq %rdi, %rax
+	ret
+`)
+	if stats.Get("REDZEXT", "removed") != 0 {
+		t.Error("must not remove zero-extension of incoming argument")
+	}
+}
+
+func TestRedZextKeepsAfter64BitDef(t *testing.T) {
+	_, stats := runPass(t, "REDZEXT", `
+	movq $-1, %rax
+	mov %eax, %eax
+	movq %rax, %rbx
+	ret
+`)
+	if stats.Get("REDZEXT", "removed") != 0 {
+		t.Error("must not remove zero-extension after 64-bit def")
+	}
+}
+
+func TestRedZextMergePoint(t *testing.T) {
+	// Both reaching defs are 32-bit: removable even across the merge.
+	_, stats := runPass(t, "REDZEXT", `
+	testl %edi, %edi
+	je .Lelse
+	movl $1, %eax
+	jmp .Lj
+.Lelse:
+	movl $2, %eax
+.Lj:
+	mov %eax, %eax
+	ret
+`)
+	if stats.Get("REDZEXT", "removed") != 1 {
+		t.Error("merge of 32-bit defs must still allow removal")
+	}
+	// One 64-bit def poisons the merge.
+	_, stats = runPass(t, "REDZEXT", `
+	testl %edi, %edi
+	je .Lelse
+	movq $-1, %rax
+	jmp .Lj
+.Lelse:
+	movl $2, %eax
+.Lj:
+	mov %eax, %eax
+	ret
+`)
+	if stats.Get("REDZEXT", "removed") != 0 {
+		t.Error("64-bit def on one path must block removal")
+	}
+}
+
+// --- REDTEST -----------------------------------------------------------
+
+func TestRedTestRemoves(t *testing.T) {
+	u, stats := runPass(t, "REDTEST", `
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	movl $1, %eax
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 1 {
+		t.Fatalf("removed = %d, want 1", stats.Get("REDTEST", "removed"))
+	}
+	for _, s := range instStrings(u) {
+		if strings.HasPrefix(s, "testl") {
+			t.Error("redundant test still present")
+		}
+	}
+}
+
+func TestRedTestKeepsWhenCarryConsumed(t *testing.T) {
+	// jb reads CF; sub's CF is the borrow, test's CF is 0 — removal
+	// would change behaviour.
+	_, stats := runPass(t, "REDTEST", `
+	subl $16, %r15d
+	testl %r15d, %r15d
+	jb .Lz
+	movl $1, %eax
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 0 {
+		t.Error("must keep test when CF is consumed")
+	}
+}
+
+func TestRedTestAfterLogicalOpWithCarryConsumer(t *testing.T) {
+	// andl zeroes CF/OF exactly like test: removal is fine even with
+	// a CF consumer.
+	_, stats := runPass(t, "REDTEST", `
+	andl $15, %ecx
+	testl %ecx, %ecx
+	jbe .Lz
+	movl $1, %eax
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 1 {
+		t.Error("test after andl is removable even with CF consumer")
+	}
+}
+
+func TestRedTestWidthMismatch(t *testing.T) {
+	_, stats := runPass(t, "REDTEST", `
+	subq $16, %r15
+	testl %r15d, %r15d
+	je .Lz
+	movl $1, %eax
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 0 {
+		t.Error("width mismatch must block removal")
+	}
+}
+
+func TestRedTestInterveningFlagWrite(t *testing.T) {
+	_, stats := runPass(t, "REDTEST", `
+	subl $16, %r15d
+	addl $1, %ebx
+	testl %r15d, %r15d
+	je .Lz
+	nop
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 0 {
+		t.Error("intervening flag writer must block removal")
+	}
+}
+
+func TestRedTestMovBetweenIsFine(t *testing.T) {
+	// mov writes no flags and not the tested register: transparent.
+	_, stats := runPass(t, "REDTEST", `
+	subl $16, %r15d
+	movl %r15d, %ebx
+	testl %r15d, %r15d
+	je .Lz
+	nop
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 1 {
+		t.Error("flag-transparent instructions must not block removal")
+	}
+}
+
+// --- REDMOV ------------------------------------------------------------
+
+func TestRedMovRewrites(t *testing.T) {
+	u, stats := runPass(t, "REDMOV", `
+	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+	ret
+`)
+	if stats.Get("REDMOV", "rewritten") != 1 {
+		t.Fatalf("rewritten = %d, want 1", stats.Get("REDMOV", "rewritten"))
+	}
+	insts := instStrings(u)
+	if insts[1] != "movq\t%rdx, %rcx" {
+		t.Errorf("second load = %q, want movq %%rdx, %%rcx", insts[1])
+	}
+}
+
+func TestRedMovRemovesIdentical(t *testing.T) {
+	u, stats := runPass(t, "REDMOV", `
+	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rdx
+	ret
+`)
+	if stats.Get("REDMOV", "removed") != 1 || countInsts(u) != 2 {
+		t.Error("identical reload must be removed")
+	}
+}
+
+func TestRedMovBlockedByStore(t *testing.T) {
+	_, stats := runPass(t, "REDMOV", `
+	movq 24(%rsp), %rdx
+	movq %rax, 8(%rbx)
+	movq 24(%rsp), %rcx
+	ret
+`)
+	if stats.Total("REDMOV") != 0 {
+		t.Error("intervening store must block reuse (no alias analysis)")
+	}
+}
+
+func TestRedMovBlockedByCall(t *testing.T) {
+	_, stats := runPass(t, "REDMOV", `
+	movq 24(%rsp), %rdx
+	call g
+	movq 24(%rsp), %rcx
+	ret
+`)
+	if stats.Total("REDMOV") != 0 {
+		t.Error("call must block reuse")
+	}
+}
+
+func TestRedMovBlockedByDstClobber(t *testing.T) {
+	_, stats := runPass(t, "REDMOV", `
+	movq 24(%rsp), %rdx
+	addq $1, %rdx
+	movq 24(%rsp), %rcx
+	ret
+`)
+	if stats.Total("REDMOV") != 0 {
+		t.Error("clobbered first destination must block reuse")
+	}
+}
+
+func TestRedMovBlockedByBaseClobber(t *testing.T) {
+	_, stats := runPass(t, "REDMOV", `
+	movq 24(%rsp), %rdx
+	addq $8, %rsp
+	movq 24(%rsp), %rcx
+	ret
+`)
+	if stats.Total("REDMOV") != 0 {
+		t.Error("clobbered base register must block reuse")
+	}
+}
+
+// --- ADDADD ------------------------------------------------------------
+
+func TestAddAddFolds(t *testing.T) {
+	u, stats := runPass(t, "ADDADD", `
+	addq $8, %rax
+	movq %rbx, %rcx
+	addq $16, %rax
+	ret
+`)
+	if stats.Get("ADDADD", "folded") != 1 {
+		t.Fatalf("folded = %d, want 1", stats.Get("ADDADD", "folded"))
+	}
+	insts := instStrings(u)
+	if len(insts) != 3 || insts[1] != "addq\t$24, %rax" {
+		t.Errorf("fold result wrong: %v", insts)
+	}
+}
+
+func TestAddSubFolds(t *testing.T) {
+	u, _ := runPass(t, "ADDADD", `
+	addq $8, %rax
+	subq $3, %rax
+	ret
+`)
+	insts := instStrings(u)
+	if len(insts) != 2 || insts[0] != "addq\t$5, %rax" {
+		t.Errorf("add/sub fold wrong: %v", insts)
+	}
+}
+
+func TestAddAddBlockedByUse(t *testing.T) {
+	_, stats := runPass(t, "ADDADD", `
+	addq $8, %rax
+	movq %rax, %rcx
+	addq $16, %rax
+	ret
+`)
+	if stats.Total("ADDADD") != 0 {
+		t.Error("intervening use must block folding")
+	}
+}
+
+func TestAddAddBlockedByFlagRead(t *testing.T) {
+	_, stats := runPass(t, "ADDADD", `
+	addq $8, %rax
+	jc .Lx
+	addq $16, %rax
+.Lx:
+	ret
+`)
+	if stats.Total("ADDADD") != 0 {
+		t.Error("condition-code use must block folding")
+	}
+}
+
+func TestAddAddBlockedByLiveCarry(t *testing.T) {
+	_, stats := runPass(t, "ADDADD", `
+	addq $8, %rax
+	addq $16, %rax
+	jc .Lx
+	nop
+.Lx:
+	ret
+`)
+	if stats.Total("ADDADD") != 0 {
+		t.Error("live CF after second add must block folding")
+	}
+}
+
+func TestAddAddChain(t *testing.T) {
+	u, stats := runPass(t, "ADDADD", `
+	addq $1, %rax
+	addq $2, %rax
+	addq $3, %rax
+	ret
+`)
+	if stats.Get("ADDADD", "folded") != 2 {
+		t.Errorf("folded = %d, want 2", stats.Get("ADDADD", "folded"))
+	}
+	insts := instStrings(u)
+	if len(insts) != 2 || insts[0] != "addq\t$6, %rax" {
+		t.Errorf("chain fold wrong: %v", insts)
+	}
+}
+
+// --- NOPKILL / NOPIN -----------------------------------------------------
+
+func TestNopKill(t *testing.T) {
+	u, stats := runPass(t, "NOPKILL", `
+	.p2align 4,,15
+	nop
+	movl $1, %eax
+	.balign 8
+	ret
+`)
+	if stats.Get("NOPKILL", "aligns") != 2 || stats.Get("NOPKILL", "nops") != 1 {
+		t.Errorf("stats: %s", stats)
+	}
+	if countInsts(u) != 2 {
+		t.Errorf("insts = %d, want 2", countInsts(u))
+	}
+}
+
+func TestNopKillKeepsWithOptions(t *testing.T) {
+	_, stats := runPass(t, "NOPKILL=nops[0]", `
+	.p2align 4
+	nop
+	ret
+`)
+	if stats.Get("NOPKILL", "nops") != 0 || stats.Get("NOPKILL", "aligns") != 1 {
+		t.Errorf("stats: %s", stats)
+	}
+}
+
+func TestNopinDeterministic(t *testing.T) {
+	body := "\tmovl $1, %eax\n\tmovl $2, %ebx\n\taddl %ebx, %eax\n\tret\n"
+	u1, s1 := runPass(t, "NOPIN=seed[7],density[50],maxlen[3]", body)
+	u2, s2 := runPass(t, "NOPIN=seed[7],density[50],maxlen[3]", body)
+	if s1.Get("NOPIN", "inserted") == 0 {
+		t.Fatal("seed 7 at 50% density inserted nothing")
+	}
+	if s1.Get("NOPIN", "inserted") != s2.Get("NOPIN", "inserted") {
+		t.Error("same seed must insert the same count")
+	}
+	if u1.String() != u2.String() {
+		t.Error("same seed must give identical output")
+	}
+	u3, _ := runPass(t, "NOPIN=seed[8],density[50],maxlen[3]", body)
+	if u1.String() == u3.String() {
+		t.Error("different seeds should perturb differently")
+	}
+}
+
+// --- DCE / CONSTFOLD ------------------------------------------------------
+
+func TestDCERemovesUnreachable(t *testing.T) {
+	u, stats := runPass(t, "DCE", `
+	jmp .Lend
+	movl $1, %eax
+	addl $2, %eax
+.Lend:
+	ret
+`)
+	if stats.Get("DCE", "removed") != 2 {
+		t.Fatalf("removed = %d, want 2", stats.Get("DCE", "removed"))
+	}
+	if countInsts(u) != 2 {
+		t.Errorf("insts = %d", countInsts(u))
+	}
+}
+
+func TestDCESkipsUnresolved(t *testing.T) {
+	_, stats := runPass(t, "DCE", `
+	jmp *%rax
+	movl $1, %eax
+	ret
+`)
+	if stats.Get("DCE", "removed") != 0 {
+		t.Error("unresolved function must not be DCE'd")
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	u, stats := runPass(t, "CONSTFOLD", `
+	movl $5, %eax
+	addl $3, %eax
+	movl %eax, %ebx
+	ret
+`)
+	if stats.Get("CONSTFOLD", "folded") != 1 {
+		t.Fatalf("folded = %d, want 1", stats.Get("CONSTFOLD", "folded"))
+	}
+	insts := instStrings(u)
+	if insts[0] != "movl\t$8, %eax" {
+		t.Errorf("fold result: %v", insts)
+	}
+}
+
+func TestConstFoldBlockedByLiveFlags(t *testing.T) {
+	_, stats := runPass(t, "CONSTFOLD", `
+	movl $5, %eax
+	addl $3, %eax
+	je .Lx
+	nop
+.Lx:
+	ret
+`)
+	if stats.Total("CONSTFOLD") != 0 {
+		t.Error("live flags after add must block folding to mov")
+	}
+}
+
+// --- LFIND ----------------------------------------------------------------
+
+func TestLFind(t *testing.T) {
+	_, stats := runPass(t, "LFIND", `
+.Louter:
+	movl $0, %edx
+.Linner:
+	addl $1, %eax
+	decl %edx
+	jne .Linner
+	decl %ecx
+	jne .Louter
+	ret
+`)
+	if stats.Get("LFIND", "loops") != 2 {
+		t.Errorf("loops = %d, want 2", stats.Get("LFIND", "loops"))
+	}
+	if stats.Get("LFIND", "innermost") != 1 {
+		t.Errorf("innermost = %d, want 1", stats.Get("LFIND", "innermost"))
+	}
+}
+
+// --- pipeline composition ---------------------------------------------------
+
+func TestCombinedPipeline(t *testing.T) {
+	u, stats := runPass(t, "REDTEST:REDMOV:ADDADD", `
+	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	addq $1, %rbx
+	addq $2, %rbx
+.Lz:
+	ret
+`)
+	if stats.Get("REDTEST", "removed") != 1 ||
+		stats.Get("REDMOV", "rewritten") != 1 ||
+		stats.Get("ADDADD", "folded") != 1 {
+		t.Errorf("pipeline stats:\n%s", stats)
+	}
+	if countInsts(u) != 6 {
+		t.Errorf("insts = %d, want 6", countInsts(u))
+	}
+}

@@ -1,0 +1,141 @@
+package passes
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/x86"
+)
+
+func init() {
+	pass.Register(func() pass.Pass {
+		return &prefNTA{base: base{"PREFNTA", "inverse prefetching: make low-reuse loads non-temporal via prefetchnta"}}
+	})
+}
+
+// ReuseSite identifies one load instruction by function name and
+// instruction index (position among the function's instructions), with
+// its profiled reuse distance (dynamic instructions between touches of
+// the same cache line) and footprint (distinct lines the site touched).
+type ReuseSite struct {
+	Function  string
+	Index     int
+	Distance  int64
+	Footprint int64
+}
+
+// prefNTA implements the paper's III-E.k technique: on Core-2, a load
+// preceded by a prefetchnta to the same address becomes non-temporal
+// and replaces only a single way of the associative caches, reducing
+// cache pollution. A memory reuse-distance profiler identifies loads
+// with little reuse; this pass plants the prefetchnta instructions.
+//
+// Profiles come either programmatically (SetProfile, as the pmu
+// package produces them) or from a file via the profile[path] option,
+// one "function index distance" triple per line. mindist[N] sets the
+// reuse-distance threshold above which a load is considered
+// low-reuse (default 4096).
+type prefNTA struct {
+	base
+	profile []ReuseSite
+}
+
+// SetProfile injects a reuse-distance profile programmatically.
+func (p *prefNTA) SetProfile(sites []ReuseSite) { p.profile = sites }
+
+func (p *prefNTA) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	minDist := int64(ctx.Opts.Int("mindist", 4096))
+	minFoot := int64(ctx.Opts.Int("minfootprint", 0))
+	sites := p.profile
+	if path := ctx.Opts.String("profile", ""); path != "" {
+		loaded, err := LoadReuseProfile(path)
+		if err != nil {
+			return false, err
+		}
+		sites = append(sites, loaded...)
+	}
+
+	want := make(map[int]bool)
+	for _, s := range sites {
+		if s.Function == f.Name && s.Distance >= minDist && s.Footprint >= minFoot {
+			want[s.Index] = true
+		}
+	}
+	if len(want) == 0 {
+		return false, nil
+	}
+
+	changed := false
+	for idx, n := range f.Instructions() {
+		if !want[idx] {
+			continue
+		}
+		in := n.Inst
+		if in.Op == x86.OpPREFETCHNTA || in.Op == x86.OpPREFETCHT0 ||
+			in.Op == x86.OpPREFETCHT1 || in.Op == x86.OpPREFETCHT2 {
+			continue // never prefetch a prefetch
+		}
+		mem, _ := in.MemArg()
+		if mem == nil || !in.ReadsMemory() || in.Op.IsBranch() {
+			continue
+		}
+		// Skip if the previous instruction is already the prefetch.
+		if prev := n.PrevInst(); prev != nil && prev.Inst.Op == x86.OpPREFETCHNTA &&
+			len(prev.Inst.Args) == 1 && sameMem(prev.Inst.Args[0].Mem, mem.Mem) {
+			continue
+		}
+		pf := x86.NewInst(x86.Mnem{Op: x86.OpPREFETCHNTA}, x86.MemOp(mem.Mem))
+		f.Unit().List.InsertBefore(ir.InstNode(pf), n)
+		ctx.Trace(2, "%s: non-temporal hint for %v (site %d)", f.Name, in, idx)
+		ctx.Count("prefetches", 1)
+		changed = true
+	}
+	return changed, nil
+}
+
+// LoadReuseProfile reads a reuse-distance profile file: one
+// "function index distance" triple per line, '#' comments allowed.
+func LoadReuseProfile(path string) ([]ReuseSite, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+
+	var out []ReuseSite
+	sc := bufio.NewScanner(fh)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("%s:%d: want 'function index distance [footprint]'", path, lineNo)
+		}
+		var s ReuseSite
+		s.Function = fields[0]
+		if _, err := fmt.Sscanf(fields[1], "%d", &s.Index); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad index %q", path, lineNo, fields[1])
+		}
+		if _, err := fmt.Sscanf(fields[2], "%d", &s.Distance); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad distance %q", path, lineNo, fields[2])
+		}
+		if len(fields) == 4 {
+			if _, err := fmt.Sscanf(fields[3], "%d", &s.Footprint); err != nil {
+				return nil, fmt.Errorf("%s:%d: bad footprint %q", path, lineNo, fields[3])
+			}
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,181 @@
+package passes
+
+import (
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/x86"
+)
+
+// paperSimAddrExample is the III-E.m instruction sequence:
+//
+//	IP1: mov -0x08(%rbp), %edx
+//	IP2: mov %edx, (%rax)
+//	IP3: addl 0x1, -0x4(%rbp)
+const paperSimAddrExample = `
+	mov -0x08(%rbp), %edx
+	mov %edx, (%rax)
+	addl $0x1, -0x4(%rbp)
+	ret
+`
+
+func runSimAddr(t *testing.T, body string, snaps func(f *ir.Function) []RegSnapshot, opts string) (*simAddr, *pass.Stats) {
+	t.Helper()
+	src := "\t.text\n\t.type f,@function\nf:\n" + body + "\t.size f,.-f\n"
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := u.Function("f")
+	p := pass.Lookup("SIMADDR").(*simAddr)
+	p.SetSamples(snaps(f))
+
+	stats := pass.NewStats()
+	ctx := pass.NewCtx(u, "SIMADDR", optsOf(t, opts), stats)
+	if _, err := p.RunFunc(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	return p, stats
+}
+
+// optsOf builds an Options via the pipeline parser.
+func optsOf(t *testing.T, opts string) *pass.Options {
+	t.Helper()
+	spec := "SIMADDR"
+	if opts != "" {
+		spec += "=" + opts
+	}
+	invs, err := pass.ParsePipeline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return invs[0].Opts
+}
+
+func TestSimAddrForward(t *testing.T) {
+	// Sample at IP1 with rax known: forward simulation recovers IP2's
+	// store address through %rax, exactly the paper's example.
+	p, _ := runSimAddr(t, paperSimAddrExample, func(f *ir.Function) []RegSnapshot {
+		insts := f.Instructions()
+		var snap RegSnapshot
+		snap.Node = insts[0]
+		snap.GPR[x86.RAX.Num()] = 0x1000
+		snap.GPR[x86.RBP.Num()] = 0x7000
+		return []RegSnapshot{snap}
+	}, "")
+	var addrs []uint64
+	for _, r := range p.Recovered() {
+		addrs = append(addrs, r.Addr)
+	}
+	// Directly sampled: IP1's own -8(%rbp) = 0x6FF8. Forward: IP2's
+	// (%rax) = 0x1000 and IP3's -4(%rbp) = 0x6FFC.
+	want := map[uint64]bool{0x6FF8: true, 0x1000: true, 0x6FFC: true}
+	for _, a := range addrs {
+		delete(want, a)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing recovered addresses %v (got %#x)", want, addrs)
+	}
+	if p.Gain() < 3 {
+		t.Errorf("gain = %.1f, want 3x on this sample", p.Gain())
+	}
+}
+
+func TestSimAddrBackward(t *testing.T) {
+	// Sample at IP3: backward simulation recovers IP2's address via
+	// the still-live %rax (the paper's backward case).
+	p, stats := runSimAddr(t, paperSimAddrExample, func(f *ir.Function) []RegSnapshot {
+		insts := f.Instructions()
+		var snap RegSnapshot
+		snap.Node = insts[2]
+		snap.GPR[x86.RAX.Num()] = 0x2000
+		snap.GPR[x86.RBP.Num()] = 0x7000
+		return []RegSnapshot{snap}
+	}, "")
+	found := false
+	for _, r := range p.Recovered() {
+		if r.Addr == 0x2000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("backward simulation missed (%%rax) address; got %+v", p.Recovered())
+	}
+	if stats.Get("SIMADDR", "backward_addrs") == 0 {
+		t.Error("no backward addresses counted")
+	}
+}
+
+func TestSimAddrInvertsArithmetic(t *testing.T) {
+	// Walking backward across "addq $32, %rax" must reconstruct the
+	// pre-add value for the earlier load's address.
+	body := `
+	movq (%rax), %rcx
+	addq $32, %rax
+	movq (%rax), %rdx
+	ret
+`
+	p, _ := runSimAddr(t, body, func(f *ir.Function) []RegSnapshot {
+		insts := f.Instructions()
+		var snap RegSnapshot
+		snap.Node = insts[2] // second load; rax already advanced
+		snap.GPR[x86.RAX.Num()] = 0x5020
+		return []RegSnapshot{snap}
+	}, "")
+	want := map[uint64]bool{0x5020: true, 0x5000: true}
+	for _, r := range p.Recovered() {
+		delete(want, r.Addr)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing %v; recovered %+v", want, p.Recovered())
+	}
+}
+
+func TestSimAddrStopsAtUnknowns(t *testing.T) {
+	// A load into the base register kills forward recovery past it,
+	// and a call stops backward recovery.
+	body := `
+	movq (%rbx), %rbx
+	movq (%rbx), %rcx
+	ret
+`
+	p, _ := runSimAddr(t, body, func(f *ir.Function) []RegSnapshot {
+		insts := f.Instructions()
+		var snap RegSnapshot
+		snap.Node = insts[0]
+		snap.GPR[x86.RBX.Num()] = 0x3000
+		return []RegSnapshot{snap}
+	}, "")
+	for _, r := range p.Recovered() {
+		if r.Node.Inst.String() == "movq\t(%rbx), %rcx" {
+			t.Error("second load's address depends on an unknown loaded value")
+		}
+	}
+}
+
+func TestSimAddrWindowOption(t *testing.T) {
+	body := `
+	movq (%rax), %rcx
+	nop
+	nop
+	nop
+	movq 8(%rax), %rdx
+	ret
+`
+	snaps := func(f *ir.Function) []RegSnapshot {
+		var snap RegSnapshot
+		snap.Node = f.Instructions()[0]
+		snap.GPR[x86.RAX.Num()] = 0x4000
+		return []RegSnapshot{snap}
+	}
+	wide, _ := runSimAddr(t, body, snaps, "window[8]")
+	if len(wide.Recovered()) != 2 {
+		t.Errorf("window 8 recovered %d, want 2", len(wide.Recovered()))
+	}
+	narrow, _ := runSimAddr(t, body, snaps, "window[2]")
+	if len(narrow.Recovered()) != 1 {
+		t.Errorf("window 2 recovered %d, want 1", len(narrow.Recovered()))
+	}
+}

@@ -1,0 +1,281 @@
+// Package relax implements repeated relaxation: the iterative
+// computation of instruction sizes and addresses in the presence of
+// variable-length branches and alignment directives.
+//
+// Relaxation is the process of finding proper instruction sizes for
+// branches based on branch-target distances. Inserting a single byte
+// can push a branch target out of rel8 range, growing the branch from
+// 2 to 5 (jmp) or 6 (jcc) bytes, which moves every following
+// instruction, which can grow further branches — so the computation
+// iterates. In the general case the problem is NP-complete; following
+// the original MAO (and gas), branch sizes only ever grow, and an
+// iteration cap of 100 bounds the computation. In practice almost
+// every relaxation converges in a few iterations.
+package relax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mao/internal/ir"
+	"mao/internal/x86"
+	"mao/internal/x86/encode"
+)
+
+// Layout is the result of relaxation: byte-accurate addresses and
+// lengths for every node of the unit, per section.
+type Layout struct {
+	// Addr is the address of each node within its section (labels and
+	// directives included; a label's address is that of the following
+	// byte of code/data).
+	Addr map[*ir.Node]int64
+	// Len is the encoded length in bytes of each node (zero for
+	// labels and non-emitting directives; padding length for
+	// alignment directives).
+	Len map[*ir.Node]int
+	// Bytes is the final encoding of each instruction node.
+	Bytes map[*ir.Node][]byte
+	// SectionEnd maps each section name to its end address (== size,
+	// since sections start at the base address).
+	SectionEnd map[string]int64
+	// Iterations is the number of fixpoint iterations performed.
+	Iterations int
+
+	labelAddr map[string]int64
+}
+
+// SymAddr resolves a label to its relaxed address (implements the
+// encoder's resolver signature).
+func (l *Layout) SymAddr(sym string) (int64, bool) {
+	a, ok := l.labelAddr[sym]
+	return a, ok
+}
+
+// Options configures relaxation.
+type Options struct {
+	// MaxIterations caps the fixpoint loop; 0 means the MAO default
+	// of 100.
+	MaxIterations int
+	// Base is the starting address of every section; sections are
+	// laid out independently.
+	Base int64
+}
+
+// Relax computes the layout of every section of u.
+func Relax(u *ir.Unit, opts *Options) (*Layout, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+
+	l := &Layout{
+		Addr:       make(map[*ir.Node]int64),
+		Len:        make(map[*ir.Node]int),
+		Bytes:      make(map[*ir.Node][]byte),
+		SectionEnd: make(map[string]int64),
+		labelAddr:  make(map[string]int64),
+	}
+	forceLong := make(map[*ir.Node]bool)
+
+	resolver := func(sym string) (int64, bool) {
+		a, ok := l.labelAddr[sym]
+		return a, ok
+	}
+
+	for iter := 1; ; iter++ {
+		if iter > o.MaxIterations {
+			return nil, fmt.Errorf("relax: no fixpoint after %d iterations", o.MaxIterations)
+		}
+		l.Iterations = iter
+
+		cursor := make(map[string]int64) // per-section location counter
+		newLabels := make(map[string]int64)
+		grew := false
+
+		for n := u.List.Front(); n != nil; n = n.Next() {
+			sec := n.Section
+			addr, ok := cursor[sec]
+			if !ok {
+				addr = o.Base
+			}
+			l.Addr[n] = addr
+
+			size := 0
+			switch n.Kind {
+			case ir.NodeLabel:
+				newLabels[n.Label] = addr
+			case ir.NodeDirective:
+				var err error
+				size, err = directiveSize(n, addr)
+				if err != nil {
+					return nil, err
+				}
+			case ir.NodeInst:
+				// Grow-only sizing: a relaxable branch to an internal
+				// label starts short (2 bytes) while the label's
+				// address is still unknown; once known, the encoder
+				// picks short or long by fit, and a long choice is
+				// made sticky so sizes never shrink across iterations
+				// (the property that guarantees termination).
+				if tgt, relaxable := relaxTarget(n.Inst); relaxable && !forceLong[n] {
+					if _, known := l.labelAddr[tgt]; !known && u.FindLabel(tgt) != nil {
+						size = 2
+						l.Len[n] = size
+						cursor[sec] = addr + int64(size)
+						continue
+					}
+				}
+				ctx := &encode.Ctx{Addr: addr, SymAddr: resolver, ForceLong: forceLong[n]}
+				b, err := encode.Encode(n.Inst, ctx)
+				if err != nil {
+					return nil, fmt.Errorf("relax: %v", err)
+				}
+				size = len(b)
+				l.Bytes[n] = b
+				if _, relaxable := relaxTarget(n.Inst); relaxable && size > 2 && !forceLong[n] {
+					forceLong[n] = true
+					grew = true
+				}
+			}
+			l.Len[n] = size
+			cursor[sec] = addr + int64(size)
+		}
+
+		stable := !grew && len(newLabels) == len(l.labelAddr)
+		if stable {
+			for k, v := range newLabels {
+				if l.labelAddr[k] != v {
+					stable = false
+					break
+				}
+			}
+		}
+		l.labelAddr = newLabels
+		for sec, end := range cursor {
+			l.SectionEnd[sec] = end
+		}
+		if stable {
+			return l, nil
+		}
+	}
+}
+
+// relaxTarget returns the branch target and whether the instruction's
+// size depends on branch distance (jmp and jcc with direct targets;
+// call is always rel32).
+func relaxTarget(in *x86.Inst) (string, bool) {
+	if in.Op != x86.OpJMP && in.Op != x86.OpJCC {
+		return "", false
+	}
+	return in.BranchTarget()
+}
+
+// directiveSize returns the emitted size of a data/alignment directive
+// at the given address. Non-emitting directives return 0.
+func directiveSize(n *ir.Node, addr int64) (int, error) {
+	d := n.Dir
+	switch d.Name {
+	case ".byte":
+		return len(d.Args), nil
+	case ".word", ".value", ".short":
+		return 2 * len(d.Args), nil
+	case ".long", ".int":
+		return 4 * len(d.Args), nil
+	case ".quad", ".8byte":
+		return 8 * len(d.Args), nil
+	case ".zero", ".skip", ".space":
+		if len(d.Args) == 0 {
+			return 0, fmt.Errorf("relax: %s without size", d.Name)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(d.Args[0]))
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("relax: bad %s size %q", d.Name, d.Args[0])
+		}
+		return v, nil
+	case ".ascii", ".string", ".asciz":
+		total := 0
+		for _, a := range d.Args {
+			s, err := unquote(a)
+			if err != nil {
+				return 0, fmt.Errorf("relax: %v", err)
+			}
+			total += len(s)
+			if d.Name != ".ascii" {
+				total++ // trailing NUL
+			}
+		}
+		return total, nil
+	}
+	if align, ok := n.IsAlignDirective(); ok {
+		pad := int((int64(align) - addr%int64(align)) % int64(align))
+		if max := n.AlignMax(); max >= 0 && pad > max {
+			pad = 0
+		}
+		return pad, nil
+	}
+	return 0, nil
+}
+
+// unquote decodes a gas string literal (double quotes, C escapes).
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %s", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in %s", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '"':
+			b.WriteByte(body[i])
+		default:
+			b.WriteByte(body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Image assembles the final byte image of one section (instruction
+// bytes, data directives as zero placeholders, alignment as NOP-style
+// 0x90 padding). It is primarily a testing and inspection aid; the
+// optimizer itself only needs addresses and lengths.
+func (l *Layout) Image(u *ir.Unit, section string) []byte {
+	size := l.SectionEnd[section]
+	img := make([]byte, size)
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		if n.Section != section {
+			continue
+		}
+		if b, ok := l.Bytes[n]; ok {
+			copy(img[l.Addr[n]:], b)
+			continue
+		}
+		if _, ok := n.IsAlignDirective(); ok {
+			for i := 0; i < l.Len[n]; i++ {
+				img[l.Addr[n]+int64(i)] = 0x90
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,416 @@
+package exec
+
+// Differential testing against the host CPU. When gcc is available
+// (and the host is linux/amd64), every program below is assembled and
+// executed natively, and the returned rax is compared with this
+// package's executor. This pins the executor's semantics to real
+// silicon the same way the encoder is pinned to gas.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mao/internal/x86"
+)
+
+// nativePrograms are bodies of a function uint64 f(uint64 rdi,
+// uint64 rsi). They must be self-contained (no external calls, no
+// global data — the native harness links them standalone).
+var nativePrograms = []struct {
+	name string
+	body string
+	args [][2]uint64 // nil = defaultArgs
+}{
+	{"add_chain", `
+	movq %rdi, %rax
+	addq %rsi, %rax
+	addl $100000, %eax
+	addw $12, %ax
+	addb $7, %al
+	ret
+`, nil},
+	{"sub_borrow", `
+	movq %rdi, %rax
+	subq %rsi, %rax
+	sbbq $0, %rax
+	ret
+`, nil},
+	{"adc_carry", `
+	movq $-1, %rax
+	addq %rdi, %rax
+	movq $0, %rax
+	adcq $0, %rax
+	ret
+`, nil},
+	{"flags_dance", `
+	xorl %eax, %eax
+	cmpq %rsi, %rdi
+	setb %al
+	cmpq %rdi, %rsi
+	adcl $10, %eax
+	ret
+`, nil},
+	{"mul_imul", `
+	movq %rdi, %rax
+	imulq %rsi, %rax
+	imull $37, %eax, %ecx
+	movslq %ecx, %rax
+	ret
+`, nil},
+	{"mul_wide", `
+	movq %rdi, %rax
+	mulq %rsi
+	addq %rdx, %rax
+	ret
+`, nil},
+	{"div_mod", `
+	movq %rdi, %rax
+	cqto
+	idivq %rsi
+	imulq $1000, %rdx, %rdx
+	addq %rdx, %rax
+	ret
+`, [][2]uint64{{0, 1}, {1, 2}, {7, 3}, {100, 100}, {0xFFFFFFFF, 7},
+		{1 << 33, 3}, {12345678901, 987654321}, {^uint64(0), 2}}},
+	{"shifts", `
+	movq %rdi, %rax
+	shlq $5, %rax
+	shrq $2, %rax
+	sarq $1, %rax
+	movq %rsi, %rcx
+	andb $15, %cl
+	shlq %cl, %rax
+	rolq $7, %rax
+	rorq $3, %rax
+	ret
+`, nil},
+	{"widths", `
+	movq $-1, %rax
+	movl %edi, %eax
+	movw %si, %ax
+	movb $0x5a, %ah
+	movzbl %al, %ecx
+	movsbq %al, %rdx
+	addq %rcx, %rax
+	addq %rdx, %rax
+	ret
+`, nil},
+	{"inc_dec_cf", `
+	movq $-1, %rax
+	addq $1, %rax
+	incq %rax
+	movq $0, %rax
+	adcq $0, %rax
+	ret
+`, nil},
+	{"neg_not", `
+	movq %rdi, %rax
+	negq %rax
+	notq %rax
+	negl %eax
+	ret
+`, nil},
+	{"cmov_sets", `
+	xorl %eax, %eax
+	cmpq %rsi, %rdi
+	cmovaq %rdi, %rax
+	cmovbeq %rsi, %rax
+	setg %cl
+	movzbl %cl, %ecx
+	leaq (%rax,%rcx,2), %rax
+	ret
+`, nil},
+	{"loop_sum", `
+	xorl %eax, %eax
+	movl $100, %ecx
+.Lt:
+	addq %rcx, %rax
+	decl %ecx
+	jne .Lt
+	ret
+`, nil},
+	{"nested_loops", `
+	xorl %eax, %eax
+	movl $10, %ecx
+.Louter:
+	movl $10, %edx
+.Linner:
+	addl $1, %eax
+	decl %edx
+	jne .Linner
+	decl %ecx
+	jne .Louter
+	ret
+`, nil},
+	{"stack_frame", `
+	push %rbp
+	mov %rsp, %rbp
+	subq $16, %rsp
+	movq %rdi, -8(%rbp)
+	movq %rsi, -16(%rbp)
+	movq -8(%rbp), %rax
+	addq -16(%rbp), %rax
+	leave
+	ret
+`, nil},
+	{"push_pop", `
+	pushq %rdi
+	pushq $12345
+	popq %rax
+	popq %rcx
+	addq %rcx, %rax
+	ret
+`, nil},
+	{"lea_math", `
+	leaq (%rdi,%rsi,4), %rax
+	leaq 7(%rax,%rax,2), %rax
+	leal 2(%edi), %ecx
+	addq %rcx, %rax
+	ret
+`, nil},
+	{"cltq_cqto", `
+	movl %edi, %eax
+	cltq
+	cqto
+	xorq %rdx, %rax
+	ret
+`, nil},
+	{"parity_check", `
+	movq %rdi, %rax
+	andl $255, %eax
+	testb %al, %al
+	setp %cl
+	movzbl %cl, %ecx
+	leaq (%rax,%rcx,8), %rax
+	ret
+`, nil},
+	{"xchg_regs", `
+	movq %rdi, %rax
+	movq %rsi, %rcx
+	xchgq %rax, %rcx
+	subq %rcx, %rax
+	ret
+`, nil},
+	{"sse_roundtrip", `
+	cvtsi2sdq %rdi, %xmm0
+	cvtsi2sdq %rsi, %xmm1
+	addsd %xmm1, %xmm0
+	mulsd %xmm0, %xmm0
+	sqrtsd %xmm0, %xmm0
+	cvttsd2si %xmm0, %rax
+	ret
+`, nil},
+	{"sse_compare", `
+	cvtsi2sdq %rdi, %xmm0
+	cvtsi2sdq %rsi, %xmm1
+	xorl %eax, %eax
+	ucomisd %xmm1, %xmm0
+	seta %al
+	ret
+`, nil},
+	{"zext_idiom", `
+	andl $255, %edi
+	mov %edi, %edi
+	movq %rdi, %rax
+	ret
+`, nil},
+	{"redundant_test", `
+	movq %rdi, %r15
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	movl $7, %eax
+	ret
+.Lz:
+	movl $9, %eax
+	ret
+`, nil},
+	{"paper_fig1_style", `
+	push %rbx
+	xorl %eax, %eax
+	xorl %ecx, %ecx
+.L3:
+	movq %rcx, %rbx
+	andl $7, %ebx
+	addq %rbx, %rax
+	addq $1, %rcx
+	cmpq %rdi, %rcx
+	jl .L3
+	pop %rbx
+	ret
+`, [][2]uint64{{0, 0}, {1, 0}, {7, 0}, {64, 0}, {1000, 0}}},
+	{"div_narrow", `
+	movl %edi, %eax
+	cltd
+	movl %esi, %ecx
+	idivl %ecx
+	movzwl %dx, %edx
+	shlq $32, %rdx
+	orq %rdx, %rax
+	movzbl %al, %eax
+	ret
+`, [][2]uint64{{100, 7}, {1, 2}, {255, 3}, {1000000, 999}}},
+	{"div_word", `
+	movl %edi, %eax
+	xorl %edx, %edx
+	movw %si, %cx
+	divw %cx
+	movzwl %ax, %eax
+	ret
+`, [][2]uint64{{100, 7}, {9, 2}, {50000, 3}, {1234, 57}}},
+	{"div_byte", `
+	movzwl %di, %eax
+	movb %sil, %cl
+	divb %cl
+	movzbl %al, %eax
+	ret
+`, [][2]uint64{{100, 7}, {9, 2}, {200, 3}, {254, 255}}},
+	{"rot_flags", `
+	movq %rdi, %rax
+	rolq $1, %rax
+	setc %cl
+	rorq $3, %rax
+	adcq $0, %rax
+	movzbl %cl, %ecx
+	addq %rcx, %rax
+	ret
+`, nil},
+	{"sbb_adc_chain", `
+	movq %rdi, %rax
+	cmpq %rsi, %rax
+	sbbq %rdx, %rdx
+	cmpq %rax, %rsi
+	adcq %rdx, %rax
+	ret
+`, nil},
+	{"byte_memory", `
+	push %rbp
+	mov %rsp, %rbp
+	subq $16, %rsp
+	movb $0x12, -1(%rbp)
+	movw $0x3456, -4(%rbp)
+	movzbl -1(%rbp), %eax
+	movzwl -4(%rbp), %ecx
+	shlq $16, %rax
+	orq %rcx, %rax
+	leave
+	ret
+`, nil},
+}
+
+var defaultArgs = [][2]uint64{
+	{0, 0}, {1, 2}, {7, 3}, {100, 100},
+	{0xFFFFFFFF, 1}, {1 << 33, 3}, {12345678901, 987654321},
+	{^uint64(0), 2}, {5, ^uint64(0) - 2},
+}
+
+// argsFor returns the argument set for a program: loop programs need
+// small trip counts (the executor has an instruction budget) and
+// division needs nonzero divisors.
+func argsFor(name string, override [][2]uint64) [][2]uint64 {
+	if override != nil {
+		return override
+	}
+	return defaultArgs
+}
+
+// nativeResults runs all programs natively via gcc once and returns
+// results[prog][argIdx].
+func nativeResults(t *testing.T) map[string][]uint64 {
+	t.Helper()
+	gcc, err := exec.LookPath("gcc")
+	if err != nil || runtime.GOOS != "linux" || runtime.GOARCH != "amd64" {
+		t.Skip("native differential testing needs gcc on linux/amd64")
+	}
+	dir := t.TempDir()
+
+	var asmSrc strings.Builder
+	asmSrc.WriteString("\t.text\n")
+	for _, p := range nativePrograms {
+		// Prefix labels to keep them unique across programs.
+		body := strings.ReplaceAll(p.body, ".L", ".L"+p.name+"_")
+		fmt.Fprintf(&asmSrc, "\t.globl %s\n\t.type %s,@function\n%s:\n%s\t.size %s,.-%s\n",
+			p.name, p.name, p.name, body, p.name, p.name)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "progs.s"), []byte(asmSrc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var cSrc strings.Builder
+	cSrc.WriteString("#include <stdio.h>\n#include <stdint.h>\n")
+	for _, p := range nativePrograms {
+		fmt.Fprintf(&cSrc, "extern uint64_t %s(uint64_t, uint64_t);\n", p.name)
+	}
+	cSrc.WriteString("int main(void) {\n")
+	for _, p := range nativePrograms {
+		args := argsFor(p.name, p.args)
+		fmt.Fprintf(&cSrc, "{ uint64_t args[][2] = {")
+		for _, a := range args {
+			fmt.Fprintf(&cSrc, "{%dULL,%dULL},", a[0], a[1])
+		}
+		fmt.Fprintf(&cSrc, "};\n")
+		fmt.Fprintf(&cSrc,
+			"for (unsigned i = 0; i < %d; i++) printf(\"%s %%u %%llu\\n\", i, (unsigned long long)%s(args[i][0], args[i][1])); }\n",
+			len(args), p.name, p.name)
+	}
+	cSrc.WriteString("return 0;\n}\n")
+	if err := os.WriteFile(filepath.Join(dir, "main.c"), []byte(cSrc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(dir, "harness")
+	if out, err := exec.Command(gcc, "-o", bin,
+		filepath.Join(dir, "main.c"), filepath.Join(dir, "progs.s")).CombinedOutput(); err != nil {
+		t.Fatalf("gcc: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin).Output()
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+
+	results := make(map[string][]uint64)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		var name string
+		var idx int
+		var val uint64
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			t.Fatalf("bad native output line %q", line)
+		}
+		name = parts[0]
+		idx, _ = strconv.Atoi(parts[1])
+		val, _ = strconv.ParseUint(parts[2], 10, 64)
+		for len(results[name]) <= idx {
+			results[name] = append(results[name], 0)
+		}
+		results[name][idx] = val
+	}
+	return results
+}
+
+func TestDifferentialAgainstNative(t *testing.T) {
+	native := nativeResults(t)
+	for _, p := range nativePrograms {
+		for i, a := range argsFor(p.name, p.args) {
+			res, err := tryRun(p.body, map[x86.Reg]uint64{
+				x86.RDI: a[0], x86.RSI: a[1],
+			})
+			if err != nil {
+				t.Errorf("%s(args[%d]): executor error: %v", p.name, i, err)
+				continue
+			}
+			got := res.State.ReadReg(x86.RAX)
+			want := native[p.name][i]
+			if got != want {
+				t.Errorf("%s(%d, %d): executor=%#x native=%#x",
+					p.name, a[0], a[1], got, want)
+			}
+		}
+	}
+}

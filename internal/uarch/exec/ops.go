@@ -1,0 +1,939 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// readVal reads a w-width operand value, recording loads in ev.
+func (m *machine) readVal(a x86.Operand, w x86.Width, ev *Event) (uint64, error) {
+	switch a.Kind {
+	case x86.KindImm:
+		if a.Sym != "" {
+			base, ok := m.symbolAddr(a.Sym)
+			if !ok {
+				return 0, fmt.Errorf("unknown symbol %q", a.Sym)
+			}
+			return truncate(uint64(base+a.Imm), w), nil
+		}
+		return truncate(uint64(a.Imm), w), nil
+	case x86.KindReg:
+		return m.state.ReadReg(a.Reg), nil
+	case x86.KindMem:
+		addr, err := m.memEffAddr(a.Mem)
+		if err != nil {
+			return 0, err
+		}
+		ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, addr, int(w)
+		return m.state.ReadMem(addr, int(w)), nil
+	}
+	return 0, fmt.Errorf("unreadable operand %v", a)
+}
+
+// writeVal writes a w-width value to an operand, recording stores.
+func (m *machine) writeVal(a x86.Operand, w x86.Width, v uint64, ev *Event) error {
+	switch a.Kind {
+	case x86.KindReg:
+		m.state.WriteReg(a.Reg, truncate(v, w))
+		return nil
+	case x86.KindMem:
+		addr, err := m.memEffAddr(a.Mem)
+		if err != nil {
+			return err
+		}
+		ev.HasStore, ev.StoreAddr, ev.AccessLen = true, addr, int(w)
+		m.state.WriteMem(addr, truncate(v, w), int(w))
+		return nil
+	}
+	return fmt.Errorf("unwritable operand %v", a)
+}
+
+// flag computations ---------------------------------------------------------
+
+func (m *machine) flagsAdd(a, b, carry uint64, w x86.Width) uint64 {
+	r := truncate(a+b+carry, w)
+	s := m.state
+	s.setFlag(x86.CF, r < truncate(a, w) || (carry == 1 && r == truncate(a, w)))
+	s.setFlag(x86.OF, signBit(^(a^b)&(a^r), w))
+	s.setFlag(x86.AF, (a^b^r)&0x10 != 0)
+	s.setSZP(r, w)
+	return r
+}
+
+func (m *machine) flagsSub(a, b, borrow uint64, w x86.Width) uint64 {
+	a, b = truncate(a, w), truncate(b, w)
+	r := truncate(a-b-borrow, w)
+	s := m.state
+	s.setFlag(x86.CF, a < b || (borrow == 1 && a == b))
+	s.setFlag(x86.OF, signBit((a^b)&(a^r), w))
+	s.setFlag(x86.AF, (a^b^r)&0x10 != 0)
+	s.setSZP(r, w)
+	return r
+}
+
+func (m *machine) flagsLogic(r uint64, w x86.Width) uint64 {
+	r = truncate(r, w)
+	s := m.state
+	s.setFlag(x86.CF, false)
+	s.setFlag(x86.OF, false)
+	s.setFlag(x86.AF, false) // architecturally undefined; model as 0
+	s.setSZP(r, w)
+	return r
+}
+
+// step executes one instruction and returns the next one (nil = halt).
+func (m *machine) step(n *ir.Node) (*ir.Node, error) {
+	in := n.Inst
+	s := m.state
+	w := in.Width
+	ev := Event{Node: n, Addr: m.effAddr(n), Len: m.layout.Len[n]}
+	next := m.nextInst[n]
+
+	// branchTo resolves a label target node.
+	branchTo := func(sym string, off int64) (*ir.Node, error) {
+		t, ok := m.labelFirst[sym]
+		if !ok || t == nil {
+			return nil, fmt.Errorf("branch to unknown label %q", sym)
+		}
+		if off != 0 {
+			tn := m.byAddr[m.effAddr(t)+off]
+			if tn == nil {
+				return nil, fmt.Errorf("branch to %s%+d hits no instruction", sym, off)
+			}
+			t = tn
+		}
+		return t, nil
+	}
+
+	defer func() { m.emit(ev) }()
+
+	switch in.Op {
+	case x86.OpNOP, x86.OpPAUSE:
+		// nothing
+	case x86.OpPREFETCHNTA, x86.OpPREFETCHT0, x86.OpPREFETCHT1, x86.OpPREFETCHT2:
+		if len(in.Args) == 1 && in.Args[0].Kind == x86.KindMem {
+			addr, err := m.memEffAddr(in.Args[0].Mem)
+			if err != nil {
+				return nil, err
+			}
+			ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, addr, 0
+			ev.NonTemporal = in.Op == x86.OpPREFETCHNTA
+		}
+
+	case x86.OpMOV, x86.OpMOVABS:
+		v, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[1], w, v, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpMOVZX:
+		v, err := m.readVal(in.Args[0], in.SrcWidth, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[1], w, truncate(v, in.SrcWidth), &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpMOVSX:
+		v, err := m.readVal(in.Args[0], in.SrcWidth, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[1], w, signExtend(truncate(v, in.SrcWidth), in.SrcWidth), &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpLEA:
+		addr, err := m.memEffAddr(in.Args[0].Mem)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[1], w, addr, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpADD, x86.OpADC, x86.OpSUB, x86.OpSBB, x86.OpCMP:
+		src, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if in.Args[0].Kind == x86.KindImm {
+			src = truncate(signExtend(src, immWidth(in.Args[0], w)), w)
+		}
+		dst, err := m.readVal(in.Args[1], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		carry := uint64(0)
+		if (in.Op == x86.OpADC || in.Op == x86.OpSBB) && s.GetFlag(x86.CF) {
+			carry = 1
+		}
+		var r uint64
+		if in.Op == x86.OpADD || in.Op == x86.OpADC {
+			r = m.flagsAdd(dst, src, carry, w)
+		} else {
+			r = m.flagsSub(dst, src, carry, w)
+		}
+		if in.Op != x86.OpCMP {
+			if err := m.writeVal(in.Args[1], w, r, &ev); err != nil {
+				return nil, err
+			}
+		}
+
+	case x86.OpAND, x86.OpOR, x86.OpXOR, x86.OpTEST:
+		src, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := m.readVal(in.Args[1], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		var r uint64
+		switch in.Op {
+		case x86.OpAND, x86.OpTEST:
+			r = dst & src
+		case x86.OpOR:
+			r = dst | src
+		case x86.OpXOR:
+			r = dst ^ src
+		}
+		r = m.flagsLogic(r, w)
+		if in.Op != x86.OpTEST {
+			if err := m.writeVal(in.Args[1], w, r, &ev); err != nil {
+				return nil, err
+			}
+		}
+
+	case x86.OpNOT:
+		v, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[0], w, ^v, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpNEG:
+		v, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		r := m.flagsSub(0, v, 0, w)
+		if err := m.writeVal(in.Args[0], w, r, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpINC, x86.OpDEC:
+		v, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		cf := s.GetFlag(x86.CF)
+		var r uint64
+		if in.Op == x86.OpINC {
+			r = m.flagsAdd(v, 1, 0, w)
+		} else {
+			r = m.flagsSub(v, 1, 0, w)
+		}
+		s.setFlag(x86.CF, cf) // inc/dec preserve CF
+		if err := m.writeVal(in.Args[0], w, r, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpIMUL, x86.OpMUL:
+		if err := m.execMul(in, w, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpIDIV, x86.OpDIV:
+		if err := m.execDiv(in, w, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpSHL, x86.OpSHR, x86.OpSAR, x86.OpROL, x86.OpROR:
+		if err := m.execShift(in, w, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpPUSH:
+		v, err := m.readVal(in.Args[0], x86.W64, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if in.Args[0].Kind == x86.KindImm {
+			v = uint64(int64(in.Args[0].Imm))
+		}
+		rsp := s.ReadReg(x86.RSP) - 8
+		s.WriteReg(x86.RSP, rsp)
+		s.WriteMem(rsp, v, 8)
+		ev.HasStore, ev.StoreAddr, ev.AccessLen = true, rsp, 8
+
+	case x86.OpPOP:
+		rsp := s.ReadReg(x86.RSP)
+		v := s.ReadMem(rsp, 8)
+		s.WriteReg(x86.RSP, rsp+8)
+		ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, rsp, 8
+		if err := m.writeVal(in.Args[0], x86.W64, v, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpLEAVE:
+		rbp := s.ReadReg(x86.RBP)
+		s.WriteReg(x86.RSP, rbp)
+		v := s.ReadMem(rbp, 8)
+		ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, rbp, 8
+		s.WriteReg(x86.RBP, v)
+		s.WriteReg(x86.RSP, rbp+8)
+
+	case x86.OpJMP:
+		ev.IsBranch, ev.Taken = true, true
+		t, err := m.branchTarget(in, &ev)
+		if err != nil {
+			return nil, err
+		}
+		next = t
+
+	case x86.OpJCC:
+		ev.IsBranch, ev.IsCondBranch = true, true
+		if s.CondHolds(in.Cond) {
+			ev.Taken = true
+			t, err := branchTo(in.Args[0].Sym, in.Args[0].Off)
+			if err != nil {
+				return nil, err
+			}
+			ev.Target = m.effAddr(t)
+			next = t
+		}
+
+	case x86.OpCALL:
+		ev.IsBranch, ev.Taken = true, true
+		ret := uint64(ev.Addr + int64(ev.Len))
+		t, err := m.branchTarget(in, &ev)
+		if err != nil {
+			if m.cfg.ExternalCalls {
+				m.externalCall(in)
+				ev.Target = ev.Addr + int64(ev.Len)
+				return next, nil
+			}
+			return nil, err
+		}
+		rsp := s.ReadReg(x86.RSP) - 8
+		s.WriteReg(x86.RSP, rsp)
+		s.WriteMem(rsp, ret, 8)
+		ev.HasStore, ev.StoreAddr, ev.AccessLen = true, rsp, 8
+		next = t
+
+	case x86.OpRET:
+		ev.IsBranch, ev.Taken = true, true
+		rsp := s.ReadReg(x86.RSP)
+		ret := s.ReadMem(rsp, 8)
+		s.WriteReg(x86.RSP, rsp+8)
+		ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, rsp, 8
+		if ret == retSentry {
+			next = nil
+			break
+		}
+		t := m.byAddr[int64(ret)]
+		if t == nil {
+			return nil, fmt.Errorf("return to unmapped address %#x", ret)
+		}
+		ev.Target = int64(ret)
+		next = t
+
+	case x86.OpSET:
+		v := uint64(0)
+		if s.CondHolds(in.Cond) {
+			v = 1
+		}
+		if err := m.writeVal(in.Args[0], x86.W8, v, &ev); err != nil {
+			return nil, err
+		}
+
+	case x86.OpCMOV:
+		if s.CondHolds(in.Cond) {
+			v, err := m.readVal(in.Args[0], w, &ev)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.writeVal(in.Args[1], w, v, &ev); err != nil {
+				return nil, err
+			}
+		} else if w == x86.W32 && in.Args[1].Kind == x86.KindReg {
+			// A 32-bit cmov zero-extends even when not taken.
+			s.WriteReg(in.Args[1].Reg, s.ReadReg(in.Args[1].Reg))
+		}
+
+	case x86.OpCLTQ:
+		s.WriteReg(x86.RAX, signExtend(s.ReadReg(x86.EAX), x86.W32))
+	case x86.OpCWTL:
+		s.WriteReg(x86.EAX, truncate(signExtend(s.ReadReg(x86.AX), x86.W16), x86.W32))
+	case x86.OpCLTD:
+		v := signExtend(s.ReadReg(x86.EAX), x86.W32)
+		s.WriteReg(x86.EDX, truncate(v>>32, x86.W32))
+	case x86.OpCQTO:
+		if int64(s.ReadReg(x86.RAX)) < 0 {
+			s.WriteReg(x86.RDX, ^uint64(0))
+		} else {
+			s.WriteReg(x86.RDX, 0)
+		}
+
+	case x86.OpXCHG:
+		a, err := m.readVal(in.Args[0], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		b, err := m.readVal(in.Args[1], w, &ev)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[0], w, b, &ev); err != nil {
+			return nil, err
+		}
+		if err := m.writeVal(in.Args[1], w, a, &ev); err != nil {
+			return nil, err
+		}
+
+	default:
+		if in.Op.IsSSE() {
+			if err := m.execSSE(in, &ev); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return nil, fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+	return next, nil
+}
+
+// immWidth returns the width an immediate was encoded at (for sign
+// extension): ALU immediates are sign-extended imm8/imm32 to the
+// operand width; the executor only needs "already full width".
+func immWidth(a x86.Operand, w x86.Width) x86.Width { return w }
+
+// branchTarget resolves jmp/call targets, direct or indirect.
+func (m *machine) branchTarget(in *x86.Inst, ev *Event) (*ir.Node, error) {
+	a := in.Args[0]
+	if !a.Star {
+		if a.Kind != x86.KindLabel {
+			return nil, fmt.Errorf("bad branch operand %v", a)
+		}
+		t, ok := m.labelFirst[a.Sym]
+		if !ok || t == nil {
+			return nil, fmt.Errorf("branch to unknown label %q", a.Sym)
+		}
+		ev.Target = m.effAddr(t)
+		return t, nil
+	}
+	// Indirect: *reg or *mem holds the target address.
+	var target uint64
+	switch a.Kind {
+	case x86.KindReg:
+		target = m.state.ReadReg(a.Reg)
+	case x86.KindMem, x86.KindLabel:
+		mem := a.Mem
+		if a.Kind == x86.KindLabel {
+			mem = x86.Mem{Sym: a.Sym, Disp: a.Off}
+		}
+		addr, err := m.memEffAddr(mem)
+		if err != nil {
+			return nil, err
+		}
+		ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, addr, 8
+		target = m.state.ReadMem(addr, 8)
+	}
+	t := m.byAddr[int64(target)]
+	if t == nil {
+		return nil, fmt.Errorf("indirect branch to unmapped %#x", target)
+	}
+	ev.Target = int64(target)
+	return t, nil
+}
+
+// externalCall models a call to an unknown symbol: caller-saved
+// registers are clobbered deterministically (hash of the name) and
+// flags are clobbered.
+func (m *machine) externalCall(in *x86.Inst) {
+	sym := ""
+	if len(in.Args) == 1 {
+		sym = in.Args[0].Sym
+	}
+	h := uint64(14695981039346656037)
+	for _, c := range sym {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	for _, r := range []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI,
+		x86.R8, x86.R9, x86.R10, x86.R11} {
+		m.state.WriteReg(r, h)
+		h = h*2862933555777941757 + 3037000493
+	}
+	m.state.Flags = 0
+}
+
+// execMul implements imul (1/2/3 operands) and mul.
+func (m *machine) execMul(in *x86.Inst, w x86.Width, ev *Event) error {
+	s := m.state
+	switch len(in.Args) {
+	case 1:
+		src, err := m.readVal(in.Args[0], w, ev)
+		if err != nil {
+			return err
+		}
+		a := truncate(s.ReadReg(x86.RAX), w)
+		src = truncate(src, w)
+		signedMul := in.Op == x86.OpIMUL
+
+		// Full 128-bit product hi:lo. For widths below 64 the whole
+		// product fits in lo.
+		var lo, hi uint64
+		if signedMul {
+			sa, sb := signExtend(a, w), signExtend(src, w)
+			hi, lo = bits.Mul64(sa, sb)
+			if int64(sa) < 0 {
+				hi -= sb
+			}
+			if int64(sb) < 0 {
+				hi -= sa
+			}
+		} else {
+			hi, lo = bits.Mul64(a, src)
+		}
+
+		var overflow bool
+		switch w {
+		case x86.W64:
+			s.WriteReg(x86.RAX, lo)
+			s.WriteReg(x86.RDX, hi)
+			if signedMul {
+				// Overflow unless hi is the sign extension of lo.
+				sign := uint64(0)
+				if int64(lo) < 0 {
+					sign = ^uint64(0)
+				}
+				overflow = hi != sign
+			} else {
+				overflow = hi != 0
+			}
+		case x86.W32:
+			s.WriteReg(x86.EAX, truncate(lo, x86.W32))
+			s.WriteReg(x86.EDX, truncate(lo>>32, x86.W32))
+		case x86.W16:
+			s.WriteReg(x86.AX, truncate(lo, x86.W16))
+			s.WriteReg(x86.DX, truncate(lo>>16, x86.W16))
+		case x86.W8:
+			s.WriteReg(x86.AX, truncate(lo, x86.W16))
+		}
+		if w != x86.W64 {
+			if signedMul {
+				overflow = signExtend(truncate(lo, w), w) != lo
+			} else {
+				overflow = lo>>widthBits(w) != 0
+			}
+		}
+		s.setFlag(x86.CF, overflow)
+		s.setFlag(x86.OF, overflow)
+		s.setSZP(truncate(lo, w), w) // SF/ZF/PF architecturally undefined; model deterministically
+		return nil
+	case 2, 3:
+		srcIdx, dstIdx := 0, 1
+		var factor uint64
+		if len(in.Args) == 3 {
+			factor = truncate(uint64(in.Args[0].Imm), w)
+			srcIdx, dstIdx = 1, 2
+		}
+		src, err := m.readVal(in.Args[srcIdx], w, ev)
+		if err != nil {
+			return err
+		}
+		var other uint64
+		if len(in.Args) == 3 {
+			other = factor
+		} else {
+			other, err = m.readVal(in.Args[dstIdx], w, ev)
+			if err != nil {
+				return err
+			}
+		}
+		full := int64(signExtend(src, w)) * int64(signExtend(other, w))
+		r := truncate(uint64(full), w)
+		overflow := int64(signExtend(r, w)) != full
+		s.setFlag(x86.CF, overflow)
+		s.setFlag(x86.OF, overflow)
+		s.setSZP(r, w)
+		return m.writeVal(in.Args[dstIdx], w, r, ev)
+	}
+	return fmt.Errorf("bad imul arity %d", len(in.Args))
+}
+
+// execDiv implements div/idiv at all widths.
+func (m *machine) execDiv(in *x86.Inst, w x86.Width, ev *Event) error {
+	s := m.state
+	d, err := m.readVal(in.Args[0], w, ev)
+	if err != nil {
+		return err
+	}
+	d = truncate(d, w)
+	if d == 0 {
+		return fmt.Errorf("division by zero")
+	}
+	signed := in.Op == x86.OpIDIV
+
+	if w == x86.W64 {
+		hi, lo := s.ReadReg(x86.RDX), s.ReadReg(x86.RAX)
+		if signed {
+			neg := int64(hi) < 0
+			var q, r uint64
+			// Only support numerators whose magnitude fits 64 bits
+			// (the cqto-produced common case).
+			if hi == 0 || hi == ^uint64(0) {
+				n := int64(lo)
+				if neg && n >= 0 || !neg && hi != 0 {
+					return fmt.Errorf("idiv overflow")
+				}
+				q = uint64(n / int64(d))
+				r = uint64(n % int64(d))
+			} else {
+				return fmt.Errorf("idiv numerator exceeds 64-bit magnitude")
+			}
+			s.WriteReg(x86.RAX, q)
+			s.WriteReg(x86.RDX, r)
+			return nil
+		}
+		if hi >= d {
+			return fmt.Errorf("div overflow")
+		}
+		q, r := bits.Div64(hi, lo, d)
+		s.WriteReg(x86.RAX, q)
+		s.WriteReg(x86.RDX, r)
+		return nil
+	}
+
+	// Narrow widths assemble the numerator in 64 bits.
+	var num uint64
+	bitsW := widthBits(w)
+	switch w {
+	case x86.W32:
+		num = s.ReadReg(x86.EDX)<<32 | s.ReadReg(x86.EAX)
+	case x86.W16:
+		num = s.ReadReg(x86.DX)<<16 | s.ReadReg(x86.AX)
+	case x86.W8:
+		num = s.ReadReg(x86.AX)
+	}
+	var q, r uint64
+	if signed {
+		// The numerator is 2*w bits wide; recover it signed.
+		sn := int64(num<<(64-2*bitsW)) >> (64 - 2*bitsW)
+		sd := int64(signExtend(d, w))
+		q = uint64(sn / sd)
+		r = uint64(sn % sd)
+		if int64(signExtend(truncate(q, w), w)) != sn/sd {
+			return fmt.Errorf("idiv overflow")
+		}
+	} else {
+		q = num / d
+		r = num % d
+		if q>>bitsW != 0 {
+			return fmt.Errorf("div overflow")
+		}
+	}
+	switch w {
+	case x86.W32:
+		s.WriteReg(x86.EAX, truncate(q, w))
+		s.WriteReg(x86.EDX, truncate(r, w))
+	case x86.W16:
+		s.WriteReg(x86.AX, truncate(q, w))
+		s.WriteReg(x86.DX, truncate(r, w))
+	case x86.W8:
+		s.WriteReg(x86.AL, truncate(q, w))
+		s.WriteReg(x86.AH, truncate(r, w))
+	}
+	return nil
+}
+
+// execShift implements shifts and rotates with x86 count masking.
+func (m *machine) execShift(in *x86.Inst, w x86.Width, ev *Event) error {
+	s := m.state
+	dst := in.Args[len(in.Args)-1]
+	var count uint64 = 1
+	if len(in.Args) == 2 {
+		c, err := m.readVal(in.Args[0], x86.W8, ev)
+		if err != nil {
+			return err
+		}
+		count = c
+	}
+	mask := uint64(31)
+	if w == x86.W64 {
+		mask = 63
+	}
+	count &= mask
+	v, err := m.readVal(dst, w, ev)
+	if err != nil {
+		return err
+	}
+	v = truncate(v, w)
+	if count == 0 {
+		return nil // no flags change, no write needed (value unchanged)
+	}
+	bitsW := widthBits(w)
+	var r uint64
+	switch in.Op {
+	case x86.OpSHL:
+		r = truncate(v<<count, w)
+		s.setFlag(x86.CF, count <= uint64(bitsW) && v>>(uint64(bitsW)-count)&1 != 0)
+		s.setFlag(x86.OF, signBit(r, w) != s.GetFlag(x86.CF))
+		s.setSZP(r, w)
+	case x86.OpSHR:
+		r = v >> count
+		s.setFlag(x86.CF, v>>(count-1)&1 != 0)
+		s.setFlag(x86.OF, signBit(v, w))
+		s.setSZP(r, w)
+	case x86.OpSAR:
+		r = truncate(uint64(int64(signExtend(v, w))>>count), w)
+		s.setFlag(x86.CF, v>>(count-1)&1 != 0)
+		s.setFlag(x86.OF, false)
+		s.setSZP(r, w)
+	case x86.OpROL:
+		c := count % uint64(bitsW)
+		r = truncate(v<<c|v>>(uint64(bitsW)-c), w)
+		s.setFlag(x86.CF, r&1 != 0)
+		s.setFlag(x86.OF, signBit(r, w) != s.GetFlag(x86.CF))
+	case x86.OpROR:
+		c := count % uint64(bitsW)
+		r = truncate(v>>c|v<<(uint64(bitsW)-c), w)
+		s.setFlag(x86.CF, signBit(r, w))
+		s.setFlag(x86.OF, signBit(r, w) != signBit(r<<1|r>>(uint64(bitsW)-1), w))
+	}
+	return m.writeVal(dst, w, r, ev)
+}
+
+// execSSE implements the scalar SSE subset. XMM registers model their
+// low 64 bits; packed moves copy those 64 bits (an explicit
+// approximation — the corpus uses packed moves only for register
+// copies and spills of scalar values).
+func (m *machine) execSSE(in *x86.Inst, ev *Event) error {
+	s := m.state
+
+	readBits := func(a x86.Operand, n int) (uint64, error) {
+		switch a.Kind {
+		case x86.KindReg:
+			if a.Reg.IsXMM() {
+				return s.XMM[a.Reg.Num()], nil
+			}
+			return s.ReadReg(a.Reg), nil
+		case x86.KindMem:
+			addr, err := m.memEffAddr(a.Mem)
+			if err != nil {
+				return 0, err
+			}
+			ev.HasLoad, ev.LoadAddr, ev.AccessLen = true, addr, n
+			return s.ReadMem(addr, n), nil
+		}
+		return 0, fmt.Errorf("bad SSE operand %v", a)
+	}
+	writeBits := func(a x86.Operand, v uint64, n int) error {
+		switch a.Kind {
+		case x86.KindReg:
+			if a.Reg.IsXMM() {
+				if n == 4 {
+					v &= 0xFFFFFFFF
+				}
+				s.XMM[a.Reg.Num()] = v
+				return nil
+			}
+			s.WriteReg(a.Reg, truncate(v, x86.Width(n)))
+			return nil
+		case x86.KindMem:
+			addr, err := m.memEffAddr(a.Mem)
+			if err != nil {
+				return err
+			}
+			ev.HasStore, ev.StoreAddr, ev.AccessLen = true, addr, n
+			s.WriteMem(addr, v, n)
+			return nil
+		}
+		return fmt.Errorf("bad SSE operand %v", a)
+	}
+
+	f32 := func(bits64 uint64) float64 { return float64(math.Float32frombits(uint32(bits64))) }
+	to32 := func(f float64) uint64 { return uint64(math.Float32bits(float32(f))) }
+
+	switch in.Op {
+	case x86.OpMOVSS, x86.OpMOVD:
+		v, err := readBits(in.Args[0], 4)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], v, 4)
+	case x86.OpMOVSD, x86.OpMOVQX, x86.OpMOVAPS, x86.OpMOVUPS,
+		x86.OpMOVDQA, x86.OpMOVDQU:
+		v, err := readBits(in.Args[0], 8)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], v, 8)
+
+	case x86.OpADDSS, x86.OpSUBSS, x86.OpMULSS, x86.OpDIVSS:
+		a, err := readBits(in.Args[0], 4)
+		if err != nil {
+			return err
+		}
+		b := s.XMM[in.Args[1].Reg.Num()]
+		fa, fb := f32(a), f32(b)
+		var r float64
+		switch in.Op {
+		case x86.OpADDSS:
+			r = fb + fa
+		case x86.OpSUBSS:
+			r = fb - fa
+		case x86.OpMULSS:
+			r = fb * fa
+		case x86.OpDIVSS:
+			r = fb / fa
+		}
+		return writeBits(in.Args[1], to32(r), 4)
+
+	case x86.OpADDSD, x86.OpSUBSD, x86.OpMULSD, x86.OpDIVSD:
+		a, err := readBits(in.Args[0], 8)
+		if err != nil {
+			return err
+		}
+		b := s.XMM[in.Args[1].Reg.Num()]
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		var r float64
+		switch in.Op {
+		case x86.OpADDSD:
+			r = fb + fa
+		case x86.OpSUBSD:
+			r = fb - fa
+		case x86.OpMULSD:
+			r = fb * fa
+		case x86.OpDIVSD:
+			r = fb / fa
+		}
+		return writeBits(in.Args[1], math.Float64bits(r), 8)
+
+	case x86.OpSQRTSS:
+		a, err := readBits(in.Args[0], 4)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], to32(math.Sqrt(f32(a))), 4)
+	case x86.OpSQRTSD:
+		a, err := readBits(in.Args[0], 8)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], math.Float64bits(math.Sqrt(math.Float64frombits(a))), 8)
+
+	case x86.OpXORPS, x86.OpXORPD, x86.OpPXOR, x86.OpANDPS, x86.OpANDPD:
+		a, err := readBits(in.Args[0], 8)
+		if err != nil {
+			return err
+		}
+		b := s.XMM[in.Args[1].Reg.Num()]
+		if in.Op == x86.OpANDPS || in.Op == x86.OpANDPD {
+			return writeBits(in.Args[1], b&a, 8)
+		}
+		return writeBits(in.Args[1], b^a, 8)
+
+	case x86.OpUCOMISS, x86.OpCOMISS, x86.OpUCOMISD, x86.OpCOMISD:
+		n := 8
+		if in.Op == x86.OpUCOMISS || in.Op == x86.OpCOMISS {
+			n = 4
+		}
+		a, err := readBits(in.Args[0], n)
+		if err != nil {
+			return err
+		}
+		b := s.XMM[in.Args[1].Reg.Num()]
+		var fa, fb float64
+		if n == 4 {
+			fa, fb = f32(a), f32(b)
+		} else {
+			fa, fb = math.Float64frombits(a), math.Float64frombits(b)
+		}
+		// comis: dst(arg2) compared with src(arg1): result of fb ? fa.
+		zf, pf, cf := false, false, false
+		switch {
+		case math.IsNaN(fa) || math.IsNaN(fb):
+			zf, pf, cf = true, true, true
+		case fb == fa:
+			zf = true
+		case fb < fa:
+			cf = true
+		}
+		s.setFlag(x86.ZF, zf)
+		s.setFlag(x86.PF, pf)
+		s.setFlag(x86.CF, cf)
+		s.setFlag(x86.OF, false)
+		s.setFlag(x86.SF, false)
+		s.setFlag(x86.AF, false)
+		return nil
+
+	case x86.OpCVTSI2SS:
+		v, err := m.readVal(in.Args[0], gprWidth(in, x86.W32), ev)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], to32(float64(int64(signExtend(v, gprWidth(in, x86.W32))))), 4)
+	case x86.OpCVTSI2SD:
+		v, err := m.readVal(in.Args[0], gprWidth(in, x86.W32), ev)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], math.Float64bits(float64(int64(signExtend(v, gprWidth(in, x86.W32))))), 8)
+	case x86.OpCVTTSS2SI:
+		a, err := readBits(in.Args[0], 4)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], uint64(int64(f32(a))), dstGPRBytes(in))
+	case x86.OpCVTTSD2SI:
+		a, err := readBits(in.Args[0], 8)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], uint64(int64(math.Float64frombits(a))), dstGPRBytes(in))
+	case x86.OpCVTSS2SD:
+		a, err := readBits(in.Args[0], 4)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], math.Float64bits(f32(a)), 8)
+	case x86.OpCVTSD2SS:
+		a, err := readBits(in.Args[0], 8)
+		if err != nil {
+			return err
+		}
+		return writeBits(in.Args[1], to32(math.Float64frombits(a)), 4)
+	}
+	return fmt.Errorf("unimplemented SSE opcode %v", in.Op)
+}
+
+// gprWidth returns the GPR width of a cvtsi2xx source.
+func gprWidth(in *x86.Inst, def x86.Width) x86.Width {
+	if in.Width != x86.W0 {
+		return in.Width
+	}
+	if in.Args[0].Kind == x86.KindReg && in.Args[0].Reg.IsGPR() {
+		return in.Args[0].Reg.Width()
+	}
+	return def
+}
+
+// dstGPRBytes returns the byte width of a cvt destination GPR.
+func dstGPRBytes(in *x86.Inst) int {
+	if in.Args[1].Kind == x86.KindReg && in.Args[1].Reg.IsGPR() {
+		return int(in.Args[1].Reg.Width())
+	}
+	return 4
+}

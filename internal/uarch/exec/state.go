@@ -1,0 +1,264 @@
+// Package exec is MAO's functional x86-64 executor: it runs parsed
+// assembly units directly on the IR (registers, flags, sparse memory)
+// and produces the dynamic instruction traces, register snapshots and
+// final architectural state that the timing simulator, the SIMADDR
+// pass and the semantics-preservation property tests consume.
+//
+// The executor plays the role the authors' real silicon played: it
+// provides ground-truth execution for compiler-generated code. It
+// implements the same instruction subset as the parser/encoder.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mao/internal/x86"
+)
+
+// Section base addresses: each section is laid out by relaxation from
+// offset 0; the executor places sections at disjoint bases.
+const (
+	TextBase  = 0x400000
+	DataBase  = 0x600000
+	StackTop  = 0x7fff0000
+	retSentry = 0xdead0000 // return address terminating the run
+)
+
+const pageSize = 1 << 12
+
+// State is the architectural state of the simulated machine.
+type State struct {
+	GPR   [16]uint64 // indexed by hardware register number
+	XMM   [16]uint64 // low 64 bits only (scalar SSE subset)
+	Flags x86.Flags
+
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewState returns a zeroed machine with an initialized stack pointer.
+func NewState() *State {
+	s := &State{pages: make(map[uint64]*[pageSize]byte)}
+	s.GPR[x86.RSP.Num()] = StackTop
+	return s
+}
+
+// Checksum returns an FNV-1a digest over the architectural state:
+// every GPR and XMM register plus all touched memory. Flags are
+// excluded — optimization passes legitimately change dead flag values.
+// Two runs of semantically equivalent programs must produce equal
+// checksums; the property tests rely on this.
+func (s *State) Checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xFF)) * prime
+			v >>= 8
+		}
+	}
+	for _, v := range s.GPR {
+		mix(v)
+	}
+	for _, v := range s.XMM {
+		mix(v)
+	}
+	// Pages in deterministic (sorted) order.
+	keys := make([]uint64, 0, len(s.pages))
+	for k := range s.pages {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		mix(k)
+		for _, b := range s.pages[k] {
+			h = (h ^ uint64(b)) * prime
+		}
+	}
+	return h
+}
+
+// Clone deep-copies the state (used by snapshot comparisons).
+func (s *State) Clone() *State {
+	c := *s
+	c.pages = make(map[uint64]*[pageSize]byte, len(s.pages))
+	for k, v := range s.pages {
+		pg := *v
+		c.pages[k] = &pg
+	}
+	return &c
+}
+
+func (s *State) page(addr uint64) *[pageSize]byte {
+	k := addr / pageSize
+	p := s.pages[k]
+	if p == nil {
+		p = new([pageSize]byte)
+		s.pages[k] = p
+	}
+	return p
+}
+
+// ReadMem reads n bytes (1..8) little-endian.
+func (s *State) ReadMem(addr uint64, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		v |= uint64(s.page(a)[a%pageSize]) << (8 * i)
+	}
+	return v
+}
+
+// WriteMem writes n bytes (1..8) little-endian.
+func (s *State) WriteMem(addr uint64, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i)
+		s.page(a)[a%pageSize] = byte(v >> (8 * i))
+	}
+}
+
+// ReadReg returns the register's value zero-extended to 64 bits.
+func (s *State) ReadReg(r x86.Reg) uint64 {
+	if r.IsXMM() {
+		return s.XMM[r.Num()]
+	}
+	full := s.GPR[r.Family().Num()]
+	switch r.Width() {
+	case x86.W64:
+		return full
+	case x86.W32:
+		return full & 0xFFFFFFFF
+	case x86.W16:
+		return full & 0xFFFF
+	case x86.W8:
+		if r.IsHighByte() {
+			return (full >> 8) & 0xFF
+		}
+		return full & 0xFF
+	}
+	return full
+}
+
+// WriteReg writes v with x86 width semantics: 64-bit writes replace,
+// 32-bit writes zero-extend, 16/8-bit writes merge.
+func (s *State) WriteReg(r x86.Reg, v uint64) {
+	if r.IsXMM() {
+		s.XMM[r.Num()] = v
+		return
+	}
+	n := r.Family().Num()
+	switch r.Width() {
+	case x86.W64:
+		s.GPR[n] = v
+	case x86.W32:
+		s.GPR[n] = v & 0xFFFFFFFF
+	case x86.W16:
+		s.GPR[n] = s.GPR[n]&^uint64(0xFFFF) | v&0xFFFF
+	case x86.W8:
+		if r.IsHighByte() {
+			s.GPR[n] = s.GPR[n]&^uint64(0xFF00) | (v&0xFF)<<8
+		} else {
+			s.GPR[n] = s.GPR[n]&^uint64(0xFF) | v&0xFF
+		}
+	}
+}
+
+// flag helpers ------------------------------------------------------------
+
+func (s *State) setFlag(f x86.Flags, on bool) {
+	if on {
+		s.Flags |= f
+	} else {
+		s.Flags &^= f
+	}
+}
+
+// GetFlag reports whether a flag bit is set.
+func (s *State) GetFlag(f x86.Flags) bool { return s.Flags&f != 0 }
+
+// CondHolds evaluates a condition code against the current flags.
+func (s *State) CondHolds(c x86.Cond) bool {
+	cf, zf := s.GetFlag(x86.CF), s.GetFlag(x86.ZF)
+	sf, of, pf := s.GetFlag(x86.SF), s.GetFlag(x86.OF), s.GetFlag(x86.PF)
+	switch c {
+	case x86.CondO:
+		return of
+	case x86.CondNO:
+		return !of
+	case x86.CondB:
+		return cf
+	case x86.CondAE:
+		return !cf
+	case x86.CondE:
+		return zf
+	case x86.CondNE:
+		return !zf
+	case x86.CondBE:
+		return cf || zf
+	case x86.CondA:
+		return !cf && !zf
+	case x86.CondS:
+		return sf
+	case x86.CondNS:
+		return !sf
+	case x86.CondP:
+		return pf
+	case x86.CondNP:
+		return !pf
+	case x86.CondL:
+		return sf != of
+	case x86.CondGE:
+		return sf == of
+	case x86.CondLE:
+		return zf || sf != of
+	case x86.CondG:
+		return !zf && sf == of
+	}
+	panic(fmt.Sprintf("exec: bad condition %v", c))
+}
+
+// width utilities ------------------------------------------------------------
+
+func widthBits(w x86.Width) uint { return uint(w) * 8 }
+
+// truncate masks v to the given width.
+func truncate(v uint64, w x86.Width) uint64 {
+	if w == x86.W64 {
+		return v
+	}
+	return v & (1<<widthBits(w) - 1)
+}
+
+// signBit extracts the sign bit of a w-width value.
+func signBit(v uint64, w x86.Width) bool {
+	return v>>(widthBits(w)-1)&1 != 0
+}
+
+// signExtend extends a w-width value to 64 bits.
+func signExtend(v uint64, w x86.Width) uint64 {
+	if w == x86.W64 {
+		return v
+	}
+	b := widthBits(w)
+	return uint64(int64(v<<(64-b)) >> (64 - b))
+}
+
+// parity returns true when the low byte has even parity (PF semantics).
+func parity(v uint64) bool {
+	b := byte(v)
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b&1 == 0
+}
+
+// setSZP sets SF/ZF/PF from a w-width result.
+func (s *State) setSZP(v uint64, w x86.Width) {
+	v = truncate(v, w)
+	s.setFlag(x86.SF, signBit(v, w))
+	s.setFlag(x86.ZF, v == 0)
+	s.setFlag(x86.PF, parity(v))
+}

@@ -1,0 +1,236 @@
+// Package uarch defines the parameterized micro-architecture models
+// the MAO reproduction measures against. Real Intel Core-2, AMD
+// Opteron and Pentium 4 hardware (with their PMU counters) is not
+// available to this implementation, so the repository substitutes a
+// transparent timing model implementing exactly the mechanisms the
+// paper attributes its performance effects to:
+//
+//   - a front end fetching 16-byte decode lines (III-C.e),
+//   - the Loop Stream Detector with its 4-line / 64-iteration /
+//     simple-branch conditions (III-C.f),
+//   - branch-predictor tables indexed by PC>>5, so branches in the
+//     same 32-byte bucket alias (III-C.g and Figure 1),
+//   - asymmetric execution ports (lea on port 0 only, shifts on ports
+//     0 and 5; III-F),
+//   - a result-forwarding bandwidth limit that backs instructions up
+//     in the reservation station, visible as RESOURCE_STALLS:RS_FULL
+//     (III-F),
+//   - non-temporal loads that replace a single cache way (III-E.k).
+//
+// Every parameter is explicit, so the parameter-detection framework of
+// paper Section IV can rediscover them from timing alone.
+package uarch
+
+import (
+	"mao/internal/x86"
+)
+
+// PortMask is a bit set of execution ports (bit i = port i).
+type PortMask uint8
+
+// Has reports whether port p is in the mask.
+func (m PortMask) Has(p int) bool { return m&(1<<p) != 0 }
+
+// Count returns the number of ports in the mask.
+func (m PortMask) Count() int {
+	c := 0
+	for i := 0; i < 8; i++ {
+		if m.Has(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// ExecClass describes how one instruction executes: its latency in
+// cycles and the ports it may issue to.
+type ExecClass struct {
+	Latency int
+	Ports   PortMask
+}
+
+// CPUModel is the full parameter set of one simulated processor.
+type CPUModel struct {
+	Name string
+
+	// Front end.
+	DecodeLineBytes int // instruction-fetch/decode chunk (16)
+	DecodeWidth     int // instructions decoded per cycle
+	HasLSD          bool
+	LSDMaxLines     int // max decode lines a streamed loop may span
+	LSDMinIters     int // iterations before the LSD locks on
+
+	// Branch prediction.
+	BPIndexShift     uint // predictor index = (PC >> shift) & (size-1)
+	BPTableSize      int  // power of two
+	MispredictCycles int
+
+	// Back end.
+	IssueWidth   int
+	RetireWidth  int
+	RSSize       int // reservation-station entries
+	ROBSize      int
+	FwdBandwidth int // results forwardable per completion cycle
+
+	// Memory.
+	LoadLatency    int
+	StoreLatency   int
+	MemMissCycles  int // additional cycles on an L1 miss
+	CacheWays      int // L1D associativity (for non-temporal modeling)
+	CacheSets      int
+	CacheLineBytes int
+
+	// Classify returns the execution class of an instruction. A nil
+	// Classify falls back to DefaultClassify.
+	Classify func(in *x86.Inst) ExecClass
+}
+
+// Class returns the execution class of in under this model.
+func (m *CPUModel) Class(in *x86.Inst) ExecClass {
+	if m.Classify != nil {
+		return m.Classify(in)
+	}
+	return DefaultClassify(in)
+}
+
+// Port masks used by the default classifier.
+const (
+	P0   PortMask = 1 << 0
+	P1   PortMask = 1 << 1
+	P2   PortMask = 1 << 2 // load
+	P3   PortMask = 1 << 3 // store address/data
+	P5   PortMask = 1 << 5
+	PALU          = P0 | P1 | P5
+)
+
+// DefaultClassify is the Core-2-flavoured instruction classification:
+// lea only on port 0, shifts on ports 0 and 5 (the paper's Section
+// III-F observations), loads on port 2, stores on port 3.
+func DefaultClassify(in *x86.Inst) ExecClass {
+	switch in.Op {
+	case x86.OpLEA:
+		return ExecClass{1, P0}
+	case x86.OpSHL, x86.OpSHR, x86.OpSAR, x86.OpROL, x86.OpROR:
+		return ExecClass{1, P0 | P5}
+	case x86.OpIMUL, x86.OpMUL:
+		return ExecClass{3, P1}
+	case x86.OpIDIV, x86.OpDIV:
+		return ExecClass{22, P0}
+	case x86.OpADDSS, x86.OpADDSD, x86.OpSUBSS, x86.OpSUBSD:
+		return ExecClass{3, P1}
+	case x86.OpMULSS, x86.OpMULSD:
+		return ExecClass{5, P0}
+	case x86.OpDIVSS, x86.OpDIVSD, x86.OpSQRTSS, x86.OpSQRTSD:
+		return ExecClass{20, P0}
+	case x86.OpCVTSI2SS, x86.OpCVTSI2SD, x86.OpCVTTSS2SI, x86.OpCVTTSD2SI,
+		x86.OpCVTSS2SD, x86.OpCVTSD2SS:
+		return ExecClass{4, P1}
+	case x86.OpNOP, x86.OpPREFETCHNTA, x86.OpPREFETCHT0,
+		x86.OpPREFETCHT1, x86.OpPREFETCHT2:
+		return ExecClass{1, PALU}
+	case x86.OpJMP, x86.OpJCC, x86.OpCALL, x86.OpRET:
+		return ExecClass{1, P5}
+	}
+	if in.ReadsMemory() {
+		return ExecClass{3, P2} // load-to-use through the L1
+	}
+	if in.WritesMemory() {
+		return ExecClass{3, P3}
+	}
+	return ExecClass{1, PALU}
+}
+
+// Core2 returns the Intel Core-2-like model: 16-byte decode lines, an
+// LSD with the paper's published conditions, PC>>5 predictor indexing,
+// and forwarding bandwidth of 2.
+func Core2() *CPUModel {
+	return &CPUModel{
+		Name:             "core2",
+		DecodeLineBytes:  16,
+		DecodeWidth:      4,
+		HasLSD:           true,
+		LSDMaxLines:      4,
+		LSDMinIters:      64,
+		BPIndexShift:     5,
+		BPTableSize:      512,
+		MispredictCycles: 15,
+		IssueWidth:       4,
+		RetireWidth:      4,
+		RSSize:           32,
+		ROBSize:          96,
+		FwdBandwidth:     2,
+		LoadLatency:      3,
+		StoreLatency:     3,
+		MemMissCycles:    35,
+		CacheWays:        8,
+		CacheSets:        64,
+		CacheLineBytes:   64,
+	}
+}
+
+// Opteron returns the AMD-like model: 3-wide decode with a larger
+// 32-byte fetch window, no LSD, a differently indexed predictor, and
+// forwarding bandwidth of 3 (result-forwarding stalls were an
+// Intel-specific observation in the paper).
+func Opteron() *CPUModel {
+	return &CPUModel{
+		Name:             "opteron",
+		DecodeLineBytes:  32,
+		DecodeWidth:      3,
+		HasLSD:           false,
+		BPIndexShift:     4,
+		BPTableSize:      2048,
+		MispredictCycles: 12,
+		IssueWidth:       3,
+		RetireWidth:      3,
+		RSSize:           24,
+		ROBSize:          72,
+		FwdBandwidth:     3,
+		LoadLatency:      3,
+		StoreLatency:     3,
+		MemMissCycles:    40,
+		CacheWays:        2,
+		CacheSets:        512,
+		CacheLineBytes:   64,
+		Classify:         opteronClassify,
+	}
+}
+
+// opteronClassify gives the AMD model symmetric ALU ports (the port-0
+// lea restriction was the paper's Intel observation).
+func opteronClassify(in *x86.Inst) ExecClass {
+	c := DefaultClassify(in)
+	switch in.Op {
+	case x86.OpLEA:
+		c.Ports = PALU
+	case x86.OpSHL, x86.OpSHR, x86.OpSAR, x86.OpROL, x86.OpROR:
+		c.Ports = PALU
+	}
+	return c
+}
+
+// P4 returns a NetBurst-flavoured model: deep pipeline (large
+// mispredict penalty), narrow decode — the platform on which the
+// Nopinizer found its still-mysterious 4% (III-E.i).
+func P4() *CPUModel {
+	return &CPUModel{
+		Name:             "p4",
+		DecodeLineBytes:  16,
+		DecodeWidth:      3,
+		HasLSD:           false,
+		BPIndexShift:     5,
+		BPTableSize:      256,
+		MispredictCycles: 24,
+		IssueWidth:       3,
+		RetireWidth:      3,
+		RSSize:           16,
+		ROBSize:          48,
+		FwdBandwidth:     2,
+		LoadLatency:      4,
+		StoreLatency:     4,
+		MemMissCycles:    45,
+		CacheWays:        4,
+		CacheSets:        32,
+		CacheLineBytes:   64,
+	}
+}

@@ -1,0 +1,97 @@
+package uarch
+
+import (
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+func inst(t *testing.T, src string) *x86.Inst {
+	t.Helper()
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		if n.Kind == ir.NodeInst {
+			return n.Inst
+		}
+	}
+	t.Fatal("no instruction")
+	return nil
+}
+
+// TestPresetsMatchPaper pins the model parameters the experiments and
+// the discovery framework depend on.
+func TestPresetsMatchPaper(t *testing.T) {
+	c2 := Core2()
+	if !c2.HasLSD || c2.LSDMaxLines != 4 || c2.LSDMinIters != 64 {
+		t.Errorf("Core2 LSD parameters wrong: %+v", c2)
+	}
+	if c2.DecodeLineBytes != 16 || c2.BPIndexShift != 5 || c2.FwdBandwidth != 2 {
+		t.Errorf("Core2 front-end parameters wrong: %+v", c2)
+	}
+	op := Opteron()
+	if op.HasLSD {
+		t.Error("Opteron must not have an LSD")
+	}
+	if op.DecodeLineBytes != 32 || op.DecodeWidth != 3 || op.FwdBandwidth != 3 {
+		t.Errorf("Opteron parameters wrong: %+v", op)
+	}
+	p4 := P4()
+	if p4.MispredictCycles <= c2.MispredictCycles {
+		t.Error("P4 must have the deepest pipeline")
+	}
+}
+
+// TestClassifyPaperConstraints pins the paper's Section III-F port
+// observations: lea only on port 0 (Intel), shifts on ports 0 and 5;
+// the AMD model is symmetric.
+func TestClassifyPaperConstraints(t *testing.T) {
+	c2 := Core2()
+	lea := c2.Class(inst(t, "leaq (%rax,%rbx), %rcx"))
+	if lea.Ports != P0 {
+		t.Errorf("Core2 lea ports = %b, want port 0 only", lea.Ports)
+	}
+	sar := c2.Class(inst(t, "sarl %ecx"))
+	if sar.Ports != P0|P5 {
+		t.Errorf("Core2 sar ports = %b, want ports 0 and 5", sar.Ports)
+	}
+	op := Opteron()
+	if op.Class(inst(t, "leaq (%rax,%rbx), %rcx")).Ports != PALU {
+		t.Error("Opteron lea must use all ALU ports")
+	}
+}
+
+func TestClassifyLatencies(t *testing.T) {
+	c2 := Core2()
+	cases := map[string]int{
+		"addl %eax, %ebx":       1,
+		"imull %eax, %ebx":      3,
+		"idivl %ecx":            22,
+		"mulsd %xmm0, %xmm1":    5,
+		"movq (%rax), %rbx":     3,
+		"movq %rbx, (%rax)":     3,
+		"nop":                   1,
+		"jne .L":                1,
+		"sqrtsd %xmm0, %xmm1":   20,
+		"cvtsi2sdq %rax, %xmm0": 4,
+	}
+	for src, want := range cases {
+		if got := c2.Class(inst(t, src+"\n.L:\n")).Latency; got != want {
+			t.Errorf("latency(%q) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestPortMask(t *testing.T) {
+	m := P0 | P5
+	if !m.Has(0) || m.Has(1) || !m.Has(5) {
+		t.Error("PortMask.Has broken")
+	}
+	if m.Count() != 2 || PALU.Count() != 3 {
+		t.Error("PortMask.Count broken")
+	}
+}

@@ -1,0 +1,153 @@
+package pmu
+
+import (
+	"mao/internal/cfg"
+	"mao/internal/ir"
+)
+
+// Edge identifies one CFG edge.
+type Edge struct {
+	From, To *cfg.BasicBlock
+}
+
+// EdgeProfile estimates basic-block and edge execution counts from
+// instruction-level sample counts — the future-work item the paper
+// takes from Chen et al. ("Taming hardware event samples for FDO
+// compilation"): since MAO can map samples to instructions, block
+// frequencies follow directly, and edge frequencies follow from flow
+// conservation wherever the CFG determines them.
+type EdgeProfile struct {
+	// BlockCount is the estimated execution count per block.
+	BlockCount map[*cfg.BasicBlock]int64
+	// EdgeCount holds the edges whose counts flow conservation could
+	// determine.
+	EdgeCount map[Edge]int64
+	// Unresolved lists edges whose counts remain unknown (flow
+	// conservation underdetermines them, e.g. two unknown out-edges).
+	Unresolved []Edge
+}
+
+// Edges derives an EdgeProfile for one function CFG from per-node
+// sample counts (as produced by Attribute). A block's count estimate
+// is the maximum per-instruction count within it — robust against
+// skid and against long blocks accumulating more samples.
+func Edges(g *cfg.Graph, counts map[*ir.Node]int64) *EdgeProfile {
+	p := &EdgeProfile{
+		BlockCount: make(map[*cfg.BasicBlock]int64),
+		EdgeCount:  make(map[Edge]int64),
+	}
+
+	for _, b := range g.Blocks {
+		var c int64
+		for _, n := range b.Insts {
+			if v := counts[n]; v > c {
+				c = v
+			}
+		}
+		p.BlockCount[b] = c
+	}
+
+	// Empty blocks (labels only) inherit flow later; seed trivially
+	// determined edges, then iterate conservation:
+	//
+	//	sum(in-edges)  = BlockCount[b]
+	//	sum(out-edges) = BlockCount[b]
+	//
+	// whenever exactly one edge of a group is unknown, solve it.
+	known := func(e Edge) (int64, bool) {
+		v, ok := p.EdgeCount[e]
+		return v, ok
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			total := p.BlockCount[b]
+
+			// Out-edges.
+			if n := len(b.Succs); n == 1 {
+				e := Edge{b, b.Succs[0]}
+				if _, ok := known(e); !ok {
+					p.EdgeCount[e] = total
+					changed = true
+				}
+			} else if n > 1 {
+				var sum int64
+				unknown := -1
+				for i, s := range b.Succs {
+					if v, ok := known(Edge{b, s}); ok {
+						sum += v
+					} else if unknown < 0 {
+						unknown = i
+					} else {
+						unknown = -2 // more than one unknown
+					}
+				}
+				if unknown >= 0 {
+					v := total - sum
+					if v < 0 {
+						v = 0 // sampling noise; clamp
+					}
+					p.EdgeCount[Edge{b, b.Succs[unknown]}] = v
+					changed = true
+				}
+			}
+
+			// In-edges.
+			if n := len(b.Preds); n == 1 {
+				e := Edge{b.Preds[0], b}
+				if _, ok := known(e); !ok {
+					p.EdgeCount[e] = total
+					changed = true
+				}
+			} else if n > 1 {
+				var sum int64
+				unknown := -1
+				for i, pr := range b.Preds {
+					if v, ok := known(Edge{pr, b}); ok {
+						sum += v
+					} else if unknown < 0 {
+						unknown = i
+					} else {
+						unknown = -2
+					}
+				}
+				if unknown >= 0 {
+					v := total - sum
+					if v < 0 {
+						v = 0
+					}
+					p.EdgeCount[Edge{b.Preds[unknown], b}] = v
+					changed = true
+				}
+			}
+
+			// A block with no samples but fully known in-edges gets
+			// its count from flow (helps label-only blocks).
+			if total == 0 && len(b.Preds) > 0 {
+				var sum int64
+				all := true
+				for _, pr := range b.Preds {
+					v, ok := known(Edge{pr, b})
+					if !ok {
+						all = false
+						break
+					}
+					sum += v
+				}
+				if all && sum > 0 {
+					p.BlockCount[b] = sum
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if _, ok := p.EdgeCount[Edge{b, s}]; !ok {
+				p.Unresolved = append(p.Unresolved, Edge{b, s})
+			}
+		}
+	}
+	return p
+}

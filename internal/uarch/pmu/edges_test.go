@@ -1,0 +1,144 @@
+package pmu
+
+import (
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/cfg"
+	"mao/internal/ir"
+	"mao/internal/relax"
+	"mao/internal/uarch/exec"
+)
+
+// TestEdgeProfileFromExecution derives an edge profile from exact
+// per-instruction execution counts (the ideal-sampling limit) and
+// checks it against ground truth from the executor's branch events.
+func TestEdgeProfileFromExecution(t *testing.T) {
+	src := `
+	.text
+	.type f,@function
+f:
+	movl $100, %ecx
+	xorl %eax, %eax
+.Ltop:
+	testl $1, %ecx
+	je .Leven
+	addl $3, %eax
+	jmp .Lnext
+.Leven:
+	addl $1, %eax
+.Lnext:
+	decl %ecx
+	jne .Ltop
+	ret
+	.size f,.-f
+`
+	u, err := asm.ParseString("e.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact per-node execution counts and ground-truth taken counts.
+	counts := make(map[*ir.Node]int64)
+	taken := make(map[*ir.Node]int64)    // per branch node
+	notTaken := make(map[*ir.Node]int64) // per cond branch node
+	_, err = exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: "f",
+		OnEvent: func(ev exec.Event) {
+			counts[ev.Node]++
+			if ev.IsCondBranch {
+				if ev.Taken {
+					taken[ev.Node]++
+				} else {
+					notTaken[ev.Node]++
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := u.Function("f")
+	g := cfg.Build(f)
+	p := Edges(g, counts)
+
+	if len(p.Unresolved) != 0 {
+		t.Errorf("unresolved edges: %v", p.Unresolved)
+	}
+
+	// Check every conditional branch's edge split against truth.
+	for _, b := range g.Blocks {
+		last := b.Last()
+		if last == nil || !last.Inst.Op.IsCondBranch() {
+			continue
+		}
+		tgt, _ := last.Inst.BranchTarget()
+		tb := g.BlockByLabel(tgt)
+		takenEdge := Edge{b, tb}
+		if got := p.EdgeCount[takenEdge]; got != taken[last] {
+			t.Errorf("taken edge of %v: profile %d, truth %d", last.Inst, got, taken[last])
+		}
+		// Fallthrough edge.
+		for _, s := range b.Succs {
+			if s == tb {
+				continue
+			}
+			if got := p.EdgeCount[Edge{b, s}]; got != notTaken[last] {
+				t.Errorf("fallthrough edge of %v: profile %d, truth %d",
+					last.Inst, got, notTaken[last])
+			}
+		}
+	}
+
+	// The loop head must have been counted 100 times.
+	top := g.BlockByLabel(".Ltop")
+	if p.BlockCount[top] != 100 {
+		t.Errorf("loop head count = %d, want 100", p.BlockCount[top])
+	}
+	// The parity split: 50 odd / 50 even.
+	even := g.BlockByLabel(".Leven")
+	if p.BlockCount[even] != 50 {
+		t.Errorf("even block count = %d, want 50", p.BlockCount[even])
+	}
+}
+
+// TestEdgeProfileNoise: sampling noise (an inflated inner count) must
+// clamp rather than produce negative edges.
+func TestEdgeProfileNoise(t *testing.T) {
+	src := `
+	.text
+	.type f,@function
+f:
+	testl %edi, %edi
+	je .La
+	nop
+.La:
+	ret
+	.size f,.-f
+`
+	u, err := asm.ParseString("n.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := u.Function("f")
+	g := cfg.Build(f)
+
+	counts := make(map[*ir.Node]int64)
+	insts := f.Instructions()
+	counts[insts[0]] = 10 // entry
+	counts[insts[1]] = 10
+	counts[insts[2]] = 12 // noisy: more samples than the entry block
+	counts[insts[3]] = 10
+
+	p := Edges(g, counts)
+	for e, v := range p.EdgeCount {
+		if v < 0 {
+			t.Errorf("negative edge count %d on %v->%v", v, e.From, e.To)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package pmu provides the profile-side infrastructure of MAO: mapping
+// hardware-style event samples (function + byte offset, as tools like
+// oprofile report them) onto individual IR instructions, and a memory
+// reuse-distance profiler over executor traces — the profile input of
+// the inverse-prefetching pass (paper III-E.k).
+//
+// Mapping samples to instructions is possible precisely because MAO
+// knows every instruction's size (paper Section II): the byte offset
+// of a sample falls inside exactly one instruction's [addr, addr+len)
+// range.
+package pmu
+
+import (
+	"sort"
+
+	"mao/internal/ir"
+	"mao/internal/passes"
+	"mao/internal/relax"
+	"mao/internal/uarch/exec"
+)
+
+// Sample is one hardware-event sample as delivered by a profiling
+// tool: an event count at a byte offset within a function.
+type Sample struct {
+	Function string
+	Offset   int64 // byte offset from the function's entry label
+	Count    int64
+}
+
+// MapSample resolves a sample to the instruction node containing its
+// offset, or nil when the offset falls outside the function or on
+// padding.
+func MapSample(u *ir.Unit, layout *relax.Layout, s Sample) *ir.Node {
+	f := u.Function(s.Function)
+	if f == nil {
+		return nil
+	}
+	base := layout.Addr[f.EntryLabel()]
+	target := base + s.Offset
+	for _, n := range f.Instructions() {
+		a := layout.Addr[n]
+		if target >= a && target < a+int64(layout.Len[n]) {
+			return n
+		}
+	}
+	return nil
+}
+
+// Attribute maps a batch of samples onto instructions, accumulating
+// counts per node. Unmappable samples are returned in dropped.
+func Attribute(u *ir.Unit, layout *relax.Layout, samples []Sample) (counts map[*ir.Node]int64, dropped int) {
+	counts = make(map[*ir.Node]int64)
+	for _, s := range samples {
+		if n := MapSample(u, layout, s); n != nil {
+			counts[n] += s.Count
+		} else {
+			dropped++
+		}
+	}
+	return counts, dropped
+}
+
+// ReuseProfile computes per-load-site memory reuse distances from an
+// executor trace. The distance of an access is the number of dynamic
+// instructions since the same cache line was last touched (MaxInt64
+// for first touches); a site's profile value is the minimum observed
+// distance (a site with even one short-reuse access is not a
+// non-temporal candidate).
+func ReuseProfile(u *ir.Unit, trace []exec.Event, lineBytes int) []passes.ReuseSite {
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	type key struct {
+		fn  string
+		idx int
+	}
+	// Index instruction nodes by function and position.
+	siteOf := make(map[*ir.Node]key)
+	for _, f := range u.Functions() {
+		for i, n := range f.Instructions() {
+			siteOf[n] = key{f.Name, i}
+		}
+	}
+
+	lastTouch := make(map[uint64]int64) // line -> instruction index
+	minDist := make(map[key]int64)
+	lines := make(map[key]map[uint64]bool) // per-site distinct lines
+	const never = int64(1) << 62
+
+	for i, ev := range trace {
+		if !ev.HasLoad || ev.AccessLen == 0 {
+			continue
+		}
+		line := ev.LoadAddr / uint64(lineBytes)
+		dist := never
+		if last, seen := lastTouch[line]; seen {
+			dist = int64(i) - last
+		}
+		lastTouch[line] = int64(i)
+
+		k, ok := siteOf[ev.Node]
+		if !ok {
+			continue
+		}
+		if d, seen := minDist[k]; !seen || dist < d {
+			minDist[k] = dist
+		}
+		if lines[k] == nil {
+			lines[k] = make(map[uint64]bool)
+		}
+		lines[k][line] = true
+	}
+
+	out := make([]passes.ReuseSite, 0, len(minDist))
+	for k, d := range minDist {
+		out = append(out, passes.ReuseSite{
+			Function: k.fn, Index: k.idx, Distance: d,
+			Footprint: int64(len(lines[k])),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Function != out[j].Function {
+			return out[i].Function < out[j].Function
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}

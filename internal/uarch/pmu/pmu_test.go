@@ -1,0 +1,135 @@
+package pmu
+
+import (
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/relax"
+	"mao/internal/uarch/exec"
+	"mao/internal/x86"
+)
+
+func setup(t *testing.T, src string) (*ir.Unit, *relax.Layout) {
+	t.Helper()
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, layout
+}
+
+const sampleSrc = `
+	.text
+	.type f,@function
+f:
+	push %rbp
+	mov %rsp, %rbp
+	movl $5, %eax
+	pop %rbp
+	ret
+	.size f,.-f
+`
+
+func TestMapSample(t *testing.T) {
+	u, layout := setup(t, sampleSrc)
+	// Offsets: push=0 (1B), mov=1 (3B), movl=4 (5B), pop=9 (1B), ret=10.
+	cases := []struct {
+		off  int64
+		want x86.Op
+	}{
+		{0, x86.OpPUSH}, {1, x86.OpMOV}, {2, x86.OpMOV}, {3, x86.OpMOV},
+		{4, x86.OpMOV}, {6, x86.OpMOV}, {8, x86.OpMOV},
+		{9, x86.OpPOP}, {10, x86.OpRET},
+	}
+	for _, c := range cases {
+		n := MapSample(u, layout, Sample{Function: "f", Offset: c.off})
+		if n == nil {
+			t.Errorf("offset %d unmapped", c.off)
+			continue
+		}
+		if n.Inst.Op != c.want {
+			t.Errorf("offset %d -> %v, want %v", c.off, n.Inst.Op, c.want)
+		}
+	}
+	if n := MapSample(u, layout, Sample{Function: "f", Offset: 99}); n != nil {
+		t.Error("out-of-range offset mapped")
+	}
+	if n := MapSample(u, layout, Sample{Function: "nope", Offset: 0}); n != nil {
+		t.Error("unknown function mapped")
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	u, layout := setup(t, sampleSrc)
+	counts, dropped := Attribute(u, layout, []Sample{
+		{"f", 0, 10}, {"f", 2, 5}, {"f", 3, 5}, {"f", 99, 1},
+	})
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+	var movCount int64
+	for n, c := range counts {
+		if n.Inst.Op == x86.OpMOV {
+			movCount += c
+		}
+	}
+	if movCount != 10 {
+		t.Errorf("mov samples = %d, want 10 (aggregated)", movCount)
+	}
+}
+
+func TestReuseProfile(t *testing.T) {
+	src := `
+	.text
+	.type f,@function
+f:
+	movl $30, %r9d
+	leaq buf(%rip), %rcx
+.Lloop:
+	movq hot(%rip), %rax
+	movq (%rcx), %rbx
+	addq $64, %rcx
+	decl %r9d
+	jne .Lloop
+	ret
+	.size f,.-f
+	.data
+hot:
+	.quad 7
+	.p2align 6
+buf:
+	.zero 4096
+`
+	u, layout := setup(t, src)
+	res, err := exec.Run(&exec.Config{Unit: u, Layout: layout, Entry: "f", CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := ReuseProfile(u, res.Trace, 64)
+	// The hot load (site reused every iteration) must have a short
+	// distance; the streaming load (fresh line each iteration) only
+	// first-touches.
+	var hotDist, streamDist int64 = -1, -1
+	for _, s := range sites {
+		switch s.Index {
+		case 2: // movq hot(%rip), %rax
+			hotDist = s.Distance
+		case 3: // movq (%rcx), %rbx
+			streamDist = s.Distance
+		}
+	}
+	if hotDist < 0 || streamDist < 0 {
+		t.Fatalf("profile incomplete: %+v", sites)
+	}
+	if hotDist > 10 {
+		t.Errorf("hot load distance = %d, want small", hotDist)
+	}
+	if streamDist < 1<<32 {
+		t.Errorf("streaming load distance = %d, want first-touch (huge)", streamDist)
+	}
+}

@@ -1,0 +1,561 @@
+// Package sim is the trace-driven timing simulator MAO's experiments
+// measure against. It consumes the dynamic instruction events produced
+// by mao/internal/uarch/exec and charges cycles according to a
+// CPUModel's explicit mechanisms: decode-line-limited fetch, the Loop
+// Stream Detector, a PC>>shift-indexed branch predictor, port- and
+// latency-constrained out-of-order execution with a result-forwarding
+// bandwidth limit, in-order retirement, and a small set-associative
+// data cache with non-temporal fills.
+//
+// The model is deliberately mechanistic rather than cycle-exact: every
+// performance effect it produces is attributable to one named
+// parameter, which is what both the paper's optimization passes and
+// its Section IV parameter-detection framework need.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mao/internal/dataflow"
+	"mao/internal/uarch"
+	"mao/internal/uarch/exec"
+)
+
+// Counters are the simulator's PMU-style event counts.
+type Counters struct {
+	Cycles uint64
+	Insts  uint64
+
+	// Front end.
+	DecodeLines uint64 // 16-byte lines fetched by the legacy decoder
+	LSDUops     uint64 // instructions streamed from the LSD
+	LSDLoops    uint64 // times the LSD locked onto a loop
+
+	// Branches.
+	CondBranches uint64
+	Mispredicts  uint64
+
+	// Back end.
+	RSFullStalls uint64 // RESOURCE_STALLS:RS_FULL analog (incl. forwarding backpressure)
+	FwdDelays    uint64 // consumers delayed by the forwarding bandwidth limit
+	PortConflict uint64 // cycles lost waiting for an execution port
+
+	// Memory.
+	CacheHits   uint64
+	CacheMisses uint64
+	NTFills     uint64 // non-temporal line fills
+}
+
+// IPC returns retired instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Insts) / float64(c.Cycles)
+}
+
+// String summarizes the counters, one per line, in a fixed order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPU_CYCLES            %12d\n", c.Cycles)
+	fmt.Fprintf(&b, "INST_RETIRED          %12d (IPC %.2f)\n", c.Insts, c.IPC())
+	fmt.Fprintf(&b, "DECODE_LINES          %12d\n", c.DecodeLines)
+	fmt.Fprintf(&b, "LSD_UOPS              %12d\n", c.LSDUops)
+	fmt.Fprintf(&b, "BR_COND               %12d\n", c.CondBranches)
+	fmt.Fprintf(&b, "BR_MISP               %12d\n", c.Mispredicts)
+	fmt.Fprintf(&b, "RESOURCE_STALLS:RS_FULL %10d\n", c.RSFullStalls)
+	fmt.Fprintf(&b, "L1D_HITS              %12d\n", c.CacheHits)
+	fmt.Fprintf(&b, "L1D_MISSES            %12d\n", c.CacheMisses)
+	return b.String()
+}
+
+// Sim is a streaming simulator instance. Feed it events in dynamic
+// order and call Finish for the counters.
+type Sim struct {
+	model *uarch.CPUModel
+	c     Counters
+
+	// Front end. The fetcher runs ahead of the decoder at one line
+	// per cycle from the last redirect; the decoder delivers
+	// DecodeWidth instructions per cycle but cannot decode past a
+	// line that has not arrived. The two overlap, so a loop iteration
+	// costs max(lines, insts/width) (+ redirect), not their sum.
+	feCycle     uint64 // decoder cycle for the next delivery
+	curLine     int64  // last decode line consumed (-1 = after redirect)
+	decodedInFE int    // instructions delivered in the current cycle
+	fetchBase   uint64 // cycle fetching restarted (at fetchLine0)
+	fetchLine0  int64  // first line fetched after the last redirect
+
+	// Branch predictor: 2-bit saturating counters.
+	bp []uint8
+
+	// LSD.
+	lsd lsdState
+
+	// Back end scoreboard.
+	regReady     [32]uint64 // value-ready cycle per register family slot
+	flagsReady   uint64
+	regProducer  [32]int // index into producers ring
+	producers    []producer
+	portFree     [8]uint64
+	rsStart      []uint64 // exec-start cycles ring (RS occupancy)
+	rsHead       int
+	lastDispatch uint64
+	retire       []uint64 // retire-cycle ring (RetireWidth)
+	retireHead   int
+	lastRetire   uint64
+	storeReady   uint64 // conservative store->load ordering
+
+	cache *cache
+}
+
+type producer struct {
+	done     uint64
+	forwards int
+}
+
+type lsdState struct {
+	active     bool
+	target     int64 // loop head address
+	branchEnd  int64 // end address of the back branch
+	iterations int
+	lastHead   int64
+	lastEnd    int64
+}
+
+// New returns a simulator for the given model.
+func New(model *uarch.CPUModel) *Sim {
+	s := &Sim{
+		model:   model,
+		curLine: -1,
+		bp:      make([]uint8, model.BPTableSize),
+		retire:  make([]uint64, maxInt(model.RetireWidth, 1)),
+		rsStart: make([]uint64, maxInt(model.RSSize, 1)),
+		cache:   newCache(model),
+	}
+	// Weakly-taken initial predictor state.
+	for i := range s.bp {
+		s.bp[i] = 2
+	}
+	s.producers = append(s.producers, producer{})
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Simulate runs a whole trace and returns the counters.
+func Simulate(model *uarch.CPUModel, trace []exec.Event) *Counters {
+	s := New(model)
+	for _, ev := range trace {
+		s.Feed(ev)
+	}
+	return s.Finish()
+}
+
+// Feed advances the simulation by one dynamic instruction.
+func (s *Sim) Feed(ev exec.Event) {
+	m := s.model
+	s.c.Insts++
+
+	// ---- Front end: decode-line-limited delivery or LSD stream.
+	deliver := s.feCycle
+	if s.lsd.active && s.inLSDLoop(ev.Addr) {
+		s.c.LSDUops++
+		if s.decodedInFE >= m.DecodeWidth {
+			s.feCycle++
+			s.decodedInFE = 0
+		}
+		deliver = s.feCycle
+		s.decodedInFE++
+	} else {
+		if s.lsd.active {
+			// Falling out of the LSD restarts the legacy fetch path.
+			s.lsd.active = false
+			s.curLine = -1
+		}
+		firstLine := ev.Addr / int64(m.DecodeLineBytes)
+		lastLine := (ev.Addr + int64(ev.Len) - 1) / int64(m.DecodeLineBytes)
+		if s.curLine < 0 {
+			// Fetch restarts here: line i of the new stream is ready
+			// at fetchBase + 1 + i.
+			s.fetchBase = s.feCycle
+			s.fetchLine0 = firstLine
+			s.c.DecodeLines += uint64(lastLine - firstLine + 1)
+		} else if lastLine > s.curLine {
+			s.c.DecodeLines += uint64(lastLine - s.curLine)
+		}
+		s.curLine = lastLine
+
+		// Decode-width slotting.
+		if s.decodedInFE >= m.DecodeWidth {
+			s.feCycle++
+			s.decodedInFE = 0
+		}
+		// The decoder waits for the instruction's last line to arrive.
+		if span := lastLine - s.fetchLine0; span >= 0 {
+			if ready := s.fetchBase + 1 + uint64(span); ready > s.feCycle {
+				s.feCycle = ready
+				s.decodedInFE = 0
+			}
+		}
+		deliver = s.feCycle
+		s.decodedInFE++
+	}
+
+	// ---- Back end: dispatch, issue, execute.
+	in := ev.Node.Inst
+	class := s.model.Class(in)
+	du := dataflow.InstDefUse(in)
+
+	// RS occupancy: the entry used RSSize instructions ago must have
+	// issued before this one can dispatch; a full RS back-pressures
+	// the front end (the decode queue is finite), which is what the
+	// RESOURCE_STALLS:RS_FULL counter observes.
+	dispatch := deliver
+	if old := s.rsStart[s.rsHead]; old > dispatch {
+		floor := deliver
+		if s.lastDispatch > floor {
+			floor = s.lastDispatch
+		}
+		if old > floor {
+			s.c.RSFullStalls += old - floor
+		}
+		dispatch = old
+		if dispatch > s.feCycle {
+			s.feCycle = dispatch
+			s.decodedInFE = 0
+		}
+	}
+	if dispatch > s.lastDispatch {
+		s.lastDispatch = dispatch
+	}
+
+	// Source readiness with forwarding-bandwidth accounting.
+	ready := dispatch
+	for b := 0; b < 32; b++ {
+		if du.Uses&(1<<b) == 0 {
+			continue
+		}
+		t := s.regReady[b]
+		if t > 0 {
+			p := &s.producers[s.regProducer[b]]
+			if t >= ready && p.done == t {
+				if p.forwards >= m.FwdBandwidth {
+					t++
+					s.c.FwdDelays++
+					s.c.RSFullStalls++
+				} else {
+					p.forwards++
+				}
+			}
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	if du.FlagUses != 0 && s.flagsReady > ready {
+		ready = s.flagsReady
+	}
+	if du.MemUse && s.storeReady > ready {
+		ready = s.storeReady
+	}
+
+	// Memory access latency through the cache.
+	latency := class.Latency
+	if ev.HasLoad && ev.AccessLen > 0 {
+		if s.cache.access(ev.LoadAddr, false) {
+			s.c.CacheHits++
+		} else {
+			s.c.CacheMisses++
+			latency += m.MemMissCycles
+		}
+	}
+	if ev.NonTemporal {
+		s.cache.hintNT(ev.LoadAddr)
+		s.c.NTFills++
+	}
+	if ev.HasStore {
+		if s.cache.access(ev.StoreAddr, true) {
+			s.c.CacheHits++
+		} else {
+			s.c.CacheMisses++
+		}
+	}
+
+	// Port allocation: earliest allowed port at or after ready.
+	start := ready
+	bestPort, bestStart := -1, uint64(1<<62)
+	for p := 0; p < 8; p++ {
+		if !class.Ports.Has(p) {
+			continue
+		}
+		st := ready
+		if s.portFree[p] > st {
+			st = s.portFree[p]
+		}
+		if st < bestStart {
+			bestStart, bestPort = st, p
+		}
+	}
+	if bestPort >= 0 {
+		if bestStart > ready {
+			s.c.PortConflict += bestStart - ready
+		}
+		start = bestStart
+		s.portFree[bestPort] = start + 1
+	}
+	done := start + uint64(latency)
+
+	// Record RS slot and producer.
+	s.rsStart[s.rsHead] = start
+	s.rsHead = (s.rsHead + 1) % len(s.rsStart)
+
+	prodIdx := len(s.producers)
+	s.producers = append(s.producers, producer{done: done})
+	if len(s.producers) > 4096 {
+		// Compact: drop ancient producers (their forwarding windows
+		// are long past). Remap the live references.
+		s.compactProducers()
+		prodIdx = len(s.producers) - 1
+	}
+	for b := 0; b < 32; b++ {
+		if du.Defs&(1<<b) != 0 {
+			s.regReady[b] = done
+			s.regProducer[b] = prodIdx
+		}
+	}
+	if du.FlagDefs != 0 {
+		s.flagsReady = done
+	}
+	if ev.HasStore {
+		if done > s.storeReady {
+			s.storeReady = done
+		}
+	}
+
+	// ---- Branches: prediction and redirect.
+	if ev.IsBranch {
+		mispredicted := false
+		if ev.IsCondBranch {
+			s.c.CondBranches++
+			idx := (uint64(ev.Addr) >> m.BPIndexShift) & uint64(m.BPTableSize-1)
+			predictTaken := s.bp[idx] >= 2
+			if predictTaken != ev.Taken {
+				mispredicted = true
+				s.c.Mispredicts++
+			}
+			if ev.Taken {
+				if s.bp[idx] < 3 {
+					s.bp[idx]++
+				}
+			} else if s.bp[idx] > 0 {
+				s.bp[idx]--
+			}
+		}
+		if ev.Taken {
+			// Redirect: the front end restarts at the target line —
+			// unless the LSD is streaming this loop, which is the
+			// whole point of the structure: the back branch costs no
+			// fetch redirect.
+			if !(s.lsd.active && s.inLSDLoop(ev.Target)) {
+				s.curLine = -1
+				s.decodedInFE = 0
+				if s.feCycle < deliver+1 {
+					s.feCycle = deliver + 1
+				}
+			}
+			if mispredicted {
+				// The pipeline restarts after the branch resolves.
+				restart := done + uint64(m.MispredictCycles)
+				if restart > s.feCycle {
+					s.feCycle = restart
+				}
+			}
+			s.observeLoop(ev)
+		} else if ev.IsCondBranch && mispredicted {
+			restart := done + uint64(m.MispredictCycles)
+			if restart > s.feCycle {
+				s.feCycle = restart
+			}
+		}
+	}
+
+	// ---- In-order retirement.
+	rc := done
+	if s.lastRetire > rc {
+		rc = s.lastRetire
+	}
+	if old := s.retire[s.retireHead]; old+1 > rc {
+		rc = old + 1
+	}
+	s.retire[s.retireHead] = rc
+	s.retireHead = (s.retireHead + 1) % len(s.retire)
+	s.lastRetire = rc
+	if rc > s.c.Cycles {
+		s.c.Cycles = rc
+	}
+}
+
+// compactProducers keeps only the most recent producers; forwarding
+// decisions only concern just-completed results.
+func (s *Sim) compactProducers() {
+	const keep = 64
+	off := len(s.producers) - keep
+	s.producers = append([]producer{}, s.producers[off:]...)
+	for b := range s.regProducer {
+		s.regProducer[b] -= off
+		if s.regProducer[b] < 0 {
+			s.regProducer[b] = 0
+		}
+	}
+}
+
+// inLSDLoop reports whether addr lies within the locked loop body.
+func (s *Sim) inLSDLoop(addr int64) bool {
+	return addr >= s.lsd.target && addr < s.lsd.branchEnd
+}
+
+// observeLoop tracks backward taken branches to detect LSD-eligible
+// loops: same head and branch seen LSDMinIters times consecutively,
+// with the body spanning at most LSDMaxLines decode lines.
+func (s *Sim) observeLoop(ev exec.Event) {
+	m := s.model
+	if !m.HasLSD {
+		return
+	}
+	if ev.Target > ev.Addr {
+		// Forward branch: leaving any loop resets the streak unless
+		// it stays inside the body.
+		if s.lsd.active && !s.inLSDLoop(ev.Target) {
+			s.lsd = lsdState{}
+		}
+		return
+	}
+	head := ev.Target
+	end := ev.Addr + int64(ev.Len)
+	if head == s.lsd.lastHead && end == s.lsd.lastEnd {
+		s.lsd.iterations++
+	} else {
+		s.lsd = lsdState{lastHead: head, lastEnd: end, iterations: 1}
+	}
+	if s.lsd.active {
+		return
+	}
+	firstLine := head / int64(m.DecodeLineBytes)
+	lastLine := (end - 1) / int64(m.DecodeLineBytes)
+	lines := int(lastLine - firstLine + 1)
+	if s.lsd.iterations >= m.LSDMinIters && lines <= m.LSDMaxLines {
+		s.lsd.active = true
+		s.lsd.target = head
+		s.lsd.branchEnd = end
+		s.c.LSDLoops++
+	}
+}
+
+// Finish returns the accumulated counters.
+func (s *Sim) Finish() *Counters {
+	c := s.c
+	if c.Cycles == 0 && c.Insts > 0 {
+		c.Cycles = 1
+	}
+	return &c
+}
+
+// cache is a small set-associative LRU data cache with non-temporal
+// fill support: lines hinted via prefetchnta fill only the last way,
+// so streaming data replaces a single way (III-E.k).
+type cache struct {
+	sets      int
+	ways      int
+	lineBytes uint64
+	tags      [][]uint64 // [set][way], 0 = empty; stored as line|1
+	nt        map[uint64]bool
+}
+
+func newCache(m *uarch.CPUModel) *cache {
+	c := &cache{
+		sets:      maxInt(m.CacheSets, 1),
+		ways:      maxInt(m.CacheWays, 1),
+		lineBytes: uint64(maxInt(m.CacheLineBytes, 1)),
+		nt:        make(map[uint64]bool),
+	}
+	c.tags = make([][]uint64, c.sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, c.ways)
+	}
+	return c
+}
+
+// hintNT marks a line for non-temporal fill.
+func (c *cache) hintNT(addr uint64) {
+	c.nt[addr/c.lineBytes] = true
+}
+
+// access touches addr, returning hit/miss, and fills on miss.
+func (c *cache) access(addr uint64, _ bool) bool {
+	line := addr / c.lineBytes
+	set := int(line % uint64(c.sets))
+	tag := line | 1<<63 // distinguish line 0 from empty
+	ways := c.tags[set]
+	for i, t := range ways {
+		if t == tag {
+			// LRU: move to front.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return true
+		}
+	}
+	// Miss: fill. Non-temporal lines go to the last way only.
+	if c.nt[line] {
+		ways[c.ways-1] = tag
+		return false
+	}
+	copy(ways[1:], ways[:c.ways-1])
+	ways[0] = tag
+	return false
+}
+
+// FormatComparison renders a table of named counter sets side by side
+// (used by the benchmark harness to print paper-style tables).
+func FormatComparison(names []string, cs []*Counters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "counter")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%14s", n)
+	}
+	b.WriteByte('\n')
+	row := func(label string, get func(*Counters) uint64) {
+		fmt.Fprintf(&b, "%-22s", label)
+		for _, c := range cs {
+			fmt.Fprintf(&b, "%14d", get(c))
+		}
+		b.WriteByte('\n')
+	}
+	row("CPU_CYCLES", func(c *Counters) uint64 { return c.Cycles })
+	row("INST_RETIRED", func(c *Counters) uint64 { return c.Insts })
+	row("DECODE_LINES", func(c *Counters) uint64 { return c.DecodeLines })
+	row("LSD_UOPS", func(c *Counters) uint64 { return c.LSDUops })
+	row("BR_MISP", func(c *Counters) uint64 { return c.Mispredicts })
+	row("RS_FULL", func(c *Counters) uint64 { return c.RSFullStalls })
+	row("L1D_MISSES", func(c *Counters) uint64 { return c.CacheMisses })
+	return b.String()
+}
+
+// SortedPorts is a debugging helper listing port->busy-until pairs.
+func (s *Sim) SortedPorts() []string {
+	var out []string
+	for p, f := range s.portFree {
+		if f > 0 {
+			out = append(out, fmt.Sprintf("p%d:%d", p, f))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

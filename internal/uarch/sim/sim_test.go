@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/relax"
+	"mao/internal/uarch"
+	"mao/internal/uarch/exec"
+	"mao/internal/x86"
+)
+
+// simProgram assembles, executes and simulates a function body.
+func simProgram(t *testing.T, model *uarch.CPUModel, body string, init map[x86.Reg]uint64) *Counters {
+	t.Helper()
+	src := "\t.text\n\t.type f,@function\nf:\n" + body + "\t.size f,.-f\n"
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		t.Fatalf("relax: %v", err)
+	}
+	s := New(model)
+	res, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: "f",
+		InitRegs: init,
+		OnEvent:  func(ev exec.Event) { s.Feed(ev) },
+		MaxInsts: 5_000_000,
+	})
+	if err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	_ = res
+	return s.Finish()
+}
+
+// noLSD returns a Core2 model with the Loop Stream Detector disabled,
+// isolating the legacy-decode path.
+func noLSD() *uarch.CPUModel {
+	m := uarch.Core2()
+	m.HasLSD = false
+	return m
+}
+
+// pad emits n one-byte nops.
+func pad(n int) string {
+	return strings.Repeat("\tnop\n", n)
+}
+
+// shortLoop builds a 14-byte loop whose head sits exactly `off` bytes
+// past a 16-byte boundary: addq(4) + addq(4) + cmpq(4) + jne(2).
+func shortLoop(off int, iters int) string {
+	return `
+	xorl %eax, %eax
+	xorl %ecx, %ecx
+	.p2align 4
+` + pad(off) + `
+.Lloop:
+	addq $1, %rax
+	addq $3, %rcx
+	cmpq $` + itoa(iters) + `, %rax
+	jne .Lloop
+	ret
+`
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+// TestDecodeLineAlignment reproduces the LOOP16 premise (paper
+// III-C.e): the identical short loop is slower when it crosses a
+// 16-byte decode-line boundary. The eon regression between GCC 4.2 and
+// 4.3 was exactly this effect.
+func TestDecodeLineAlignment(t *testing.T) {
+	model := noLSD()
+	// The loop body is 14 bytes (4+4+4+2): aligned it decodes from
+	// one line, at offset 9 it straddles two.
+	aligned := simProgram(t, model, shortLoop(0, 50), nil)
+	misaligned := simProgram(t, model, shortLoop(9, 50), nil)
+	if aligned.Cycles >= misaligned.Cycles {
+		t.Errorf("aligned loop must be faster: aligned=%d misaligned=%d",
+			aligned.Cycles, misaligned.Cycles)
+	}
+	if misaligned.DecodeLines <= aligned.DecodeLines {
+		t.Errorf("misaligned loop must fetch more lines: %d vs %d",
+			misaligned.DecodeLines, aligned.DecodeLines)
+	}
+}
+
+// bigLoop builds a loop of 7-byte independent adds (addl imm32 to
+// r8d..r15d, so the back end never serializes) plus a 4-byte cmp and a
+// 2-byte backward branch, its head `off` bytes past a 16-byte
+// boundary.
+func bigLoop(off, adds, iters int) string {
+	regs := []string{"%r8d", "%r9d", "%r10d", "%r11d", "%r12d", "%r13d", "%r14d"}
+	var b strings.Builder
+	b.WriteString("\txorl %eax, %eax\n\t.p2align 4\n")
+	b.WriteString(pad(off))
+	b.WriteString(".Lloop:\n")
+	for i := 0; i < adds; i++ {
+		b.WriteString("\taddl $100000, " + regs[i%len(regs)] + "\n")
+	}
+	b.WriteString("\taddl $1, %eax\n") // 3 bytes
+	b.WriteString("\tcmpl $" + itoa(iters) + ", %eax\n")
+	b.WriteString("\tjl .Lloop\n\tret\n")
+	return b.String()
+}
+
+// TestLSDStreamsFittingLoop reproduces the paper's Figure 4/5 effect:
+// a loop spanning more than four decode lines cannot stream from the
+// LSD; shifted to fit four lines it streams and runs much faster.
+func TestLSDStreamsFittingLoop(t *testing.T) {
+	model := uarch.Core2()
+	// 7 adds * 7B + add 3B + cmp 6B + jl 2B = 60 bytes: 4 lines when
+	// aligned, 5 lines from offset 13.
+	fits := simProgram(t, model, bigLoop(0, 7, 300), nil)
+	straddles := simProgram(t, model, bigLoop(13, 7, 300), nil)
+
+	if fits.LSDUops == 0 {
+		t.Fatal("fitting loop must stream from the LSD")
+	}
+	if straddles.LSDUops != 0 {
+		t.Fatalf("straddling loop must not stream (LSDUops=%d)", straddles.LSDUops)
+	}
+	if fits.Cycles >= straddles.Cycles {
+		t.Errorf("LSD-streamed loop must be faster: %d vs %d cycles",
+			fits.Cycles, straddles.Cycles)
+	}
+	speedup := float64(straddles.Cycles) / float64(fits.Cycles)
+	t.Logf("LSD speedup: %.2fx (paper reports ~2x)", speedup)
+	if speedup < 1.2 {
+		t.Errorf("LSD speedup %.2f too small to explain the paper's effect", speedup)
+	}
+}
+
+// TestLSDNeedsIterations: below the 64-iteration threshold the LSD
+// must not engage.
+func TestLSDNeedsIterations(t *testing.T) {
+	model := uarch.Core2()
+	c := simProgram(t, model, bigLoop(0, 7, 40), nil)
+	if c.LSDUops != 0 {
+		t.Errorf("LSD engaged after only 40 iterations (LSDUops=%d)", c.LSDUops)
+	}
+}
+
+// twoShortLoops nests two short-running loops so both back branches
+// fall in the same PC>>5 bucket (or not, with padding) — the paper's
+// III-C.g branch-alias scenario.
+func twoShortLoops(padBetween int, outer int) string {
+	// The inner loop runs exactly one iteration (trip count 1, the
+	// paper's "iteration counts of 1 or 2"), so its back branch is
+	// never taken — trivially predictable on its own counter, and
+	// poison when sharing one with the always-taken outer branch.
+	return `
+	movl $` + itoa(outer) + `, %esi
+	.p2align 5
+.Louter:
+	movl $1, %edx
+.Linner:
+	addl $1, %eax
+	addl $2, %ebx
+	decl %edx
+	jne .Linner
+` + pad(padBetween) + `
+	decl %esi
+	jne .Louter
+	ret
+`
+}
+
+// TestBranchPredictorAliasing reproduces the paper's predictor-alias
+// effect: two short-running back branches in the same 32-byte bucket
+// confuse each other's two-bit counters; separating them fixes it.
+func TestBranchPredictorAliasing(t *testing.T) {
+	model := noLSD()
+	aliased := simProgram(t, model, twoShortLoops(0, 400), nil)
+	separated := simProgram(t, model, twoShortLoops(24, 400), nil)
+
+	if aliased.Mispredicts <= separated.Mispredicts {
+		t.Errorf("aliased branches must mispredict more: %d vs %d",
+			aliased.Mispredicts, separated.Mispredicts)
+	}
+	if aliased.Cycles <= separated.Cycles {
+		t.Errorf("aliasing must cost cycles: %d vs %d", aliased.Cycles, separated.Cycles)
+	}
+}
+
+// TestForwardingBandwidth reproduces the III-F observation: a value
+// feeding three dependents in the same cycle exceeds the forwarding
+// bandwidth (2 on the Core-2 model) and shows up as RS_FULL stalls.
+func TestForwardingBandwidth(t *testing.T) {
+	model := uarch.Core2()
+	fanout := `
+	movl $1000, %r9d
+.Lloop:
+	xorl %edi, %ebx
+	subl %ebx, %ecx
+	subl %ebx, %edx
+	movl %ebx, %esi
+	addl $1, %r8d
+	decl %r9d
+	jne .Lloop
+	ret
+`
+	c := simProgram(t, model, fanout, nil)
+	if c.FwdDelays == 0 {
+		t.Errorf("three same-cycle consumers must exceed forwarding bandwidth")
+	}
+
+	// With bandwidth 3 (the Opteron setting) the stalls disappear.
+	wide := uarch.Core2()
+	wide.FwdBandwidth = 3
+	c2 := simProgram(t, wide, fanout, nil)
+	if c2.FwdDelays >= c.FwdDelays {
+		t.Errorf("raising forwarding bandwidth must reduce delays: %d vs %d",
+			c2.FwdDelays, c.FwdDelays)
+	}
+}
+
+// TestPortPressure: a chain of lea instructions is port-0 bound on the
+// Core-2 model but spreads on the Opteron model.
+func TestPortPressure(t *testing.T) {
+	body := `
+	movl $2000, %ecx
+.Lloop:
+	leaq (%rdi,%rsi), %r8
+	leaq (%rdi,%rsi,2), %r9
+	leaq (%rdi,%rsi,4), %r10
+	decl %ecx
+	jne .Lloop
+	ret
+`
+	core2 := simProgram(t, noLSD(), body, nil)
+	if core2.PortConflict == 0 {
+		t.Error("independent leas must conflict on port 0 (Core-2 model)")
+	}
+	opteron := simProgram(t, uarch.Opteron(), body, nil)
+	if opteron.PortConflict >= core2.PortConflict {
+		t.Errorf("symmetric ports must reduce lea conflicts: %d vs %d",
+			opteron.PortConflict, core2.PortConflict)
+	}
+}
+
+// TestCachePollutionAndNT reproduces the III-E.k inverse-prefetching
+// effect: a streaming scan evicts a small working set; hinting the
+// stream non-temporal confines it to one way and preserves the set.
+func TestCachePollutionAndNT(t *testing.T) {
+	// Working set: 8 lines re-read each iteration. Stream: a large
+	// array marched through once per iteration.
+	prog := func(nt bool) string {
+		hint := ""
+		if nt {
+			hint = "\tprefetchnta (%rdx)\n"
+		}
+		return `
+	movl $40, %r9d
+.Louter:
+	# touch the working set (8 lines at ws)
+	leaq ws(%rip), %rcx
+	movl $8, %r8d
+.Lws:
+	movq (%rcx), %rax
+	addq $64, %rcx
+	decl %r8d
+	jne .Lws
+	# stream through 256 lines
+	leaq stream(%rip), %rdx
+	movl $256, %r8d
+.Lstream:
+` + hint + `	movq (%rdx), %rax
+	addq $64, %rdx
+	decl %r8d
+	jne .Lstream
+	decl %r9d
+	jne .Louter
+	ret
+`
+	}
+	wrap := func(body string) string {
+		return body + "\t.data\nws:\n\t.zero 512\nstream:\n\t.zero 16384\n"
+	}
+
+	model := uarch.Core2()
+	model.CacheSets = 8 // small cache so pollution matters
+	model.CacheWays = 4
+
+	polluted := simProgram(t, model, wrap(prog(false)), nil)
+	protected := simProgram(t, model, wrap(prog(true)), nil)
+
+	if protected.NTFills == 0 {
+		t.Fatal("prefetchnta must mark non-temporal fills")
+	}
+	if protected.CacheMisses >= polluted.CacheMisses {
+		t.Errorf("non-temporal hints must reduce misses: %d vs %d",
+			protected.CacheMisses, polluted.CacheMisses)
+	}
+}
+
+// TestPredictablePatterns: a long-running loop branch must be nearly
+// perfectly predicted.
+func TestPredictablePatterns(t *testing.T) {
+	c := simProgram(t, noLSD(), `
+	movl $1000, %ecx
+.Lloop:
+	decl %ecx
+	jne .Lloop
+	ret
+`, nil)
+	if c.CondBranches < 1000 {
+		t.Fatalf("cond branches = %d", c.CondBranches)
+	}
+	if c.Mispredicts > 4 {
+		t.Errorf("loop branch mispredicted %d times", c.Mispredicts)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := simProgram(t, uarch.Core2(), "\tnop\n\tret\n", nil)
+	out := c.String()
+	for _, want := range []string{"CPU_CYCLES", "INST_RETIRED", "LSD_UOPS", "RESOURCE_STALLS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("counter output missing %s:\n%s", want, out)
+		}
+	}
+	if c.Insts != 2 {
+		t.Errorf("insts = %d, want 2", c.Insts)
+	}
+	cmp := FormatComparison([]string{"a", "b"}, []*Counters{c, c})
+	if !strings.Contains(cmp, "CPU_CYCLES") {
+		t.Error("FormatComparison output malformed")
+	}
+}
+
+// TestMoreInstructionsMoreCycles: the simulator must be monotone in
+// work for straight-line code.
+func TestMoreInstructionsMoreCycles(t *testing.T) {
+	small := simProgram(t, uarch.Core2(), pad(10)+"\tret\n", nil)
+	large := simProgram(t, uarch.Core2(), pad(200)+"\tret\n", nil)
+	if large.Cycles <= small.Cycles {
+		t.Errorf("200 nops (%d cycles) must cost more than 10 (%d)",
+			large.Cycles, small.Cycles)
+	}
+}

@@ -1,0 +1,143 @@
+package x86
+
+import "strings"
+
+// Cond is an x86 condition code as used by jcc, setcc and cmovcc. The
+// numeric values are the hardware condition encodings (the low nibble
+// of the 0F 8x jcc opcodes), so the encoder can emit 0x70+Cond or
+// 0x0F 0x80+Cond directly.
+type Cond uint8
+
+// Condition codes, in hardware encoding order.
+const (
+	CondO  Cond = 0x0 // overflow
+	CondNO Cond = 0x1
+	CondB  Cond = 0x2 // below (carry)
+	CondAE Cond = 0x3
+	CondE  Cond = 0x4 // equal (zero)
+	CondNE Cond = 0x5
+	CondBE Cond = 0x6
+	CondA  Cond = 0x7
+	CondS  Cond = 0x8 // sign
+	CondNS Cond = 0x9
+	CondP  Cond = 0xA // parity
+	CondNP Cond = 0xB
+	CondL  Cond = 0xC // less (signed)
+	CondGE Cond = 0xD
+	CondLE Cond = 0xE
+	CondG  Cond = 0xF
+)
+
+var condNames = [...]string{
+	CondO: "o", CondNO: "no", CondB: "b", CondAE: "ae",
+	CondE: "e", CondNE: "ne", CondBE: "be", CondA: "a",
+	CondS: "s", CondNS: "ns", CondP: "p", CondNP: "np",
+	CondL: "l", CondGE: "ge", CondLE: "le", CondG: "g",
+}
+
+// condAliases maps every accepted spelling to its canonical condition.
+var condAliases = map[string]Cond{
+	"o": CondO, "no": CondNO,
+	"b": CondB, "c": CondB, "nae": CondB,
+	"ae": CondAE, "nb": CondAE, "nc": CondAE,
+	"e": CondE, "z": CondE,
+	"ne": CondNE, "nz": CondNE,
+	"be": CondBE, "na": CondBE,
+	"a": CondA, "nbe": CondA,
+	"s": CondS, "ns": CondNS,
+	"p": CondP, "pe": CondP,
+	"np": CondNP, "po": CondNP,
+	"l": CondL, "nge": CondL,
+	"ge": CondGE, "nl": CondGE,
+	"le": CondLE, "ng": CondLE,
+	"g": CondG, "nle": CondG,
+}
+
+// String returns the canonical spelling ("ne", "ge", ...).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return "??"
+}
+
+// Negate returns the logically inverted condition (e <-> ne, l <-> ge,
+// ...). In the hardware encoding this is just a flip of the low bit.
+func (c Cond) Negate() Cond { return c ^ 1 }
+
+// FlagsRead returns the set of RFLAGS bits the condition tests.
+func (c Cond) FlagsRead() Flags {
+	switch c &^ 1 { // pairs share their flag set
+	case CondO:
+		return OF
+	case CondB:
+		return CF
+	case CondE:
+		return ZF
+	case CondBE:
+		return CF | ZF
+	case CondS:
+		return SF
+	case CondP:
+		return PF
+	case CondL:
+		return SF | OF
+	case CondLE:
+		return SF | OF | ZF
+	}
+	return 0
+}
+
+// cutCond splits a condition spelling off the front of s, longest
+// match first ("nle..." must not parse as "n"+garbage). It returns the
+// condition, the remaining tail, and whether a condition was found.
+func cutCond(s string) (Cond, string, bool) {
+	for _, n := range []int{3, 2, 1} {
+		if len(s) >= n {
+			if c, ok := condAliases[s[:n]]; ok {
+				// A valid tail is empty or a width suffix; reject
+				// splits like "ne" + "x". The caller validates the
+				// tail further, but refusing non-suffix tails here
+				// lets shorter prefixes win (e.g. "nel" -> ne + l).
+				tail := s[n:]
+				if tail == "" || (len(tail) == 1 && strings.ContainsRune("bwlq", rune(tail[0]))) {
+					return c, tail, true
+				}
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// Flags is a bit set of RFLAGS condition bits.
+type Flags uint8
+
+// RFLAGS condition bits.
+const (
+	CF Flags = 1 << iota // carry
+	PF                   // parity
+	AF                   // adjust
+	ZF                   // zero
+	SF                   // sign
+	OF                   // overflow
+)
+
+// AllFlags is the full arithmetic status set.
+const AllFlags = CF | PF | AF | ZF | SF | OF
+
+// String lists the set flags, e.g. "CF|ZF".
+func (f Flags) String() string {
+	if f == 0 {
+		return "-"
+	}
+	var parts []string
+	for _, e := range []struct {
+		bit  Flags
+		name string
+	}{{CF, "CF"}, {PF, "PF"}, {AF, "AF"}, {ZF, "ZF"}, {SF, "SF"}, {OF, "OF"}} {
+		if f&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}

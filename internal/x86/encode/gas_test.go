@@ -1,0 +1,249 @@
+package encode
+
+// Cross-validation against the real GNU assembler. When as/objdump are
+// installed, every instruction in the sample below is assembled with
+// gas and the bytes are compared against this package's encoder. The
+// test skips silently on machines without binutils, keeping the suite
+// hermetic; the golden-byte tests in encode_test.go are authoritative.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var gasSamples = []string{
+	"push %rbp",
+	"push %r12",
+	"pop %rbx",
+	"pop %r15",
+	"mov %rsp,%rbp",
+	"mov %eax,%eax",
+	"movq 24(%rsp), %rdx",
+	"movq %rdx, %rcx",
+	"movl %edx, (%rsi,%r8,4)",
+	"movsbl 1(%rdi,%r8,4),%edx",
+	"movzbl (%rdi),%eax",
+	"movzwl 2(%rax),%ecx",
+	"movswl %dx,%ecx",
+	"movsbq %al,%rbx",
+	"movslq %edi, %rax",
+	"movb $1, %al",
+	"movw $7, %cx",
+	"movl $5, %eax",
+	"movq $-1, %rax",
+	"movq $2147483647, %r11",
+	"movabsq $81985529216486895, %r10",
+	"movl $7, -4(%rbp)",
+	"movb $0, (%rax)",
+	"andl $255,%eax",
+	"addq $1, %r8",
+	"addl $200, %edi",
+	"addl $100000, %esi",
+	"addl $100000, %eax",
+	"adcq $0, %rdx",
+	"sbbl %eax, %eax",
+	"subl $16, %r15d",
+	"subl %ebx, %ecx",
+	"cmpl %r8d, %r9d",
+	"cmpl $0, -4(%rbp)",
+	"cmpq %rax, 8(%rsp)",
+	"orl %esi, %edi",
+	"orq $4096, %rax",
+	"xorl %edi, %ebx",
+	"xorb $1, %dl",
+	"xorps %xmm0, %xmm0",
+	"testl %r15d, %r15d",
+	"testb $4, %dil",
+	"testl $8, %eax",
+	"testq $256, %rdx",
+	"testb %al, %al",
+	"incl %eax",
+	"incq 8(%rsp)",
+	"decl %r10d",
+	"negl %edx",
+	"notq %rax",
+	"imull %esi, %edi",
+	"imulq %r8, %r9",
+	"imulq $8, %rax, %rdx",
+	"imull $1000, %ecx, %eax",
+	"mull %esi",
+	"idivl %ecx",
+	"divq %r8",
+	"leaq 8(%rsp), %rdi",
+	"leal (%r8,%rdi,1), %ebx",
+	"leal 2(%rdx), %r8d",
+	"leaq 0(,%rax,8), %rdx",
+	"shrl $12, %edi",
+	"shll %cl, %ebx",
+	"shlq $3, %rdi",
+	"sarl %ecx",
+	"sarq $63, %rax",
+	"rolw $5, %dx",
+	"rorl $7, %r9d",
+	"cltq",
+	"cltd",
+	"cqto",
+	"cwtl",
+	"ret",
+	"leave",
+	"nop",
+	"ud2",
+	"hlt",
+	"pause",
+	"sete %al",
+	"setg %dl",
+	"setbe %r10b",
+	"setne -1(%rbp)",
+	"cmovne %eax, %ebx",
+	"cmovle %rax, %rbx",
+	"cmovaq 8(%rdi), %rsi",
+	"xchg %rbx, %rcx",
+	"xchg %eax, %ecx",
+	"xchg %rax, %r8",
+	"xchgl %r9d, (%rdx)",
+	"prefetchnta (%r9)",
+	"prefetcht0 16(%rax)",
+	"prefetcht1 (%rsi,%rdi,2)",
+	"prefetcht2 64(%rbx)",
+	"movl -4(%rbp), %eax",
+	"movq (%r13), %rax",
+	"movl 0(%r12), %eax",
+	"movq %rax, (%rsp)",
+	"jmp *%rax",
+	"jmp *16(%rbx)",
+	"call *%r11",
+	"call *8(%rax,%rbx,4)",
+	"pushq $3",
+	"pushq $300",
+	"pushq 16(%rbp)",
+	"popq 8(%rsp)",
+	"movss (%rax), %xmm1",
+	"movss %xmm0,(%rdi,%rax,4)",
+	"movsd %xmm2, 8(%rsp)",
+	"movsd (%rbx,%rcx,8), %xmm5",
+	"movaps %xmm1, %xmm2",
+	"movups (%rdi), %xmm3",
+	"movdqa %xmm0, %xmm8",
+	"movdqu %xmm9, (%rsi)",
+	"addss %xmm1, %xmm0",
+	"addsd 8(%rax), %xmm2",
+	"subsd %xmm3, %xmm4",
+	"mulss %xmm3, %xmm3",
+	"divsd %xmm1, %xmm0",
+	"sqrtsd %xmm5, %xmm6",
+	"andps %xmm1, %xmm2",
+	"xorpd %xmm7, %xmm7",
+	"pxor %xmm1, %xmm1",
+	"ucomisd %xmm0, %xmm1",
+	"ucomiss %xmm2, %xmm3",
+	"comisd %xmm4, %xmm5",
+	"cvtsi2sdq %rax, %xmm0",
+	"cvtsi2ssl %edi, %xmm1",
+	"cvttsd2si %xmm0, %eax",
+	"cvttss2siq %xmm1, %rdx",
+	"cvtss2sd %xmm0, %xmm1",
+	"cvtsd2ss %xmm2, %xmm3",
+	"movd %eax, %xmm0",
+	"movd %xmm1, %edx",
+	"movq %rax, %xmm0",
+	"movq %xmm0, %rax",
+	"movq %xmm1, %xmm2",
+	"lock addl $1, (%rdi)",
+	"lock xchgq %rax, (%rbx)",
+	"movb %ah, %dl",
+	"shrl $1, %eax",
+	"addb %cl, %al",
+	"cmpb $10, %r14b",
+	"movw %ax, 6(%rsi)",
+	"addw $12, %dx",
+}
+
+func TestCrossValidateAgainstGas(t *testing.T) {
+	asPath, err1 := exec.LookPath("as")
+	objdump, err2 := exec.LookPath("objdump")
+	if err1 != nil || err2 != nil {
+		t.Skip("binutils not installed; skipping gas cross-validation")
+	}
+
+	dir := t.TempDir()
+	src := filepath.Join(dir, "x.s")
+	obj := filepath.Join(dir, "x.o")
+
+	var b strings.Builder
+	b.WriteString(".text\n")
+	for _, s := range gasSamples {
+		b.WriteString("\t" + s + "\n")
+	}
+	if err := os.WriteFile(src, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(asPath, "--64", "-o", obj, src).CombinedOutput(); err != nil {
+		t.Fatalf("as failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(objdump, "-d", "-j", ".text", obj).Output()
+	if err != nil {
+		t.Fatalf("objdump failed: %v", err)
+	}
+	gasBytes := parseObjdumpBytes(t, string(out))
+
+	var mine []byte
+	addr := int64(0)
+	for _, s := range gasSamples {
+		in := inst(t, s)
+		eb, err := Encode(in, &Ctx{Addr: addr})
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", s, err)
+		}
+		mine = append(mine, eb...)
+		addr += int64(len(eb))
+	}
+
+	if len(mine) != len(gasBytes) {
+		t.Errorf("total size mismatch: mine=%d gas=%d", len(mine), len(gasBytes))
+	}
+	limit := min(len(mine), len(gasBytes))
+	for i := 0; i < limit; i++ {
+		if mine[i] != gasBytes[i] {
+			t.Fatalf("first divergence at offset %#x: mine=%02x gas=%02x\nmine: % x\ngas:  % x",
+				i, mine[i], gasBytes[i],
+				tail(mine, i), tail(gasBytes, i))
+		}
+	}
+}
+
+func tail(b []byte, i int) []byte {
+	end := i + 16
+	if end > len(b) {
+		end = len(b)
+	}
+	return b[i:end]
+}
+
+// parseObjdumpBytes extracts the raw byte image from objdump -d text.
+func parseObjdumpBytes(t *testing.T, out string) []byte {
+	t.Helper()
+	var img []byte
+	for _, line := range strings.Split(out, "\n") {
+		// Byte-carrying lines look like "   0:\t48 89 e5  \tmov ...".
+		parts := strings.SplitN(line, ":\t", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		hexPart := parts[1]
+		if i := strings.IndexByte(hexPart, '\t'); i >= 0 {
+			hexPart = hexPart[:i]
+		}
+		for _, f := range strings.Fields(hexPart) {
+			var v byte
+			if _, err := fmt.Sscanf(f, "%02x", &v); err != nil {
+				t.Fatalf("bad objdump byte %q in line %q", f, line)
+			}
+			img = append(img, v)
+		}
+	}
+	return img
+}

@@ -1,0 +1,83 @@
+package encode
+
+import "mao/internal/x86"
+
+// nopForms[k] is an instruction whose encoding under this package's
+// canonical encoder is exactly k bytes, for k in 1..9. The memory
+// operands are never accessed — 0F 1F forms are architectural no-ops
+// regardless of their addressing bytes.
+var nopForms = [...]func() *x86.Inst{
+	1: func() *x86.Inst { return x86.NewInst(x86.Mnem{Op: x86.OpNOP}) },
+	2: func() *x86.Inst { return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W16}) },
+	3: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W32},
+			x86.MemOp(x86.Mem{Base: x86.RAX}))
+	},
+	4: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W32},
+			x86.MemOp(x86.Mem{Base: x86.RAX, Index: x86.RAX, Scale: 1}))
+	},
+	5: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W32},
+			x86.MemOp(x86.Mem{Disp: 8, Base: x86.RAX, Index: x86.RAX, Scale: 1}))
+	},
+	6: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W16},
+			x86.MemOp(x86.Mem{Disp: 8, Base: x86.RAX, Index: x86.RAX, Scale: 1}))
+	},
+	7: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W32},
+			x86.MemOp(x86.Mem{Disp: 128, Base: x86.RAX}))
+	},
+	8: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W32},
+			x86.MemOp(x86.Mem{Disp: 128, Base: x86.RAX, Index: x86.RAX, Scale: 1}))
+	},
+	9: func() *x86.Inst {
+		return x86.NewInst(x86.Mnem{Op: x86.OpNOP, Width: x86.W16},
+			x86.MemOp(x86.Mem{Disp: 128, Base: x86.RAX, Index: x86.RAX, Scale: 1}))
+	},
+}
+
+// Nop returns a single no-op instruction that encodes to exactly n
+// bytes, for n in 1..9 (the longest single form MAO synthesizes). It
+// panics outside that range; callers padding larger gaps use
+// NopSequence.
+func Nop(n int) *x86.Inst {
+	if n < 1 || n >= len(nopForms) {
+		panic("encode: Nop length out of range")
+	}
+	return nopForms[n]()
+}
+
+// NopSequence returns instructions whose total encoded length is
+// exactly n bytes, preferring the fewest instructions (gas pads with
+// maximal multi-byte nops the same way).
+func NopSequence(n int) []*x86.Inst {
+	var out []*x86.Inst
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+			// Avoid leaving a 1-byte remainder after a 9-byte nop
+			// when an 8+2 split reads better; any split works, but
+			// never leave k = n (which would loop forever on n > 9).
+			if n == 10 {
+				k = 8
+			}
+		}
+		out = append(out, Nop(k))
+		n -= k
+	}
+	return out
+}
+
+// OneByteNops returns n plain one-byte nop instructions — the form the
+// paper's experiments insert ("inserting six nop instructions").
+func OneByteNops(n int) []*x86.Inst {
+	out := make([]*x86.Inst, n)
+	for i := range out {
+		out[i] = Nop(1)
+	}
+	return out
+}

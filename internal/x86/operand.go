@@ -1,0 +1,127 @@
+package x86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OperandKind discriminates the Operand union.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone  OperandKind = iota
+	KindImm               // $42
+	KindReg               // %rax
+	KindMem               // 8(%rsp,%rdi,4), sym(%rip), ...
+	KindLabel             // direct branch/call target: .L5, printf
+)
+
+// Operand is one instruction operand. Exactly the fields relevant to
+// Kind are meaningful. Operands are small value types; instructions
+// hold them by value so that copying an Inst deep-copies its operands.
+type Operand struct {
+	Kind OperandKind
+
+	Imm int64  // KindImm
+	Reg Reg    // KindReg
+	Mem Mem    // KindMem
+	Sym string // KindLabel: target symbol
+	Off int64  // KindLabel: constant addend (sym+8)
+
+	// Star marks AT&T indirect call/jump targets (*%rax, *(%rax)):
+	// the operand (register or memory) holds the target address.
+	Star bool
+}
+
+// Mem describes an x86 memory reference disp(base,index,scale),
+// possibly with a symbolic displacement and possibly RIP-relative.
+type Mem struct {
+	Disp    int64
+	Sym     string // symbolic displacement: sym or sym+Disp
+	Base    Reg    // RegNone if absent; RIP for RIP-relative
+	Index   Reg    // RegNone if absent
+	Scale   uint8  // 1, 2, 4, 8 (0 treated as 1)
+	Segment Reg    // reserved; always RegNone in this implementation
+}
+
+// Imm returns an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// MemOp returns a memory operand.
+func MemOp(m Mem) Operand { return Operand{Kind: KindMem, Mem: m} }
+
+// LabelOp returns a direct branch-target operand.
+func LabelOp(sym string) Operand { return Operand{Kind: KindLabel, Sym: sym} }
+
+// IsReg reports whether the operand is the given register.
+func (o Operand) IsReg(r Reg) bool { return o.Kind == KindReg && o.Reg == r }
+
+// IsImm reports whether the operand is the given immediate.
+func (o Operand) IsImm(v int64) bool { return o.Kind == KindImm && o.Imm == v }
+
+// String renders the operand in AT&T syntax.
+func (o Operand) String() string {
+	var s string
+	switch o.Kind {
+	case KindNone:
+		return "<none>"
+	case KindImm:
+		return "$" + strconv.FormatInt(o.Imm, 10)
+	case KindReg:
+		s = o.Reg.ATT()
+	case KindMem:
+		s = o.Mem.String()
+	case KindLabel:
+		s = o.Sym
+		if o.Off != 0 {
+			s += fmt.Sprintf("%+d", o.Off)
+		}
+	}
+	if o.Star {
+		s = "*" + s
+	}
+	return s
+}
+
+// String renders the memory reference in AT&T syntax.
+func (m Mem) String() string {
+	var b strings.Builder
+	if m.Sym != "" {
+		b.WriteString(m.Sym)
+		if m.Disp != 0 {
+			fmt.Fprintf(&b, "%+d", m.Disp)
+		}
+	} else if m.Disp != 0 || (m.Base == RegNone && m.Index == RegNone) {
+		b.WriteString(strconv.FormatInt(m.Disp, 10))
+	}
+	if m.Base != RegNone || m.Index != RegNone {
+		b.WriteByte('(')
+		if m.Base != RegNone {
+			b.WriteString(m.Base.ATT())
+		}
+		if m.Index != RegNone {
+			b.WriteByte(',')
+			b.WriteString(m.Index.ATT())
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(int(m.EffScale())))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// EffScale returns the effective index scale, normalizing 0 to 1.
+func (m Mem) EffScale() uint8 {
+	if m.Scale == 0 {
+		return 1
+	}
+	return m.Scale
+}
+
+// IsRIPRel reports whether the reference is RIP-relative.
+func (m Mem) IsRIPRel() bool { return m.Base == RIP }

@@ -1,0 +1,164 @@
+package sidefx
+
+import (
+	_ "embed"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mao/internal/x86"
+)
+
+// configSrc is the side-effect configuration the tables are generated
+// from, embedded so tests can verify tables.gen.go is in sync.
+//
+//go:embed sidefx.cfg
+var configSrc string
+
+// ConfigSource returns the embedded configuration text (used by the
+// generator's self-test).
+func ConfigSource() string { return configSrc }
+
+// ParseConfig parses the side-effect configuration language.
+//
+// Each non-comment line specifies one opcode:
+//
+//	name[/arity]  field...
+//
+// with whitespace-separated fields:
+//
+//	r=1,2        operand positions read (1-based, AT&T order)
+//	w=2          operand positions written
+//	impr=rax,rdx implicit register reads
+//	impw=rsp     implicit register writes
+//	fset=ALL     flags written with defined values
+//	fread=CF     flags read
+//	fundef=OF,AF flags left undefined
+//	cond         reads the flags of the instruction's condition code
+//	barrier      conservative everything-barrier (call/ret)
+//
+// Flag sets use the names CF PF AF ZF SF OF plus the shorthands ALL
+// (all six), NOTCF (all but CF) and SZP (SF|ZF|PF). '#' starts a
+// comment.
+func ParseConfig(src string) (map[string]Spec, error) {
+	table := make(map[string]Spec)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		key := fields[0]
+		if _, dup := table[key]; dup {
+			return nil, fmt.Errorf("sidefx.cfg:%d: duplicate entry %q", lineNo+1, key)
+		}
+		var spec Spec
+		for _, f := range fields[1:] {
+			if err := parseField(&spec, f); err != nil {
+				return nil, fmt.Errorf("sidefx.cfg:%d: %v", lineNo+1, err)
+			}
+		}
+		table[key] = spec
+	}
+	return table, nil
+}
+
+func parseField(spec *Spec, f string) error {
+	switch f {
+	case "cond":
+		spec.CondRead = true
+		return nil
+	case "barrier":
+		spec.Barrier = true
+		return nil
+	}
+	k, v, ok := strings.Cut(f, "=")
+	if !ok {
+		return fmt.Errorf("bad field %q", f)
+	}
+	switch k {
+	case "r", "w":
+		idxs, err := parseIndices(v)
+		if err != nil {
+			return err
+		}
+		if k == "r" {
+			spec.Reads = idxs
+		} else {
+			spec.Writes = idxs
+		}
+	case "impr", "impw":
+		regs, err := parseRegs(v)
+		if err != nil {
+			return err
+		}
+		if k == "impr" {
+			spec.ImpReads = regs
+		} else {
+			spec.ImpWrites = regs
+		}
+	case "fset", "fread", "fundef":
+		flags, err := parseFlags(v)
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "fset":
+			spec.FlagsSet = flags
+		case "fread":
+			spec.FlagsRead = flags
+		case "fundef":
+			spec.FlagsUndef = flags
+		}
+	default:
+		return fmt.Errorf("unknown field %q", k)
+	}
+	return nil
+}
+
+func parseIndices(v string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad operand index %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseRegs(v string) ([]x86.Reg, error) {
+	var out []x86.Reg
+	for _, p := range strings.Split(v, ",") {
+		r, ok := x86.RegByName(p)
+		if !ok {
+			return nil, fmt.Errorf("unknown register %q", p)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+var flagNames = map[string]x86.Flags{
+	"CF": x86.CF, "PF": x86.PF, "AF": x86.AF,
+	"ZF": x86.ZF, "SF": x86.SF, "OF": x86.OF,
+	"ALL":   x86.AllFlags,
+	"NOTCF": x86.AllFlags &^ x86.CF,
+	"SZP":   x86.SF | x86.ZF | x86.PF,
+}
+
+func parseFlags(v string) (x86.Flags, error) {
+	var out x86.Flags
+	for _, p := range strings.Split(v, ",") {
+		f, ok := flagNames[p]
+		if !ok {
+			return 0, fmt.Errorf("unknown flag %q", p)
+		}
+		out |= f
+	}
+	return out, nil
+}

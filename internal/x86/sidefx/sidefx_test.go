@@ -1,0 +1,256 @@
+package sidefx
+
+import (
+	"reflect"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+func inst(t *testing.T, src string) *x86.Inst {
+	t.Helper()
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		if n.Kind == ir.NodeInst {
+			return n.Inst
+		}
+	}
+	t.Fatalf("no instruction in %q", src)
+	return nil
+}
+
+// TestGeneratedTableInSync re-parses the embedded configuration and
+// compares it against the committed generator output. A failure means
+// "go generate ./internal/x86/sidefx" must be re-run.
+func TestGeneratedTableInSync(t *testing.T) {
+	parsed, err := ParseConfig(ConfigSource())
+	if err != nil {
+		t.Fatalf("embedded config does not parse: %v", err)
+	}
+	if len(parsed) != len(genTable) {
+		t.Fatalf("config has %d entries, generated table has %d", len(parsed), len(genTable))
+	}
+	for k, want := range parsed {
+		got, ok := genTable[k]
+		if !ok {
+			t.Errorf("generated table missing %q", k)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("entry %q out of sync:\n generated: %+v\n config:    %+v", k, got, want)
+		}
+	}
+}
+
+// TestCoverage ensures the table covers a representative instruction
+// for every opcode the parser can produce.
+func TestCoverage(t *testing.T) {
+	samples := []string{
+		"mov %eax, %ebx", "movabsq $99999999999, %rax",
+		"movzbl %al, %ebx", "movsbl %al, %ebx", "leaq 4(%rax), %rbx",
+		"push %rbp", "pop %rbx", "xchg %rax, %rdx", "cmovne %eax, %ebx",
+		"addl $1, %eax", "subq %rax, %rbx", "adcl %ecx, %edx",
+		"sbbl %eax, %eax", "cmpl $0, %edi", "incl %eax", "decq %rcx",
+		"negl %edx", "imulq %rsi", "imull %esi, %edi",
+		"imull $10, %esi, %edi", "mull %ecx", "idivl %ecx", "divq %rbx",
+		"andl $7, %eax", "orl %ebx, %ecx", "xorl %edx, %edx",
+		"notl %eax", "testl %eax, %eax",
+		"shll $2, %eax", "shrl %cl, %ebx", "sarq $1, %rax",
+		"roll $3, %ecx", "rorl $3, %ecx", "sarl %edx",
+		"jmp .L1", "jne .L1", "call f", "ret", "leave", "sete %al",
+		"cltq", "cltd", "cqto", "cwtl",
+		"nop", "ud2", "hlt", "pause",
+		"prefetchnta (%rax)", "prefetcht0 (%rax)",
+		"prefetcht1 (%rax)", "prefetcht2 (%rax)",
+		"movss %xmm0, %xmm1", "movsd (%rax), %xmm0",
+		"movaps %xmm0, %xmm1", "movups %xmm0, (%rax)",
+		"movdqa %xmm0, %xmm1", "movdqu %xmm0, %xmm1",
+		"movd %eax, %xmm0", "movq %xmm0, %xmm1",
+		"addss %xmm0, %xmm1", "addsd %xmm0, %xmm1",
+		"subss %xmm0, %xmm1", "subsd %xmm0, %xmm1",
+		"mulss %xmm0, %xmm1", "mulsd %xmm0, %xmm1",
+		"divss %xmm0, %xmm1", "divsd %xmm0, %xmm1",
+		"sqrtss %xmm0, %xmm1", "sqrtsd %xmm0, %xmm1",
+		"xorps %xmm0, %xmm0", "xorpd %xmm0, %xmm0",
+		"andps %xmm0, %xmm1", "andpd %xmm0, %xmm1",
+		"pxor %xmm0, %xmm0",
+		"ucomiss %xmm0, %xmm1", "ucomisd %xmm0, %xmm1",
+		"comiss %xmm0, %xmm1", "comisd %xmm0, %xmm1",
+		"cvtsi2ssl %eax, %xmm0", "cvtsi2sdq %rax, %xmm0",
+		"cvttss2si %xmm0, %eax", "cvttsd2si %xmm0, %eax",
+		"cvtss2sd %xmm0, %xmm1", "cvtsd2ss %xmm0, %xmm1",
+	}
+	for _, s := range samples {
+		in := inst(t, s)
+		if !Known(in) {
+			t.Errorf("no side-effect entry for %q (op %v, %d args)", s, in.Op, len(in.Args))
+		}
+	}
+}
+
+func TestALUEffects(t *testing.T) {
+	e := InstEffects(inst(t, "addl %ebx, %ecx"))
+	if !e.ReadsReg(x86.EBX) || !e.ReadsReg(x86.ECX) {
+		t.Error("add must read both operands")
+	}
+	if !e.WritesReg(x86.ECX) || e.WritesReg(x86.EBX) {
+		t.Error("add must write only the destination")
+	}
+	if e.FlagsSet != x86.AllFlags {
+		t.Errorf("add FlagsSet = %v", e.FlagsSet)
+	}
+	if e.Barrier || e.MemRead || e.MemWrite {
+		t.Error("register add has no memory effects")
+	}
+}
+
+func TestRedundantTestScenario(t *testing.T) {
+	// The paper's III-B.b example: subl sets all flags; the following
+	// testl writes SZP (+CF/OF zeroed) and leaves AF undefined.
+	sub := InstEffects(inst(t, "subl $16, %r15d"))
+	test := InstEffects(inst(t, "testl %r15d, %r15d"))
+	if sub.FlagsSet != x86.AllFlags {
+		t.Errorf("sub FlagsSet = %v", sub.FlagsSet)
+	}
+	if test.FlagsSet != x86.CF|x86.OF|x86.SF|x86.ZF|x86.PF || test.FlagsUndef != x86.AF {
+		t.Errorf("test flags = set %v undef %v", test.FlagsSet, test.FlagsUndef)
+	}
+	if len(test.RegsWritten) != 0 {
+		t.Error("test must not write registers")
+	}
+}
+
+func TestMemoryOperandEffects(t *testing.T) {
+	e := InstEffects(inst(t, "movl %edx, (%rsi,%r8,4)"))
+	if !e.MemWrite || e.MemRead {
+		t.Error("store misclassified")
+	}
+	if !e.ReadsReg(x86.RSI) || !e.ReadsReg(x86.R8) || !e.ReadsReg(x86.EDX) {
+		t.Errorf("store reads = %v", e.RegsRead)
+	}
+	e = InstEffects(inst(t, "addl $1, -4(%rbp)"))
+	if !e.MemRead || !e.MemWrite {
+		t.Error("memory RMW misclassified")
+	}
+	e = InstEffects(inst(t, "leaq 8(%rax,%rbx,2), %rcx"))
+	if e.MemRead || e.MemWrite {
+		t.Error("lea must not touch memory")
+	}
+	if !e.ReadsReg(x86.RAX) || !e.ReadsReg(x86.RBX) || !e.WritesReg(x86.RCX) {
+		t.Error("lea register effects wrong")
+	}
+}
+
+func TestImplicitRegisters(t *testing.T) {
+	e := InstEffects(inst(t, "push %rbp"))
+	if !e.ReadsReg(x86.RSP) || !e.WritesReg(x86.RSP) || !e.ReadsReg(x86.RBP) {
+		t.Error("push implicit effects wrong")
+	}
+	if !e.MemWrite {
+		t.Error("push must write memory")
+	}
+	e = InstEffects(inst(t, "pop %rbx"))
+	if !e.MemRead || !e.WritesReg(x86.RBX) || !e.WritesReg(x86.RSP) {
+		t.Error("pop effects wrong")
+	}
+	e = InstEffects(inst(t, "imulq %rbx"))
+	if !e.ReadsReg(x86.RAX) || !e.WritesReg(x86.RDX) || !e.WritesReg(x86.RAX) || !e.ReadsReg(x86.RBX) {
+		t.Error("one-operand imul effects wrong")
+	}
+	e = InstEffects(inst(t, "cltq"))
+	if !e.ReadsReg(x86.EAX) || !e.WritesReg(x86.RAX) {
+		t.Error("cltq effects wrong")
+	}
+	e = InstEffects(inst(t, "cqto"))
+	if !e.ReadsReg(x86.RAX) || !e.WritesReg(x86.RDX) {
+		t.Error("cqto effects wrong")
+	}
+}
+
+func TestCallBarrier(t *testing.T) {
+	e := InstEffects(inst(t, "call memset"))
+	if !e.Barrier {
+		t.Error("call must be a barrier")
+	}
+	e = InstEffects(inst(t, "ret"))
+	if !e.Barrier || !e.MemRead {
+		t.Error("ret must be a barrier that reads the stack")
+	}
+}
+
+func TestCondReads(t *testing.T) {
+	e := InstEffects(inst(t, "jne .L1"))
+	if e.FlagsRead != x86.ZF {
+		t.Errorf("jne FlagsRead = %v", e.FlagsRead)
+	}
+	e = InstEffects(inst(t, "jle .L1"))
+	if e.FlagsRead != x86.SF|x86.OF|x86.ZF {
+		t.Errorf("jle FlagsRead = %v", e.FlagsRead)
+	}
+	e = InstEffects(inst(t, "cmovge %eax, %ebx"))
+	if e.FlagsRead != x86.SF|x86.OF {
+		t.Errorf("cmovge FlagsRead = %v", e.FlagsRead)
+	}
+	if !e.ReadsReg(x86.EBX) {
+		t.Error("cmov must read its destination (conditional preservation)")
+	}
+}
+
+func TestVariableShiftDemotesFlags(t *testing.T) {
+	imm := InstEffects(inst(t, "shll $2, %eax"))
+	if imm.FlagsSet == 0 {
+		t.Error("immediate shift should define flags")
+	}
+	cl := InstEffects(inst(t, "shll %cl, %eax"))
+	if cl.FlagsSet != 0 {
+		t.Errorf("cl shift FlagsSet = %v, want none defined", cl.FlagsSet)
+	}
+	if cl.FlagsUndef == 0 {
+		t.Error("cl shift should clobber flags as undefined")
+	}
+	if !cl.ReadsReg(x86.CL) {
+		t.Error("cl shift must read the cl register")
+	}
+}
+
+func TestIndirectBranchReadsTarget(t *testing.T) {
+	e := InstEffects(inst(t, "jmp *%rax"))
+	if !e.ReadsReg(x86.RAX) {
+		t.Error("indirect jump must read its target register")
+	}
+	e = InstEffects(inst(t, "jmp *16(%rbx)"))
+	if !e.ReadsReg(x86.RBX) {
+		t.Error("memory-indirect jump must read its base register")
+	}
+}
+
+func TestUnknownInstructionIsBarrier(t *testing.T) {
+	// An instruction shape with no table entry must degrade to a
+	// conservative barrier, never to "no effects".
+	weird := x86.NewInst(x86.Mnem{Op: x86.OpIMUL, Width: x86.W32}) // imul with 0 args
+	e := InstEffects(weird)
+	if !e.Barrier {
+		t.Error("uncovered instruction must be a barrier")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		"add r=x",
+		"add q=1",
+		"add fset=QF",
+		"add impr=nosuchreg",
+		"add r=0",
+		"dup r=1\ndup r=1",
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig(src); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package sidefx models instruction side effects: which operands are
+// read and written, which implicit registers participate, and which
+// RFLAGS bits are set, read, or left undefined.
+//
+// Like the original MAO, the model is table-driven: a tiny
+// configuration language (sidefx.cfg) specifies the effects per
+// opcode, and a generator program (cmd/sidefxgen) constructs Go tables
+// from it. The committed tables.gen.go is the generator's output; a
+// test asserts it stays in sync with the embedded configuration.
+package sidefx
+
+import (
+	"mao/internal/x86"
+)
+
+//go:generate go run mao/cmd/sidefxgen -in sidefx.cfg -out tables.gen.go
+
+// Spec is the static side-effect specification for one opcode (at one
+// arity). Operand indices are 1-based positions in AT&T order.
+type Spec struct {
+	Reads  []int // operand positions read
+	Writes []int // operand positions written
+
+	ImpReads  []x86.Reg // implicit register reads
+	ImpWrites []x86.Reg // implicit register writes
+
+	FlagsSet   x86.Flags // flags written with defined values
+	FlagsRead  x86.Flags // flags read unconditionally
+	FlagsUndef x86.Flags // flags left undefined (written with junk)
+	CondRead   bool      // additionally reads the instruction's Cond flags
+
+	// Barrier marks instructions the data-flow layer must treat as
+	// reading and writing every register and all of memory (calls,
+	// returns — the function-boundary conservative assumption).
+	Barrier bool
+}
+
+// Effects is the resolved side-effect set of one concrete instruction.
+type Effects struct {
+	RegsRead    []x86.Reg // registers read, including address components
+	RegsWritten []x86.Reg // registers written
+
+	FlagsSet   x86.Flags
+	FlagsRead  x86.Flags
+	FlagsUndef x86.Flags
+
+	MemRead  bool
+	MemWrite bool
+
+	Barrier bool
+}
+
+// WritesFlags reports whether the instruction defines or clobbers any
+// flag bit.
+func (e Effects) WritesFlags() bool { return e.FlagsSet|e.FlagsUndef != 0 }
+
+// ReadsReg reports whether the effect set reads any register aliasing r.
+func (e Effects) ReadsReg(r x86.Reg) bool { return containsFamily(e.RegsRead, r) }
+
+// WritesReg reports whether the effect set writes any register aliasing r.
+func (e Effects) WritesReg(r x86.Reg) bool { return containsFamily(e.RegsWritten, r) }
+
+func containsFamily(rs []x86.Reg, r x86.Reg) bool {
+	f := r.Family()
+	for _, x := range rs {
+		if x.Family() == f {
+			return true
+		}
+	}
+	return false
+}
+
+// specFor finds the Spec for an instruction: first "name/arity", then
+// the bare opcode name.
+func specFor(in *x86.Inst) (Spec, bool) {
+	name := in.Op.String()
+	if s, ok := genTable[specKey(name, len(in.Args))]; ok {
+		return s, true
+	}
+	s, ok := genTable[name]
+	return s, ok
+}
+
+func specKey(name string, arity int) string {
+	return name + "/" + string(rune('0'+arity))
+}
+
+// Known reports whether the side-effect tables cover the instruction.
+func Known(in *x86.Inst) bool {
+	_, ok := specFor(in)
+	return ok
+}
+
+// InstEffects resolves the side effects of one concrete instruction.
+// Instructions missing from the tables resolve to a Barrier effect so
+// that analyses stay conservative rather than wrong.
+func InstEffects(in *x86.Inst) Effects {
+	spec, ok := specFor(in)
+	if !ok {
+		return Effects{Barrier: true}
+	}
+	var e Effects
+	e.Barrier = spec.Barrier
+	e.FlagsSet = spec.FlagsSet
+	e.FlagsRead = spec.FlagsRead
+	e.FlagsUndef = spec.FlagsUndef
+	if spec.CondRead {
+		e.FlagsRead |= in.Cond.FlagsRead()
+	}
+	e.RegsRead = append(e.RegsRead, spec.ImpReads...)
+	e.RegsWritten = append(e.RegsWritten, spec.ImpWrites...)
+
+	addRead := func(r x86.Reg) {
+		if r != x86.RegNone && r != x86.RIP {
+			e.RegsRead = append(e.RegsRead, r)
+		}
+	}
+
+	// Address components of every memory operand are read regardless
+	// of the operand's data role.
+	for _, a := range in.Args {
+		if a.Kind == x86.KindMem {
+			addRead(a.Mem.Base)
+			addRead(a.Mem.Index)
+		}
+		if a.Star && a.Kind == x86.KindReg {
+			addRead(a.Reg)
+		}
+	}
+
+	for _, idx := range spec.Reads {
+		if idx < 1 || idx > len(in.Args) {
+			continue
+		}
+		a := in.Args[idx-1]
+		switch a.Kind {
+		case x86.KindReg:
+			addRead(a.Reg)
+		case x86.KindMem:
+			e.MemRead = true
+		}
+	}
+	for _, idx := range spec.Writes {
+		if idx < 1 || idx > len(in.Args) {
+			continue
+		}
+		a := in.Args[idx-1]
+		switch a.Kind {
+		case x86.KindReg:
+			if !a.Star {
+				e.RegsWritten = append(e.RegsWritten, a.Reg)
+			}
+		case x86.KindMem:
+			e.MemWrite = true
+		}
+	}
+
+	// Instruction-level refinements the static table cannot express.
+	switch in.Op {
+	case x86.OpPUSH, x86.OpCALL:
+		e.MemWrite = true // stack store
+	case x86.OpPOP, x86.OpRET:
+		e.MemRead = true // stack load
+	case x86.OpLEAVE:
+		e.MemRead = true
+	case x86.OpSHL, x86.OpSHR, x86.OpSAR, x86.OpROL, x86.OpROR:
+		// A zero shift count leaves every flag unchanged, so for a
+		// variable (%cl) count no flag is reliably defined.
+		if len(in.Args) == 2 && in.Args[0].Kind == x86.KindReg {
+			e.FlagsUndef |= e.FlagsSet
+			e.FlagsSet = 0
+		}
+	}
+	return e
+}

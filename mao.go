@@ -1,0 +1,127 @@
+// Package mao is an extensible micro-architectural assembly-to-assembly
+// optimizer for x86-64, reproducing the system described in
+//
+//	R. Hundt, E. Raman, M. Thuresson, N. Vachharajani:
+//	"MAO — an Extensible Micro-Architectural Optimizer", CGO 2011.
+//
+// MAO parses compiler-emitted assembly into a thin IR, runs named
+// optimization and analysis passes over it, and emits assembly again:
+//
+//	u, _ := mao.ParseString("in.s", src)
+//	stats, _ := mao.RunPipeline(u, "REDTEST:REDMOV:LOOP16")
+//	fmt.Print(u)
+//
+// Beyond the pass infrastructure the module carries everything the
+// paper's evaluation needs: byte-accurate instruction encoding and
+// repeated relaxation, per-function CFGs with jump-table resolution,
+// Havlak loop nesting, register/flag data-flow, a functional x86-64
+// executor, parameterized Core-2/Opteron/P4-like timing models with
+// PMU-style counters, the Section IV microbenchmark framework for
+// parameter discovery, and synthetic SPEC-like corpora. This package
+// is the facade; the subsystems live under internal/ and the runnable
+// reproductions under cmd/ and examples/.
+package mao
+
+import (
+	"os"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/pass"
+	_ "mao/internal/passes" // register the pass catalog
+	"mao/internal/relax"
+	"mao/internal/uarch"
+	"mao/internal/uarch/exec"
+	"mao/internal/uarch/sim"
+)
+
+// Core IR types.
+type (
+	// Unit is the IR for one assembly file.
+	Unit = ir.Unit
+	// Function is one recognized function within a unit.
+	Function = ir.Function
+	// Node is one IR list element (instruction, label or directive).
+	Node = ir.Node
+)
+
+// Layout is the result of relaxation: byte-accurate addresses,
+// lengths and encodings for every node.
+type Layout = relax.Layout
+
+// Stats accumulates per-pass transformation counters.
+type Stats = pass.Stats
+
+// CPUModel is a parameterized micro-architecture description.
+type CPUModel = uarch.CPUModel
+
+// Counters are simulated PMU counts (cycles, decode lines, LSD uops,
+// mispredicts, RS_FULL stalls, cache events).
+type Counters = sim.Counters
+
+// ParseString parses AT&T-syntax assembly into an analyzed unit.
+func ParseString(name, src string) (*Unit, error) {
+	return asm.ParseString(name, src)
+}
+
+// ParseFile parses the assembly file at path.
+func ParseFile(path string) (*Unit, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asm.ParseString(path, string(b))
+}
+
+// RunPipeline runs a ':'-separated pass pipeline over the unit, e.g.
+// "REDTEST:REDMOV:LOOP16" or "LFIND=trace[2]". It returns the
+// accumulated transformation statistics. See Passes for the catalog.
+func RunPipeline(u *Unit, spec string) (*Stats, error) {
+	mgr, err := pass.NewManager(spec)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := mgr.Run(u)
+	if err != nil {
+		return nil, err
+	}
+	return stats, u.Analyze()
+}
+
+// Passes lists the registered pass names.
+func Passes() []string { return pass.Names() }
+
+// Relax computes instruction addresses and byte-accurate encodings by
+// repeated relaxation.
+func Relax(u *Unit) (*Layout, error) { return relax.Relax(u, nil) }
+
+// Core2 returns the Intel Core-2-like machine model (16-byte decode
+// lines, LSD, PC>>5 branch-predictor indexing, forwarding bandwidth 2).
+func Core2() *CPUModel { return uarch.Core2() }
+
+// Opteron returns the AMD-like machine model (32-byte fetch windows,
+// no LSD, symmetric ALU ports).
+func Opteron() *CPUModel { return uarch.Opteron() }
+
+// P4 returns the NetBurst-like machine model (deep pipeline, narrow
+// decode).
+func P4() *CPUModel { return uarch.P4() }
+
+// Measure executes the unit from the named entry function on the
+// model and returns simulated PMU counters. maxInsts bounds the run
+// (0 = the 2M default).
+func Measure(u *Unit, entry string, model *CPUModel, maxInsts int64) (*Counters, error) {
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(model)
+	if _, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: entry,
+		MaxInsts: maxInsts,
+		OnEvent:  func(ev exec.Event) { s.Feed(ev) },
+	}); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}

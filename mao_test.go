@@ -1,0 +1,88 @@
+package mao_test
+
+import (
+	"strings"
+	"testing"
+
+	"mao"
+)
+
+const facadeSrc = `
+	.text
+	.type f,@function
+f:
+	movl $5, %eax
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	addl $1, %eax
+.Lz:
+	ret
+	.size f,.-f
+`
+
+func TestFacadeParseAndPipeline(t *testing.T) {
+	u, err := mao.ParseString("f.s", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mao.RunPipeline(u, "REDTEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Get("REDTEST", "removed") != 1 {
+		t.Errorf("stats:\n%s", stats)
+	}
+	if strings.Contains(u.String(), "testl") {
+		t.Error("redundant test survived the pipeline")
+	}
+}
+
+func TestFacadeRelaxAndMeasure(t *testing.T) {
+	u, err := mao.ParseString("f.s", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := mao.Relax(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.SectionEnd[".text"] == 0 {
+		t.Error("empty layout")
+	}
+	for _, model := range []*mao.CPUModel{mao.Core2(), mao.Opteron(), mao.P4()} {
+		c, err := mao.Measure(u, "f", model, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", model.Name, err)
+		}
+		if c.Cycles == 0 || c.Insts == 0 {
+			t.Errorf("%s: empty counters", model.Name)
+		}
+	}
+}
+
+func TestFacadePassCatalog(t *testing.T) {
+	names := mao.Passes()
+	want := []string{"REDZEXT", "REDTEST", "REDMOV", "ADDADD", "LOOP16", "LSD",
+		"BRALIGN", "NOPIN", "NOPKILL", "PREFNTA", "INSTRUMENT", "SIMADDR",
+		"SCHED", "DCE", "CONSTFOLD", "LFIND", "ASM"}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("pass %s missing from catalog %v", w, names)
+		}
+	}
+}
+
+func TestFacadeBadPipeline(t *testing.T) {
+	u, err := mao.ParseString("f.s", facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mao.RunPipeline(u, "NOSUCH"); err == nil {
+		t.Error("unknown pass accepted")
+	}
+}
