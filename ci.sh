@@ -1,0 +1,41 @@
+#!/bin/sh
+# ci.sh — the checks CI runs, runnable locally with ./ci.sh.
+#
+#   gofmt       formatting must be canonical
+#   go vet      static analysis
+#   go build    everything compiles
+#   go test     full test suite under the race detector
+#   self-lint   mao --check over the committed corpus fixtures: the
+#               checker must parse and lint generator output without
+#               error-severity diagnostics (warnings are expected —
+#               synthetic workloads take ABI liberties on purpose)
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "files need gofmt:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== self-lint corpus fixtures (mao --check)"
+bin=$(mktemp -d)/mao
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/mao
+for f in internal/corpus/testdata/*.s; do
+	echo "-- $f"
+	"$bin" --check "$f"
+done
+
+echo "CI OK"

@@ -11,6 +11,17 @@
 // options concatenate. -stats prints per-pass transformation counts,
 // -passes lists the catalog.
 //
+// The static checker (see mao/internal/check) is reachable two ways:
+//
+//	mao --check in.s            lint the unit, compiler-style text on stderr
+//	mao --check=json in.s       same, JSON diagnostics on stdout
+//	mao -certify --mao=... in.s certify every pass invocation of the pipeline
+//
+// --check runs after the pipeline (if any), so it lints what the
+// passes produced; with no --mao it lints the input. The driver exits
+// with status 2 when the checker reports an error-severity diagnostic
+// or the certifier attributes a violation.
+//
 // Like the original, passes may also be loaded dynamically: build a
 // plugin exporting RegisterMAOPasses (see testdata/plugin) with
 //
@@ -29,6 +40,7 @@ import (
 	"strings"
 
 	"mao"
+	"mao/internal/check"
 	"mao/internal/pass"
 )
 
@@ -37,8 +49,11 @@ func main() {
 	log.SetPrefix("mao: ")
 
 	var specs, plugins multiFlag
+	var checkMode checkFlag
 	flag.Var(&specs, "mao", "pass pipeline, e.g. REDTEST:REDMOV:ASM=o[out.s] (repeatable)")
 	flag.Var(&plugins, "plugin", "load additional passes from a Go plugin .so (repeatable)")
+	flag.Var(&checkMode, "check", "run the static checker over the result; --check=json for JSON output")
+	certify := flag.Bool("certify", false, "certify every pass invocation with the static checker")
 	stats := flag.Bool("stats", false, "print per-pass transformation statistics")
 	list := flag.Bool("passes", false, "list registered passes")
 	flag.Parse()
@@ -78,15 +93,85 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipeline := strings.Join(specs, ":")
-	st, err := mao.RunPipeline(u, pipeline)
+	mgr, err := pass.NewManager(strings.Join(specs, ":"))
 	if err != nil {
+		log.Fatal(err)
+	}
+	var cert *check.Certifier
+	if *certify {
+		cert = &check.Certifier{}
+		mgr.Hook = cert
+	}
+	st, err := mgr.Run(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := u.Analyze(); err != nil {
 		log.Fatal(err)
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, st.String())
 	}
+
+	exit := 0
+	if cert != nil {
+		for _, v := range cert.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		if len(cert.Violations) > 0 {
+			exit = 2
+		}
+	}
+	if checkMode.set {
+		diags := mao.Check(u)
+		if checkMode.json {
+			err = check.WriteJSON(os.Stdout, diags)
+		} else {
+			err = check.WriteText(os.Stderr, diags)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if check.MaxSeverity(diags) >= check.SevError {
+			exit = 2
+		}
+	}
+	os.Exit(exit)
 }
+
+// checkFlag implements --check as an optional-value boolean flag:
+// bare --check selects text output, --check=json selects JSON.
+type checkFlag struct {
+	set  bool
+	json bool
+}
+
+func (c *checkFlag) String() string {
+	switch {
+	case c.json:
+		return "json"
+	case c.set:
+		return "true"
+	}
+	return ""
+}
+
+func (c *checkFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		c.set, c.json = true, false
+	case "false":
+		c.set, c.json = false, false
+	case "json":
+		c.set, c.json = true, true
+	default:
+		return fmt.Errorf("invalid --check mode %q (want json)", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets the flag package accept a bare --check.
+func (c *checkFlag) IsBoolFlag() bool { return true }
 
 // multiFlag accumulates repeated --mao options.
 type multiFlag []string

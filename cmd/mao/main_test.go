@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -105,6 +106,115 @@ func TestDriverErrors(t *testing.T) {
 	}
 	if err := exec.Command(bin, "--mao=ASM", "/nonexistent.s").Run(); err == nil {
 		t.Error("missing input must fail")
+	}
+}
+
+// exitCode digs the process exit status out of an exec error.
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("not an exit error: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestDriverCheckJSONGolden pins the full --check=json output on a
+// fixture violating every shipped rule: valid JSON, deterministic
+// (sorted) order, file:line positions, exit status 2.
+func TestDriverCheckJSONGolden(t *testing.T) {
+	bin := buildDriver(t)
+	cmd := exec.Command(bin, "--check=json", "testdata/check/bad.s")
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if code := exitCode(t, cmd.Run()); code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, stderr.String())
+	}
+
+	golden, err := os.ReadFile("testdata/check/bad.golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("--check=json output differs from golden:\n--- got ---\n%s--- want ---\n%s",
+			stdout.String(), golden)
+	}
+
+	var diags []struct {
+		Rule string `json:"rule"`
+		File string `json:"file"`
+		Line int    `json:"line"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for i, d := range diags {
+		seen[d.Rule] = true
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("diagnostic %d lacks a file:line position: %+v", i, d)
+		}
+		if i > 0 && diags[i-1].Line > d.Line {
+			t.Errorf("diagnostics not sorted by line at %d", i)
+		}
+	}
+	for _, rule := range []string{
+		"callee-save", "flags-undef", "reg-uninit",
+		"stack-depth", "undef-label", "unreach",
+	} {
+		if !seen[rule] {
+			t.Errorf("fixture did not trigger rule %s", rule)
+		}
+	}
+}
+
+func TestDriverCheckText(t *testing.T) {
+	bin := buildDriver(t)
+	cmd := exec.Command(bin, "--check", "testdata/check/bad.s")
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "bad.s:9: error: return with unbalanced stack (+8 bytes) [stack-depth] (in bad)") {
+		t.Errorf("compiler-style rendering missing:\n%s", text)
+	}
+}
+
+func TestDriverCheckClean(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// driverInput has warnings (r15 use) but no error-severity
+	// diagnostics, so --check exits 0.
+	cmd := exec.Command(bin, "--check", in)
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Errorf("exit = %d, want 0\n%s", code, out)
+	}
+}
+
+func TestDriverCertify(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A correct pipeline certifies clean: no violations, exit 0.
+	cmd := exec.Command(bin, "-certify", "--mao=REDTEST:REDMOV", in)
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Errorf("certified pipeline exit = %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(string(out), "introduced:") {
+		t.Errorf("spurious violations:\n%s", out)
 	}
 }
 

@@ -1,0 +1,11 @@
+	.text
+	.type bad,@function
+bad:
+	addl %ebx, %eax
+	xorl %r12d, %r12d
+	imull %edx, %edx
+	jne .Lmissing
+	pushq %rax
+	ret
+	movl $1, %eax
+	.size bad,.-bad

@@ -78,7 +78,7 @@ func (p *parser) intelInstruction(s string) error {
 	}
 
 	in := x86.NewInst(m, args...)
-	p.unit.Append(ir.InstNode(in))
+	p.append(ir.InstNode(in))
 	return nil
 }
 

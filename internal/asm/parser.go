@@ -55,6 +55,13 @@ func (p *parser) errf(format string, args ...any) error {
 	return &ParseError{File: p.file, Line: p.line, Msg: fmt.Sprintf(format, args...)}
 }
 
+// append adds a node to the unit stamped with the current source line,
+// so diagnostics can report file:line positions.
+func (p *parser) append(n *ir.Node) {
+	n.Line = p.line
+	p.unit.Append(n)
+}
+
 func (p *parser) parse(src string) error {
 	for i, raw := range strings.Split(src, "\n") {
 		p.line = i + 1
@@ -76,7 +83,7 @@ func (p *parser) statement(s string) error {
 		if !ok {
 			break
 		}
-		p.unit.Append(ir.LabelNode(name))
+		p.append(ir.LabelNode(name))
 		s = strings.TrimSpace(rest)
 	}
 	if s == "" {
@@ -136,7 +143,7 @@ func (p *parser) directive(s string) error {
 		p.intel = false
 		return nil
 	}
-	p.unit.Append(ir.DirectiveNode(name, args...))
+	p.append(ir.DirectiveNode(name, args...))
 	return nil
 }
 
@@ -187,7 +194,7 @@ func (p *parser) instruction(s string) error {
 
 	in := x86.NewInst(m, args...)
 	in.Lock = lock
-	p.unit.Append(ir.InstNode(in))
+	p.append(ir.InstNode(in))
 	return nil
 }
 

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"fmt"
+
+	"mao/internal/cfg"
+	"mao/internal/dataflow"
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// Violation is one invariant broken by a specific pass invocation: the
+// certifier attributes every new diagnostic to the pass that
+// introduced it.
+type Violation struct {
+	Pass  string `json:"pass"`
+	Index int    `json:"index"` // pipeline invocation index
+	Diag  Diag   `json:"diag"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s[%d] introduced: %s", v.Pass, v.Index, v.Diag)
+}
+
+// Certifier is a pass.Hook that runs every pass of a pipeline under
+// continuous static verification. Before each pass invocation it
+// snapshots the unit's diagnostic set and per-function liveness
+// invariants; after the pass it re-checks them, and any new violation
+// is recorded against the offending invocation — so a pass that
+// clobbers live condition codes, unbalances the stack, or breaks a
+// label is caught the moment it runs, not when the output misbehaves.
+//
+// Wire it into a pipeline with:
+//
+//	mgr, _ := pass.NewManager("REDTEST:SCHED:ASM=o[out.s]")
+//	cert := &check.Certifier{}
+//	mgr.Hook = cert
+//	stats, err := mgr.Run(u)
+//	// cert.Violations lists everything attributed, pass by pass.
+type Certifier struct {
+	// FailFast makes AfterPass return an error on the first new
+	// violation, aborting the pipeline with the failure attributed to
+	// the offending invocation. Without it the pipeline runs to
+	// completion and Violations accumulates.
+	FailFast bool
+
+	// Violations collects every invariant broken, in pipeline order.
+	Violations []Violation
+
+	baseline     map[string]int       // diag identity -> count before the pass
+	entryFlagsIn map[string]x86.Flags // per-function flags live into entry
+}
+
+// BeforePass snapshots the unit's invariants.
+func (c *Certifier) BeforePass(u *ir.Unit, name string, index int) error {
+	c.baseline = diagCounts(CheckUnit(u))
+	c.entryFlagsIn = entryFlagsLive(u)
+	return nil
+}
+
+// AfterPass re-checks the invariants and attributes every new
+// violation to the invocation that just ran.
+func (c *Certifier) AfterPass(u *ir.Unit, name string, index int) error {
+	before := len(c.Violations)
+
+	// Re-run the rule catalog; any diagnostic beyond the pre-pass
+	// multiset is new.
+	remaining := make(map[string]int, len(c.baseline))
+	for k, v := range c.baseline {
+		remaining[k] = v
+	}
+	for _, d := range CheckUnit(u) {
+		if k := d.key(); remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		c.Violations = append(c.Violations, Violation{Pass: name, Index: index, Diag: d})
+	}
+
+	// Liveness invariant (backward analysis, independent of the rule
+	// catalog's forward analyses): the flag bits live into a function's
+	// entry — condition codes some path reads before defining — must
+	// not grow. A pass that deletes or reorders a flag-setting
+	// instruction out from under a consumer trips this.
+	for fname, after := range entryFlagsLive(u) {
+		grown := after &^ c.entryFlagsIn[fname]
+		if grown == 0 {
+			continue
+		}
+		c.Violations = append(c.Violations, Violation{
+			Pass: name, Index: index,
+			Diag: Diag{
+				Rule:     "cert-flags-livein",
+				Severity: SevError,
+				File:     u.FileName,
+				Func:     fname,
+				Msg: fmt.Sprintf("flags %s newly live into function entry (read before defined)",
+					grown),
+			},
+		})
+	}
+
+	if c.FailFast && len(c.Violations) > before {
+		v := c.Violations[before]
+		return fmt.Errorf("certification failed (%d new violations): %s",
+			len(c.Violations)-before, v.Diag)
+	}
+	return nil
+}
+
+// diagCounts builds the multiset of diagnostic identities.
+func diagCounts(diags []Diag) map[string]int {
+	m := make(map[string]int, len(diags))
+	for _, d := range diags {
+		m[d.key()]++
+	}
+	return m
+}
+
+// entryFlagsLive computes, per function, the flag bits live into the
+// entry block under dataflow.Live — non-zero means some path reads
+// condition codes the function never defined.
+func entryFlagsLive(u *ir.Unit) map[string]x86.Flags {
+	m := make(map[string]x86.Flags, len(u.Functions()))
+	for _, f := range u.Functions() {
+		g := cfg.Build(f)
+		if len(g.Blocks) == 0 {
+			continue
+		}
+		m[f.Name] = dataflow.Live(g).BlockFlagsIn(g.Blocks[0])
+	}
+	return m
+}

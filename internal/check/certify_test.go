@@ -1,0 +1,193 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/x86"
+)
+
+// synthInst parses one instruction line into an x86.Inst for
+// pass-synthesized nodes.
+func synthInst(line string) *x86.Inst {
+	u, err := asm.ParseString("synth.s", "\t"+line+"\n")
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range u.List.Nodes() {
+		if n.Kind == ir.NodeInst {
+			return n.Inst
+		}
+	}
+	panic("no instruction in " + line)
+}
+
+// brokenClobber deliberately inserts an imul — which leaves SF, ZF, AF
+// and PF undefined — right after the first cmp it finds, the classic
+// micro-architectural rewrite bug the certifier exists to catch.
+type brokenClobber struct{}
+
+func (brokenClobber) Name() string        { return "TBROKEN" }
+func (brokenClobber) Description() string { return "test pass clobbering condition codes" }
+
+func (brokenClobber) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	for _, n := range f.Instructions() {
+		if n.Inst.Op == x86.OpCMP {
+			ctx.Unit.List.InsertAfter(ir.InstNode(synthInst("imull %edx, %edx")), n)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// brokenDelete deletes the first cmp, leaving its consumer reading
+// flags no path defines — tripping both the rule catalog and the
+// certifier's backward-liveness invariant.
+type brokenDelete struct{}
+
+func (brokenDelete) Name() string        { return "TDELCMP" }
+func (brokenDelete) Description() string { return "test pass deleting a cmp" }
+
+func (brokenDelete) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	for _, n := range f.Instructions() {
+		if n.Inst.Op == x86.OpCMP {
+			ctx.Unit.List.Remove(n)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// harmless changes nothing.
+type harmless struct{}
+
+func (harmless) Name() string                                  { return "TGOOD" }
+func (harmless) Description() string                           { return "test pass doing nothing" }
+func (harmless) RunFunc(*pass.Ctx, *ir.Function) (bool, error) { return false, nil }
+
+func init() {
+	pass.Register(func() pass.Pass { return brokenClobber{} })
+	pass.Register(func() pass.Pass { return brokenDelete{} })
+	pass.Register(func() pass.Pass { return harmless{} })
+}
+
+const certSrc = `
+	cmpl $1, %edi
+	jne .Lx
+	movl $2, %eax
+.Lx:
+	ret
+`
+
+func runCertified(t *testing.T, pipeline string, failFast bool) (*Certifier, error) {
+	t.Helper()
+	u := parseFunc(t, certSrc)
+	if diags := CheckUnit(u); len(diags) != 0 {
+		t.Fatalf("fixture not clean before pipeline: %v", diags)
+	}
+	mgr, err := pass.NewManager(pipeline)
+	if err != nil {
+		t.Fatalf("NewManager(%q): %v", pipeline, err)
+	}
+	cert := &Certifier{FailFast: failFast}
+	mgr.Hook = cert
+	_, err = mgr.Run(u)
+	return cert, err
+}
+
+func TestCertifierAttributesClobber(t *testing.T) {
+	cert, err := runCertified(t, "TGOOD:TBROKEN:TGOOD", false)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if len(cert.Violations) == 0 {
+		t.Fatal("certifier caught nothing")
+	}
+	v := cert.Violations[0]
+	if v.Pass != "TBROKEN" || v.Index != 1 {
+		t.Errorf("attributed to %s[%d], want TBROKEN[1]", v.Pass, v.Index)
+	}
+	if v.Diag.Rule != "flags-undef" {
+		t.Errorf("rule = %s, want flags-undef", v.Diag.Rule)
+	}
+	if s := v.String(); !strings.Contains(s, "TBROKEN[1] introduced:") {
+		t.Errorf("String() = %q", s)
+	}
+	// The harmless invocations must stay clean.
+	for _, v := range cert.Violations {
+		if v.Pass == "TGOOD" {
+			t.Errorf("violation wrongly attributed to TGOOD: %v", v)
+		}
+	}
+}
+
+func TestCertifierLivenessInvariant(t *testing.T) {
+	cert, err := runCertified(t, "TDELCMP", false)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	var rules []string
+	for _, v := range cert.Violations {
+		if v.Pass != "TDELCMP" || v.Index != 0 {
+			t.Errorf("attributed to %s[%d], want TDELCMP[0]", v.Pass, v.Index)
+		}
+		rules = append(rules, v.Diag.Rule)
+	}
+	joined := strings.Join(rules, " ")
+	if !strings.Contains(joined, "cert-flags-livein") {
+		t.Errorf("violations %v missing cert-flags-livein", rules)
+	}
+	if !strings.Contains(joined, "flags-undef") {
+		t.Errorf("violations %v missing flags-undef", rules)
+	}
+}
+
+func TestCertifierFailFast(t *testing.T) {
+	_, err := runCertified(t, "TGOOD:TBROKEN", true)
+	if err == nil {
+		t.Fatal("FailFast pipeline succeeded, want error")
+	}
+	// The manager attributes the hook error to the offending invocation.
+	if !strings.Contains(err.Error(), "TBROKEN[1]") ||
+		!strings.Contains(err.Error(), "certification failed") {
+		t.Errorf("error = %v, want TBROKEN[1] certification failure", err)
+	}
+}
+
+func TestCertifierCleanPipeline(t *testing.T) {
+	cert, err := runCertified(t, "TGOOD:TGOOD", true)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if len(cert.Violations) != 0 {
+		t.Errorf("violations on a no-op pipeline: %v", cert.Violations)
+	}
+}
+
+// TestCertifierPreexistingNotAttributed: diagnostics already present
+// before a pass must not be re-attributed to it.
+func TestCertifierPreexisting(t *testing.T) {
+	u := parseFunc(t, `
+	movl $1, %ebx
+	ret
+`)
+	pre := CheckUnit(u)
+	if len(pre) == 0 {
+		t.Fatal("fixture should have a callee-save diagnostic")
+	}
+	mgr, err := pass.NewManager("TGOOD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := &Certifier{}
+	mgr.Hook = cert
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	if len(cert.Violations) != 0 {
+		t.Errorf("pre-existing diagnostics re-attributed: %v", cert.Violations)
+	}
+}

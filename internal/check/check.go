@@ -1,0 +1,109 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"mao/internal/cfg"
+	"mao/internal/dataflow"
+	"mao/internal/ir"
+)
+
+// Rule is one table-driven static check. Rules are function-scoped:
+// the engine builds the CFG (and, lazily, liveness) once per function
+// and runs every rule over it.
+type Rule struct {
+	// ID is the stable rule identifier reported in diagnostics, e.g.
+	// "flags-undef".
+	ID string
+	// Severity of the diagnostics the rule emits.
+	Severity Severity
+	// Doc is a one-line description for listings and DESIGN.md.
+	Doc string
+
+	check func(fc *fnCtx, report reportFn)
+}
+
+// reportFn records one violation at node n.
+type reportFn func(n *ir.Node, format string, args ...any)
+
+// fnCtx carries the per-function analysis state shared by all rules.
+type fnCtx struct {
+	unit *ir.Unit
+	fn   *ir.Function
+	g    *cfg.Graph
+
+	liveOnce *dataflow.Liveness
+}
+
+// live returns the function's liveness, computed on first use.
+func (fc *fnCtx) live() *dataflow.Liveness {
+	if fc.liveOnce == nil {
+		fc.liveOnce = dataflow.Live(fc.g)
+	}
+	return fc.liveOnce
+}
+
+// rules is the shipped catalog, kept sorted by ID.
+var rules = []*Rule{
+	ruleCalleeSave,
+	ruleFlagsUndef,
+	ruleRegUninit,
+	ruleStackDepth,
+	ruleUndefLabel,
+	ruleUnreach,
+}
+
+func init() {
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+}
+
+// Rules returns the shipped rule catalog, sorted by ID.
+func Rules() []*Rule { return rules }
+
+// RuleByID returns the rule with the given ID, or nil.
+func RuleByID(id string) *Rule {
+	for _, r := range rules {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// CheckFunction runs every rule over one function and returns the
+// sorted diagnostics.
+func CheckFunction(u *ir.Unit, f *ir.Function) []Diag {
+	fc := &fnCtx{unit: u, fn: f, g: cfg.Build(f)}
+	var out []Diag
+	for _, r := range rules {
+		r := r
+		report := func(n *ir.Node, format string, args ...any) {
+			d := Diag{
+				Rule:     r.ID,
+				Severity: r.Severity,
+				File:     u.FileName,
+				Func:     f.Name,
+			}
+			if n != nil {
+				d.Line = n.Line
+			}
+			d.Msg = fmt.Sprintf(format, args...)
+			out = append(out, d)
+		}
+		r.check(fc, report)
+	}
+	Sort(out)
+	return out
+}
+
+// CheckUnit runs the full rule catalog over every function of the
+// unit and returns the sorted diagnostics.
+func CheckUnit(u *ir.Unit) []Diag {
+	var out []Diag
+	for _, f := range u.Functions() {
+		out = append(out, CheckFunction(u, f)...)
+	}
+	Sort(out)
+	return out
+}

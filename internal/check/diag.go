@@ -1,0 +1,157 @@
+// Package check is MAO's static verification and lint subsystem: a
+// diagnostics engine plus a catalog of table-driven rules over the
+// IR/CFG/dataflow layers, and a pass certifier that re-checks the rule
+// invariants around every pass invocation of a pipeline.
+//
+// MAO rewrites compiler-emitted assembly below the compiler's
+// abstraction level — exactly where clobbered condition codes, broken
+// ABI contracts and stack imbalance creep in unnoticed. The checker
+// turns the side-effect tables and data-flow analyses the optimizer
+// already owns into a correctness tool: it lints input assembly
+// (cmd/mao --check) and certifies every pass transformation
+// (Certifier, wired into pass.Manager as a Hook).
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Severity grades a diagnostic. Errors indicate code that is wrong on
+// some path (undefined jump target, unbalanced stack); warnings
+// indicate contract violations that may be intentional in hand-written
+// assembly; infos are observations.
+type Severity int
+
+// Severities, ordered least to most severe.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+// String returns the lower-case severity name used in renderings.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarn
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("check: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diag is one structured diagnostic: a rule violation at a source
+// position.
+type Diag struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"` // 1-based; 0 for synthesized nodes
+	Func     string   `json:"func,omitempty"`
+	Msg      string   `json:"msg"`
+}
+
+// String renders the diagnostic in the familiar compiler format:
+//
+//	in.s:12: warning: read of %rbx before any write [reg-uninit] (in f)
+func (d Diag) String() string {
+	pos := d.File
+	if d.Line > 0 {
+		pos = fmt.Sprintf("%s:%d", d.File, d.Line)
+	}
+	s := fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Msg, d.Rule)
+	if d.Func != "" {
+		s += " (in " + d.Func + ")"
+	}
+	return s
+}
+
+// key is the position-independent identity of a diagnostic, used by
+// the certifier to diff diagnostic sets across a pass (pass edits
+// shift nothing — nodes keep their parse lines — but inserted nodes
+// have line 0, so identity must not depend on position).
+func (d Diag) key() string {
+	return d.Rule + "\x00" + d.Func + "\x00" + d.Msg
+}
+
+// Sort orders diagnostics deterministically: by file, line, rule,
+// function, then message.
+func Sort(diags []Diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// MaxSeverity returns the highest severity present, or SevInfo for an
+// empty set.
+func MaxSeverity(diags []Diag) Severity {
+	max := SevInfo
+	for _, d := range diags {
+		if d.Severity > max {
+			max = d.Severity
+		}
+	}
+	return max
+}
+
+// WriteText renders diagnostics one per line in the compiler format.
+func WriteText(w io.Writer, diags []Diag) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (an empty
+// slice renders as []). The slice order is preserved; callers wanting
+// deterministic output Sort first.
+func WriteJSON(w io.Writer, diags []Diag) error {
+	if diags == nil {
+		diags = []Diag{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

@@ -1,0 +1,120 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDiagString(t *testing.T) {
+	d := Diag{
+		Rule: "reg-uninit", Severity: SevWarn,
+		File: "in.s", Line: 12, Func: "f",
+		Msg: "read of %rbx before any write",
+	}
+	want := "in.s:12: warning: read of %rbx before any write [reg-uninit] (in f)"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// Synthesized nodes have no line; the position degrades gracefully.
+	d.Line, d.Func = 0, ""
+	if got := d.String(); !strings.HasPrefix(got, "in.s: warning:") {
+		t.Errorf("lineless String() = %q", got)
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarn, SevError} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("unknown severity decoded without error")
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	diags := []Diag{
+		{File: "b.s", Line: 1, Rule: "x"},
+		{File: "a.s", Line: 9, Rule: "x"},
+		{File: "a.s", Line: 2, Rule: "z"},
+		{File: "a.s", Line: 2, Rule: "a"},
+	}
+	Sort(diags)
+	want := []Diag{
+		{File: "a.s", Line: 2, Rule: "a"},
+		{File: "a.s", Line: 2, Rule: "z"},
+		{File: "a.s", Line: 9, Rule: "x"},
+		{File: "b.s", Line: 1, Rule: "x"},
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, diags[i], want[i])
+		}
+	}
+}
+
+func TestMaxSeverity(t *testing.T) {
+	if got := MaxSeverity(nil); got != SevInfo {
+		t.Errorf("MaxSeverity(nil) = %v", got)
+	}
+	diags := []Diag{{Severity: SevWarn}, {Severity: SevError}, {Severity: SevInfo}}
+	if got := MaxSeverity(diags); got != SevError {
+		t.Errorf("MaxSeverity = %v, want error", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty set renders %q, want []", got)
+	}
+
+	buf.Reset()
+	diags := []Diag{{
+		Rule: "stack-depth", Severity: SevError,
+		File: "in.s", Line: 3, Func: "f", Msg: "unbalanced",
+	}}
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var back []Diag
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0] != diags[0] {
+		t.Errorf("round trip = %+v, want %+v", back, diags)
+	}
+	if !strings.Contains(buf.String(), `"severity": "error"`) {
+		t.Errorf("severity not rendered as name:\n%s", buf.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []Diag{
+		{Rule: "a", File: "x.s", Line: 1, Msg: "first"},
+		{Rule: "b", File: "x.s", Line: 2, Msg: "second"},
+	}
+	if err := WriteText(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "first") || !strings.Contains(lines[1], "second") {
+		t.Errorf("WriteText output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,239 @@
+package check
+
+import (
+	"mao/internal/cfg"
+	"mao/internal/dataflow"
+	"mao/internal/x86"
+	"mao/internal/x86/sidefx"
+)
+
+// This file holds the forward must-analyses the rule catalog runs on
+// top of the side-effect tables: "which flags hold defined values on
+// every path from entry", "which registers have been written on every
+// path from entry", and the per-path stack-depth tracking. They are
+// the forward duals of the backward liveness in mao/internal/dataflow,
+// and deliberately use meet-over-reached-predecessors (intersection)
+// so a violation means "wrong on at least one path".
+
+// allRegSet is the RegSet containing every modeled register family.
+var allRegSet = func() dataflow.RegSet {
+	var s dataflow.RegSet
+	for _, r := range x86.GPR64 {
+		s.Add(r)
+	}
+	for r := x86.XMM0; r <= x86.XMM15; r++ {
+		s.Add(r)
+	}
+	return s
+}()
+
+// flagsDefinedIn computes, per basic block, the set of RFLAGS bits
+// holding defined values on entry to the block along every path from
+// function entry. reached marks blocks reachable from entry; the
+// in-state of unreached blocks is meaningless. Flags are undefined at
+// function entry (the System V ABI guarantees nothing), and a barrier
+// (call) clobbers them.
+func flagsDefinedIn(g *cfg.Graph) (in []x86.Flags, reached []bool) {
+	n := len(g.Blocks)
+	in = make([]x86.Flags, n)
+	reached = make([]bool, n)
+	for i := range in {
+		in[i] = x86.AllFlags // top of the must-lattice
+	}
+	if n == 0 {
+		return in, reached
+	}
+	in[0] = 0
+	reached[0] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !reached[b.Index] {
+				continue
+			}
+			out := in[b.Index]
+			for _, node := range b.Insts {
+				out = flagsDefinedAfter(out, node.Inst)
+			}
+			for _, s := range b.Succs {
+				ni := in[s.Index] & out
+				if !reached[s.Index] || ni != in[s.Index] {
+					reached[s.Index] = true
+					in[s.Index] = ni
+					changed = true
+				}
+			}
+		}
+	}
+	return in, reached
+}
+
+// flagsDefinedAfter applies one instruction's transfer function to the
+// defined-flags state.
+func flagsDefinedAfter(defined x86.Flags, in *x86.Inst) x86.Flags {
+	e := sidefx.InstEffects(in)
+	if e.Barrier {
+		return 0 // calls clobber flags under the ABI
+	}
+	return defined&^e.FlagsUndef | e.FlagsSet
+}
+
+// regsWrittenIn computes, per basic block, the set of register
+// families written on every path from function entry, seeded with the
+// registers the ABI defines at entry. Barriers (calls) conservatively
+// define everything.
+func regsWrittenIn(g *cfg.Graph, entry dataflow.RegSet) (in []dataflow.RegSet, reached []bool) {
+	n := len(g.Blocks)
+	in = make([]dataflow.RegSet, n)
+	reached = make([]bool, n)
+	for i := range in {
+		in[i] = allRegSet
+	}
+	if n == 0 {
+		return in, reached
+	}
+	in[0] = entry
+	reached[0] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !reached[b.Index] {
+				continue
+			}
+			out := in[b.Index]
+			for _, node := range b.Insts {
+				out = regsWrittenAfter(out, node.Inst)
+			}
+			for _, s := range b.Succs {
+				ni := in[s.Index] & out
+				if !reached[s.Index] || ni != in[s.Index] {
+					reached[s.Index] = true
+					in[s.Index] = ni
+					changed = true
+				}
+			}
+		}
+	}
+	return in, reached
+}
+
+// regsWrittenAfter applies one instruction's transfer function to the
+// written-registers state.
+func regsWrittenAfter(written dataflow.RegSet, in *x86.Inst) dataflow.RegSet {
+	e := sidefx.InstEffects(in)
+	if e.Barrier {
+		return allRegSet
+	}
+	for _, r := range e.RegsWritten {
+		written.Add(r)
+	}
+	return written
+}
+
+// depthState is the stack-depth lattice: unreached < known(v) <
+// unknown. Depth counts bytes pushed since function entry (entry = 0,
+// immediately after the caller's call pushed the return address).
+type depthState struct {
+	reached bool
+	known   bool
+	v       int64
+}
+
+// meetDepth joins two states. conflict reports two reached, known
+// states that disagree — a path-dependent stack imbalance.
+func meetDepth(a, b depthState) (s depthState, conflict bool) {
+	switch {
+	case !a.reached:
+		return b, false
+	case !b.reached:
+		return a, false
+	case a.known && b.known && a.v == b.v:
+		return a, false
+	case a.known && b.known:
+		return depthState{reached: true}, true
+	default:
+		return depthState{reached: true}, false
+	}
+}
+
+// depthAfter applies one instruction to a known depth. ok=false means
+// the instruction's effect on %rsp cannot be tracked statically
+// (frame-pointer restores, alignment masking, non-immediate
+// adjustments); the state degrades to unknown rather than erroring.
+func depthAfter(depth int64, in *x86.Inst) (int64, bool) {
+	width := func() int64 {
+		if in.Width == x86.W0 {
+			return 8
+		}
+		return int64(in.Width)
+	}
+	switch in.Op {
+	case x86.OpPUSH:
+		return depth + width(), true
+	case x86.OpPOP:
+		return depth - width(), true
+	case x86.OpCALL, x86.OpRET:
+		return depth, true // the callee balances; ret pops what call pushed
+	case x86.OpSUB, x86.OpADD:
+		if len(in.Args) == 2 && in.Args[1].Kind == x86.KindReg &&
+			in.Args[1].Reg.Family() == x86.RSP {
+			if in.Args[0].Kind != x86.KindImm || in.Args[0].Sym != "" {
+				return 0, false
+			}
+			d := in.Args[0].Imm
+			if in.Op == x86.OpADD {
+				d = -d
+			}
+			return depth + d, true
+		}
+		return depth, true
+	}
+	if sidefx.InstEffects(in).WritesReg(x86.RSP) {
+		return 0, false // leave, mov %rbp,%rsp, and $-16,%rsp, ...
+	}
+	return depth, true
+}
+
+// stackDepthIn computes the per-block entry depth states and the set
+// of blocks whose predecessors disagree on a known depth.
+func stackDepthIn(g *cfg.Graph) (in []depthState, conflicts []bool) {
+	n := len(g.Blocks)
+	in = make([]depthState, n)
+	conflicts = make([]bool, n)
+	if n == 0 {
+		return in, conflicts
+	}
+	in[0] = depthState{reached: true, known: true}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if !in[b.Index].reached {
+				continue
+			}
+			out := in[b.Index]
+			for _, node := range b.Insts {
+				if !out.known {
+					break
+				}
+				v, ok := depthAfter(out.v, node.Inst)
+				if !ok {
+					out.known = false
+					break
+				}
+				out.v = v
+			}
+			for _, s := range b.Succs {
+				ni, conflict := meetDepth(in[s.Index], out)
+				if conflict && !conflicts[s.Index] {
+					conflicts[s.Index] = true
+					changed = true
+				}
+				if ni != in[s.Index] {
+					in[s.Index] = ni
+					changed = true
+				}
+			}
+		}
+	}
+	return in, conflicts
+}

@@ -1,0 +1,278 @@
+package check
+
+import (
+	"strings"
+
+	"mao/internal/dataflow"
+	"mao/internal/ir"
+	"mao/internal/x86"
+	"mao/internal/x86/sidefx"
+)
+
+// calleeSaved lists the System V x86-64 callee-saved register
+// families: a function must preserve their values across its body.
+var calleeSaved = func() dataflow.RegSet {
+	var s dataflow.RegSet
+	for _, r := range []x86.Reg{x86.RBX, x86.RBP, x86.R12, x86.R13, x86.R14, x86.R15} {
+		s.Add(r)
+	}
+	return s
+}()
+
+// abiEntryDefined lists the register families holding defined values
+// at function entry under the System V ABI: the six integer argument
+// registers, %rax (the varargs vector count lives in %al), the eight
+// xmm argument registers, and %rsp.
+var abiEntryDefined = func() dataflow.RegSet {
+	var s dataflow.RegSet
+	for _, r := range []x86.Reg{
+		x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9,
+		x86.RAX, x86.RSP,
+	} {
+		s.Add(r)
+	}
+	for r := x86.XMM0; r <= x86.XMM7; r++ {
+		s.Add(r)
+	}
+	return s
+}()
+
+// savedReg returns the register a save-idiom instruction preserves:
+// "push %reg" or "mov %reg, mem". Reading a callee-saved register this
+// way is how prologues save it, so such reads are exempt from the
+// uninitialized-read rule.
+func savedReg(in *x86.Inst) (x86.Reg, bool) {
+	switch in.Op {
+	case x86.OpPUSH:
+		if len(in.Args) == 1 && in.Args[0].Kind == x86.KindReg && !in.Args[0].Star {
+			return in.Args[0].Reg, true
+		}
+	case x86.OpMOV:
+		if len(in.Args) == 2 && in.Args[0].Kind == x86.KindReg &&
+			in.Args[1].Kind == x86.KindMem {
+			return in.Args[0].Reg, true
+		}
+	}
+	return x86.RegNone, false
+}
+
+// isZeroIdiom matches the compiler idioms that "read" a register only
+// formally while fully defining it: xor/sub/pxor/xorps/xorpd of a
+// register with itself.
+func isZeroIdiom(in *x86.Inst) bool {
+	switch in.Op {
+	case x86.OpXOR, x86.OpSUB, x86.OpPXOR, x86.OpXORPS, x86.OpXORPD:
+	default:
+		return false
+	}
+	return len(in.Args) == 2 &&
+		in.Args[0].Kind == x86.KindReg && in.Args[1].Kind == x86.KindReg &&
+		in.Args[0].Reg == in.Args[1].Reg
+}
+
+// ruleCalleeSave flags writes to a callee-saved register in functions
+// that never save it (no push and no store of the register anywhere
+// before the write, in layout order). Restores (pop, leave) are not
+// clobbers.
+var ruleCalleeSave = &Rule{
+	ID:       "callee-save",
+	Severity: SevWarn,
+	Doc:      "callee-saved register (rbx, rbp, r12–r15) clobbered without a save",
+	check: func(fc *fnCtx, report reportFn) {
+		var saved, reported dataflow.RegSet
+		for _, n := range fc.fn.Instructions() {
+			in := n.Inst
+			if r, ok := savedReg(in); ok {
+				saved.Add(r)
+				continue
+			}
+			switch in.Op {
+			case x86.OpPOP, x86.OpLEAVE:
+				continue // restores
+			}
+			e := sidefx.InstEffects(in)
+			if e.Barrier {
+				continue // calls preserve callee-saved registers by contract
+			}
+			for _, r := range e.RegsWritten {
+				f := r.Family()
+				if !calleeSaved.Has(f) || saved.Has(f) || reported.Has(f) {
+					continue
+				}
+				reported.Add(f)
+				report(n, "callee-saved register %%%s clobbered without save", f)
+			}
+		}
+	},
+}
+
+// ruleFlagsUndef flags reads of condition codes that are not defined
+// on every path from function entry: flags are undefined at entry,
+// calls clobber them, and instructions like imul or variable shifts
+// leave specific bits undefined. Built on the side-effect tables and
+// the forward must-defined analysis in flow.go.
+var ruleFlagsUndef = &Rule{
+	ID:       "flags-undef",
+	Severity: SevWarn,
+	Doc:      "condition codes read without being defined on all paths",
+	check: func(fc *fnCtx, report reportFn) {
+		in, reached := flagsDefinedIn(fc.g)
+		for _, b := range fc.g.Blocks {
+			if !reached[b.Index] {
+				continue
+			}
+			defined := in[b.Index]
+			for _, n := range b.Insts {
+				e := sidefx.InstEffects(n.Inst)
+				if missing := e.FlagsRead &^ defined; missing != 0 && !e.Barrier {
+					report(n, "%s reads flags %s not defined on all paths",
+						n.Inst.Mnemonic(), missing)
+				}
+				defined = flagsDefinedAfter(defined, n.Inst)
+			}
+		}
+	},
+}
+
+// ruleRegUninit flags reads of a register that no path from function
+// entry has written, beyond what the ABI defines at entry (argument
+// registers, %rax, %rsp, xmm0–7). Prologue saves of callee-saved
+// registers and zeroing idioms (xor %r,%r) are exempt.
+var ruleRegUninit = &Rule{
+	ID:       "reg-uninit",
+	Severity: SevWarn,
+	Doc:      "register read before any write, beyond the ABI-defined entry state",
+	check: func(fc *fnCtx, report reportFn) {
+		in, reached := regsWrittenIn(fc.g, abiEntryDefined)
+		var reported dataflow.RegSet
+		for _, b := range fc.g.Blocks {
+			if !reached[b.Index] {
+				continue
+			}
+			written := in[b.Index]
+			for _, n := range b.Insts {
+				inst := n.Inst
+				e := sidefx.InstEffects(inst)
+				if e.Barrier {
+					written = allRegSet
+					continue
+				}
+				if !isZeroIdiom(inst) {
+					exempt, isSave := savedReg(inst)
+					for _, r := range e.RegsRead {
+						f := r.Family()
+						if isSave && f == exempt.Family() && calleeSaved.Has(f) {
+							continue
+						}
+						if written.Has(f) || reported.Has(f) {
+							continue
+						}
+						reported.Add(f)
+						report(n, "read of %%%s before any write on some path (not an ABI argument)", f)
+					}
+				}
+				written = regsWrittenAfter(written, inst)
+			}
+		}
+	},
+}
+
+// ruleStackDepth flags push/pop and sub/add-%rsp imbalance: a return
+// reached with a non-zero tracked depth, or a join whose predecessors
+// disagree on the depth. Frame-pointer restores and other untrackable
+// %rsp writes degrade the state to unknown instead of erroring.
+var ruleStackDepth = &Rule{
+	ID:       "stack-depth",
+	Severity: SevError,
+	Doc:      "stack depth unbalanced at return or inconsistent across CFG paths",
+	check: func(fc *fnCtx, report reportFn) {
+		in, conflicts := stackDepthIn(fc.g)
+		for _, b := range fc.g.Blocks {
+			if conflicts[b.Index] {
+				report(firstNode(b.Insts), "inconsistent stack depth at join %s", b)
+			}
+			st := in[b.Index]
+			if !st.reached {
+				continue
+			}
+			for _, n := range b.Insts {
+				if !st.known {
+					break
+				}
+				if n.Inst.Op == x86.OpRET && st.v != 0 {
+					report(n, "return with unbalanced stack (%+d bytes)", st.v)
+				}
+				v, ok := depthAfter(st.v, n.Inst)
+				if !ok {
+					st.known = false
+					break
+				}
+				st.v = v
+			}
+		}
+	},
+}
+
+// ruleUndefLabel flags direct jumps to assembler-local labels (.L…)
+// that the unit never defines. Non-local targets are presumed external
+// (tail calls, cross-unit jumps) and are not checked.
+var ruleUndefLabel = &Rule{
+	ID:       "undef-label",
+	Severity: SevError,
+	Doc:      "jump to an assembler-local label the unit does not define",
+	check: func(fc *fnCtx, report reportFn) {
+		for _, n := range fc.fn.Instructions() {
+			in := n.Inst
+			if in.Op == x86.OpCALL {
+				continue
+			}
+			tgt, ok := in.BranchTarget()
+			if !ok || !strings.HasPrefix(tgt, ".L") {
+				continue
+			}
+			if fc.unit.FindLabel(tgt) == nil {
+				report(n, "jump to undefined label %s", tgt)
+			}
+		}
+	},
+}
+
+// ruleUnreach flags basic blocks no path from function entry reaches.
+// Skipped entirely when the CFG has unresolved indirect branches — the
+// edges are incomplete and reachability would be guesswork.
+var ruleUnreach = &Rule{
+	ID:       "unreach",
+	Severity: SevWarn,
+	Doc:      "basic block unreachable from function entry",
+	check: func(fc *fnCtx, report reportFn) {
+		if len(fc.g.Unresolved) > 0 || len(fc.g.Blocks) == 0 {
+			return
+		}
+		seen := make([]bool, len(fc.g.Blocks))
+		stack := []int{0}
+		seen[0] = true
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range fc.g.Blocks[i].Succs {
+				if !seen[s.Index] {
+					seen[s.Index] = true
+					stack = append(stack, s.Index)
+				}
+			}
+		}
+		for _, b := range fc.g.Blocks {
+			if !seen[b.Index] && len(b.Insts) > 0 {
+				report(b.Insts[0], "unreachable code (%s, %d instructions)", b, len(b.Insts))
+			}
+		}
+	},
+}
+
+// firstNode returns the first node of a slice, or nil.
+func firstNode(ns []*ir.Node) *ir.Node {
+	if len(ns) == 0 {
+		return nil
+	}
+	return ns[0]
+}

@@ -1,0 +1,302 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+)
+
+// parseFunc wraps a body in function scaffolding and parses it.
+func parseFunc(t *testing.T, body string) *ir.Unit {
+	t.Helper()
+	src := "\t.text\n\t.type f,@function\nf:\n" + body + "\t.size f,.-f\n"
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return u
+}
+
+// byRule filters diagnostics down to one rule ID.
+func byRule(diags []Diag, rule string) []Diag {
+	var out []Diag
+	for _, d := range diags {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// checkRule parses body and returns the diagnostics of a single rule.
+func checkRule(t *testing.T, rule, body string) []Diag {
+	t.Helper()
+	u := parseFunc(t, body)
+	return byRule(CheckUnit(u), rule)
+}
+
+func TestCalleeSavePositive(t *testing.T) {
+	got := checkRule(t, "callee-save", `
+	movl $1, %ebx
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "%rbx") {
+		t.Fatalf("diags = %v, want one rbx clobber", got)
+	}
+	if got[0].Line != 5 {
+		t.Errorf("line = %d, want 5", got[0].Line)
+	}
+}
+
+func TestCalleeSaveNegative(t *testing.T) {
+	// A saved register may be clobbered; scratch registers always may.
+	got := checkRule(t, "callee-save", `
+	pushq %rbx
+	movl $1, %ebx
+	movq %r12, -8(%rsp)
+	movl $2, %r12d
+	movl $3, %r10d
+	popq %rbx
+	ret
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestFlagsUndefPositive(t *testing.T) {
+	// imul leaves SF/ZF/AF/PF undefined; jne reads ZF.
+	got := checkRule(t, "flags-undef", `
+	cmpl $1, %edi
+	imull %edx, %edx
+	jne .Lx
+.Lx:
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "jne") || !strings.Contains(got[0].Msg, "ZF") {
+		t.Fatalf("diags = %v, want one jne/ZF read", got)
+	}
+}
+
+func TestFlagsUndefEntry(t *testing.T) {
+	// Flags are undefined at function entry.
+	got := checkRule(t, "flags-undef", `
+	jne .Lx
+.Lx:
+	ret
+`)
+	if len(got) != 1 {
+		t.Fatalf("diags = %v, want one entry-flags read", got)
+	}
+}
+
+func TestFlagsUndefOnePathOnly(t *testing.T) {
+	// Only one arm of the diamond defines the flags sete reads.
+	got := checkRule(t, "flags-undef", `
+	movl %edi, %eax
+	jmp .Lb
+	cmpl $1, %eax
+.Lb:
+	sete %al
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "sete") {
+		t.Fatalf("diags = %v, want one sete read", got)
+	}
+}
+
+func TestFlagsUndefNegative(t *testing.T) {
+	got := checkRule(t, "flags-undef", `
+	cmpl $1, %edi
+	jne .Lx
+	sete %al
+.Lx:
+	ret
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestRegUninitPositive(t *testing.T) {
+	got := checkRule(t, "reg-uninit", `
+	addl %ebx, %eax
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "%rbx") {
+		t.Fatalf("diags = %v, want one rbx read", got)
+	}
+}
+
+func TestRegUninitSomePathOnly(t *testing.T) {
+	// r10 is written on the taken arm only; the join read is flagged.
+	got := checkRule(t, "reg-uninit", `
+	testl %edi, %edi
+	je .La
+	movl $1, %r10d
+.La:
+	movl %r10d, %eax
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "%r10") {
+		t.Fatalf("diags = %v, want one r10 read", got)
+	}
+}
+
+func TestRegUninitNegative(t *testing.T) {
+	// ABI arguments, zeroing idioms, prologue saves, and post-call
+	// reads are all fine.
+	got := checkRule(t, "reg-uninit", `
+	pushq %rbx
+	xorl %r10d, %r10d
+	movl %edi, %eax
+	addl %esi, %eax
+	addl %r10d, %eax
+	call g
+	addl %r11d, %eax
+	popq %rbx
+	ret
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestStackDepthPositive(t *testing.T) {
+	got := checkRule(t, "stack-depth", `
+	pushq %rax
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "+8") {
+		t.Fatalf("diags = %v, want one +8 imbalance", got)
+	}
+}
+
+func TestStackDepthJoinConflict(t *testing.T) {
+	got := checkRule(t, "stack-depth", `
+	testl %edi, %edi
+	je .La
+	pushq %rax
+.La:
+	ret
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "inconsistent") {
+		t.Fatalf("diags = %v, want one join conflict", got)
+	}
+}
+
+func TestStackDepthNegative(t *testing.T) {
+	// Balanced frames and frame-pointer epilogues are fine; sub/add
+	// pairs on %rsp are tracked.
+	got := checkRule(t, "stack-depth", `
+	pushq %rbp
+	movq %rsp, %rbp
+	subq $32, %rsp
+	addq $32, %rsp
+	popq %rbp
+	ret
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestStackDepthUnknownSuppresses(t *testing.T) {
+	// leave restores %rsp from %rbp; the tracker must degrade to
+	// unknown, not report the dangling push.
+	got := checkRule(t, "stack-depth", `
+	pushq %rbp
+	movq %rsp, %rbp
+	pushq %rax
+	leave
+	ret
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestUndefLabelPositive(t *testing.T) {
+	got := checkRule(t, "undef-label", `
+	jmp .Lnowhere
+`)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, ".Lnowhere") {
+		t.Fatalf("diags = %v, want one undefined label", got)
+	}
+}
+
+func TestUndefLabelNegative(t *testing.T) {
+	// Defined local labels and external (tail-call) targets are fine.
+	got := checkRule(t, "undef-label", `
+	jne .Lx
+.Lx:
+	jmp memcpy
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestUnreachPositive(t *testing.T) {
+	got := checkRule(t, "unreach", `
+	ret
+	movl $1, %eax
+`)
+	if len(got) != 1 {
+		t.Fatalf("diags = %v, want one unreachable block", got)
+	}
+}
+
+func TestUnreachNegative(t *testing.T) {
+	got := checkRule(t, "unreach", `
+	testl %edi, %edi
+	je .La
+	movl $1, %eax
+.La:
+	ret
+`)
+	if len(got) != 0 {
+		t.Fatalf("diags = %v, want none", got)
+	}
+}
+
+func TestCheckUnitSortedDeterministic(t *testing.T) {
+	u := parseFunc(t, `
+	addl %ebx, %eax
+	movl $1, %r12d
+	pushq %rax
+	ret
+`)
+	a := CheckUnit(u)
+	b := CheckUnit(u)
+	if len(a) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order: %v vs %v", a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Line > a[i].Line {
+			t.Fatalf("diagnostics not sorted by line: %v", a)
+		}
+	}
+}
+
+func TestRulesCatalog(t *testing.T) {
+	rs := Rules()
+	if len(rs) < 6 {
+		t.Fatalf("catalog has %d rules, want >= 6", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].ID >= rs[i].ID {
+			t.Errorf("catalog not sorted: %s >= %s", rs[i-1].ID, rs[i].ID)
+		}
+	}
+	if RuleByID("flags-undef") == nil || RuleByID("nope") != nil {
+		t.Error("RuleByID lookup broken")
+	}
+}

@@ -1,0 +1,41 @@
+package corpus
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata fixtures")
+
+// fixtureWorkloads are the workloads committed under testdata/ — small
+// generated units that CI lints with `mao --check` as a self-test of
+// both the generator and the checker (see ci.sh).
+func fixtureWorkloads() []Workload {
+	return Spec2000Int(0.05)[:3]
+}
+
+// TestFixturesInSync pins the committed testdata fixtures to the
+// generator's output. Regenerate with:
+//
+//	go test ./internal/corpus -run Fixtures -update
+func TestFixturesInSync(t *testing.T) {
+	for _, w := range fixtureWorkloads() {
+		path := filepath.Join("testdata", sanitize(w.Name)+".s")
+		got := Generate(w)
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s missing (run with -update): %v", path, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s out of sync with the generator (run with -update)", path)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+# synthetic workload "164.gzip" (seed 1000)
+	.text
+	.type wl_164_gzip_hot0,@function
+wl_164_gzip_hot0:
+	movl $20, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_164_gzip_buf(%rip), %rdi
+.Lwl_164_gzip_o1:
+	movl $40, %ecx
+	.p2align 5
+	movl %r11d, %r11d
+	movl %r11d, %r11d
+	movl %r11d, %r11d
+.Lwl_164_gzip_t2:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_164_gzip_t2
+	decl %r13d
+	jne .Lwl_164_gzip_o1
+	ret
+	.size wl_164_gzip_hot0,.-wl_164_gzip_hot0
+	.type wl_164_gzip_hot1,@function
+wl_164_gzip_hot1:
+	.p2align 5
+	movl $300, %r9d
+	movl $1, %ebx
+.Lwl_164_gzip_t3:
+	imull $-1640531527, %ebx, %ebx
+	subl %ebx, %ecx
+	subl %ebx, %edx
+	movl %ebx, %esi
+	shrl $12, %esi
+	xorl %esi, %ebx
+	decl %r9d
+	jne .Lwl_164_gzip_t3
+	ret
+	.size wl_164_gzip_hot1,.-wl_164_gzip_hot1
+	.type wl_164_gzip_hot2,@function
+wl_164_gzip_hot2:
+	.p2align 5
+	movl $101, %r13d
+.Lwl_164_gzip_o4:
+	xorl %eax, %eax
+.Lwl_164_gzip_t5:
+	addl $1, %ecx
+	addl $2, %edx
+	addl $3, %esi
+	addl $4, %edi
+	addl $5, %ecx
+	addl $6, %edx
+	addl $7, %esi
+	addl $1, %edi
+	addl $2, %ecx
+	addl $3, %edx
+	addl $4, %esi
+	addl $5, %edi
+	addl $6, %ecx
+	addl $1, %eax
+	cmpl $120, %eax
+	jl .Lwl_164_gzip_t5
+	decl %r13d
+	jne .Lwl_164_gzip_o4
+	ret
+	.size wl_164_gzip_hot2,.-wl_164_gzip_hot2
+	.type wl_164_gzip_hot3,@function
+wl_164_gzip_hot3:
+	movl $1, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_164_gzip_buf(%rip), %rdi
+.Lwl_164_gzip_o6:
+	movl $2, %ecx
+	.p2align 5
+	movl %r11d, %r11d
+.Lwl_164_gzip_t7:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_164_gzip_t7
+	decl %r13d
+	jne .Lwl_164_gzip_o6
+	ret
+	.size wl_164_gzip_hot3,.-wl_164_gzip_hot3
+	.type wl_164_gzip_cold0,@function
+wl_164_gzip_cold0:
+	push %rbx
+	movl $597, %edx
+	addq $14, %rcx
+	movq %rdx, %rbx
+	addq $23, %rcx
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	movl $89, %ebx
+	testl %ebx, %ebx
+	je .Lwl_164_gzip_pt8
+	addl $1, %edx
+.Lwl_164_gzip_pt8:
+	movl $74, %edx
+	jmp .Lwl_164_gzip_its9
+.Lwl_164_gzip_itd10:
+	xorl %edi, %edi
+	jmp *wl_164_gzip_tab(,%rdi,8)
+.Lwl_164_gzip_its9:
+	movl $346, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $966, %ecx
+	subl $16, %ebx
+	testl %ebx, %ebx
+	je .Lwl_164_gzip_rt11
+	addl $1, %ecx
+.Lwl_164_gzip_rt11:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	pop %rbx
+	ret
+	.size wl_164_gzip_cold0,.-wl_164_gzip_cold0
+	.type main_wl_164_gzip,@function
+main_wl_164_gzip:
+	push %rbx
+	push %r12
+	push %r13
+	push %r14
+	push %r15
+	call wl_164_gzip_hot0
+	call wl_164_gzip_hot1
+	call wl_164_gzip_hot2
+	call wl_164_gzip_hot3
+	call wl_164_gzip_cold0
+	pop %r15
+	pop %r14
+	pop %r13
+	pop %r12
+	pop %rbx
+	ret
+	.size main_wl_164_gzip,.-main_wl_164_gzip
+	.data
+	.p2align 6
+wl_164_gzip_ws:
+	.zero 2048
+wl_164_gzip_buf:
+	.zero 65536
+wl_164_gzip_tab:
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.quad wl_164_gzip_ret
+	.text
+wl_164_gzip_ret:
+	ret

@@ -1,0 +1,154 @@
+# synthetic workload "175.vpr" (seed 1001)
+	.text
+	.type wl_175_vpr_hot0,@function
+wl_175_vpr_hot0:
+	movl $20, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_175_vpr_buf(%rip), %rdi
+.Lwl_175_vpr_o1:
+	movl $40, %ecx
+	.p2align 5
+	movl %r11d, %r11d
+	movl %r11d, %r11d
+	movl %r11d, %r11d
+.Lwl_175_vpr_t2:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_175_vpr_t2
+	decl %r13d
+	jne .Lwl_175_vpr_o1
+	ret
+	.size wl_175_vpr_hot0,.-wl_175_vpr_hot0
+	.type wl_175_vpr_hot1,@function
+wl_175_vpr_hot1:
+	.p2align 5
+	movl $101, %r13d
+.Lwl_175_vpr_o3:
+	xorl %eax, %eax
+.Lwl_175_vpr_t4:
+	addl $1, %ecx
+	addl $2, %edx
+	addl $3, %esi
+	addl $4, %edi
+	addl $5, %ecx
+	addl $6, %edx
+	addl $7, %esi
+	addl $1, %edi
+	addl $2, %ecx
+	addl $3, %edx
+	addl $4, %esi
+	addl $5, %edi
+	addl $6, %ecx
+	addl $1, %eax
+	cmpl $120, %eax
+	jl .Lwl_175_vpr_t4
+	decl %r13d
+	jne .Lwl_175_vpr_o3
+	ret
+	.size wl_175_vpr_hot1,.-wl_175_vpr_hot1
+	.type wl_175_vpr_hot2,@function
+wl_175_vpr_hot2:
+	movl $1, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_175_vpr_buf(%rip), %rdi
+.Lwl_175_vpr_o5:
+	movl $2, %ecx
+	.p2align 5
+	movl %r11d, %r11d
+.Lwl_175_vpr_t6:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_175_vpr_t6
+	decl %r13d
+	jne .Lwl_175_vpr_o5
+	ret
+	.size wl_175_vpr_hot2,.-wl_175_vpr_hot2
+	.type wl_175_vpr_cold0,@function
+wl_175_vpr_cold0:
+	push %rbx
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	movl $51, %ebx
+	testl %ebx, %ebx
+	je .Lwl_175_vpr_pt7
+	addl $1, %edx
+.Lwl_175_vpr_pt7:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $205, %edx
+	movq wl_175_vpr_ws+56(%rip), %rdx
+	movq wl_175_vpr_ws+56(%rip), %rcx
+	addq $3, %rcx
+	subl $16, %ebx
+	testl %ebx, %ebx
+	je .Lwl_175_vpr_rt8
+	addl $1, %ecx
+.Lwl_175_vpr_rt8:
+	addq $3, %rcx
+	jmp .Lwl_175_vpr_its9
+.Lwl_175_vpr_itd10:
+	xorl %edi, %edi
+	jmp *wl_175_vpr_tab(,%rdi,8)
+.Lwl_175_vpr_its9:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	addq $39, %rcx
+	movq %rdx, %rbx
+	addq $50, %rcx
+	movl $873, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	pop %rbx
+	ret
+	.size wl_175_vpr_cold0,.-wl_175_vpr_cold0
+	.type main_wl_175_vpr,@function
+main_wl_175_vpr:
+	push %rbx
+	push %r12
+	push %r13
+	push %r14
+	push %r15
+	call wl_175_vpr_hot0
+	call wl_175_vpr_hot1
+	call wl_175_vpr_hot2
+	call wl_175_vpr_cold0
+	pop %r15
+	pop %r14
+	pop %r13
+	pop %r12
+	pop %rbx
+	ret
+	.size main_wl_175_vpr,.-main_wl_175_vpr
+	.data
+	.p2align 6
+wl_175_vpr_ws:
+	.zero 2048
+wl_175_vpr_buf:
+	.zero 65536
+wl_175_vpr_tab:
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.quad wl_175_vpr_ret
+	.text
+wl_175_vpr_ret:
+	ret

@@ -1,0 +1,478 @@
+# synthetic workload "176.gcc" (seed 1002)
+	.text
+	.type wl_176_gcc_hot0,@function
+wl_176_gcc_hot0:
+	movl $22, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_176_gcc_buf(%rip), %rdi
+.Lwl_176_gcc_o1:
+	movl $40, %ecx
+	.p2align 5
+	movl %r11d, %r11d
+	movl %r11d, %r11d
+	movl %r11d, %r11d
+.Lwl_176_gcc_t2:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_176_gcc_t2
+	decl %r13d
+	jne .Lwl_176_gcc_o1
+	ret
+	.size wl_176_gcc_hot0,.-wl_176_gcc_hot0
+	.type wl_176_gcc_hot1,@function
+wl_176_gcc_hot1:
+	.p2align 5
+	movl $300, %r12d
+	.p2align 5
+.Lwl_176_gcc_o3:
+	movl $1, %edx
+.Lwl_176_gcc_i4:
+	addl $1, %eax
+	addl $2, %ebx
+	decl %edx
+	jne .Lwl_176_gcc_i4
+	decl %r12d
+	jne .Lwl_176_gcc_o3
+	ret
+	.size wl_176_gcc_hot1,.-wl_176_gcc_hot1
+	.type wl_176_gcc_hot2,@function
+wl_176_gcc_hot2:
+	.p2align 5
+	movl $300, %r9d
+	movl $1, %ebx
+.Lwl_176_gcc_t5:
+	imull $-1640531527, %ebx, %ebx
+	subl %ebx, %ecx
+	subl %ebx, %edx
+	movl %ebx, %esi
+	shrl $12, %esi
+	xorl %esi, %ebx
+	decl %r9d
+	jne .Lwl_176_gcc_t5
+	ret
+	.size wl_176_gcc_hot2,.-wl_176_gcc_hot2
+	.type wl_176_gcc_hot3,@function
+wl_176_gcc_hot3:
+	.p2align 5
+	movl $101, %r13d
+.Lwl_176_gcc_o6:
+	xorl %eax, %eax
+.Lwl_176_gcc_t7:
+	addl $1, %ecx
+	addl $2, %edx
+	addl $3, %esi
+	addl $4, %edi
+	addl $5, %ecx
+	addl $6, %edx
+	addl $7, %esi
+	addl $1, %edi
+	addl $2, %ecx
+	addl $3, %edx
+	addl $4, %esi
+	addl $5, %edi
+	addl $6, %ecx
+	addl $1, %eax
+	cmpl $120, %eax
+	jl .Lwl_176_gcc_t7
+	decl %r13d
+	jne .Lwl_176_gcc_o6
+	ret
+	.size wl_176_gcc_hot3,.-wl_176_gcc_hot3
+	.type wl_176_gcc_hot4,@function
+wl_176_gcc_hot4:
+	movl $1, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_176_gcc_buf(%rip), %rdi
+.Lwl_176_gcc_o8:
+	movl $2, %ecx
+	.p2align 5
+	movl %r11d, %r11d
+.Lwl_176_gcc_t9:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_176_gcc_t9
+	decl %r13d
+	jne .Lwl_176_gcc_o8
+	ret
+	.size wl_176_gcc_hot4,.-wl_176_gcc_hot4
+	.type wl_176_gcc_hot5,@function
+wl_176_gcc_hot5:
+	movl $1, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_176_gcc_buf(%rip), %rdi
+.Lwl_176_gcc_o10:
+	movl $2, %ecx
+	.p2align 5
+	addl $1, %r11d
+	movl %r11d, %r11d
+.Lwl_176_gcc_t11:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_176_gcc_t11
+	decl %r13d
+	jne .Lwl_176_gcc_o10
+	ret
+	.size wl_176_gcc_hot5,.-wl_176_gcc_hot5
+	.type wl_176_gcc_hot6,@function
+wl_176_gcc_hot6:
+	movl $1, %r13d
+	xorps %xmm0, %xmm0
+	leaq wl_176_gcc_buf(%rip), %rdi
+.Lwl_176_gcc_o12:
+	movl $2, %ecx
+	.p2align 5
+	addl $1, %r11d
+	addl $1, %r11d
+	movl %r11d, %r11d
+.Lwl_176_gcc_t13:
+	movss %xmm0, (%rdi,%rcx,4)
+	decl %ecx
+	jne .Lwl_176_gcc_t13
+	decl %r13d
+	jne .Lwl_176_gcc_o12
+	ret
+	.size wl_176_gcc_hot6,.-wl_176_gcc_hot6
+	.type wl_176_gcc_cold0,@function
+wl_176_gcc_cold0:
+	push %rbx
+	movl $451, %ecx
+	jmp .Lwl_176_gcc_its14
+.Lwl_176_gcc_itd15:
+	xorl %edi, %edi
+	jmp *wl_176_gcc_tab(,%rdi,8)
+.Lwl_176_gcc_its14:
+	xorl %ebx, %ebx
+	addq $17, %rcx
+	movq %rdx, %rbx
+	addq $20, %rcx
+	movl $546, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	movq wl_176_gcc_ws+72(%rip), %rdx
+	movq wl_176_gcc_ws+72(%rip), %rcx
+	movl $69, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $615, %edx
+	subl $16, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_rt16
+	addl $1, %ecx
+.Lwl_176_gcc_rt16:
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	movl $54, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt17
+	addl $1, %edx
+.Lwl_176_gcc_pt17:
+	movl $602, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold0,.-wl_176_gcc_cold0
+	.type wl_176_gcc_cold1,@function
+wl_176_gcc_cold1:
+	push %rbx
+	movl $128, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $932, %edx
+	movl $83, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt18
+	addl $1, %edx
+.Lwl_176_gcc_pt18:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $934, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $832, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	subl $16, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_rt19
+	addl $1, %ecx
+.Lwl_176_gcc_rt19:
+	movl $322, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	addq $21, %rcx
+	movq %rdx, %rbx
+	addq $9, %rcx
+	movl $27, %edx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold1,.-wl_176_gcc_cold1
+	.type wl_176_gcc_cold2,@function
+wl_176_gcc_cold2:
+	push %rbx
+	movl $270, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $10, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $247, %edx
+	addq $22, %rcx
+	movq %rdx, %rbx
+	addq $50, %rcx
+	movl $394, %ecx
+	movl $67, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt20
+	addl $1, %edx
+.Lwl_176_gcc_pt20:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold2,.-wl_176_gcc_cold2
+	.type wl_176_gcc_cold3,@function
+wl_176_gcc_cold3:
+	push %rbx
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $150, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $616, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	addq $4, %rcx
+	movq %rdx, %rbx
+	addq $34, %rcx
+	xorl %ebx, %ebx
+	movl $94, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt21
+	addl $1, %edx
+.Lwl_176_gcc_pt21:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold3,.-wl_176_gcc_cold3
+	.type wl_176_gcc_cold4,@function
+wl_176_gcc_cold4:
+	push %rbx
+	movl $581, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $885, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $181, %edx
+	addq $64, %rcx
+	movq %rdx, %rbx
+	addq $5, %rcx
+	movl $30, %ecx
+	movl $5, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt22
+	addl $1, %edx
+.Lwl_176_gcc_pt22:
+	movl $170, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $447, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold4,.-wl_176_gcc_cold4
+	.type wl_176_gcc_cold5,@function
+wl_176_gcc_cold5:
+	push %rbx
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	addq $10, %rcx
+	movq %rdx, %rbx
+	addq $36, %rcx
+	addq $3, %rcx
+	andl $255, %eax
+	mov %eax, %eax
+	addq $3, %rcx
+	movl $96, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt23
+	addl $1, %edx
+.Lwl_176_gcc_pt23:
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold5,.-wl_176_gcc_cold5
+	.type wl_176_gcc_cold6,@function
+wl_176_gcc_cold6:
+	push %rbx
+	movl $287, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	movl $13, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt24
+	addl $1, %edx
+.Lwl_176_gcc_pt24:
+	addq $3, %rcx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	xorl %ebx, %ebx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $757, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $908, %ecx
+	addq $5, %rcx
+	movq %rdx, %rbx
+	addq $16, %rcx
+	movl $647, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $686, %edx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold6,.-wl_176_gcc_cold6
+	.type wl_176_gcc_cold7,@function
+wl_176_gcc_cold7:
+	push %rbx
+	movl $541, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	addq $41, %rcx
+	movq %rdx, %rbx
+	addq $28, %rcx
+	movl $11, %ecx
+	movl $15, %ebx
+	testl %ebx, %ebx
+	je .Lwl_176_gcc_pt25
+	addl $1, %edx
+.Lwl_176_gcc_pt25:
+	movl $655, %ecx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $208, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $309, %edx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	leaq 4(%rcx,%rcx,2), %rdx
+	andl $255, %eax
+	mov %eax, %eax
+	movl $157, %edx
+	pop %rbx
+	ret
+	.size wl_176_gcc_cold7,.-wl_176_gcc_cold7
+	.type main_wl_176_gcc,@function
+main_wl_176_gcc:
+	push %rbx
+	push %r12
+	push %r13
+	push %r14
+	push %r15
+	call wl_176_gcc_hot0
+	call wl_176_gcc_hot1
+	call wl_176_gcc_hot2
+	call wl_176_gcc_hot3
+	call wl_176_gcc_hot4
+	call wl_176_gcc_hot5
+	call wl_176_gcc_hot6
+	call wl_176_gcc_cold0
+	call wl_176_gcc_cold1
+	call wl_176_gcc_cold2
+	call wl_176_gcc_cold3
+	pop %r15
+	pop %r14
+	pop %r13
+	pop %r12
+	pop %rbx
+	ret
+	.size main_wl_176_gcc,.-main_wl_176_gcc
+	.data
+	.p2align 6
+wl_176_gcc_ws:
+	.zero 2048
+wl_176_gcc_buf:
+	.zero 65536
+wl_176_gcc_tab:
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.quad wl_176_gcc_ret
+	.text
+wl_176_gcc_ret:
+	ret

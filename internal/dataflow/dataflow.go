@@ -113,6 +113,9 @@ func InstDefUse(in *x86.Inst) DefUse {
 type Liveness struct {
 	liveOut  map[*ir.Node]RegSet
 	flagsOut map[*ir.Node]x86.Flags
+
+	blockLiveIn  []RegSet
+	blockFlagsIn []x86.Flags
 }
 
 // Live computes backward liveness over g. Values possibly live on
@@ -161,6 +164,8 @@ func Live(g *cfg.Graph) *Liveness {
 			}
 		}
 	}
+	l.blockLiveIn = blockLiveIn
+	l.blockFlagsIn = blockFlagsIn
 	return l
 }
 
@@ -169,6 +174,26 @@ func (l *Liveness) LiveOut(n *ir.Node) RegSet { return l.liveOut[n] }
 
 // FlagsLiveOut returns the flag bits live immediately after n.
 func (l *Liveness) FlagsLiveOut(n *ir.Node) x86.Flags { return l.flagsOut[n] }
+
+// BlockLiveIn returns the registers live on entry to block b. For the
+// entry block this is the set of registers some path may read before
+// writing.
+func (l *Liveness) BlockLiveIn(b *cfg.BasicBlock) RegSet {
+	if b.Index >= len(l.blockLiveIn) {
+		return 0
+	}
+	return l.blockLiveIn[b.Index]
+}
+
+// BlockFlagsIn returns the flag bits live on entry to block b. For the
+// entry block a non-empty set means some path reads condition codes the
+// function never defined — an invariant the static checker enforces.
+func (l *Liveness) BlockFlagsIn(b *cfg.BasicBlock) x86.Flags {
+	if b.Index >= len(l.blockFlagsIn) {
+		return 0
+	}
+	return l.blockFlagsIn[b.Index]
+}
 
 // bitvec is a packed bit vector over definition-site indices.
 type bitvec []uint64

@@ -226,3 +226,141 @@ func TestReachingDefsBarrier(t *testing.T) {
 		t.Errorf("defs across call = %v", defs)
 	}
 }
+
+func TestRegSetHighRegisters(t *testing.T) {
+	var s RegSet
+	// High-byte and REX-byte names alias their 64-bit family.
+	s.Add(x86.AH)
+	if !s.Has(x86.RAX) || !s.Has(x86.AL) {
+		t.Error("ah must alias the rax family")
+	}
+	s.Add(x86.SPL)
+	if !s.Has(x86.RSP) {
+		t.Error("spl must alias the rsp family")
+	}
+	s.Add(x86.R15B)
+	if !s.Has(x86.R15) || s.Has(x86.R14) {
+		t.Error("r15b must alias r15 and nothing else")
+	}
+	// The last modeled xmm family must fit the bitset.
+	s.Add(x86.XMM15)
+	if !s.Has(x86.XMM15) || s.Has(x86.XMM14) {
+		t.Error("xmm15 bit wrong")
+	}
+}
+
+func TestHighBytePartialWrite(t *testing.T) {
+	for _, src := range []string{"movb $1, %ah", "movw $1, %ax"} {
+		u, err := asm.ParseString("t.s", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := InstDefUse(u.List.Front().Inst)
+		// Byte and word writes merge into the family: the old bits
+		// survive, so the family must count as used as well as defined.
+		if !d.Defs.Has(x86.RAX) || !d.Uses.Has(x86.RAX) {
+			t.Errorf("%s: partial write def/use wrong: %+v", src, d)
+		}
+	}
+}
+
+func TestFlagOnlyInstructions(t *testing.T) {
+	u, err := asm.ParseString("t.s", "setg %al")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := InstDefUse(u.List.Front().Inst)
+	if d.FlagUses&(x86.ZF|x86.SF|x86.OF) != x86.ZF|x86.SF|x86.OF {
+		t.Errorf("setg flag uses = %v", d.FlagUses)
+	}
+	if !d.Defs.Has(x86.RAX) {
+		t.Error("setg must define its destination byte's family")
+	}
+
+	// Shifts leave OF/AF undefined: undefined counts as a def for
+	// liveness (the old value is destroyed).
+	u, err = asm.ParseString("t.s", "shll $3, %eax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = InstDefUse(u.List.Front().Inst)
+	if d.FlagDefs&x86.OF == 0 || d.FlagDefs&x86.CF == 0 {
+		t.Errorf("shl flag defs = %v, want CF and OF covered", d.FlagDefs)
+	}
+}
+
+func TestFlagsLiveOutDiamond(t *testing.T) {
+	// Different flag consumers on each arm of a diamond: the flags
+	// live after the cmp are the union over both paths.
+	f, g := buildGraph(t, `
+	cmpl $1, %edi
+	je .La
+	setg %al
+	ret
+.La:
+	setb %al
+	ret
+`)
+	l := Live(g)
+	insts := f.Instructions()
+	got := l.FlagsLiveOut(insts[0])
+	want := x86.ZF | x86.SF | x86.OF | x86.CF
+	if got&want != want {
+		t.Errorf("flags live after cmp = %v, want at least %v", got, want)
+	}
+	// After the je only the fallthrough consumer's flags remain live on
+	// that edge, plus .La's via the taken edge is gone — the je node's
+	// live-out is the union of its successors' live-ins: setg needs
+	// ZF|SF|OF, setb needs CF.
+	if out := l.FlagsLiveOut(insts[1]); out&want != want {
+		t.Errorf("flags live after je = %v, want %v", out, want)
+	}
+}
+
+func TestBlockLiveIn(t *testing.T) {
+	f, g := buildGraph(t, `
+	jne .Lx
+	addl %ebx, %eax
+.Lx:
+	ret
+`)
+	_ = f
+	l := Live(g)
+	entry := g.Blocks[0]
+	// The entry jne reads ZF before anything defines it.
+	if l.BlockFlagsIn(entry)&x86.ZF == 0 {
+		t.Error("ZF must be live into entry (jne reads it undefined)")
+	}
+	// ebx is read on the fallthrough path with no prior def.
+	if !l.BlockLiveIn(entry).Has(x86.RBX) {
+		t.Error("rbx must be live into entry")
+	}
+	// Out-of-range blocks return zero values rather than panicking.
+	fake := &cfg.BasicBlock{Index: 99}
+	var zero RegSet
+	if l.BlockLiveIn(fake) != zero || l.BlockFlagsIn(fake) != 0 {
+		t.Error("out-of-range block must yield zero sets")
+	}
+}
+
+func TestLivenessLoopFlags(t *testing.T) {
+	// A flag set inside the loop and consumed by the back-edge jcc:
+	// live across the body tail, dead before the cmp defines it.
+	f, g := buildGraph(t, `
+	xorl %ecx, %ecx
+.Ltop:
+	addl $1, %ecx
+	cmpl $10, %ecx
+	jl .Ltop
+	ret
+`)
+	l := Live(g)
+	insts := f.Instructions()
+	if l.FlagsLiveOut(insts[2])&(x86.SF|x86.OF) == 0 {
+		t.Error("cmp flags must be live before jl")
+	}
+	if l.FlagsLiveOut(insts[0]) != 0 {
+		t.Errorf("no flags should be live after the xor init, got %v",
+			l.FlagsLiveOut(insts[0]))
+	}
+}

@@ -40,6 +40,11 @@ type Node struct {
 	// Section is the name of the section the node lives in, filled in
 	// by Unit structure analysis.
 	Section string
+
+	// Line is the 1-based source line the node was parsed from, or 0
+	// for nodes synthesized by passes. Diagnostics use it for
+	// file:line positions.
+	Line int
 }
 
 // Directive is an assembler directive with its raw arguments, e.g.

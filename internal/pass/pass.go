@@ -302,10 +302,25 @@ func parseOpt(s string) (key, val string, err error) {
 	return s, "", nil
 }
 
+// Hook observes pipeline execution around every pass invocation. The
+// static-verification certifier (mao/internal/check) implements it to
+// snapshot invariants before each pass and re-check them after; other
+// implementations may time passes or log progress. An error from either
+// method aborts the pipeline, attributed to the observed invocation.
+type Hook interface {
+	// BeforePass runs before invocation index of the pipeline.
+	BeforePass(u *ir.Unit, name string, index int) error
+	// AfterPass runs after the invocation completed successfully.
+	AfterPass(u *ir.Unit, name string, index int) error
+}
+
 // Manager runs a pipeline over a unit.
 type Manager struct {
 	Pipeline []Invocation
 	TraceW   io.Writer
+
+	// Hook, when non-nil, is invoked around every pass invocation.
+	Hook Hook
 }
 
 // NewManager parses a pipeline spec into a runnable manager.
@@ -325,32 +340,47 @@ func NewManager(spec string) (*Manager, error) {
 // functionality: dump_before[path] and dump_after[path] write the
 // unit's current assembly to the named file (or stderr for an empty
 // value) around the pass.
+// Errors from a pass (or from a Hook observing it) are wrapped with
+// the pass name and its pipeline invocation index — "REDTEST[2]: ..."
+// — so failures in long pipelines are attributable to the offending
+// invocation.
 func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
 	stats := NewStats()
-	for _, inv := range m.Pipeline {
+	for idx, inv := range m.Pipeline {
+		name := inv.Pass.Name()
 		ctx := &Ctx{
 			Unit:     u,
 			Opts:     inv.Opts,
 			Stats:    stats,
 			TraceW:   m.TraceW,
-			passName: inv.Pass.Name(),
+			passName: name,
 		}
 		if err := dumpIR(u, inv, "dump_before"); err != nil {
 			return stats, err
 		}
+		if m.Hook != nil {
+			if err := m.Hook.BeforePass(u, name, idx); err != nil {
+				return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
+			}
+		}
 		switch p := inv.Pass.(type) {
 		case UnitPass:
 			if _, err := p.RunUnit(ctx); err != nil {
-				return stats, fmt.Errorf("pass %s: %w", p.Name(), err)
+				return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
 			}
 		case FuncPass:
 			for _, f := range u.Functions() {
 				if _, err := p.RunFunc(ctx, f); err != nil {
-					return stats, fmt.Errorf("pass %s on %s: %w", p.Name(), f.Name, err)
+					return stats, fmt.Errorf("%s[%d] on %s: %w", name, idx, f.Name, err)
 				}
 			}
 		default:
-			return stats, fmt.Errorf("pass %s implements neither FuncPass nor UnitPass", inv.Pass.Name())
+			return stats, fmt.Errorf("%s[%d]: pass implements neither FuncPass nor UnitPass", name, idx)
+		}
+		if m.Hook != nil {
+			if err := m.Hook.AfterPass(u, name, idx); err != nil {
+				return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
+			}
 		}
 		if err := dumpIR(u, inv, "dump_after"); err != nil {
 			return stats, err

@@ -1,6 +1,8 @@
 package pass
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -105,6 +107,143 @@ func TestParsePipelineMalformed(t *testing.T) {
 	Register(func() Pass { var r []string; return &fakePass{"TESTC", &r} })
 	if _, err := ParsePipeline("TESTC=bad[unterminated"); err == nil {
 		t.Error("malformed option accepted")
+	}
+}
+
+type failPass struct {
+	name string
+	err  error
+}
+
+func (f *failPass) Name() string               { return f.name }
+func (f *failPass) Description() string        { return "test pass that fails" }
+func (f *failPass) RunUnit(*Ctx) (bool, error) { return false, f.err }
+
+type failFuncPass struct {
+	name string
+	err  error
+}
+
+func (f *failFuncPass) Name() string        { return f.name }
+func (f *failFuncPass) Description() string { return "test func pass that fails" }
+func (f *failFuncPass) RunFunc(_ *Ctx, fn *ir.Function) (bool, error) {
+	return false, f.err
+}
+
+// unitWithFunc builds a unit containing one recognized function.
+func unitWithFunc(t *testing.T, name string) *ir.Unit {
+	t.Helper()
+	u := ir.NewUnit("t.s")
+	u.Append(ir.DirectiveNode(".type", name, "@function"))
+	u.Append(ir.LabelNode(name))
+	u.Append(ir.DirectiveNode(".size", name+",.-"+name))
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestErrorWrappedWithInvocation(t *testing.T) {
+	base := errors.New("boom")
+	var ran []string
+	Register(func() Pass { return &fakePass{"TESTOK", &ran} })
+	Register(func() Pass { return &failPass{"TESTFAIL", base} })
+
+	mgr, err := NewManager("TESTOK:TESTOK:TESTFAIL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ir.NewUnit("t.s")
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Run(u)
+	if err == nil {
+		t.Fatal("failing pipeline succeeded")
+	}
+	if !strings.Contains(err.Error(), "TESTFAIL[2]:") {
+		t.Errorf("error %q lacks pass name and invocation index", err)
+	}
+	if !errors.Is(err, base) {
+		t.Error("wrapped error lost the cause chain")
+	}
+}
+
+func TestFuncPassErrorNamesFunction(t *testing.T) {
+	base := errors.New("bad function")
+	Register(func() Pass { return &failFuncPass{"TESTFFAIL", base} })
+	mgr, err := NewManager("TESTFFAIL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Run(unitWithFunc(t, "myfunc"))
+	if err == nil {
+		t.Fatal("failing pipeline succeeded")
+	}
+	if !strings.Contains(err.Error(), "TESTFFAIL[0] on myfunc:") {
+		t.Errorf("error %q lacks pass, index and function", err)
+	}
+	if !errors.Is(err, base) {
+		t.Error("wrapped error lost the cause chain")
+	}
+}
+
+// recordHook records hook callbacks and optionally fails.
+type recordHook struct {
+	calls     []string
+	failAfter string // pass name whose AfterPass errors
+}
+
+func (h *recordHook) BeforePass(u *ir.Unit, name string, index int) error {
+	h.calls = append(h.calls, fmt.Sprintf("before %s[%d]", name, index))
+	return nil
+}
+
+func (h *recordHook) AfterPass(u *ir.Unit, name string, index int) error {
+	h.calls = append(h.calls, fmt.Sprintf("after %s[%d]", name, index))
+	if name == h.failAfter {
+		return errors.New("invariant broken")
+	}
+	return nil
+}
+
+func TestHookObservesEveryInvocation(t *testing.T) {
+	var ran []string
+	Register(func() Pass { return &fakePass{"TESTHOOK", &ran} })
+	mgr, err := NewManager("TESTHOOK:TESTHOOK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &recordHook{}
+	mgr.Hook = h
+	u := ir.NewUnit("t.s")
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	want := "before TESTHOOK[0] after TESTHOOK[0] before TESTHOOK[1] after TESTHOOK[1]"
+	if got := strings.Join(h.calls, " "); got != want {
+		t.Errorf("hook calls = %q, want %q", got, want)
+	}
+}
+
+func TestHookErrorAttributed(t *testing.T) {
+	var ran []string
+	Register(func() Pass { return &fakePass{"TESTHOOKF", &ran} })
+	mgr, err := NewManager("TESTHOOKF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Hook = &recordHook{failAfter: "TESTHOOKF"}
+	u := ir.NewUnit("t.s")
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Run(u)
+	if err == nil || !strings.Contains(err.Error(), "TESTHOOKF[0]: invariant broken") {
+		t.Errorf("hook error not attributed: %v", err)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"mao/internal/asm"
+	"mao/internal/check"
 	"mao/internal/ir"
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the pass catalog
@@ -51,6 +52,9 @@ type Layout = relax.Layout
 
 // Stats accumulates per-pass transformation counters.
 type Stats = pass.Stats
+
+// Diag is one structured diagnostic from the static checker.
+type Diag = check.Diag
 
 // CPUModel is a parameterized micro-architecture description.
 type CPUModel = uarch.CPUModel
@@ -90,6 +94,13 @@ func RunPipeline(u *Unit, spec string) (*Stats, error) {
 
 // Passes lists the registered pass names.
 func Passes() []string { return pass.Names() }
+
+// Check runs the static verification rule catalog (ABI contracts,
+// condition-code definedness, stack balance, CFG sanity) over every
+// function of the unit and returns the sorted diagnostics. The same
+// catalog is available as the CHECK pipeline pass and, wrapped in
+// check.Certifier, certifies every pass of a pipeline.
+func Check(u *Unit) []Diag { return check.CheckUnit(u) }
 
 // Relax computes instruction addresses and byte-accurate encodings by
 // repeated relaxation.
