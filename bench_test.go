@@ -12,6 +12,7 @@ package mao_test
 // EXPERIMENTS.md) come from the experiment output itself.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"mao/internal/bench"
 	"mao/internal/corpus"
 	"mao/internal/experiments"
+	"mao/internal/relax"
 	"mao/internal/uarch"
 )
 
@@ -105,6 +107,64 @@ func BenchmarkPatternPasses(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelineWorkers measures the parallel per-function pipeline
+// at several worker counts over a scheduling-heavy pipeline (SCHED
+// dominates, so the fan-out has real work to distribute). The emitted
+// unit is identical at every worker count; only wall-clock changes.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	src := corpus.Generate(corpus.CoreLibrary(0.5))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				u, err := mao.ParseString("bench.s", src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				_, err = mao.RunPipelineParallel(u,
+					"REDZEXT:REDTEST:REDMOV:ADDADD:DCE:CONSTFOLD:SCHED",
+					mao.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRelaxCache measures relaxation with a cold cache, and then
+// re-relaxation of the unchanged unit through a warm cache — the
+// repeated-pipeline workload the cache exists for.
+func BenchmarkRelaxCache(b *testing.B) {
+	src := corpus.Generate(corpus.CoreLibrary(0.5))
+	u, err := mao.ParseString("bench.s", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mao.Relax(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := mao.NewCache()
+		if _, err := relax.Relax(u, &relax.Options{Cache: c}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := relax.Relax(u, &relax.Options{Cache: c}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(c.HitRate()*100, "hit%")
+	})
 }
 
 // BenchmarkSimulate measures executor+simulator throughput.

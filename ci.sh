@@ -5,6 +5,12 @@
 #   go vet      static analysis
 #   go build    everything compiles
 #   go test     full test suite under the race detector
+#   race-stress the concurrency-bearing packages (the parallel pass
+#               manager and the shared encode cache) repeated under the
+#               race detector to shake out scheduling-dependent races
+#   bench smoke every benchmark runs once, so the committed benchmarks
+#               (including the worker-scaling and cache benchmarks)
+#               cannot silently rot
 #   self-lint   mao --check over the committed corpus fixtures: the
 #               checker must parse and lint generator output without
 #               error-severity diagnostics (warnings are expected —
@@ -28,6 +34,12 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== race-stress: parallel pass manager + encode cache"
+go test -race -count=3 ./internal/pass/ ./internal/relax/
+
+echo "== benchmark smoke run"
+go test -run '^$' -bench . -benchtime=1x ./...
 
 echo "== self-lint corpus fixtures (mao --check)"
 bin=$(mktemp -d)/mao

@@ -42,6 +42,7 @@ import (
 	"mao"
 	"mao/internal/check"
 	"mao/internal/pass"
+	"mao/internal/relax"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 	certify := flag.Bool("certify", false, "certify every pass invocation with the static checker")
 	stats := flag.Bool("stats", false, "print per-pass transformation statistics")
 	list := flag.Bool("passes", false, "list registered passes")
+	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	// Dynamically loaded passes, as in the original MAO ("passes can
@@ -97,6 +99,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mgr.Workers = *workers
+	mgr.Cache = relax.NewCache()
 	var cert *check.Certifier
 	if *certify {
 		cert = &check.Certifier{}

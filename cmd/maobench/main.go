@@ -16,7 +16,9 @@ import (
 	"log"
 	"os"
 
+	"mao/internal/bench"
 	"mao/internal/experiments"
+	"mao/internal/relax"
 )
 
 func main() {
@@ -25,7 +27,10 @@ func main() {
 	name := flag.String("experiment", "", "run a single experiment by name")
 	list := flag.Bool("list", false, "list experiment names")
 	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = the paper's sizes)")
+	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	bench.Workers = *workers
+	bench.EncodeCache = relax.NewCache()
 
 	if *list {
 		for _, e := range experiments.All() {

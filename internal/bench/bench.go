@@ -35,6 +35,15 @@ type Run struct {
 // MaxInsts bounds each simulated execution.
 const MaxInsts = 4_000_000
 
+// Workers bounds the pass manager's worker pool for every pipeline
+// this package runs (0 = GOMAXPROCS, 1 = sequential). cmd/maobench's
+// -j flag sets it; results are identical at any value.
+var Workers = 0
+
+// EncodeCache, when non-nil, is threaded into every pipeline run so
+// repeated relaxations share position-independent encodings.
+var EncodeCache *relax.Cache
+
 // Prepare parses a workload into a unit (no passes yet).
 func Prepare(w corpus.Workload) (*ir.Unit, error) {
 	return asm.ParseString(w.Name+".s", corpus.Generate(w))
@@ -50,6 +59,8 @@ func Optimize(u *ir.Unit, pipeline string) (*pass.Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	mgr.Workers = Workers
+	mgr.Cache = EncodeCache
 	stats, err := mgr.Run(u)
 	if err != nil {
 		return nil, err

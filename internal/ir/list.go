@@ -1,8 +1,20 @@
 package ir
 
+import "sync"
+
 // List is the doubly-linked node list backing a Unit. The zero value
 // is an empty list.
+//
+// Structural mutations (Append, InsertAfter, InsertBefore, Remove) are
+// serialized by an internal mutex so that function passes running
+// concurrently over disjoint function spans (see pass.Manager's worker
+// pool) can mutate their own spans without racing on the shared
+// length and head/tail bookkeeping. Traversal (Front/Back/Next/Prev)
+// is deliberately unsynchronized: concurrent traversal of a span
+// another goroutine is mutating is a logical race the parallel pass
+// contract (pass.ParallelSafe) already forbids.
 type List struct {
+	mu         sync.Mutex
 	head, tail *Node
 	len        int
 }
@@ -14,10 +26,16 @@ func (l *List) Front() *Node { return l.head }
 func (l *List) Back() *Node { return l.tail }
 
 // Len returns the number of nodes.
-func (l *List) Len() int { return l.len }
+func (l *List) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.len
+}
 
 // Append adds n at the end of the list and returns it.
 func (l *List) Append(n *Node) *Node {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n.list = l
 	n.prev = l.tail
 	n.next = nil
@@ -37,6 +55,8 @@ func (l *List) InsertAfter(n, at *Node) *Node {
 	if at.list != l {
 		panic("ir: InsertAfter anchor not in list")
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n.list = l
 	n.prev = at
 	n.next = at.next
@@ -57,6 +77,8 @@ func (l *List) InsertBefore(n, at *Node) *Node {
 	if at.list != l {
 		panic("ir: InsertBefore anchor not in list")
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n.list = l
 	n.next = at
 	n.prev = at.prev
@@ -77,6 +99,8 @@ func (l *List) Remove(n *Node) {
 	if n.list != l {
 		panic("ir: Remove of node not in list")
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {
@@ -94,7 +118,7 @@ func (l *List) Remove(n *Node) {
 // Nodes returns every node in order. The snapshot is safe to iterate
 // while mutating the list.
 func (l *List) Nodes() []*Node {
-	out := make([]*Node, 0, l.len)
+	out := make([]*Node, 0, l.Len())
 	for n := l.head; n != nil; n = n.next {
 		out = append(out, n)
 	}

@@ -1,0 +1,124 @@
+package pass
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mao/internal/ir"
+)
+
+// runFuncPass executes one FuncPass invocation over every function of
+// the unit, sharding across the manager's worker pool when the pass is
+// ParallelSafe. The results are indistinguishable from sequential
+// execution at any worker count:
+//
+//   - Each worker mutates only its own function spans (the ParallelSafe
+//     contract), so the unit's node list ends up byte-identical.
+//   - Each function's invocation gets a private Stats sink; they are
+//     merged in function order, and counter addition is commutative, so
+//     the merged totals match the sequential run exactly.
+//   - Trace output is buffered per function and flushed in function
+//     order, so traces interleave exactly as they would sequentially.
+//   - On failure, the error reported is the one from the lowest-index
+//     failing function, wrapped "NAME[idx] on fname" with idx the
+//     pipeline invocation index — the same stable attribution the
+//     sequential path produces. (Unlike the sequential path, functions
+//     after the failing one may already have been transformed; an
+//     erroring pipeline leaves the unit in an unspecified state either
+//     way.)
+//
+// Cache coherence: whenever a function's RunFunc reports a change, the
+// function's span is invalidated in the manager's relaxation cache
+// before the pipeline proceeds.
+func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, stats *Stats) error {
+	name := p.Name()
+	funcs := u.Functions()
+
+	workers := m.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+
+	if workers <= 1 || !isParallelSafe(p) {
+		ctx := &Ctx{
+			Unit:     u,
+			Opts:     inv.Opts,
+			Stats:    stats,
+			TraceW:   m.TraceW,
+			Cache:    m.Cache,
+			passName: name,
+		}
+		for _, f := range funcs {
+			changed, err := p.RunFunc(ctx, f)
+			if changed {
+				m.Cache.InvalidateFunction(f)
+			}
+			if err != nil {
+				return fmt.Errorf("%s[%d] on %s: %w", name, idx, f.Name, err)
+			}
+		}
+		return nil
+	}
+
+	// Parallel path: one result slot per function, claimed by index so
+	// the work distribution is dynamic but the merge order is fixed.
+	type result struct {
+		stats   *Stats
+		trace   bytes.Buffer
+		changed bool
+		err     error
+	}
+	results := make([]result, len(funcs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(funcs) {
+					return
+				}
+				r := &results[i]
+				r.stats = NewStats()
+				ctx := &Ctx{
+					Unit:     u,
+					Opts:     inv.Opts,
+					Stats:    r.stats,
+					Cache:    m.Cache,
+					passName: name,
+				}
+				if m.TraceW != nil {
+					ctx.TraceW = &r.trace
+				}
+				r.changed, r.err = p.RunFunc(ctx, funcs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i, f := range funcs {
+		r := &results[i]
+		if m.TraceW != nil && r.trace.Len() > 0 {
+			if _, err := m.TraceW.Write(r.trace.Bytes()); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s[%d]: trace: %w", name, idx, err)
+			}
+		}
+		stats.Merge(r.stats)
+		if r.changed {
+			m.Cache.InvalidateFunction(f)
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s[%d] on %s: %w", name, idx, f.Name, r.err)
+		}
+	}
+	return firstErr
+}

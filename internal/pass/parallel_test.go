@@ -1,0 +1,164 @@
+package pass
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// genUnit builds a unit with n small functions f0..f(n-1).
+func genUnit(t *testing.T, n int) *ir.Unit {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ".globl f%d\n.type f%d, @function\nf%d:\n", i, i, i)
+		fmt.Fprintf(&b, "\tmovl\t$%d, %%eax\n\taddl\t$1, %%eax\n\tnop\n\tret\n", i)
+		fmt.Fprintf(&b, ".size f%d, .-f%d\n", i, i)
+	}
+	u, err := asm.ParseString("gen.s", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// parFake is a ParallelSafe FuncPass that inserts a nop at the top of
+// every function, counts, and traces — enough surface to observe
+// output, stats and trace determinism.
+type parFake struct {
+	failOn map[string]bool // function names whose RunFunc errors
+}
+
+func (*parFake) Name() string        { return "PARFAKE" }
+func (*parFake) Description() string { return "test: parallel-safe mutator" }
+func (*parFake) ParallelSafe() bool  { return true }
+func (p *parFake) RunFunc(ctx *Ctx, f *ir.Function) (bool, error) {
+	if p.failOn[f.Name] {
+		return false, fmt.Errorf("induced failure")
+	}
+	insts := f.Instructions()
+	if len(insts) == 0 {
+		return false, nil
+	}
+	nop := x86.NewInst(x86.Mnem{Op: x86.OpNOP})
+	f.Unit().List.InsertBefore(ir.InstNode(nop), insts[0])
+	ctx.Trace(1, "%s: inserted nop", f.Name)
+	ctx.Count("nops", 1)
+	ctx.Count("insts", len(insts))
+	return true, nil
+}
+
+func runParFake(t *testing.T, workers, funcs int, failOn map[string]bool) (string, *Stats, string, error) {
+	t.Helper()
+	u := genUnit(t, funcs)
+	var trace bytes.Buffer
+	m := &Manager{
+		Pipeline: []Invocation{{
+			Pass: &parFake{failOn: failOn},
+			Opts: NewOptions("trace", "1"),
+		}},
+		TraceW:  &trace,
+		Workers: workers,
+	}
+	stats, err := m.Run(u)
+	return u.String(), stats, trace.String(), err
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	baseOut, baseStats, baseTrace, err := runParFake(t, 1, 23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseStats.Get("PARFAKE", "nops") != 23 {
+		t.Fatalf("sequential stats wrong:\n%s", baseStats)
+	}
+	if !strings.Contains(baseTrace, "[PARFAKE] f0: inserted nop") {
+		t.Fatalf("trace missing: %q", baseTrace)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		out, stats, trace, err := runParFake(t, workers, 23, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != baseOut {
+			t.Errorf("workers=%d: emitted assembly differs from sequential", workers)
+		}
+		if stats.String() != baseStats.String() {
+			t.Errorf("workers=%d: stats differ:\n%s\nvs\n%s", workers, stats, baseStats)
+		}
+		if trace != baseTrace {
+			t.Errorf("workers=%d: trace differs:\n%q\nvs\n%q", workers, trace, baseTrace)
+		}
+	}
+}
+
+// TestParallelErrorIndexStable: the error reported under any worker
+// count names the lowest-index failing function and carries the stable
+// pipeline invocation index.
+func TestParallelErrorIndexStable(t *testing.T) {
+	fail := map[string]bool{"f19": true, "f3": true, "f11": true}
+	for _, workers := range []int{1, 2, 8} {
+		_, _, _, err := runParFake(t, workers, 23, fail)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		want := "PARFAKE[0] on f3: induced failure"
+		if err.Error() != want {
+			t.Errorf("workers=%d: error %q, want %q", workers, err, want)
+		}
+	}
+}
+
+// orderHook records the bracketing sequence of pipeline invocations.
+type orderHook struct{ events []string }
+
+func (h *orderHook) BeforePass(u *ir.Unit, name string, index int) error {
+	h.events = append(h.events, fmt.Sprintf("before %s[%d]", name, index))
+	return nil
+}
+func (h *orderHook) AfterPass(u *ir.Unit, name string, index int) error {
+	h.events = append(h.events, fmt.Sprintf("after %s[%d]", name, index))
+	return nil
+}
+
+// TestParallelHookBracketing: hooks bracket whole invocations, so a
+// certifier observes the same sequence at any worker count.
+func TestParallelHookBracketing(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		u := genUnit(t, 12)
+		h := &orderHook{}
+		m := &Manager{
+			Pipeline: []Invocation{
+				{Pass: &parFake{}, Opts: NewOptions()},
+				{Pass: &parFake{}, Opts: NewOptions()},
+			},
+			Hook:    h,
+			Workers: workers,
+		}
+		if _, err := m.Run(u); err != nil {
+			t.Fatal(err)
+		}
+		want := "before PARFAKE[0] after PARFAKE[0] before PARFAKE[1] after PARFAKE[1]"
+		if got := strings.Join(h.events, " "); got != want {
+			t.Errorf("workers=%d: hook order %q, want %q", workers, got, want)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Add("P", "x", 2)
+	b.Add("P", "x", 3)
+	b.Add("Q", "y", 1)
+	a.Merge(b)
+	if a.Get("P", "x") != 5 || a.Get("Q", "y") != 1 {
+		t.Errorf("merge wrong:\n%s", a)
+	}
+	a.Merge(nil) // must not panic
+}

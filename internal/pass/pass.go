@@ -17,8 +17,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"mao/internal/ir"
+	"mao/internal/relax"
 )
 
 // Pass is the common interface of all passes.
@@ -43,6 +45,23 @@ type UnitPass interface {
 	RunUnit(ctx *Ctx) (changed bool, err error)
 }
 
+// ParallelSafe marks a FuncPass whose RunFunc reads and mutates only
+// the span of the function it is given — no whole-unit relaxation, no
+// cross-function state, deterministic output per function. The manager
+// fans such passes out across its worker pool; every other FuncPass
+// runs function-at-a-time in file order. Passes that consult unit-wide
+// layout addresses (LSD, BRALIGN, INSTRUMENT) must not implement it:
+// their decisions for one function depend on the sizes of all the
+// others, so concurrent mutation would be nondeterministic.
+type ParallelSafe interface {
+	ParallelSafe() bool
+}
+
+func isParallelSafe(p Pass) bool {
+	ps, ok := p.(ParallelSafe)
+	return ok && ps.ParallelSafe()
+}
+
 // Ctx carries everything a pass invocation can reach: the unit, the
 // parsed options of this invocation, tracing, and the statistics
 // sink.
@@ -54,6 +73,13 @@ type Ctx struct {
 	// TraceW receives trace output; nil silences tracing regardless
 	// of level.
 	TraceW io.Writer
+
+	// Cache is the pipeline's shared relaxation/encoding cache (nil
+	// when the manager runs uncached). Passes that relax internally
+	// (LOOP16, LSD, BRALIGN, INSTRUMENT) thread it into their
+	// relax.Options so repeated layout computations skip re-encoding
+	// unchanged instructions.
+	Cache *relax.Cache
 
 	passName string
 }
@@ -82,7 +108,11 @@ func (c *Ctx) Count(key string, n int) {
 	}
 }
 
-// Stats accumulates per-pass counters across a pipeline run.
+// Stats accumulates per-pass counters across a pipeline run. A Stats
+// is not safe for concurrent use; the parallel manager gives every
+// worker a private sink and merges them deterministically afterwards
+// (counter addition is commutative, so the merged totals are identical
+// at any worker count).
 type Stats struct {
 	counters map[string]map[string]int
 }
@@ -102,6 +132,18 @@ func (s *Stats) Add(pass, key string, n int) {
 
 // Get returns the value of pass/key.
 func (s *Stats) Get(pass, key string) int { return s.counters[pass][key] }
+
+// Merge adds every counter of o into s.
+func (s *Stats) Merge(o *Stats) {
+	if o == nil {
+		return
+	}
+	for p, m := range o.counters {
+		for k, v := range m {
+			s.Add(p, k, v)
+		}
+	}
+}
 
 // Total returns the sum of all counters of one pass.
 func (s *Stats) Total(pass string) int {
@@ -197,13 +239,21 @@ func (o *Options) Bool(key string, def bool) bool {
 // option).
 func (o *Options) TraceLevel() int { return o.Int("trace", 0) }
 
-// registry of pass factories.
-var registry = map[string]func() Pass{}
+// registry of pass factories, guarded by registryMu: built-in passes
+// register from init functions, but plugins (cmd/mao -plugin) and
+// tests register at arbitrary times, possibly while another goroutine
+// resolves a pipeline.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Pass{}
+)
 
 // Register adds a pass factory under its name. It panics on duplicate
 // registration (a programming error).
 func Register(factory func() Pass) {
 	name := factory().Name()
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic("pass: duplicate registration of " + name)
 	}
@@ -212,7 +262,10 @@ func Register(factory func() Pass) {
 
 // Lookup returns a new instance of the named pass, or nil.
 func Lookup(name string) Pass {
-	if f, ok := registry[strings.ToUpper(name)]; ok {
+	registryMu.RLock()
+	f, ok := registry[strings.ToUpper(name)]
+	registryMu.RUnlock()
+	if ok {
 		return f()
 	}
 	return nil
@@ -220,10 +273,12 @@ func Lookup(name string) Pass {
 
 // Names returns all registered pass names, sorted.
 func Names() []string {
-	var out []string
+	registryMu.RLock()
+	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	registryMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -320,7 +375,27 @@ type Manager struct {
 	TraceW   io.Writer
 
 	// Hook, when non-nil, is invoked around every pass invocation.
+	// Hooks bracket whole invocations — BeforePass runs before the
+	// first function is processed and AfterPass after the last — so
+	// per-invocation attribution (the check.Certifier) is unaffected
+	// by how the functions inside are scheduled.
 	Hook Hook
+
+	// Workers bounds the worker pool that ParallelSafe function
+	// passes shard a unit's functions across. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces fully sequential execution.
+	// Output and merged statistics are byte-identical at any worker
+	// count; only wall-clock time changes.
+	Workers int
+
+	// Cache, when non-nil, memoizes position-independent instruction
+	// encodings across the relaxations the pipeline (and its passes)
+	// perform. The manager enforces the invalidation protocol: after
+	// a FuncPass reports changing a function, that function's span is
+	// invalidated; after a UnitPass reports a change, the whole node
+	// tier is. Run records the per-run hit/miss deltas in the
+	// returned Stats under the pseudo-pass RELAXCACHE.
+	Cache *relax.Cache
 }
 
 // NewManager parses a pipeline spec into a runnable manager.
@@ -346,6 +421,7 @@ func NewManager(spec string) (*Manager, error) {
 // invocation.
 func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
 	stats := NewStats()
+	baseHits, baseMisses := m.Cache.Counters()
 	for idx, inv := range m.Pipeline {
 		name := inv.Pass.Name()
 		ctx := &Ctx{
@@ -353,6 +429,7 @@ func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
 			Opts:     inv.Opts,
 			Stats:    stats,
 			TraceW:   m.TraceW,
+			Cache:    m.Cache,
 			passName: name,
 		}
 		if err := dumpIR(u, inv, "dump_before"); err != nil {
@@ -365,14 +442,16 @@ func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
 		}
 		switch p := inv.Pass.(type) {
 		case UnitPass:
-			if _, err := p.RunUnit(ctx); err != nil {
+			changed, err := p.RunUnit(ctx)
+			if err != nil {
 				return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
 			}
+			if changed {
+				m.Cache.InvalidateAll()
+			}
 		case FuncPass:
-			for _, f := range u.Functions() {
-				if _, err := p.RunFunc(ctx, f); err != nil {
-					return stats, fmt.Errorf("%s[%d] on %s: %w", name, idx, f.Name, err)
-				}
+			if err := m.runFuncPass(u, p, inv, idx, stats); err != nil {
+				return stats, err
 			}
 		default:
 			return stats, fmt.Errorf("%s[%d]: pass implements neither FuncPass nor UnitPass", name, idx)
@@ -385,6 +464,11 @@ func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
 		if err := dumpIR(u, inv, "dump_after"); err != nil {
 			return stats, err
 		}
+	}
+	if m.Cache != nil {
+		hits, misses := m.Cache.Counters()
+		stats.Add("RELAXCACHE", "hits", int(hits-baseHits))
+		stats.Add("RELAXCACHE", "misses", int(misses-baseMisses))
 	}
 	return stats, nil
 }

@@ -23,10 +23,21 @@ func (f *fakePass) RunUnit(ctx *Ctx) (bool, error) {
 	return false, nil
 }
 
+// testRegister (re)binds a test-pass factory, overwriting any earlier
+// binding of the same name so tests survive -count=N re-runs in one
+// process (each run registers fresh closures).
+func testRegister(factory func() Pass) {
+	name := factory().Name()
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = factory
+}
+
 func TestRegistryAndPipeline(t *testing.T) {
-	var ran []string
-	Register(func() Pass { return &fakePass{"TESTA", &ran} })
-	Register(func() Pass { return &fakePass{"TESTB", &ran} })
+	var fakeRan []string
+	testRegister(func() Pass { return &fakePass{"TESTA", &fakeRan} })
+	testRegister(func() Pass { return &fakePass{"TESTB", &fakeRan} })
+	ran := &fakeRan
 
 	mgr, err := NewManager("TESTA=o[x]:TESTB:TESTA=o[y],trace[2]")
 	if err != nil {
@@ -41,8 +52,8 @@ func TestRegistryAndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"TESTA/x", "TESTB/", "TESTA/y"}
-	if strings.Join(ran, " ") != strings.Join(want, " ") {
-		t.Errorf("ran %v, want %v", ran, want)
+	if strings.Join(*ran, " ") != strings.Join(want, " ") {
+		t.Errorf("ran %v, want %v", *ran, want)
 	}
 	if stats.Get("TESTA", "runs") != 2 || stats.Get("TESTB", "runs") != 1 {
 		t.Errorf("stats wrong:\n%s", stats)
@@ -104,7 +115,7 @@ func TestStatsString(t *testing.T) {
 }
 
 func TestParsePipelineMalformed(t *testing.T) {
-	Register(func() Pass { var r []string; return &fakePass{"TESTC", &r} })
+	testRegister(func() Pass { var r []string; return &fakePass{"TESTC", &r} })
 	if _, err := ParsePipeline("TESTC=bad[unterminated"); err == nil {
 		t.Error("malformed option accepted")
 	}
@@ -146,8 +157,8 @@ func unitWithFunc(t *testing.T, name string) *ir.Unit {
 func TestErrorWrappedWithInvocation(t *testing.T) {
 	base := errors.New("boom")
 	var ran []string
-	Register(func() Pass { return &fakePass{"TESTOK", &ran} })
-	Register(func() Pass { return &failPass{"TESTFAIL", base} })
+	testRegister(func() Pass { return &fakePass{"TESTOK", &ran} })
+	testRegister(func() Pass { return &failPass{"TESTFAIL", base} })
 
 	mgr, err := NewManager("TESTOK:TESTOK:TESTFAIL")
 	if err != nil {
@@ -171,7 +182,7 @@ func TestErrorWrappedWithInvocation(t *testing.T) {
 
 func TestFuncPassErrorNamesFunction(t *testing.T) {
 	base := errors.New("bad function")
-	Register(func() Pass { return &failFuncPass{"TESTFFAIL", base} })
+	testRegister(func() Pass { return &failFuncPass{"TESTFFAIL", base} })
 	mgr, err := NewManager("TESTFFAIL")
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +220,7 @@ func (h *recordHook) AfterPass(u *ir.Unit, name string, index int) error {
 
 func TestHookObservesEveryInvocation(t *testing.T) {
 	var ran []string
-	Register(func() Pass { return &fakePass{"TESTHOOK", &ran} })
+	testRegister(func() Pass { return &fakePass{"TESTHOOK", &ran} })
 	mgr, err := NewManager("TESTHOOK:TESTHOOK")
 	if err != nil {
 		t.Fatal(err)
@@ -231,7 +242,7 @@ func TestHookObservesEveryInvocation(t *testing.T) {
 
 func TestHookErrorAttributed(t *testing.T) {
 	var ran []string
-	Register(func() Pass { return &fakePass{"TESTHOOKF", &ran} })
+	testRegister(func() Pass { return &fakePass{"TESTHOOKF", &ran} })
 	mgr, err := NewManager("TESTHOOKF")
 	if err != nil {
 		t.Fatal(err)
@@ -248,7 +259,7 @@ func TestHookErrorAttributed(t *testing.T) {
 }
 
 func TestDumpOptions(t *testing.T) {
-	Register(func() Pass { var r []string; return &fakePass{"TESTDUMP", &r} })
+	testRegister(func() Pass { var r []string; return &fakePass{"TESTDUMP", &r} })
 	dir := t.TempDir()
 	before := dir + "/before.s"
 	after := dir + "/after.s"

@@ -9,7 +9,9 @@ import (
 )
 
 func init() {
-	pass.Register(func() pass.Pass { return &addAdd{base{"ADDADD", "fold add/sub immediate chains on the same register"}} })
+	pass.Register(func() pass.Pass {
+		return &addAdd{base: base{"ADDADD", "fold add/sub immediate chains on the same register"}}
+	})
 }
 
 // addAdd implements the paper's III-B.d pattern:
@@ -23,7 +25,10 @@ func init() {
 // differ, so every flag bit live after the second op must be one of
 // SF/ZF/PF (which depend only on the final value), and no instruction
 // in between may read flags.
-type addAdd struct{ base }
+type addAdd struct {
+	base
+	parallelSafe
+}
 
 func (p *addAdd) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)

@@ -23,6 +23,16 @@ type base struct {
 func (b base) Name() string        { return b.name }
 func (b base) Description() string { return b.desc }
 
+// parallelSafe is embedded by function passes whose RunFunc touches
+// only the span of the function it is given (no whole-unit relaxation,
+// no mutable pass-instance state shared across functions). It marks
+// them pass.ParallelSafe, letting the manager shard the unit across
+// its worker pool. Passes that relax the whole unit (LSD, BRALIGN,
+// INSTRUMENT) or accumulate per-unit state (SIMADDR) must not embed it.
+type parallelSafe struct{}
+
+func (parallelSafe) ParallelSafe() bool { return true }
+
 // writesRegFamily reports whether the instruction writes any register
 // aliasing r.
 func writesRegFamily(in *x86.Inst, r x86.Reg) bool {

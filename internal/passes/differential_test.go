@@ -1,0 +1,217 @@
+package passes
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/corpus"
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/relax"
+	"mao/internal/uarch/exec"
+	"mao/internal/x86"
+)
+
+// The differential semantics harness: every registered pass is run over
+// every corpus fixture, and the fixture is executed to architectural
+// completion before and after. A correct optimization must leave the
+// architectural end-state — registers, flags, program-visible memory —
+// identical.
+//
+// Two classes of end-state difference are legitimate and handled
+// explicitly rather than papered over with a weak comparison:
+//
+//   - Code addresses. Passes that change instruction sizes move every
+//     label, so values that are code pointers (jump-table dispatch
+//     residue in a scratch register) differ numerically while denoting
+//     the same program points. Such values are compared as "both are
+//     text addresses".
+//   - Dead flags. A pass that removes or folds a flag-writer whose
+//     flags are dead at function exit (REDTEST removing a test, ADDADD
+//     merging adds, CONSTFOLD deleting arithmetic) legitimately changes
+//     the final EFLAGS; those passes are exempt from the flags check,
+//     and only those.
+//
+// The stack is excluded from the memory comparison: it holds return
+// addresses (code pointers) and dead spill slots by construction.
+
+// diffFlagsExempt lists the passes allowed to change the *final* (dead)
+// flags state, with the reason.
+var diffFlagsExempt = map[string]string{
+	"REDTEST":   "removes test whose CF/OF=0 the preceding arithmetic need not reproduce",
+	"ADDADD":    "a folded add's carry/overflow differ from the last unfolded add's",
+	"CONSTFOLD": "folds flag-writing arithmetic into flag-neutral mov-immediates",
+}
+
+// diffFixtures returns the corpus slice the harness executes — the
+// same three SPEC-2000-like workloads the corpus golden tests pin.
+func diffFixtures() []corpus.Workload {
+	return corpus.Spec2000Int(0.05)[:3]
+}
+
+// archState is the comparable architectural end-state of one run.
+type archState struct {
+	gpr      [16]uint64
+	xmm      [16]uint64
+	flags    x86.Flags
+	state    *exec.State
+	stores   map[uint64]int // non-stack stored addr -> widest access
+	executed int64
+}
+
+const stackWindow = exec.StackTop - 0x100000
+
+func isStackAddr(a uint64) bool { return a >= stackWindow && a <= exec.StackTop }
+
+// isTextAddr reports whether v lies in the executor's text mapping —
+// i.e. is a code pointer, whose numeric value is layout-dependent.
+func isTextAddr(v uint64) bool { return v >= exec.TextBase && v < exec.DataBase }
+
+// runToCompletion relaxes and executes u's entry and captures the
+// architectural end-state.
+func runToCompletion(u *ir.Unit, entry string) (*archState, error) {
+	layout, err := relax.Relax(u, nil)
+	if err != nil {
+		return nil, err
+	}
+	st := &archState{stores: make(map[uint64]int)}
+	res, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: entry,
+		MaxInsts: 4_000_000,
+		OnEvent: func(ev exec.Event) {
+			if ev.HasStore && !isStackAddr(ev.StoreAddr) {
+				if ev.AccessLen > st.stores[ev.StoreAddr] {
+					st.stores[ev.StoreAddr] = ev.AccessLen
+				}
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.gpr = res.State.GPR
+	st.xmm = res.State.XMM
+	st.flags = res.State.Flags
+	st.state = res.State
+	st.executed = res.Executed
+	return st, nil
+}
+
+// equivalentValue compares one architectural value across the two
+// layouts: bit-identical, or a code pointer in both.
+func equivalentValue(a, b uint64) bool {
+	return a == b || (isTextAddr(a) && isTextAddr(b))
+}
+
+var (
+	diffBaseOnce  sync.Once
+	diffBaselines map[string]*archState
+	diffBaseErr   error
+)
+
+// baseline computes (once) the unoptimized end-state of every fixture.
+func baseline(t *testing.T, name string) *archState {
+	t.Helper()
+	diffBaseOnce.Do(func() {
+		diffBaselines = make(map[string]*archState)
+		for _, wl := range diffFixtures() {
+			u, err := asm.ParseString(wl.Name+".s", corpus.Generate(wl))
+			if err != nil {
+				diffBaseErr = err
+				return
+			}
+			st, err := runToCompletion(u, wl.EntryName())
+			if err != nil {
+				diffBaseErr = fmt.Errorf("baseline %s: %w", wl.Name, err)
+				return
+			}
+			diffBaselines[wl.Name] = st
+		}
+	})
+	if diffBaseErr != nil {
+		t.Fatal(diffBaseErr)
+	}
+	return diffBaselines[name]
+}
+
+// passOptions returns per-pass options needed to run the pass inertly
+// in the harness (output passes write to the test's temp dir).
+func passOptions(t *testing.T, name string) *pass.Options {
+	switch name {
+	case "ASM":
+		return pass.NewOptions("o", filepath.Join(t.TempDir(), "out.s"))
+	}
+	return pass.NewOptions()
+}
+
+// TestDifferentialSemantics is the harness entry: one subtest per
+// (registered pass, corpus fixture).
+func TestDifferentialSemantics(t *testing.T) {
+	for _, name := range pass.Names() {
+		for _, wl := range diffFixtures() {
+			t.Run(name+"/"+wl.Name, func(t *testing.T) {
+				base := baseline(t, wl.Name)
+
+				u, err := asm.ParseString(wl.Name+".s", corpus.Generate(wl))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := pass.Lookup(name)
+				if p == nil {
+					t.Fatalf("pass %s vanished from the registry", name)
+				}
+				mgr := &pass.Manager{Pipeline: []pass.Invocation{
+					{Pass: p, Opts: passOptions(t, name)},
+				}}
+				if _, err := mgr.Run(u); err != nil {
+					t.Fatalf("pass: %v", err)
+				}
+				if err := u.Analyze(); err != nil {
+					t.Fatalf("re-analyze: %v", err)
+				}
+
+				opt, err := runToCompletion(u, wl.EntryName())
+				if err != nil {
+					t.Fatalf("executing optimized unit: %v", err)
+				}
+				compareArchState(t, name, base, opt)
+			})
+		}
+	}
+}
+
+func compareArchState(t *testing.T, passName string, base, opt *archState) {
+	t.Helper()
+	for i := 0; i < 16; i++ {
+		if !equivalentValue(base.gpr[i], opt.gpr[i]) {
+			t.Errorf("GPR %d: %#x (base) vs %#x (after %s)", i, base.gpr[i], opt.gpr[i], passName)
+		}
+		if base.xmm[i] != opt.xmm[i] {
+			t.Errorf("XMM %d: %#x (base) vs %#x (after %s)", i, base.xmm[i], opt.xmm[i], passName)
+		}
+	}
+	if base.flags != opt.flags {
+		if reason, exempt := diffFlagsExempt[passName]; exempt {
+			t.Logf("flags differ (%v vs %v): exempt — %s", base.flags, opt.flags, reason)
+		} else {
+			t.Errorf("flags: %v (base) vs %v (after %s)", base.flags, opt.flags, passName)
+		}
+	}
+	// Every address the baseline program stored to must hold an
+	// equivalent value after optimization. (The optimized run may
+	// store to *more* addresses — e.g. INSTRUMENT's counters — which
+	// is fine; it must not corrupt the program's own data.)
+	for addr, width := range base.stores {
+		vb := base.state.ReadMem(addr, width)
+		vo := opt.state.ReadMem(addr, width)
+		if !equivalentValue(vb, vo) {
+			t.Errorf("mem[%#x]/%d: %#x (base) vs %#x (after %s)", addr, width, vb, vo, passName)
+		}
+	}
+	if opt.executed <= 0 {
+		t.Errorf("optimized run executed %d instructions", opt.executed)
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 func init() {
 	pass.Register(func() pass.Pass {
-		return &lfind{base{"LFIND", "analysis: recognize loops and report the loop structure graph"}}
+		return &lfind{base: base{"LFIND", "analysis: recognize loops and report the loop structure graph"}}
 	})
 }
 
@@ -22,7 +22,10 @@ func init() {
 // builds the CFG and the Havlak loop structure graph and reports what
 // it found via tracing and statistics. The dot[dir] option writes
 // each function's CFG in Graphviz format to dir/<function>.dot.
-type lfind struct{ base }
+type lfind struct {
+	base
+	parallelSafe
+}
 
 func (p *lfind) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)

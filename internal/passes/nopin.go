@@ -10,7 +10,7 @@ import (
 
 func init() {
 	pass.Register(func() pass.Pass {
-		return &nopin{base{"NOPIN", "Nopinizer: insert random nop sequences to expose micro-architectural cliffs"}}
+		return &nopin{base: base{"NOPIN", "Nopinizer: insert random nop sequences to expose micro-architectural cliffs"}}
 	})
 }
 
@@ -26,7 +26,10 @@ func init() {
 //	density[P] insertion probability in percent per instruction
 //	           (default 10)
 //	maxlen[L]  maximum nop-sequence length in instructions (default 1)
-type nopin struct{ base }
+type nopin struct {
+	base
+	parallelSafe
+}
 
 func (p *nopin) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	seed := uint64(ctx.Opts.Int("seed", 1))

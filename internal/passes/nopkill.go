@@ -6,7 +6,9 @@ import (
 )
 
 func init() {
-	pass.Register(func() pass.Pass { return &nopKill{base{"NOPKILL", "remove alignment directives and nop instructions"}} })
+	pass.Register(func() pass.Pass {
+		return &nopKill{base: base{"NOPKILL", "remove alignment directives and nop instructions"}}
+	})
 }
 
 // nopKill implements the paper's III-E.j experiment. Compilers insert
@@ -18,7 +20,10 @@ func init() {
 //
 // Options: aligns[0] keeps alignment directives; nops[0] keeps nop
 // instructions.
-type nopKill struct{ base }
+type nopKill struct {
+	base
+	parallelSafe
+}
 
 func (p *nopKill) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	killAligns := ctx.Opts.Bool("aligns", true)

@@ -41,6 +41,7 @@ type ReuseSite struct {
 // low-reuse (default 4096).
 type prefNTA struct {
 	base
+	parallelSafe
 	profile []ReuseSite
 }
 
@@ -56,7 +57,9 @@ func (p *prefNTA) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		sites = append(sites, loaded...)
+		// Copy before appending: p.profile's backing array is shared
+		// across concurrent RunFunc calls.
+		sites = append(append([]ReuseSite(nil), sites...), loaded...)
 	}
 
 	want := make(map[int]bool)

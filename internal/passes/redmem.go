@@ -9,7 +9,9 @@ import (
 )
 
 func init() {
-	pass.Register(func() pass.Pass { return &redMem{base{"REDMOV", "rewrite repeated identical loads as register moves"}} })
+	pass.Register(func() pass.Pass {
+		return &redMem{base: base{"REDMOV", "rewrite repeated identical loads as register moves"}}
+	})
 }
 
 // redMem implements the paper's III-B.c pattern. Because of phase
@@ -29,7 +31,10 @@ func init() {
 // to the first destination, and no write to the address registers.
 // When both loads target the same register the second is removed
 // outright.
-type redMem struct{ base }
+type redMem struct {
+	base
+	parallelSafe
+}
 
 func (p *redMem) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)

@@ -10,7 +10,7 @@ import (
 
 func init() {
 	pass.Register(func() pass.Pass {
-		return &redTest{base{"REDTEST", "remove redundant test instructions after flag-setting arithmetic"}}
+		return &redTest{base: base{"REDTEST", "remove redundant test instructions after flag-setting arithmetic"}}
 	})
 }
 
@@ -34,7 +34,10 @@ func init() {
 //
 // This is the "precise condition-code model" the paper credits for
 // finding 19272 redundant tests (24%) in the Google core library.
-type redTest struct{ base }
+type redTest struct {
+	base
+	parallelSafe
+}
 
 func (p *redTest) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)

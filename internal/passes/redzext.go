@@ -10,7 +10,7 @@ import (
 
 func init() {
 	pass.Register(func() pass.Pass {
-		return &redZext{base{"REDZEXT", "remove redundant zero-extension moves (mov %eNN, %eNN)"}}
+		return &redZext{base: base{"REDZEXT", "remove redundant zero-extension moves (mov %eNN, %eNN)"}}
 	})
 }
 
@@ -25,7 +25,10 @@ func init() {
 // writes already zero bits 32–63. Incoming function arguments (no
 // reaching definition) disqualify: the ABI leaves their upper bits
 // undefined, and the self-move is GCC's way of zero-extending them.
-type redZext struct{ base }
+type redZext struct {
+	base
+	parallelSafe
+}
 
 func (p *redZext) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)

@@ -9,8 +9,10 @@ import (
 )
 
 func init() {
-	pass.Register(func() pass.Pass { return &dce{base{"DCE", "remove unreachable code"}} })
-	pass.Register(func() pass.Pass { return &constFold{base{"CONSTFOLD", "fold constants through mov-immediate chains"}} })
+	pass.Register(func() pass.Pass { return &dce{base: base{"DCE", "remove unreachable code"}} })
+	pass.Register(func() pass.Pass {
+		return &constFold{base: base{"CONSTFOLD", "fold constants through mov-immediate chains"}}
+	})
 }
 
 // dce implements the unreachable-code-elimination part of the paper's
@@ -18,7 +20,10 @@ func init() {
 // function entry are deleted. Functions with unresolved indirect
 // branches are skipped — the CFG's edges are incomplete there, so
 // "unreachable" cannot be trusted.
-type dce struct{ base }
+type dce struct {
+	base
+	parallelSafe
+}
 
 func (p *dce) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)
@@ -76,7 +81,10 @@ func isLocalLabel(l string) bool { return len(l) >= 2 && l[0] == '.' && l[1] == 
 // typically not much opportunity left in compiler output, but the
 // paper keeps a standard scalar set for the benefit of simple code
 // generators feeding MAO.
-type constFold struct{ base }
+type constFold struct {
+	base
+	parallelSafe
+}
 
 func (p *constFold) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	g := cfg.Build(f)

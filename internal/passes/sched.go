@@ -12,7 +12,7 @@ import (
 
 func init() {
 	pass.Register(func() pass.Pass {
-		return &sched{base{"SCHED", "list scheduling within basic blocks (critical-path cost function)"}}
+		return &sched{base: base{"SCHED", "list scheduling within basic blocks (critical-path cost function)"}}
 	})
 }
 
@@ -29,7 +29,10 @@ func init() {
 // Options:
 //
 //	costfn[critpath|naive|ports]  scheduling heuristic (default critpath)
-type sched struct{ base }
+type sched struct {
+	base
+	parallelSafe
+}
 
 // schedLatency is the scheduler's static latency estimate per opcode —
 // deliberately coarse; the point of the pass is relative priority, not

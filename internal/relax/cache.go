@@ -1,0 +1,146 @@
+package relax
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mao/internal/ir"
+	"mao/internal/x86/encode"
+)
+
+// Cache memoizes instruction encodings across relaxation iterations and
+// across repeated Relax calls — the phase-ordering / profile-guided
+// re-run workload, where the same unit is relaxed many times with only
+// a few functions changing in between. Only position-independent
+// encodings (encode.PositionIndependent) are cached; branches and
+// symbolic references always re-encode at their current address.
+//
+// The cache has two tiers:
+//
+//   - A node tier keyed on the *ir.Node identity. It is the fast path
+//     (no key computation at all) but is only sound under the
+//     invalidation protocol: passes mutate instructions in place, so
+//     whoever runs passes over the unit must call InvalidateFunction
+//     for every function a pass changed (pass.Manager does this
+//     whenever a FuncPass reports changed, and InvalidateAll after a
+//     changed UnitPass). A stale node entry returns the bytes of the
+//     pre-mutation instruction.
+//   - A content tier keyed on the instruction's canonical text. It is
+//     unconditionally sound — mutating an instruction changes its key —
+//     and catches repeated idioms (the same "decl %ecx" encodes once
+//     per unit, not once per occurrence).
+//
+// A Cache is safe for concurrent use; a nil *Cache disables caching.
+type Cache struct {
+	mu      sync.Mutex
+	node    map[*ir.Node][]byte
+	content map[string][]byte
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty encoding cache.
+func NewCache() *Cache {
+	return &Cache{
+		node:    make(map[*ir.Node][]byte),
+		content: make(map[string][]byte),
+	}
+}
+
+// lookup returns the cached encoding for the node, trying the node tier
+// first and falling back to the content tier (promoting the entry to
+// the node tier on a content hit). The caller must have established
+// that the node's instruction is position-independent.
+func (c *Cache) lookup(n *ir.Node) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.node[n]; ok {
+		c.hits.Add(1)
+		return b, true
+	}
+	if b, ok := c.content[n.Inst.String()]; ok {
+		c.node[n] = b
+		c.hits.Add(1)
+		return b, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// store records a freshly computed position-independent encoding in
+// both tiers.
+func (c *Cache) store(n *ir.Node, b []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.node[n] = b
+	c.content[n.Inst.String()] = b
+}
+
+// InvalidateFunction drops the node-tier entries of every node in the
+// function's span. Call it after a pass reported changing the function:
+// passes mutate instructions in place, and a stale node entry would
+// silently encode the pre-mutation instruction. The content tier needs
+// no invalidation (its keys are the instruction text).
+func (c *Cache) InvalidateFunction(f *ir.Function) {
+	if c == nil || f == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range f.Entries() {
+		delete(c.node, n)
+	}
+}
+
+// InvalidateAll drops the whole node tier (after a unit-wide mutation
+// whose extent is unknown). The content tier survives.
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.node)
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *Cache) Counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	h, m := c.Counters()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// encodeCached is the cache-aware encoding path of the relaxation
+// loop: position-independent instructions go through the cache, every
+// other instruction encodes at its current address.
+func encodeCached(c *Cache, n *ir.Node, ctx *encode.Ctx) ([]byte, error) {
+	if c == nil || !encode.PositionIndependent(n.Inst) {
+		return encode.Encode(n.Inst, ctx)
+	}
+	if b, ok := c.lookup(n); ok {
+		return b, nil
+	}
+	b, err := encode.Encode(n.Inst, ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.store(n, b)
+	return b, nil
+}

@@ -1,0 +1,183 @@
+package relax
+
+import (
+	"testing"
+
+	"mao/internal/x86"
+)
+
+const cacheSrc = `
+	.text
+.globl f
+.type f, @function
+f:
+	push %rbp
+	mov %rsp,%rbp
+	movl $5, %eax
+	movl $5, %ecx
+	decl %ecx
+	decl %ecx
+	jne .Lf
+.Lf:
+	addl $1, %eax
+	pop %rbp
+	ret
+.size f, .-f
+.globl g
+.type g, @function
+g:
+	movl $5, %eax
+	decl %ecx
+	ret
+.size g, .-g
+`
+
+// TestCacheTransparent: a cached relaxation produces exactly the
+// layout an uncached one does.
+func TestCacheTransparent(t *testing.T) {
+	u1, plain := relaxed(t, cacheSrc)
+	u2 := parse(t, cacheSrc)
+	c := NewCache()
+	cached, err := Relax(u2, &Options{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, i2 := findInsts(u1), findInsts(u2)
+	if len(i1) != len(i2) {
+		t.Fatalf("instruction counts differ")
+	}
+	for k := range i1 {
+		if plain.Addr[i1[k]] != cached.Addr[i2[k]] {
+			t.Errorf("inst %d: addr %#x (plain) vs %#x (cached)", k, plain.Addr[i1[k]], cached.Addr[i2[k]])
+		}
+		if string(plain.Bytes[i1[k]]) != string(cached.Bytes[i2[k]]) {
+			t.Errorf("inst %d: bytes differ", k)
+		}
+	}
+	if h, m := c.Counters(); h == 0 || m == 0 {
+		t.Errorf("expected both hits and misses on first relaxation, got %d/%d", h, m)
+	}
+}
+
+// TestCacheHitRateSecondRun: relaxing the same unchanged unit a second
+// time through the same cache serves at least half of all lookups from
+// cache — the acceptance bar for the repeated-pipeline workload.
+func TestCacheHitRateSecondRun(t *testing.T) {
+	u := parse(t, cacheSrc)
+	c := NewCache()
+	if _, err := Relax(u, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := c.Counters()
+	if _, err := Relax(u, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := c.Counters()
+	hits, misses := h1-h0, m1-m0
+	if misses != 0 {
+		t.Errorf("second identical relaxation missed %d times", misses)
+	}
+	if total := hits + misses; total == 0 || float64(hits)/float64(total) < 0.5 {
+		t.Errorf("second-run hit rate %d/%d below 50%%", hits, total)
+	}
+	if c.HitRate() <= 0 {
+		t.Errorf("HitRate = %v", c.HitRate())
+	}
+}
+
+// TestCacheInvalidation: after an in-place instruction mutation plus
+// the protocol's InvalidateFunction call, relaxation re-encodes the
+// changed instruction rather than serving stale bytes.
+func TestCacheInvalidation(t *testing.T) {
+	u := parse(t, cacheSrc)
+	c := NewCache()
+	l1, err := Relax(u, &Options{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := u.Functions()[0]
+	target := f.Instructions()[2] // movl $5, %eax
+	before := string(l1.Bytes[target])
+
+	// Mutate in place, as passes do, then invalidate the span.
+	target.Inst.Args[0].Imm = 7
+	c.InvalidateFunction(f)
+
+	l2, err := Relax(u, &Options{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := string(l2.Bytes[target])
+	if before == after {
+		t.Errorf("mutated instruction re-encoded to identical bytes % x", after)
+	}
+	uncached, err := Relax(u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(uncached.Bytes[target]) != after {
+		t.Errorf("cached encoding % x differs from uncached % x", after, uncached.Bytes[target])
+	}
+}
+
+// TestCacheContentTierSurvivesInvalidateAll: the content tier is keyed
+// on instruction text, so InvalidateAll still leaves repeated idioms
+// served from cache.
+func TestCacheContentTierSurvivesInvalidateAll(t *testing.T) {
+	u := parse(t, cacheSrc)
+	c := NewCache()
+	if _, err := Relax(u, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	c.InvalidateAll()
+	h0, m0 := c.Counters()
+	if _, err := Relax(u, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := c.Counters()
+	if m1 != m0 {
+		t.Errorf("content tier should have absorbed all lookups, missed %d", m1-m0)
+	}
+	if h1 == h0 {
+		t.Error("no hits after InvalidateAll")
+	}
+}
+
+// TestNilCacheSafe: every method of a nil *Cache is a no-op.
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	c.InvalidateAll()
+	c.InvalidateFunction(nil)
+	if h, m := c.Counters(); h != 0 || m != 0 {
+		t.Error("nil counters nonzero")
+	}
+	if c.HitRate() != 0 {
+		t.Error("nil hit rate nonzero")
+	}
+	u := parse(t, cacheSrc)
+	if _, err := Relax(u, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBranchesNeverCached: position-dependent instructions bypass the
+// cache entirely, so branch re-encoding at new addresses stays exact.
+func TestBranchesNeverCached(t *testing.T) {
+	u := parse(t, cacheSrc)
+	c := NewCache()
+	if _, err := Relax(u, &Options{Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n := range c.node {
+		if op := n.Inst.Op; op == x86.OpJCC || op == x86.OpJMP {
+			t.Errorf("branch %v found in cache", n.Inst)
+		}
+	}
+	for k := range c.content {
+		if k == "" {
+			t.Error("empty content key")
+		}
+	}
+}

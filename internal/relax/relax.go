@@ -60,6 +60,10 @@ type Options struct {
 	// Base is the starting address of every section; sections are
 	// laid out independently.
 	Base int64
+	// Cache, when non-nil, memoizes position-independent instruction
+	// encodings across iterations and across Relax calls. See Cache
+	// for the invalidation protocol.
+	Cache *Cache
 }
 
 // Relax computes the layout of every section of u.
@@ -130,7 +134,7 @@ func Relax(u *ir.Unit, opts *Options) (*Layout, error) {
 					}
 				}
 				ctx := &encode.Ctx{Addr: addr, SymAddr: resolver, ForceLong: forceLong[n]}
-				b, err := encode.Encode(n.Inst, ctx)
+				b, err := encodeCached(o.Cache, n, ctx)
 				if err != nil {
 					return nil, fmt.Errorf("relax: %v", err)
 				}

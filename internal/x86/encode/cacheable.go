@@ -1,0 +1,25 @@
+package encode
+
+import "mao/internal/x86"
+
+// PositionIndependent reports whether the instruction's encoding is the
+// same at every address: no direct branch target, no symbolic
+// displacement, no RIP-relative reference. Only such encodings may be
+// reused across addresses, relaxation iterations and pipeline runs —
+// the contract the relaxation cache (mao/internal/relax.Cache) is built
+// on. Everything else (jmp/jcc/call to a label, sym(%rip), sym+8
+// absolute references) re-encodes at its current address.
+func PositionIndependent(in *x86.Inst) bool {
+	for i := range in.Args {
+		a := &in.Args[i]
+		switch a.Kind {
+		case x86.KindLabel:
+			return false
+		case x86.KindMem:
+			if a.Mem.Sym != "" || a.Mem.IsRIPRel() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,32 @@
+package encode
+
+import (
+	"testing"
+
+	"mao/internal/x86"
+)
+
+func TestPositionIndependent(t *testing.T) {
+	tests := []struct {
+		in   *x86.Inst
+		want bool
+	}{
+		{x86.NewInst(x86.Mnem{Op: x86.OpNOP}), true},
+		{x86.NewInst(x86.Mnem{Op: x86.OpMOV, Width: x86.W32}, x86.Imm(5), x86.RegOp(x86.RAX)), true},
+		{x86.NewInst(x86.Mnem{Op: x86.OpMOV, Width: x86.W64},
+			x86.MemOp(x86.Mem{Disp: 8, Base: x86.RSP}), x86.RegOp(x86.RDI)), true},
+		// Direct branch target: size depends on distance.
+		{x86.NewInst(x86.Mnem{Op: x86.OpJMP}, x86.LabelOp(".L1")), false},
+		// Symbolic displacement resolves to an address.
+		{x86.NewInst(x86.Mnem{Op: x86.OpMOV, Width: x86.W64},
+			x86.MemOp(x86.Mem{Sym: "counter", Base: x86.RIP}), x86.RegOp(x86.RAX)), false},
+		// RIP-relative without a symbol is still address-dependent.
+		{x86.NewInst(x86.Mnem{Op: x86.OpLEA, Width: x86.W64},
+			x86.MemOp(x86.Mem{Disp: 16, Base: x86.RIP}), x86.RegOp(x86.RAX)), false},
+	}
+	for _, tt := range tests {
+		if got := PositionIndependent(tt.in); got != tt.want {
+			t.Errorf("PositionIndependent(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -92,6 +92,43 @@ func RunPipeline(u *Unit, spec string) (*Stats, error) {
 	return stats, u.Analyze()
 }
 
+// Cache memoizes position-independent instruction encodings across
+// relaxation runs. Share one cache across repeated pipelines over the
+// same unit to skip re-encoding unchanged instructions; the pass
+// manager keeps it coherent (see relax.Cache).
+type Cache = relax.Cache
+
+// NewCache returns an empty relaxation/encoding cache.
+func NewCache() *Cache { return relax.NewCache() }
+
+// Options configures a pipeline run.
+type Options struct {
+	// Workers bounds the per-function worker pool for parallel-safe
+	// function passes: 0 means GOMAXPROCS, 1 forces sequential
+	// execution. Output and statistics are identical at any value.
+	Workers int
+	// Cache, when non-nil, memoizes instruction encodings across
+	// relaxation runs (within alignment passes and the final Relax).
+	Cache *Cache
+}
+
+// RunPipelineParallel is RunPipeline with an explicit worker count and
+// optional relaxation cache. Emitted assembly and returned statistics
+// are byte-for-byte identical at any worker count.
+func RunPipelineParallel(u *Unit, spec string, opts Options) (*Stats, error) {
+	mgr, err := pass.NewManager(spec)
+	if err != nil {
+		return nil, err
+	}
+	mgr.Workers = opts.Workers
+	mgr.Cache = opts.Cache
+	stats, err := mgr.Run(u)
+	if err != nil {
+		return nil, err
+	}
+	return stats, u.Analyze()
+}
+
 // Passes lists the registered pass names.
 func Passes() []string { return pass.Names() }
 
