@@ -6,8 +6,14 @@
 #   go build    everything compiles
 #   go test     full test suite under the race detector
 #   race-stress the concurrency-bearing packages (the parallel pass
-#               manager and the shared encode cache) repeated under the
-#               race detector to shake out scheduling-dependent races
+#               manager, the shared encode cache and the maod service)
+#               repeated under the race detector to shake out
+#               scheduling-dependent races
+#   fuzz smoke  the parser fuzz target runs briefly, so the committed
+#               seeds keep passing and the harness cannot rot
+#   maod smoke  boot the daemon, probe /healthz and /metrics, run one
+#               optimization, then SIGTERM and require a clean drain
+#               (exit 0)
 #   bench smoke every benchmark runs once, so the committed benchmarks
 #               (including the worker-scaling and cache benchmarks)
 #               cannot silently rot
@@ -35,8 +41,12 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== race-stress: parallel pass manager + encode cache"
+echo "== race-stress: parallel pass manager + encode cache + service"
 go test -race -count=3 ./internal/pass/ ./internal/relax/
+go test -race -count=2 ./internal/serve/
+
+echo "== fuzz smoke: parser"
+go test -run '^$' -fuzz FuzzParseString -fuzztime 10s ./internal/asm/
 
 echo "== benchmark smoke run"
 go test -run '^$' -bench . -benchtime=1x ./...
@@ -49,5 +59,28 @@ for f in internal/corpus/testdata/*.s; do
 	echo "-- $f"
 	"$bin" --check "$f"
 done
+
+echo "== maod smoke: boot, probe, optimize, drain"
+maod_bin=$(dirname "$bin")/maod
+go build -o "$maod_bin" ./cmd/maod
+maod_log=$(dirname "$bin")/maod.log
+"$maod_bin" -addr 127.0.0.1:0 -quiet >"$maod_log" 2>&1 &
+maod_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^maod: listening on //p' "$maod_log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "maod never announced its address" >&2; cat "$maod_log" >&2; exit 1; }
+base="http://$addr"
+curl -fsS "$base/healthz" | grep -q ok
+curl -fsS "$base/metrics" | grep -q '^maod_queue_depth'
+printf '{"source":"\\t.text\\nf:\\n\\tsubl $16, %%r15d\\n\\ttestl %%r15d, %%r15d\\n\\tret\\n","spec":"REDTEST"}' |
+	curl -fsS -X POST -H 'Content-Type: application/json' --data-binary @- "$base/v1/optimize" |
+	grep -q '"assembly"'
+kill -TERM "$maod_pid"
+wait "$maod_pid" || { echo "maod did not drain cleanly (exit $?)" >&2; cat "$maod_log" >&2; exit 1; }
+grep -q drained "$maod_log" || { echo "maod drain not logged" >&2; cat "$maod_log" >&2; exit 1; }
 
 echo "CI OK"

@@ -63,21 +63,14 @@ func main() {
 	// Dynamically loaded passes, as in the original MAO ("passes can
 	// be statically linked into MAO, or dynamically loaded as
 	// plug-ins"). A plugin exports RegisterMAOPasses, which calls
-	// pass.Register for each pass it provides.
-	for _, so := range plugins {
-		pl, err := plugin.Open(so)
-		if err != nil {
-			log.Fatalf("plugin %s: %v", so, err)
+	// pass.Register for each pass it provides. Every plugin is
+	// attempted so one bad .so on a long command line doesn't hide the
+	// errors of the others; any failure aborts before the pipeline.
+	if errs := loadPlugins(plugins); len(errs) > 0 {
+		for _, err := range errs {
+			log.Print(err)
 		}
-		sym, err := pl.Lookup("RegisterMAOPasses")
-		if err != nil {
-			log.Fatalf("plugin %s: %v", so, err)
-		}
-		reg, ok := sym.(func())
-		if !ok {
-			log.Fatalf("plugin %s: RegisterMAOPasses must be func()", so)
-		}
-		reg()
+		os.Exit(1)
 	}
 
 	if *list {
@@ -141,6 +134,31 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// loadPlugins opens and registers every plugin, collecting all errors
+// instead of stopping at the first.
+func loadPlugins(plugins []string) []error {
+	var errs []error
+	for _, so := range plugins {
+		pl, err := plugin.Open(so)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("plugin %s: %v", so, err))
+			continue
+		}
+		sym, err := pl.Lookup("RegisterMAOPasses")
+		if err != nil {
+			errs = append(errs, fmt.Errorf("plugin %s: %v", so, err))
+			continue
+		}
+		reg, ok := sym.(func())
+		if !ok {
+			errs = append(errs, fmt.Errorf("plugin %s: RegisterMAOPasses must be func()", so))
+			continue
+		}
+		reg()
+	}
+	return errs
 }
 
 // checkFlag implements --check as an optional-value boolean flag:

@@ -109,6 +109,38 @@ func TestDriverErrors(t *testing.T) {
 	}
 }
 
+// TestDriverPluginErrorsCollected loads several broken plugins in one
+// invocation and expects every failure reported (not just the first)
+// and exit status 1.
+func TestDriverPluginErrorsCollected(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missingA := filepath.Join(dir, "missing_a.so")
+	missingB := filepath.Join(dir, "missing_b.so")
+	notPlugin := filepath.Join(dir, "not_a_plugin.so")
+	if err := os.WriteFile(notPlugin, []byte("not an ELF"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin,
+		"-plugin", missingA, "-plugin", notPlugin, "-plugin", missingB,
+		"--mao=REDTEST", in)
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	text := string(out)
+	for _, so := range []string{missingA, notPlugin, missingB} {
+		if !strings.Contains(text, "plugin "+so+":") {
+			t.Errorf("error for %s not reported:\n%s", so, text)
+		}
+	}
+}
+
 // exitCode digs the process exit status out of an exec error.
 func exitCode(t *testing.T, err error) int {
 	t.Helper()

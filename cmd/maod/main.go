@@ -1,0 +1,108 @@
+// Command maod serves the MAO optimization pipeline over HTTP: an
+// optimization-as-a-service daemon wrapping internal/serve.
+//
+//	maod -addr :7950 -workers 8 -queue 128
+//
+// Endpoints:
+//
+//	POST /v1/optimize  optimize one assembly unit (JSON in/out)
+//	GET  /metrics      Prometheus text-format metrics
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (503 once draining)
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops
+// accepting connections and admissions, completes every in-flight
+// request, then exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mao/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maod: ")
+
+	var (
+		addr        = flag.String("addr", ":7950", "listen address (host:port; :0 picks a free port)")
+		workers     = flag.Int("workers", 0, "optimization worker goroutines (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "admission queue depth; beyond it requests get 429 (0 = default)")
+		batchWindow = flag.Duration("batch-window", 0, "how long to hold a request for same-spec batching (0 = default)")
+		batchMax    = flag.Int("batch-max", 0, "max requests per batch (0 = default)")
+		cacheSize   = flag.Int("result-cache", 0, "result-cache entries, 0 = default, -1 disables")
+		pipeWorkers = flag.Int("pipeline-workers", 1, "intra-unit pass parallelism (1 = deterministic order is free)")
+		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = default)")
+		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = default)")
+		maxBody     = flag.Int64("max-source-bytes", 0, "max request body size (0 = default)")
+		drainWait   = flag.Duration("drain-timeout", 5*time.Minute, "how long to wait for in-flight requests on shutdown")
+		quiet       = flag.Bool("quiet", false, "suppress access logs")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: maod [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
+		ResultCacheEntries: *cacheSize,
+		PipelineWorkers:    *pipeWorkers,
+		DefaultDeadline:    *deadline,
+		MaxDeadline:        *maxDeadline,
+		MaxSourceBytes:     *maxBody,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Graceful drain, in two stages. Close first: it stops admission
+	// (new optimize requests answer 503, /readyz flips), flushes every
+	// batch still waiting out its window, and runs every admitted
+	// request to completion — no admitted request is dropped, and none
+	// waits for a batch timer. Shutdown then closes the listener and
+	// waits for the handlers to finish writing their responses.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained, exiting")
+}

@@ -1,0 +1,168 @@
+// Command maoload drives load against a running maod daemon and
+// reports throughput and latency percentiles.
+//
+//	maoload -addr http://localhost:7950 -c 8 -n 200 \
+//	        -spec REDTEST:REDMOV internal/corpus/testdata/*.s
+//
+// Each worker cycles through the given assembly fixtures, POSTing them
+// to /v1/optimize. The run is bounded by -n (total requests) or
+// -duration, whichever is set; with both, the first reached wins.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type result struct {
+	status  int
+	latency time.Duration
+	err     error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maoload: ")
+
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7950", "maod base URL")
+		conc     = flag.Int("c", 4, "concurrent workers")
+		total    = flag.Int("n", 100, "total requests (0 = unbounded, use -duration)")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = unbounded, use -n)")
+		spec     = flag.String("spec", "REDTEST:REDMOV", "pass pipeline sent with every request")
+		check    = flag.Bool("check", false, "request static-checker diagnostics")
+		noCache  = flag.Bool("no-cache", false, "bypass the server's result cache")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: maoload [flags] fixture.s [fixture.s ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *total <= 0 && *duration <= 0 {
+		log.Fatal("one of -n or -duration must be positive")
+	}
+
+	// Pre-encode one request body per fixture.
+	var bodies [][]byte
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := json.Marshal(map[string]any{
+			"name":   path,
+			"source": string(src),
+			"spec":   *spec,
+			"options": map[string]any{
+				"check":    *check,
+				"no_cache": *noCache,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+
+	var (
+		seq      atomic.Int64 // next request index; also the stop counter
+		deadline time.Time
+	)
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	stop := func(i int64) bool {
+		if *total > 0 && i >= int64(*total) {
+			return true
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	results := make(chan result, 1024)
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := seq.Add(1) - 1
+				if stop(i) {
+					return
+				}
+				body := bodies[i%int64(len(bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(*addr+"/v1/optimize", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					results <- result{err: err, latency: lat}
+					continue
+				}
+				// Drain so the connection is reused.
+				var sink json.RawMessage
+				json.NewDecoder(resp.Body).Decode(&sink)
+				resp.Body.Close()
+				results <- result{status: resp.StatusCode, latency: lat}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	var (
+		lats     []time.Duration
+		byStatus = map[int]int{}
+		errCount int
+		firstErr error
+	)
+	for r := range results {
+		if r.err != nil {
+			errCount++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		byStatus[r.status]++
+		lats = append(lats, r.latency)
+	}
+	elapsed := time.Since(start)
+
+	n := len(lats) + errCount
+	fmt.Printf("requests: %d in %v (%.1f req/s, %d workers)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *conc)
+	var codes []int
+	for c := range byStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  status %d: %d\n", c, byStatus[c])
+	}
+	if errCount > 0 {
+		fmt.Printf("  transport errors: %d (first: %v)\n", errCount, firstErr)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(.50).Round(time.Microsecond), pct(.90).Round(time.Microsecond),
+			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if n == errCount || byStatus[http.StatusOK] == 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mao/internal/serve"
+)
+
+func buildMaoload(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "maoload")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestLoadGeneratorAgainstService(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "internal", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+
+	bin := buildMaoload(t)
+	args := append([]string{
+		"-addr", ts.URL, "-c", "4", "-n", "40", "-spec", "REDTEST:REDMOV", "-no-cache",
+	}, fixtures...)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("maoload: %v\n%s", err, out)
+	}
+	report := string(out)
+	if !strings.Contains(report, "requests: 40 in ") {
+		t.Errorf("request count missing:\n%s", report)
+	}
+	if !strings.Contains(report, "status 200: 40") {
+		t.Errorf("not all requests succeeded:\n%s", report)
+	}
+	if !regexp.MustCompile(`latency: p50 \S+  p90 \S+  p99 \S+  max \S+`).MatchString(report) {
+		t.Errorf("latency percentiles missing:\n%s", report)
+	}
+}
+
+func TestLoadGeneratorUsage(t *testing.T) {
+	bin := buildMaoload(t)
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no-fixture invocation must fail")
+	}
+}

@@ -1,0 +1,162 @@
+package pass
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mao/internal/ir"
+)
+
+// countFuncPass counts RunFunc invocations; cancelAfter, when > 0,
+// cancels the run's context after that many invocations.
+type countFuncPass struct {
+	name        string
+	runs        *atomic.Int64
+	cancelAfter int64
+	cancel      context.CancelFunc
+	parallel    bool
+}
+
+func (p *countFuncPass) Name() string        { return p.name }
+func (p *countFuncPass) Description() string { return "test func pass counting invocations" }
+func (p *countFuncPass) ParallelSafe() bool  { return p.parallel }
+func (p *countFuncPass) RunFunc(ctx *Ctx, f *ir.Function) (bool, error) {
+	n := p.runs.Add(1)
+	if p.cancelAfter > 0 && n == p.cancelAfter {
+		p.cancel()
+	}
+	return false, nil
+}
+
+// unitWithFuncs builds a unit with n recognized (empty) functions.
+func unitWithFuncs(t *testing.T, n int) *ir.Unit {
+	t.Helper()
+	u := ir.NewUnit("t.s")
+	for i := 0; i < n; i++ {
+		name := "f" + string(rune('a'+i))
+		u.Append(ir.DirectiveNode(".type", name, "@function"))
+		u.Append(ir.LabelNode(name))
+		u.Append(ir.DirectiveNode(".size", name+",.-"+name))
+	}
+	if err := u.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	var runs atomic.Int64
+	testRegister(func() Pass { return &countFuncPass{name: "TESTCTX", runs: &runs} })
+	mgr, err := NewManager("TESTCTX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = mgr.RunContext(ctx, unitWithFuncs(t, 3))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "TESTCTX[0]:") {
+		t.Errorf("error %q lacks invocation attribution", err)
+	}
+	if runs.Load() != 0 {
+		t.Errorf("pass ran %d times under a pre-canceled context", runs.Load())
+	}
+}
+
+func TestRunContextCancelMidSequential(t *testing.T) {
+	var runs atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	testRegister(func() Pass {
+		return &countFuncPass{name: "TESTCTXSEQ", runs: &runs, cancelAfter: 2, cancel: cancel}
+	})
+	mgr, err := NewManager("TESTCTXSEQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Workers = 1
+	_, err = mgr.RunContext(ctx, unitWithFuncs(t, 8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The canceling invocation completes; no further function starts.
+	if got := runs.Load(); got != 2 {
+		t.Errorf("ran %d functions, want exactly 2 (cancel point)", got)
+	}
+}
+
+func TestRunContextCancelMidParallel(t *testing.T) {
+	var runs atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	testRegister(func() Pass {
+		return &countFuncPass{
+			name: "TESTCTXPAR", runs: &runs,
+			cancelAfter: 1, cancel: cancel, parallel: true,
+		}
+	})
+	mgr, err := NewManager("TESTCTXPAR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Workers = 4
+	_, err = mgr.RunContext(ctx, unitWithFuncs(t, 16))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "TESTCTXPAR[0]:") {
+		t.Errorf("error %q lacks invocation attribution", err)
+	}
+	// In-flight functions (at most one per worker at the cancel point)
+	// finish; the rest are never claimed.
+	if got := runs.Load(); got >= 16 {
+		t.Errorf("all %d functions ran despite cancellation", got)
+	}
+}
+
+func TestRunContextStopsBetweenPasses(t *testing.T) {
+	var runs atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	testRegister(func() Pass {
+		return &countFuncPass{name: "TESTCTXA", runs: &runs, cancelAfter: 1, cancel: cancel}
+	})
+	testRegister(func() Pass { return &countFuncPass{name: "TESTCTXB", runs: &runs} })
+	mgr, err := NewManager("TESTCTXA:TESTCTXB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Workers = 1
+	_, err = mgr.RunContext(ctx, unitWithFuncs(t, 1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "TESTCTXA[0]:") {
+		t.Errorf("cancellation attributed to %q, want the pass whose run canceled", err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("second pass ran despite cancellation (total runs %d)", got)
+	}
+}
+
+func TestCtxContextDefaultsToBackground(t *testing.T) {
+	ctx := NewCtx(ir.NewUnit("t.s"), "P", NewOptions(), NewStats())
+	if ctx.Context() != context.Background() {
+		t.Error("NewCtx context is not Background")
+	}
+}
+
+func TestStatsMapSnapshot(t *testing.T) {
+	s := NewStats()
+	s.Add("A", "x", 2)
+	m := s.Map()
+	s.Add("A", "x", 3)
+	if m["A"]["x"] != 2 {
+		t.Errorf("snapshot mutated: %v", m)
+	}
+	if s.Get("A", "x") != 5 {
+		t.Errorf("source wrong: %d", s.Get("A", "x"))
+	}
+}

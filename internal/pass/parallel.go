@@ -2,6 +2,7 @@ package pass
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,7 +34,12 @@ import (
 // Cache coherence: whenever a function's RunFunc reports a change, the
 // function's span is invalidated in the manager's relaxation cache
 // before the pipeline proceeds.
-func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, stats *Stats) error {
+//
+// Cancellation: once runCtx is done no further function is started
+// (sequential path) or claimed (parallel path); functions already in
+// flight run to completion, and the context error is reported with
+// the same "NAME[idx]" attribution as a pass failure.
+func (m *Manager) runFuncPass(runCtx context.Context, u *ir.Unit, p FuncPass, inv Invocation, idx int, stats *Stats) error {
 	name := p.Name()
 	funcs := u.Functions()
 
@@ -52,9 +58,13 @@ func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, s
 			Stats:    stats,
 			TraceW:   m.TraceW,
 			Cache:    m.Cache,
+			ctx:      runCtx,
 			passName: name,
 		}
 		for _, f := range funcs {
+			if err := runCtx.Err(); err != nil {
+				return fmt.Errorf("%s[%d]: %w", name, idx, err)
+			}
 			changed, err := p.RunFunc(ctx, f)
 			if changed {
 				m.Cache.InvalidateFunction(f)
@@ -62,6 +72,12 @@ func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, s
 			if err != nil {
 				return fmt.Errorf("%s[%d] on %s: %w", name, idx, f.Name, err)
 			}
+		}
+		// A cancellation that lands during the last function is still
+		// this invocation's error (matching the parallel path), not the
+		// next pass's.
+		if err := runCtx.Err(); err != nil {
+			return fmt.Errorf("%s[%d]: %w", name, idx, err)
 		}
 		return nil
 	}
@@ -82,6 +98,9 @@ func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, s
 		go func() {
 			defer wg.Done()
 			for {
+				if runCtx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(funcs) {
 					return
@@ -93,6 +112,7 @@ func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, s
 					Opts:     inv.Opts,
 					Stats:    r.stats,
 					Cache:    m.Cache,
+					ctx:      runCtx,
 					passName: name,
 				}
 				if m.TraceW != nil {
@@ -118,6 +138,11 @@ func (m *Manager) runFuncPass(u *ir.Unit, p FuncPass, inv Invocation, idx int, s
 		}
 		if r.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("%s[%d] on %s: %w", name, idx, f.Name, r.err)
+		}
+	}
+	if firstErr == nil {
+		if err := runCtx.Err(); err != nil {
+			firstErr = fmt.Errorf("%s[%d]: %w", name, idx, err)
 		}
 	}
 	return firstErr

@@ -11,6 +11,7 @@
 package pass
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -81,7 +82,20 @@ type Ctx struct {
 	// unchanged instructions.
 	Cache *relax.Cache
 
+	ctx      context.Context
 	passName string
+}
+
+// Context returns the context of the pipeline run this invocation
+// belongs to (context.Background for programmatic invocations built
+// with NewCtx). Long-running passes should poll it and abort early
+// when it is done; the manager itself checks it between passes and
+// between functions.
+func (c *Ctx) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // NewCtx builds a pass invocation context for programmatic invocation
@@ -143,6 +157,22 @@ func (s *Stats) Merge(o *Stats) {
 			s.Add(p, k, v)
 		}
 	}
+}
+
+// Map returns a deep copy of all counters as pass → key → count.
+// The snapshot is independent of s (callers may serialize it — e.g.
+// the optimization service returns it as the per-request stats JSON —
+// while the pipeline keeps counting).
+func (s *Stats) Map() map[string]map[string]int {
+	out := make(map[string]map[string]int, len(s.counters))
+	for p, m := range s.counters {
+		cp := make(map[string]int, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[p] = cp
+	}
+	return out
 }
 
 // Total returns the sum of all counters of one pass.
@@ -408,7 +438,7 @@ func NewManager(spec string) (*Manager, error) {
 }
 
 // Run executes the pipeline over u, returning the accumulated
-// statistics.
+// statistics. It is RunContext with a background context.
 //
 // Every invocation understands two standard options in addition to its
 // own, mirroring the original framework's common base-class
@@ -420,16 +450,34 @@ func NewManager(spec string) (*Manager, error) {
 // — so failures in long pipelines are attributable to the offending
 // invocation.
 func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
+	return m.RunContext(context.Background(), u)
+}
+
+// RunContext is Run under a context: the pipeline aborts between
+// passes — and, for function passes, between functions — once ctx is
+// done, returning ctx's error wrapped with the invocation that was
+// about to run (so errors.Is(err, context.DeadlineExceeded) and
+// friends see through it). A unit whose pipeline was aborted is left
+// partially transformed but structurally intact; the optimization
+// service discards such units rather than emitting them.
+func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error) {
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
 	stats := NewStats()
 	baseHits, baseMisses := m.Cache.Counters()
 	for idx, inv := range m.Pipeline {
 		name := inv.Pass.Name()
+		if err := runCtx.Err(); err != nil {
+			return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
+		}
 		ctx := &Ctx{
 			Unit:     u,
 			Opts:     inv.Opts,
 			Stats:    stats,
 			TraceW:   m.TraceW,
 			Cache:    m.Cache,
+			ctx:      runCtx,
 			passName: name,
 		}
 		if err := dumpIR(u, inv, "dump_before"); err != nil {
@@ -450,7 +498,7 @@ func (m *Manager) Run(u *ir.Unit) (*Stats, error) {
 				m.Cache.InvalidateAll()
 			}
 		case FuncPass:
-			if err := m.runFuncPass(u, p, inv, idx, stats); err != nil {
+			if err := m.runFuncPass(runCtx, u, p, inv, idx, stats); err != nil {
 				return stats, err
 			}
 		default:

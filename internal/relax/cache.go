@@ -1,11 +1,24 @@
 package relax
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
 	"mao/internal/ir"
 	"mao/internal/x86/encode"
+)
+
+// Default per-tier entry caps. They are sized for the committed corpus
+// with an order of magnitude of headroom: the largest corpus unit holds
+// a few thousand instruction nodes (node tier) and a few hundred
+// distinct instruction texts (content tier), so one-shot pipelines
+// never evict. The caps exist for long-lived daemons (cmd/maod), where
+// an unbounded cache keyed on node identity would retain entries for
+// every unit ever optimized.
+const (
+	DefaultNodeEntries    = 1 << 16 // 65536
+	DefaultContentEntries = 1 << 14 // 16384
 )
 
 // Cache memoizes instruction encodings across relaxation iterations and
@@ -30,21 +43,61 @@ import (
 //     and catches repeated idioms (the same "decl %ecx" encodes once
 //     per unit, not once per occurrence).
 //
+// Both tiers are bounded: each holds at most its configured entry cap
+// and evicts least-recently-used entries beyond it, so a shared cache
+// in a long-lived process (the maod daemon keeps one for its whole
+// lifetime) has a fixed memory ceiling. Eviction only ever forgets —
+// an evicted entry re-encodes on next use — so it cannot affect
+// soundness, only the hit rate.
+//
 // A Cache is safe for concurrent use; a nil *Cache disables caching.
 type Cache struct {
-	mu      sync.Mutex
-	node    map[*ir.Node][]byte
-	content map[string][]byte
+	mu         sync.Mutex
+	node       map[*ir.Node]*list.Element
+	content    map[string]*list.Element
+	nodeLRU    *list.List // of nodeEntry, front = most recent
+	contentLRU *list.List // of contentEntry, front = most recent
+	nodeCap    int
+	contentCap int
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
-// NewCache returns an empty encoding cache.
+type nodeEntry struct {
+	key *ir.Node
+	b   []byte
+}
+
+type contentEntry struct {
+	key string
+	b   []byte
+}
+
+// NewCache returns an empty encoding cache with the default entry caps.
 func NewCache() *Cache {
+	return NewCacheLimits(DefaultNodeEntries, DefaultContentEntries)
+}
+
+// NewCacheLimits returns an empty encoding cache holding at most
+// nodeEntries node-tier and contentEntries content-tier entries
+// (values <= 0 select the defaults). Beyond a cap the least recently
+// used entry is evicted.
+func NewCacheLimits(nodeEntries, contentEntries int) *Cache {
+	if nodeEntries <= 0 {
+		nodeEntries = DefaultNodeEntries
+	}
+	if contentEntries <= 0 {
+		contentEntries = DefaultContentEntries
+	}
 	return &Cache{
-		node:    make(map[*ir.Node][]byte),
-		content: make(map[string][]byte),
+		node:       make(map[*ir.Node]*list.Element),
+		content:    make(map[string]*list.Element),
+		nodeLRU:    list.New(),
+		contentLRU: list.New(),
+		nodeCap:    nodeEntries,
+		contentCap: contentEntries,
 	}
 }
 
@@ -58,12 +111,15 @@ func (c *Cache) lookup(n *ir.Node) ([]byte, bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if b, ok := c.node[n]; ok {
+	if e, ok := c.node[n]; ok {
+		c.nodeLRU.MoveToFront(e)
 		c.hits.Add(1)
-		return b, true
+		return e.Value.(nodeEntry).b, true
 	}
-	if b, ok := c.content[n.Inst.String()]; ok {
-		c.node[n] = b
+	if e, ok := c.content[n.Inst.String()]; ok {
+		c.contentLRU.MoveToFront(e)
+		b := e.Value.(contentEntry).b
+		c.storeNodeLocked(n, b)
 		c.hits.Add(1)
 		return b, true
 	}
@@ -79,8 +135,36 @@ func (c *Cache) store(n *ir.Node, b []byte) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.node[n] = b
-	c.content[n.Inst.String()] = b
+	c.storeNodeLocked(n, b)
+	key := n.Inst.String()
+	if e, ok := c.content[key]; ok {
+		c.contentLRU.MoveToFront(e)
+		return
+	}
+	c.content[key] = c.contentLRU.PushFront(contentEntry{key, b})
+	for c.contentLRU.Len() > c.contentCap {
+		back := c.contentLRU.Back()
+		delete(c.content, back.Value.(contentEntry).key)
+		c.contentLRU.Remove(back)
+		c.evictions.Add(1)
+	}
+}
+
+// storeNodeLocked inserts or refreshes a node-tier entry and enforces
+// the node cap. Callers hold c.mu.
+func (c *Cache) storeNodeLocked(n *ir.Node, b []byte) {
+	if e, ok := c.node[n]; ok {
+		e.Value = nodeEntry{n, b}
+		c.nodeLRU.MoveToFront(e)
+		return
+	}
+	c.node[n] = c.nodeLRU.PushFront(nodeEntry{n, b})
+	for c.nodeLRU.Len() > c.nodeCap {
+		back := c.nodeLRU.Back()
+		delete(c.node, back.Value.(nodeEntry).key)
+		c.nodeLRU.Remove(back)
+		c.evictions.Add(1)
+	}
 }
 
 // InvalidateFunction drops the node-tier entries of every node in the
@@ -95,7 +179,10 @@ func (c *Cache) InvalidateFunction(f *ir.Function) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, n := range f.Entries() {
-		delete(c.node, n)
+		if e, ok := c.node[n]; ok {
+			c.nodeLRU.Remove(e)
+			delete(c.node, n)
+		}
 	}
 }
 
@@ -108,6 +195,17 @@ func (c *Cache) InvalidateAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	clear(c.node)
+	c.nodeLRU.Init()
+}
+
+// Len returns the current number of node- and content-tier entries.
+func (c *Cache) Len() (nodes, contents int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.node), len(c.content)
 }
 
 // Counters returns the cumulative hit and miss counts.
@@ -116,6 +214,15 @@ func (c *Cache) Counters() (hits, misses int64) {
 		return 0, 0
 	}
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions returns the cumulative count of entries dropped by the
+// LRU caps (invalidations are not evictions).
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.

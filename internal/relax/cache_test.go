@@ -3,7 +3,9 @@ package relax
 import (
 	"testing"
 
+	"mao/internal/ir"
 	"mao/internal/x86"
+	"mao/internal/x86/encode"
 )
 
 const cacheSrc = `
@@ -179,5 +181,105 @@ func TestBranchesNeverCached(t *testing.T) {
 		if k == "" {
 			t.Error("empty content key")
 		}
+	}
+}
+
+// TestCacheBounded: the tiers never exceed their configured caps, the
+// caps evict LRU-first, and an evicting cache still produces exactly
+// the uncached layout (eviction forgets, it never corrupts).
+func TestCacheBounded(t *testing.T) {
+	u := parse(t, cacheSrc)
+	c := NewCacheLimits(4, 2)
+	bounded, err := Relax(u, &Options{Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, contents := c.Len()
+	if nodes > 4 || contents > 2 {
+		t.Errorf("tier sizes %d/%d exceed caps 4/2", nodes, contents)
+	}
+	if c.Evictions() == 0 {
+		t.Error("tiny caps over the fixture must evict")
+	}
+	// Compare the bounded-cache layout against a fresh uncached one.
+	u2 := parse(t, cacheSrc)
+	plain, err := Relax(u2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := findInsts(u), findInsts(u2)
+	if len(a) != len(b) {
+		t.Fatal("instruction counts differ")
+	}
+	for k := range a {
+		if string(bounded.Bytes[a[k]]) != string(plain.Bytes[b[k]]) {
+			t.Errorf("inst %d: bounded-cache bytes differ from uncached", k)
+		}
+		if bounded.Addr[a[k]] != plain.Addr[b[k]] {
+			t.Errorf("inst %d: bounded-cache addr differs from uncached", k)
+		}
+	}
+}
+
+// TestCacheDefaultsNeverEvictOnCorpusUnit: the default caps are sized
+// so one-shot pipelines over a unit of this scale never evict.
+func TestCacheDefaultsNeverEvictOnCorpusUnit(t *testing.T) {
+	u := parse(t, cacheSrc)
+	c := NewCache()
+	for i := 0; i < 3; i++ {
+		if _, err := Relax(u, &Options{Cache: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Evictions() != 0 {
+		t.Errorf("default caps evicted %d entries on a small unit", c.Evictions())
+	}
+}
+
+// TestCacheLRUOrder: with a content cap of 2, touching entry A keeps
+// it resident while the untouched entry is evicted. The node cap of 1
+// forces every lookup through the content tier (a node-tier hit
+// deliberately skips content recency — it would cost the string key
+// the node tier exists to avoid).
+func TestCacheLRUOrder(t *testing.T) {
+	u := parse(t, cacheSrc)
+	insts := findInsts(u)
+	var cacheable []*ir.Node
+	for _, n := range insts {
+		if encode.PositionIndependent(n.Inst) {
+			dup := false
+			for _, m := range cacheable {
+				if m.Inst.String() == n.Inst.String() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cacheable = append(cacheable, n)
+			}
+		}
+	}
+	if len(cacheable) < 3 {
+		t.Skipf("fixture has only %d distinct cacheable instructions", len(cacheable))
+	}
+	c := NewCacheLimits(1, 2)
+	ctx := &encode.Ctx{}
+	enc := func(n *ir.Node) {
+		t.Helper()
+		if _, err := encodeCached(c, n, ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc(cacheable[0]) // content: {0}
+	enc(cacheable[1]) // content: {0,1}
+	enc(cacheable[0]) // refresh 0 → LRU order 1,0
+	enc(cacheable[2]) // evicts 1 → {0,2}
+	c.mu.Lock()
+	_, has0 := c.content[cacheable[0].Inst.String()]
+	_, has1 := c.content[cacheable[1].Inst.String()]
+	_, has2 := c.content[cacheable[2].Inst.String()]
+	c.mu.Unlock()
+	if !has0 || has1 || !has2 {
+		t.Errorf("LRU order wrong: have0=%v have1=%v have2=%v (want t,f,t)", has0, has1, has2)
 	}
 }

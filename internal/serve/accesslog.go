@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time       string  `json:"time"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"dur_ms"`
+	Bytes      int64   `json:"bytes"`
+	Remote     string  `json:"remote"`
+}
+
+// instrument wraps the service mux with request metrics and, when
+// configured, structured JSON access logging.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		d := time.Since(start)
+		s.met.observeRequest(sw.status, d)
+		if s.cfg.AccessLog != nil {
+			rec := accessRecord{
+				Time:       start.UTC().Format(time.RFC3339Nano),
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Status:     sw.status,
+				DurationMS: float64(d.Microseconds()) / 1000,
+				Bytes:      sw.bytes,
+				Remote:     r.RemoteAddr,
+			}
+			line, err := json.Marshal(rec)
+			if err == nil {
+				line = append(line, '\n')
+				s.cfg.AccessLog.Write(line)
+			}
+		}
+	})
+}

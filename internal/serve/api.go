@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mao/internal/check"
+	"mao/internal/pass"
+)
+
+// OptimizeRequest is the body of POST /v1/optimize.
+type OptimizeRequest struct {
+	// Name is the unit name used in diagnostics ("request.s" when
+	// empty). It appears in Diag.File and in error messages.
+	Name string `json:"name,omitempty"`
+	// Source is the AT&T-syntax assembly to optimize. Required.
+	Source string `json:"source"`
+	// Spec is the ':'-separated pass pipeline, e.g. "REDTEST:REDMOV"
+	// (mao --mao= syntax). Empty runs no passes: the unit is parsed
+	// and re-emitted canonically. The ASM pass and the dump_before /
+	// dump_after standard options are rejected — they write files on
+	// the server; the service returns assembly in the response.
+	Spec string `json:"spec,omitempty"`
+	// Options tune this request.
+	Options OptimizeOptions `json:"options,omitempty"`
+}
+
+// OptimizeOptions are the per-request knobs.
+type OptimizeOptions struct {
+	// Check runs the static verification catalog over the optimized
+	// unit and returns the diagnostics.
+	Check bool `json:"check,omitempty"`
+	// DeadlineMS overrides the server's default request deadline,
+	// capped at the server's maximum. The deadline covers queueing
+	// and execution.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// NoCache bypasses the result cache for this request (the fresh
+	// result is still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+func (r *OptimizeRequest) unitName() string {
+	if r.Name == "" {
+		return "request.s"
+	}
+	return r.Name
+}
+
+// OptimizeResponse is the body of a successful optimization.
+type OptimizeResponse struct {
+	// Assembly is the optimized unit, byte-identical to what cmd/mao
+	// emits for the same source and spec.
+	Assembly string `json:"assembly"`
+	// Stats are the per-pass transformation counters (pass → key →
+	// count), including the RELAXCACHE pseudo-pass.
+	Stats map[string]map[string]int `json:"stats,omitempty"`
+	// Diags carries the static-checker diagnostics when
+	// options.check was set (empty slice = checked, clean).
+	Diags []check.Diag `json:"diags,omitempty"`
+	// Cached reports that the response was served from the result
+	// cache without running a pipeline.
+	Cached bool `json:"cached"`
+	// BatchSize is how many same-spec requests shared this request's
+	// batch (1 = alone; 0 on cached responses).
+	BatchSize int `json:"batch_size,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/optimize  optimize one unit
+//	GET  /metrics      Prometheus text-format metrics
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
+//
+// Every request is access-logged (Config.AccessLog) and measured into
+// the request metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return s.instrument(mux)
+}
+
+// handleOptimize is POST /v1/optimize: validate, consult the result
+// cache, admit into the queue, and wait for the worker's answer (or
+// the request deadline).
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	req, status, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+
+	key := resultKey(req)
+	if !req.Options.NoCache {
+		if resp, ok := s.results.get(key); ok {
+			cached := *resp
+			cached.Cached = true
+			cached.BatchSize = 0
+			writeJSON(w, http.StatusOK, &cached)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req))
+	defer cancel()
+	j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1)}
+	if ok, retryAfter := s.admit(j); !ok {
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeError(w, http.StatusTooManyRequests, errors.New("optimization queue is full"))
+		} else {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		}
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			writeError(w, res.status, res.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res.resp)
+	case <-ctx.Done():
+		// Deadline expired (or client went away) while the job was
+		// still queued or running; the worker will observe the same
+		// context and discard the job.
+		writeError(w, statusForCtx(ctx.Err()), fmt.Errorf("request abandoned: %w", ctx.Err()))
+	}
+}
+
+// decodeRequest reads, parses and validates the request body. The
+// returned status classifies the failure (413 oversize, 400 anything
+// else malformed).
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req OptimizeRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err)
+	}
+	if req.Source == "" {
+		return nil, http.StatusBadRequest, errors.New("source is required")
+	}
+	invs, err := pass.ParsePipeline(req.Spec)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	for _, inv := range invs {
+		if inv.Pass.Name() == "ASM" {
+			return nil, http.StatusBadRequest,
+				errors.New("the ASM pass is CLI-only: the service returns assembly in the response body")
+		}
+		for _, opt := range []string{"dump_before", "dump_after"} {
+			if inv.Opts.String(opt, "\x00") != "\x00" {
+				return nil, http.StatusBadRequest,
+					fmt.Errorf("the %s option is CLI-only (it writes files on the server)", opt)
+			}
+		}
+	}
+	if req.Options.DeadlineMS < 0 {
+		return nil, http.StatusBadRequest, errors.New("deadline_ms must be >= 0")
+	}
+	return &req, 0, nil
+}
+
+// deadlineFor resolves the effective deadline of a request.
+func (s *Server) deadlineFor(req *OptimizeRequest) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if req.Options.DeadlineMS > 0 {
+		d = time.Duration(req.Options.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // the status is already committed; encode errors only surface as a truncated body
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// batch is a group of admitted jobs sharing one pass spec, dispatched
+// to a worker as a unit.
+type batch struct {
+	spec  string
+	jobs  []*job
+	timer *time.Timer
+}
+
+// batcher groups incoming jobs by pass spec. The first job of a spec
+// opens a batch and arms a window timer; same-spec jobs arriving
+// within the window join it. A batch dispatches to the out channel
+// when the window elapses or the batch reaches max, whichever comes
+// first — so a lone request pays at most the window in added latency,
+// and a burst of identical requests dispatches immediately at max.
+//
+// Only the server's dispatcher calls add (single goroutine); flush is
+// called from window-timer goroutines and from closeFlush, and the
+// mutex arbitrates between them.
+type batcher struct {
+	window time.Duration
+	max    int
+	out    chan<- *batch
+
+	mu      sync.Mutex
+	pending map[string]*batch
+	sendWG  sync.WaitGroup // in-flight timer sends, awaited by closeFlush
+}
+
+func newBatcher(window time.Duration, max int, out chan<- *batch) *batcher {
+	return &batcher{
+		window:  window,
+		max:     max,
+		out:     out,
+		pending: make(map[string]*batch),
+	}
+}
+
+// add joins j to the open batch of its spec, opening one (and arming
+// its window timer) if none exists. A batch that reaches max is
+// dispatched inline.
+func (b *batcher) add(j *job) {
+	b.mu.Lock()
+	bt := b.pending[j.req.Spec]
+	if bt == nil {
+		bt = &batch{spec: j.req.Spec}
+		b.pending[j.req.Spec] = bt
+		spec := j.req.Spec
+		bt.timer = time.AfterFunc(b.window, func() { b.flush(spec) })
+	}
+	bt.jobs = append(bt.jobs, j)
+	full := len(bt.jobs) >= b.max
+	if full {
+		delete(b.pending, j.req.Spec)
+		bt.timer.Stop()
+	}
+	b.mu.Unlock()
+	if full {
+		b.out <- bt
+	}
+}
+
+// flush dispatches the pending batch of spec, if it is still pending
+// (it may have been dispatched full, or collected by closeFlush).
+func (b *batcher) flush(spec string) {
+	b.mu.Lock()
+	bt := b.pending[spec]
+	if bt == nil {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, spec)
+	// Register the send while still holding the lock so closeFlush,
+	// which runs after this critical section or before it, either
+	// waits for this send or finds the batch still pending.
+	b.sendWG.Add(1)
+	b.mu.Unlock()
+	b.out <- bt
+	b.sendWG.Done()
+}
+
+// closeFlush dispatches every still-pending batch and waits for any
+// in-flight timer dispatches, after which no further send on out can
+// occur. The caller (the server's dispatcher, after the job queue
+// closed — so add can no longer be called) may then close out.
+func (b *batcher) closeFlush() {
+	b.mu.Lock()
+	var rest []*batch
+	for spec, bt := range b.pending {
+		bt.timer.Stop()
+		delete(b.pending, spec)
+		rest = append(rest, bt)
+	}
+	b.mu.Unlock()
+	for _, bt := range rest {
+		b.out <- bt
+	}
+	b.sendWG.Wait()
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchEnv boots an in-process service and returns its URL plus one
+// pre-encoded request body per corpus fixture.
+func benchEnv(b *testing.B, noCache bool) (string, [][]byte) {
+	b.Helper()
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() { ts.Close(); s.Close() })
+
+	fixtures, err := filepath.Glob(filepath.Join("..", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		b.Fatalf("no corpus fixtures: %v", err)
+	}
+	var bodies [][]byte
+	for _, fx := range fixtures {
+		src, err := os.ReadFile(fx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := json.Marshal(&OptimizeRequest{
+			Name: fx, Source: string(src), Spec: "REDTEST:REDMOV",
+			Options: OptimizeOptions{NoCache: noCache},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies = append(bodies, body)
+	}
+	return ts.URL, bodies
+}
+
+func benchOptimize(b *testing.B, noCache bool) {
+	url, bodies := benchEnv(b, noCache)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := bodies[i%len(bodies)]
+			i++
+			resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var out OptimizeResponse
+			json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServiceOptimize measures end-to-end service throughput with
+// every request running a real pipeline (result cache bypassed).
+func BenchmarkServiceOptimize(b *testing.B) { benchOptimize(b, true) }
+
+// BenchmarkServiceOptimizeCached measures the result-cache hit path:
+// after the first round every request is content-addressed straight to
+// a cached response.
+func BenchmarkServiceOptimizeCached(b *testing.B) { benchOptimize(b, false) }

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// buildMao compiles the cmd/mao driver once per test run.
+func buildMao(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mao")
+	cmd := exec.Command("go", "build", "-o", bin, "mao/cmd/mao")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build cmd/mao: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// diffSpecs is the pipeline matrix the service is held byte-identical
+// to the CLI over. Covers the empty pipeline (parse + canonical
+// re-emission), peepholes, whole-function rewrites, scheduling, and
+// the relaxation-driven alignment passes.
+var diffSpecs = []string{
+	"",
+	"REDTEST:REDMOV",
+	"DCE:CONSTFOLD",
+	"NOPKILL:REDZEXT",
+	"SCHED",
+	"LOOP16",
+}
+
+// cliOutputs runs cmd/mao over every corpus fixture × diffSpecs and
+// returns the emitted assembly keyed by "fixture|spec".
+func cliOutputs(t *testing.T, bin string, fixtures []string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	want := make(map[string]string)
+	for i, fx := range fixtures {
+		for j, spec := range diffSpecs {
+			out := filepath.Join(dir, fmt.Sprintf("out_%d_%d.s", i, j))
+			cliSpec := "ASM=o[" + out + "]"
+			if spec != "" {
+				cliSpec = spec + ":" + cliSpec
+			}
+			cmd := exec.Command(bin, "--mao="+cliSpec, fx)
+			if msg, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("mao --mao=%s %s: %v\n%s", cliSpec, fx, err, msg)
+			}
+			b, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[fx+"|"+spec] = string(b)
+		}
+	}
+	return want
+}
+
+func corpusFixtures(t *testing.T) []string {
+	t.Helper()
+	fixtures, err := filepath.Glob(filepath.Join("..", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	return fixtures
+}
+
+// postOptimizeErr is the goroutine-safe flavor of postOptimize: it
+// reports failures as errors instead of calling t.Fatal.
+func postOptimizeErr(url string, req *OptimizeRequest) (*OptimizeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TestDifferentialAgainstCLI asserts the acceptance criterion: for the
+// same source and spec, POST /v1/optimize returns assembly
+// byte-identical to what cmd/mao emits through its ASM pass — both
+// sequentially and under concurrent load at workers=8.
+func TestDifferentialAgainstCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds cmd/mao and runs the corpus matrix")
+	}
+	bin := buildMao(t)
+	fixtures := corpusFixtures(t)
+	want := cliOutputs(t, bin, fixtures)
+	sources := make(map[string]string)
+	for _, fx := range fixtures {
+		b, err := os.ReadFile(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[fx] = string(b)
+	}
+
+	t.Run("sequential", func(t *testing.T) {
+		_, ts := testServer(t, Config{})
+		for _, fx := range fixtures {
+			for _, spec := range diffSpecs {
+				code, resp, e := postOptimize(t, ts.URL, &OptimizeRequest{
+					Name: fx, Source: sources[fx], Spec: spec,
+				})
+				if code != 200 {
+					t.Fatalf("%s spec=%q: status %d (%+v)", fx, spec, code, e)
+				}
+				if resp.Assembly != want[fx+"|"+spec] {
+					t.Errorf("%s spec=%q: service output differs from cmd/mao", fx, spec)
+				}
+			}
+		}
+	})
+
+	t.Run("concurrent-workers-8", func(t *testing.T) {
+		_, ts := testServer(t, Config{Workers: 8, QueueDepth: 256})
+		const replicas = 3 // each combination raced three times
+		var wg sync.WaitGroup
+		errs := make(chan string, len(fixtures)*len(diffSpecs)*replicas)
+		for _, fx := range fixtures {
+			for _, spec := range diffSpecs {
+				for rep := 0; rep < replicas; rep++ {
+					wg.Add(1)
+					go func(fx, spec string, rep int) {
+						defer wg.Done()
+						resp, err := postOptimizeErr(ts.URL, &OptimizeRequest{
+							Name: fx, Source: sources[fx], Spec: spec,
+							// Odd replicas bypass the result cache so
+							// concurrent pipelines actually run.
+							Options: OptimizeOptions{NoCache: rep%2 == 1},
+						})
+						if err != nil {
+							errs <- fmt.Sprintf("%s spec=%q rep=%d: %v", fx, spec, rep, err)
+							return
+						}
+						if resp.Assembly != want[fx+"|"+spec] {
+							errs <- fmt.Sprintf("%s spec=%q rep=%d: output differs from cmd/mao (cached=%v)",
+								fx, spec, rep, resp.Cached)
+						}
+					}(fx, spec, rep)
+				}
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Error(e)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// resultKey builds the content address of a request: the SHA-256 of
+// the source plus every request field the response depends on. Two
+// requests with the same key are guaranteed the same response, so a
+// cached answer is exact, not approximate.
+func resultKey(req *OptimizeRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src:%d:", len(req.Source))
+	h.Write([]byte(req.Source))
+	fmt.Fprintf(h, ":name:%s:spec:%s:check:%t", req.unitName(), req.Spec, req.Options.Check)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultCache is the content-addressed response cache: an LRU map
+// from resultKey to the completed response. Entries are immutable
+// once stored (handlers serialize them without copying).
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // of resultEntry, front = most recent
+	cap     int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type resultEntry struct {
+	key  string
+	resp *OptimizeResponse
+}
+
+// newResultCache returns a cache holding at most capEntries responses;
+// capEntries < 0 disables caching entirely (every get misses, puts are
+// dropped).
+func newResultCache(capEntries int) *resultCache {
+	c := &resultCache{cap: capEntries}
+	if capEntries > 0 {
+		c.entries = make(map[string]*list.Element)
+		c.lru = list.New()
+	}
+	return c
+}
+
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
+// get returns the cached response for key, refreshing its recency.
+func (c *resultCache) get(key string) (*OptimizeResponse, bool) {
+	if !c.enabled() || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	c.hits.Add(1)
+	return e.Value.(resultEntry).resp, true
+}
+
+// put stores a completed response, evicting the least recently used
+// entry beyond the cap.
+func (c *resultCache) put(key string, resp *OptimizeResponse) {
+	if !c.enabled() || key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.Value = resultEntry{key, resp}
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(resultEntry{key, resp})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(resultEntry).key)
+		c.lru.Remove(back)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	if !c.enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -23,6 +23,7 @@
 package mao
 
 import (
+	"context"
 	"os"
 
 	"mao/internal/asm"
@@ -116,13 +117,23 @@ type Options struct {
 // optional relaxation cache. Emitted assembly and returned statistics
 // are byte-for-byte identical at any worker count.
 func RunPipelineParallel(u *Unit, spec string, opts Options) (*Stats, error) {
+	return RunPipelineContext(context.Background(), u, spec, opts)
+}
+
+// RunPipelineContext is RunPipelineParallel under a context: the
+// pipeline aborts between passes (and between functions of a function
+// pass) once ctx is done, returning ctx's error wrapped with the
+// invocation that was about to run. This is the entry point for
+// request-scoped callers — the maod optimization service threads every
+// request's deadline through it.
+func RunPipelineContext(ctx context.Context, u *Unit, spec string, opts Options) (*Stats, error) {
 	mgr, err := pass.NewManager(spec)
 	if err != nil {
 		return nil, err
 	}
 	mgr.Workers = opts.Workers
 	mgr.Cache = opts.Cache
-	stats, err := mgr.Run(u)
+	stats, err := mgr.RunContext(ctx, u)
 	if err != nil {
 		return nil, err
 	}
