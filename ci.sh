@@ -21,6 +21,10 @@
 #               checker must parse and lint generator output without
 #               error-severity diagnostics (warnings are expected —
 #               synthetic workloads take ABI liberties on purpose)
+#   trace smoke mao --explain=json and -trace-chrome over a corpus
+#               fixture, with both artifacts validated against the
+#               checked-in schemas (internal/trace/testdata), so the
+#               observability formats cannot drift silently
 set -eu
 cd "$(dirname "$0")"
 
@@ -59,6 +63,20 @@ for f in internal/corpus/testdata/*.s; do
 	echo "-- $f"
 	"$bin" --check "$f"
 done
+
+echo "== trace smoke: --explain and Chrome trace export validate against their schemas"
+tracedir=$(dirname "$bin")
+fixture=internal/corpus/testdata/wl_164_gzip.s
+"$bin" --mao=REDTEST:NOPKILL:LOOP16 --explain=json -trace-chrome "$tracedir/pipeline.trace" \
+	"$fixture" >"$tracedir/explain.json"
+go run ./internal/trace/schemacheck -schema internal/trace/testdata/explain.schema.json \
+	"$tracedir/explain.json"
+go run ./internal/trace/schemacheck -schema internal/trace/testdata/chrome_trace.schema.json \
+	"$tracedir/pipeline.trace"
+# --explain must attribute: the pipeline above synthesizes alignment
+# nodes, so at least one "origin" must appear in the lineage.
+grep -q '"origin":"LOOP16\[2\]"' "$tracedir/explain.json" ||
+	{ echo "--explain=json carries no LOOP16[2] origin" >&2; exit 1; }
 
 echo "== maod smoke: boot, probe, optimize, drain"
 maod_bin=$(dirname "$bin")/maod

@@ -22,6 +22,15 @@
 // with status 2 when the checker reports an error-severity diagnostic
 // or the certifier attributes a violation.
 //
+// The tracing and provenance plane (see mao/internal/trace) is
+// byte-transparent and off by default:
+//
+//	mao -timings --mao=... in.s          per-pass timing table on stderr
+//	mao -trace-json s.jsonl --mao=... in.s    spans as JSON lines
+//	mao -trace-chrome t.trace --mao=... in.s  chrome://tracing / Perfetto
+//	mao --explain --mao=... in.s         assembly with "# pass: NAME[idx]"
+//	mao --explain=json --mao=... in.s    per-instruction lineage JSON
+//
 // Like the original, passes may also be loaded dynamically: build a
 // plugin exporting RegisterMAOPasses (see testdata/plugin) with
 //
@@ -34,6 +43,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"plugin"
@@ -43,6 +53,7 @@ import (
 	"mao/internal/check"
 	"mao/internal/pass"
 	"mao/internal/relax"
+	"mao/internal/trace"
 )
 
 func main() {
@@ -51,11 +62,16 @@ func main() {
 
 	var specs, plugins multiFlag
 	var checkMode checkFlag
+	var explainMode explainFlag
 	flag.Var(&specs, "mao", "pass pipeline, e.g. REDTEST:REDMOV:ASM=o[out.s] (repeatable)")
 	flag.Var(&plugins, "plugin", "load additional passes from a Go plugin .so (repeatable)")
 	flag.Var(&checkMode, "check", "run the static checker over the result; --check=json for JSON output")
+	flag.Var(&explainMode, "explain", "emit provenance-annotated assembly on stdout; --explain=json for per-instruction lineage JSON")
 	certify := flag.Bool("certify", false, "certify every pass invocation with the static checker")
 	stats := flag.Bool("stats", false, "print per-pass transformation statistics")
+	timings := flag.Bool("timings", false, "print a per-pass timing table (from pipeline spans) on stderr")
+	traceJSON := flag.String("trace-json", "", "write pipeline spans as JSON lines to `file`")
+	traceChrome := flag.String("trace-chrome", "", "write pipeline spans in Chrome trace-event format to `file` (chrome://tracing, Perfetto)")
 	list := flag.Bool("passes", false, "list registered passes")
 	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
@@ -99,6 +115,12 @@ func main() {
 		cert = &check.Certifier{}
 		mgr.Hook = cert
 	}
+	// Span collection is byte- and stats-transparent, but the collector
+	// is only attached when an observer asked for it — the default run
+	// stays at the nil-check fast path.
+	if *timings || *traceJSON != "" || *traceChrome != "" {
+		mgr.Tracer = trace.NewCollector()
+	}
 	st, err := mgr.Run(u)
 	if err != nil {
 		log.Fatal(err)
@@ -108,6 +130,27 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, st.String())
+	}
+	if *timings {
+		if err := trace.WriteSummary(os.Stderr, mgr.Tracer); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := exportSpans(mgr.Tracer, *traceJSON, trace.WriteJSON); err != nil {
+		log.Fatal(err)
+	}
+	if err := exportSpans(mgr.Tracer, *traceChrome, trace.WriteChromeTrace); err != nil {
+		log.Fatal(err)
+	}
+	if explainMode.set {
+		if explainMode.json {
+			err = trace.WriteExplainJSON(os.Stdout, u)
+		} else {
+			err = trace.WriteExplainText(os.Stdout, u)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	exit := 0
@@ -194,6 +237,58 @@ func (c *checkFlag) Set(v string) error {
 
 // IsBoolFlag lets the flag package accept a bare --check.
 func (c *checkFlag) IsBoolFlag() bool { return true }
+
+// explainFlag implements --explain the same way: bare --explain emits
+// provenance-annotated assembly, --explain=json machine-readable
+// lineage.
+type explainFlag struct {
+	set  bool
+	json bool
+}
+
+func (e *explainFlag) String() string {
+	switch {
+	case e.json:
+		return "json"
+	case e.set:
+		return "true"
+	}
+	return ""
+}
+
+func (e *explainFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		e.set, e.json = true, false
+	case "false":
+		e.set, e.json = false, false
+	case "json":
+		e.set, e.json = true, true
+	default:
+		return fmt.Errorf("invalid --explain mode %q (want json)", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets the flag package accept a bare --explain.
+func (e *explainFlag) IsBoolFlag() bool { return true }
+
+// exportSpans writes the collected spans to path with the given
+// exporter; a no-op when no path was requested.
+func exportSpans(c *trace.Collector, path string, write func(io.Writer, *trace.Collector) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // multiFlag accumulates repeated --mao options.
 type multiFlag []string

@@ -19,6 +19,7 @@ import (
 	"mao/internal/bench"
 	"mao/internal/experiments"
 	"mao/internal/relax"
+	"mao/internal/trace"
 )
 
 func main() {
@@ -28,9 +29,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names")
 	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = the paper's sizes)")
 	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
+	timings := flag.Bool("timings", false, "print an aggregate per-pass timing table for all pipelines run")
 	flag.Parse()
 	bench.Workers = *workers
 	bench.EncodeCache = relax.NewCache()
+	if *timings {
+		bench.Tracer = trace.NewCollector()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -52,5 +57,11 @@ func main() {
 			log.Fatalf("experiment %s: %v", e.Name, err)
 		}
 		fmt.Println()
+	}
+	if *timings {
+		fmt.Println("=== per-pass timings (all pipelines) ===")
+		if err := trace.WriteSummary(os.Stdout, bench.Tracer); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

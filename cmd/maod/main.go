@@ -10,6 +10,12 @@
 //	GET  /healthz      liveness
 //	GET  /readyz       readiness (503 once draining)
 //
+// Every request carries an X-Request-ID (honored inbound, generated
+// otherwise), echoed in the response, the access log, and the pipeline
+// spans behind the per-pass latency histograms on /metrics. Profiling
+// (net/http/pprof) never rides the service port: it is served only
+// from the opt-in -debug-addr listener.
+//
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops
 // accepting connections and admissions, completes every in-flight
 // request, then exits 0.
@@ -47,6 +53,7 @@ func main() {
 		maxBody     = flag.Int64("max-source-bytes", 0, "max request body size (0 = default)")
 		drainWait   = flag.Duration("drain-timeout", 5*time.Minute, "how long to wait for in-flight requests on shutdown")
 		quiet       = flag.Bool("quiet", false, "suppress access logs")
+		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener for net/http/pprof (empty = disabled); bind it to localhost")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -81,6 +88,23 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	// The profiling plane is a separate, opt-in listener: pprof exposes
+	// process internals, so it never rides on the service port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		debugSrv = &http.Server{Handler: serve.DebugHandler()}
+		log.Printf("debug (pprof) listening on %s", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug serve: %v", err)
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 
@@ -103,6 +127,9 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 		os.Exit(1)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	log.Printf("drained, exiting")
 }

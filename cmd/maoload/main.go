@@ -125,6 +125,7 @@ func main() {
 		errCount int
 		firstErr error
 	)
+	var total2xx, total4xx, total5xx int
 	for r := range results {
 		if r.err != nil {
 			errCount++
@@ -134,13 +135,26 @@ func main() {
 			continue
 		}
 		byStatus[r.status]++
-		lats = append(lats, r.latency)
+		switch {
+		case r.status >= 200 && r.status < 300:
+			total2xx++
+			// Only successful responses enter the percentile set: a 429
+			// turned around in microseconds would otherwise drag p50 down
+			// and make an overloaded server look fast.
+			lats = append(lats, r.latency)
+		case r.status >= 400 && r.status < 500:
+			total4xx++
+		case r.status >= 500:
+			total5xx++
+		}
 	}
 	elapsed := time.Since(start)
 
-	n := len(lats) + errCount
+	n := total2xx + total4xx + total5xx + errCount
 	fmt.Printf("requests: %d in %v (%.1f req/s, %d workers)\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), *conc)
+	fmt.Printf("classes: 2xx %d  4xx %d  5xx %d  transport-errors %d\n",
+		total2xx, total4xx, total5xx, errCount)
 	var codes []int
 	for c := range byStatus {
 		codes = append(codes, c)
@@ -158,7 +172,7 @@ func main() {
 			i := int(p * float64(len(lats)-1))
 			return lats[i]
 		}
-		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		fmt.Printf("latency (2xx only): p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(.50).Round(time.Microsecond), pct(.90).Round(time.Microsecond),
 			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}

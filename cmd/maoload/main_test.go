@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
@@ -46,8 +47,46 @@ func TestLoadGeneratorAgainstService(t *testing.T) {
 	if !strings.Contains(report, "status 200: 40") {
 		t.Errorf("not all requests succeeded:\n%s", report)
 	}
-	if !regexp.MustCompile(`latency: p50 \S+  p90 \S+  p99 \S+  max \S+`).MatchString(report) {
+	if !strings.Contains(report, "classes: 2xx 40  4xx 0  5xx 0  transport-errors 0") {
+		t.Errorf("error-class breakdown missing or wrong:\n%s", report)
+	}
+	if !regexp.MustCompile(`latency \(2xx only\): p50 \S+  p90 \S+  p99 \S+  max \S+`).MatchString(report) {
 		t.Errorf("latency percentiles missing:\n%s", report)
+	}
+}
+
+// TestLoadGeneratorReportsErrorClasses is the regression test for the
+// silent-error bug: a server answering nothing but 429 must be
+// reported as such — errors classified and counted, no latency line
+// fabricated from error turnaround times, and a failing exit code.
+func TestLoadGeneratorReportsErrorClasses(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "internal", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	bin := buildMaoload(t)
+	args := append([]string{
+		"-addr", ts.URL, "-c", "2", "-n", "10", "-spec", "REDTEST",
+	}, fixtures[0])
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		t.Errorf("all-429 run exited 0:\n%s", out)
+	}
+	report := string(out)
+	if !strings.Contains(report, "classes: 2xx 0  4xx 10  5xx 0  transport-errors 0") {
+		t.Errorf("429s not classified:\n%s", report)
+	}
+	if !strings.Contains(report, "status 429: 10") {
+		t.Errorf("per-status count missing:\n%s", report)
+	}
+	if strings.Contains(report, "latency (2xx only):") {
+		t.Errorf("latency line fabricated from non-2xx turnarounds:\n%s", report)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the full pass catalog
 	"mao/internal/relax"
+	"mao/internal/trace"
 	"mao/internal/uarch"
 	"mao/internal/uarch/exec"
 	"mao/internal/uarch/sim"
@@ -44,6 +45,11 @@ var Workers = 0
 // repeated relaxations share position-independent encodings.
 var EncodeCache *relax.Cache
 
+// Tracer, when non-nil, collects pipeline spans for every Optimize
+// call (cmd/maobench's -timings flag sets it). Span collection is
+// byte- and stats-transparent, so measured results are unaffected.
+var Tracer *trace.Collector
+
 // Prepare parses a workload into a unit (no passes yet).
 func Prepare(w corpus.Workload) (*ir.Unit, error) {
 	return asm.ParseString(w.Name+".s", corpus.Generate(w))
@@ -61,6 +67,7 @@ func Optimize(u *ir.Unit, pipeline string) (*pass.Stats, error) {
 	}
 	mgr.Workers = Workers
 	mgr.Cache = EncodeCache
+	mgr.Tracer = Tracer
 	stats, err := mgr.Run(u)
 	if err != nil {
 		return nil, err

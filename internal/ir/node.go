@@ -45,6 +45,49 @@ type Node struct {
 	// for nodes synthesized by passes. Diagnostics use it for
 	// file:line positions.
 	Line int
+
+	// Prov is the node's provenance record: which pass invocation
+	// created it and which one last mutated it. It is nil for source
+	// nodes no pass has touched, so untouched units pay one pointer of
+	// space and nothing else. Passes stamp it through the pass.Ctx
+	// Insert/Delete/Rewrite helpers; `mao --explain` renders it.
+	Prov *Provenance
+}
+
+// PassRef identifies one pass invocation of a pipeline run: the pass
+// name plus its invocation index, rendered "NAME[idx]". The zero value
+// means "no pass" (e.g. a node's origin when it was parsed from
+// source). Index -1 marks a programmatic invocation outside a managed
+// pipeline (pass.NewCtx), rendered "NAME[?]".
+type PassRef struct {
+	Pass  string `json:"pass"`
+	Index int    `json:"index"`
+}
+
+// IsZero reports whether the ref names no invocation.
+func (r PassRef) IsZero() bool { return r.Pass == "" }
+
+// String renders the ref in the pipeline error/trace syntax NAME[idx].
+func (r PassRef) String() string {
+	if r.IsZero() {
+		return ""
+	}
+	if r.Index < 0 {
+		return r.Pass + "[?]"
+	}
+	return fmt.Sprintf("%s[%d]", r.Pass, r.Index)
+}
+
+// Provenance records a node's optimization lineage. Origin is the
+// invocation that synthesized the node (zero for nodes parsed from
+// source — their origin is Node.Line); LastMut is the invocation that
+// last changed the node in place (or created it). A compact two-ref
+// record is deliberate: full mutation histories would grow with the
+// pipeline, while phase-ordering consumers only need creator and last
+// writer.
+type Provenance struct {
+	Origin  PassRef
+	LastMut PassRef
 }
 
 // Directive is an assembler directive with its raw arguments, e.g.

@@ -12,7 +12,7 @@ import (
 )
 
 // genUnit builds a unit with n small functions f0..f(n-1).
-func genUnit(t *testing.T, n int) *ir.Unit {
+func genUnit(t testing.TB, n int) *ir.Unit {
 	t.Helper()
 	var b strings.Builder
 	b.WriteString("\t.text\n")

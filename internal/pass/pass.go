@@ -22,6 +22,7 @@ import (
 
 	"mao/internal/ir"
 	"mao/internal/relax"
+	"mao/internal/trace"
 )
 
 // Pass is the common interface of all passes.
@@ -82,8 +83,9 @@ type Ctx struct {
 	// unchanged instructions.
 	Cache *relax.Cache
 
-	ctx      context.Context
-	passName string
+	ctx       context.Context
+	passName  string
+	passIndex int
 }
 
 // Context returns the context of the pipeline run this invocation
@@ -102,16 +104,52 @@ func (c *Ctx) Context() context.Context {
 // outside a Manager pipeline — e.g. for passes that need data injected
 // on the instance (SIMADDR samples, PREFNTA profiles) before running.
 func NewCtx(u *ir.Unit, passName string, opts *Options, stats *Stats) *Ctx {
-	return &Ctx{Unit: u, Opts: opts, Stats: stats, passName: passName}
+	return &Ctx{Unit: u, Opts: opts, Stats: stats, passName: passName, passIndex: -1}
 }
 
-// Trace emits a trace line when the invocation's trace level is at
-// least level.
+// Trace emits a trace record when the invocation's trace level is at
+// least level. Every line of the record — including the continuation
+// lines of a multi-line payload — carries the "[NAME]" prefix, and the
+// whole record is emitted in a single Write. The two together keep
+// traces attributable under concurrency: a pass tracing across
+// functions from worker goroutines can never interleave partial or
+// unprefixed lines into another worker's output, whether it writes to
+// the manager's per-function buffer or to a shared writer.
 func (c *Ctx) Trace(level int, format string, args ...any) {
 	if c.TraceW == nil || c.Opts.TraceLevel() < level {
 		return
 	}
-	fmt.Fprintf(c.TraceW, "[%s] %s\n", c.passName, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	var b strings.Builder
+	for first := true; first || msg != ""; first = false {
+		line := msg
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			line, msg = msg[:i], msg[i+1:]
+		} else {
+			msg = ""
+		}
+		b.WriteByte('[')
+		b.WriteString(c.passName)
+		b.WriteString("] ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	io.WriteString(c.TraceW, b.String())
+}
+
+// syncWriter serializes Write calls to the manager's trace sink. The
+// manager routes every context it hands out through one (or through a
+// per-function buffer in the parallel path), so trace records from
+// concurrent writers append atomically instead of interleaving.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // Count adds n to the named statistic of the current pass (e.g. the
@@ -426,6 +464,17 @@ type Manager struct {
 	// tier is. Run records the per-run hit/miss deltas in the
 	// returned Stats under the pseudo-pass RELAXCACHE.
 	Cache *relax.Cache
+
+	// Tracer, when non-nil, collects structured spans: one for the
+	// pipeline run, one per pass invocation, and one per function of
+	// each function-pass invocation. Span collection is byte- and
+	// stats-transparent (output and merged Stats are identical with
+	// the tracer on or off, at any worker count) and the disabled-mode
+	// cost is a nil check per potential span. Workers record into
+	// private storage; the manager adds spans in deterministic
+	// (invocation, function) order, so only the recorded times vary
+	// between runs.
+	Tracer *trace.Collector
 }
 
 // NewManager parses a pipeline spec into a runnable manager.
@@ -466,19 +515,48 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 	}
 	stats := NewStats()
 	baseHits, baseMisses := m.Cache.Counters()
+
+	// The trace writer every context of this run shares: nil when
+	// tracing is off, otherwise a serializing wrapper so concurrent
+	// writers (unit passes running helper goroutines, programmatic
+	// sharing) append whole records.
+	traceW := io.Writer(nil)
+	if m.TraceW != nil {
+		traceW = &syncWriter{w: m.TraceW}
+	}
+
+	// Root span of the pipeline run, finished on every exit path.
+	rootSpan := -1
+	if m.Tracer.Enabled() {
+		rootSpan = m.Tracer.Add(trace.Span{
+			Kind:        trace.KindPipeline,
+			Start:       m.Tracer.Now(),
+			NodesBefore: u.List.Len(),
+			Parent:      -1,
+		})
+		defer func() {
+			end, nodes := m.Tracer.Now(), u.List.Len()
+			m.Tracer.Update(rootSpan, func(s *trace.Span) {
+				s.Dur = end - s.Start
+				s.NodesAfter = nodes
+			})
+		}()
+	}
+
 	for idx, inv := range m.Pipeline {
 		name := inv.Pass.Name()
 		if err := runCtx.Err(); err != nil {
 			return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
 		}
 		ctx := &Ctx{
-			Unit:     u,
-			Opts:     inv.Opts,
-			Stats:    stats,
-			TraceW:   m.TraceW,
-			Cache:    m.Cache,
-			ctx:      runCtx,
-			passName: name,
+			Unit:      u,
+			Opts:      inv.Opts,
+			Stats:     stats,
+			TraceW:    traceW,
+			Cache:     m.Cache,
+			ctx:       runCtx,
+			passName:  name,
+			passIndex: idx,
 		}
 		if err := dumpIR(u, inv, "dump_before"); err != nil {
 			return stats, err
@@ -488,9 +566,48 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 				return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
 			}
 		}
+
+		// Invocation span: added before the pass runs (children refer
+		// to it as parent), finished after.
+		invSpan := -1
+		var invStats *Stats
+		if m.Tracer.Enabled() {
+			invSpan = m.Tracer.Add(trace.Span{
+				Kind:        trace.KindInvocation,
+				Ref:         trace.Ref{Pass: name, Index: idx},
+				Start:       m.Tracer.Now(),
+				NodesBefore: u.List.Len(),
+				Parent:      rootSpan,
+			})
+			// The invocation gets a private stats sink, merged into the
+			// run's sink afterwards — counter addition is commutative
+			// and ordered, so totals are identical to the untraced run,
+			// and the sink's content is exactly this span's delta.
+			invStats = NewStats()
+			ctx.Stats = invStats
+		}
+		finishInv := func(changed bool, withStats bool) {
+			if invSpan < 0 {
+				return
+			}
+			end, nodes := m.Tracer.Now(), u.List.Len()
+			var sm map[string]int
+			if withStats {
+				sm = invStats.Map()[name]
+			}
+			m.Tracer.Update(invSpan, func(s *trace.Span) {
+				s.Dur = end - s.Start
+				s.NodesAfter = nodes
+				s.Changed = changed
+				s.Stats = sm
+			})
+			stats.Merge(invStats)
+		}
+
 		switch p := inv.Pass.(type) {
 		case UnitPass:
 			changed, err := p.RunUnit(ctx)
+			finishInv(changed, true)
 			if err != nil {
 				return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
 			}
@@ -498,10 +615,15 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 				m.Cache.InvalidateAll()
 			}
 		case FuncPass:
-			if err := m.runFuncPass(runCtx, u, p, inv, idx, stats); err != nil {
+			err := m.runFuncPass(runCtx, u, p, ctx, idx, invSpan)
+			// Function spans carry the per-function stats; the
+			// invocation span only aggregates wall time and IR delta.
+			finishInv(false, false)
+			if err != nil {
 				return stats, err
 			}
 		default:
+			finishInv(false, false)
 			return stats, fmt.Errorf("%s[%d]: pass implements neither FuncPass nor UnitPass", name, idx)
 		}
 		if m.Hook != nil {

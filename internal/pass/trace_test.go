@@ -1,0 +1,319 @@
+package pass
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mao/internal/ir"
+	"mao/internal/trace"
+	"mao/internal/x86"
+)
+
+// mlFake traces a multi-line payload per function — the regression
+// surface for the continuation-line prefix fix.
+type mlFake struct{}
+
+func (*mlFake) Name() string        { return "MLFAKE" }
+func (*mlFake) Description() string { return "test: multi-line tracer" }
+func (*mlFake) ParallelSafe() bool  { return true }
+func (*mlFake) RunFunc(ctx *Ctx, f *ir.Function) (bool, error) {
+	ctx.Trace(1, "%s begin\n  detail a\n  detail b", f.Name)
+	return false, nil
+}
+
+// TestTraceMultilinePrefix: every line of a multi-line trace record —
+// including continuation lines — carries the "[NAME]" prefix, at any
+// worker count.
+func TestTraceMultilinePrefix(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		u := genUnit(t, 16)
+		var buf bytes.Buffer
+		m := &Manager{
+			Pipeline: []Invocation{{Pass: &mlFake{}, Opts: NewOptions("trace", "1")}},
+			TraceW:   &buf,
+			Workers:  workers,
+		}
+		if _, err := m.Run(u); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		if len(lines) != 16*3 {
+			t.Fatalf("workers=%d: got %d trace lines, want %d", workers, len(lines), 16*3)
+		}
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "[MLFAKE] ") {
+				t.Errorf("workers=%d: unprefixed trace line %q", workers, l)
+			}
+		}
+	}
+}
+
+// goroutineTracer is a UnitPass whose RunUnit traces concurrently from
+// several goroutines through the same Ctx — the shared-writer
+// interleaving scenario the syncWriter fix addresses.
+type goroutineTracer struct{}
+
+func (*goroutineTracer) Name() string        { return "GOTRACE" }
+func (*goroutineTracer) Description() string { return "test: concurrent unit-pass tracer" }
+func (p *goroutineTracer) RunUnit(ctx *Ctx) (bool, error) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx.Trace(1, "g%d record %d\ncontinued %d", g, i, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return false, nil
+}
+
+// TestTraceConcurrentWritersWholeRecords: records written concurrently
+// to the manager's shared trace sink never interleave partially — each
+// record's two lines are adjacent and every line is prefixed.
+func TestTraceConcurrentWritersWholeRecords(t *testing.T) {
+	u := genUnit(t, 1)
+	var buf bytes.Buffer
+	m := &Manager{
+		Pipeline: []Invocation{{Pass: &goroutineTracer{}, Opts: NewOptions("trace", "1")}},
+		TraceW:   &buf,
+	}
+	if _, err := m.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 8*50*2 {
+		t.Fatalf("got %d trace lines, want %d", len(lines), 8*50*2)
+	}
+	for i := 0; i < len(lines); i += 2 {
+		var g, n int
+		if _, err := fmt.Sscanf(lines[i], "[GOTRACE] g%d record %d", &g, &n); err != nil {
+			t.Fatalf("line %d: malformed record start %q", i, lines[i])
+		}
+		want := fmt.Sprintf("[GOTRACE] continued %d", n)
+		if lines[i+1] != want {
+			t.Fatalf("line %d: record interleaved: %q then %q (want %q)",
+				i, lines[i], lines[i+1], want)
+		}
+	}
+}
+
+// normalize zeroes the per-run nondeterministic span fields (wall
+// times, worker ids), leaving everything the determinism contract pins.
+func normalize(spans []trace.Span) []trace.Span {
+	out := make([]trace.Span, len(spans))
+	copy(out, spans)
+	for i := range out {
+		out[i].Start, out[i].Dur, out[i].Worker = 0, 0, 0
+	}
+	return out
+}
+
+func runTraced(t *testing.T, workers int) (string, *Stats, []trace.Span) {
+	t.Helper()
+	u := genUnit(t, 9)
+	col := trace.NewCollector()
+	m := &Manager{
+		Pipeline: []Invocation{
+			{Pass: &parFake{}, Opts: NewOptions()},
+			{Pass: &parFake{}, Opts: NewOptions()},
+		},
+		Workers: workers,
+		Tracer:  col,
+	}
+	stats, err := m.Run(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.String(), stats, col.Spans()
+}
+
+// TestSpanDeterminism: the span stream (modulo times and worker ids)
+// is identical at any worker count, and its hierarchy is
+// pipeline → invocation → function in (invocation, function) order.
+func TestSpanDeterminism(t *testing.T) {
+	_, _, base := runTraced(t, 1)
+
+	// 1 pipeline + 2 invocations + 2×9 functions.
+	if len(base) != 1+2+18 {
+		t.Fatalf("got %d spans, want %d", len(base), 1+2+18)
+	}
+	if base[0].Kind != trace.KindPipeline || base[0].Parent != -1 {
+		t.Fatalf("span 0 not pipeline root: %+v", base[0])
+	}
+	for inv := 0; inv < 2; inv++ {
+		is := base[1+inv*10]
+		if is.Kind != trace.KindInvocation || is.Parent != 0 ||
+			is.Ref.Pass != "PARFAKE" || is.Ref.Index != inv {
+			t.Fatalf("invocation span %d wrong: %+v", inv, is)
+		}
+		for f := 0; f < 9; f++ {
+			fs := base[2+inv*10+f]
+			if fs.Kind != trace.KindFunction || fs.Parent != 1+inv*10 {
+				t.Fatalf("function span inv=%d f=%d wrong: %+v", inv, f, fs)
+			}
+			if want := fmt.Sprintf("f%d", f); fs.Function != want {
+				t.Fatalf("function span order: got %q, want %q", fs.Function, want)
+			}
+			if !fs.Changed || fs.Stats["nops"] != 1 {
+				t.Fatalf("function span missing stats: %+v", fs)
+			}
+			if fs.NodesAfter != fs.NodesBefore+1 {
+				t.Fatalf("function span IR delta wrong: %+v", fs)
+			}
+		}
+	}
+
+	for _, workers := range []int{2, 8} {
+		_, _, spans := runTraced(t, workers)
+		if !reflect.DeepEqual(normalize(base), normalize(spans)) {
+			t.Errorf("workers=%d: span stream differs from sequential", workers)
+		}
+	}
+}
+
+// TestTracerTransparency: enabling the tracer changes neither the
+// emitted assembly nor the merged statistics, at any worker count.
+func TestTracerTransparency(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		plain := func() (string, *Stats) {
+			u := genUnit(t, 9)
+			m := &Manager{
+				Pipeline: []Invocation{{Pass: &parFake{}, Opts: NewOptions()}},
+				Workers:  workers,
+			}
+			stats, err := m.Run(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u.String(), stats
+		}
+		baseOut, baseStats := plain()
+		tracedOut, tracedStats, _ := func() (string, *Stats, []trace.Span) {
+			u := genUnit(t, 9)
+			m := &Manager{
+				Pipeline: []Invocation{{Pass: &parFake{}, Opts: NewOptions()}},
+				Workers:  workers,
+				Tracer:   trace.NewCollector(),
+			}
+			stats, err := m.Run(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u.String(), stats, m.Tracer.Spans()
+		}()
+		if tracedOut != baseOut {
+			t.Errorf("workers=%d: tracer changed emitted assembly", workers)
+		}
+		if tracedStats.String() != baseStats.String() {
+			t.Errorf("workers=%d: tracer changed stats:\n%s\nvs\n%s",
+				workers, tracedStats, baseStats)
+		}
+	}
+}
+
+// provFake exercises every provenance helper: inserts a nop (origin
+// stamp), rewrites the first mov (last-mutator stamp), deletes nothing.
+type provFake struct{}
+
+func (*provFake) Name() string        { return "PROVFAKE" }
+func (*provFake) Description() string { return "test: provenance stamper" }
+func (*provFake) ParallelSafe() bool  { return true }
+func (p *provFake) RunFunc(ctx *Ctx, f *ir.Function) (bool, error) {
+	insts := f.Instructions()
+	if len(insts) == 0 {
+		return false, nil
+	}
+	nop := x86.NewInst(x86.Mnem{Op: x86.OpNOP})
+	ctx.InsertBefore(ir.InstNode(nop), insts[0])
+	ctx.Rewrite(insts[0])
+	return true, nil
+}
+
+// TestProvenanceStamping: synthesized nodes carry Origin=LastMut=
+// NAME[idx]; rewritten source nodes keep a zero Origin (their source
+// line) and gain LastMut; untouched nodes carry no record at all.
+func TestProvenanceStamping(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		u := genUnit(t, 4)
+		m := &Manager{
+			Pipeline: []Invocation{{Pass: &provFake{}, Opts: NewOptions()}},
+			Workers:  workers,
+		}
+		if _, err := m.Run(u); err != nil {
+			t.Fatal(err)
+		}
+		want := ir.PassRef{Pass: "PROVFAKE", Index: 0}
+		var synthesized, rewritten, untouched int
+		for n := u.List.Front(); n != nil; n = n.Next() {
+			switch {
+			case n.Prov == nil:
+				untouched++
+			case n.Prov.Origin == want && n.Prov.LastMut == want && n.Line == 0:
+				synthesized++
+			case n.Prov.Origin.IsZero() && n.Prov.LastMut == want && n.Line > 0:
+				rewritten++
+			default:
+				t.Fatalf("workers=%d: unexpected provenance %+v on %v (line %d)",
+					workers, n.Prov, n, n.Line)
+			}
+		}
+		if synthesized != 4 || rewritten != 4 {
+			t.Fatalf("workers=%d: synthesized=%d rewritten=%d, want 4/4",
+				workers, synthesized, rewritten)
+		}
+		if untouched == 0 {
+			t.Fatalf("workers=%d: no untouched nodes left", workers)
+		}
+		if got := want.String(); got != "PROVFAKE[0]" {
+			t.Fatalf("PassRef.String() = %q", got)
+		}
+	}
+}
+
+// noopPass does nothing — the span-overhead benchmark's unit of work,
+// so the benchmark measures pure framework cost.
+type noopPass struct{}
+
+func (*noopPass) Name() string                             { return "NOOP" }
+func (*noopPass) Description() string                      { return "test: no-op" }
+func (*noopPass) ParallelSafe() bool                       { return true }
+func (*noopPass) RunFunc(*Ctx, *ir.Function) (bool, error) { return false, nil }
+
+// BenchmarkSpanOverhead compares a pipeline run with the tracer
+// disabled (nil Collector — the production default) against one
+// collecting spans. The disabled case must stay within noise of the
+// pre-tracing framework: its per-span cost is a nil check.
+func BenchmarkSpanOverhead(b *testing.B) {
+	u := genUnit(b, 32)
+	pipeline := []Invocation{
+		{Pass: &noopPass{}, Opts: NewOptions()},
+		{Pass: &noopPass{}, Opts: NewOptions()},
+		{Pass: &noopPass{}, Opts: NewOptions()},
+		{Pass: &noopPass{}, Opts: NewOptions()},
+	}
+	b.Run("disabled", func(b *testing.B) {
+		m := &Manager{Pipeline: pipeline, Workers: 1}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := &Manager{Pipeline: pipeline, Workers: 1, Tracer: trace.NewCollector()}
+			if _, err := m.Run(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -57,7 +57,8 @@ func (p *addAdd) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 					ctx.Trace(2, "%s: folding %v + %v => add $%d", f.Name, first, in, sum)
 					in.Op = x86.OpADD
 					in.Args[0] = x86.Imm(sum)
-					removeInst(f, b.Insts[i])
+					ctx.Rewrite(n)
+					ctx.Delete(b.Insts[i])
 					b.Insts = append(b.Insts[:i], b.Insts[i+1:]...)
 					ctx.Count("folded", 1)
 					changed = true

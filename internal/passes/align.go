@@ -110,7 +110,7 @@ func (p *loop16) RunUnit(ctx *pass.Ctx) (bool, error) {
 				}
 			}
 			ctx.Trace(2, "%s: aligning loop %s (size %d, at %#x)", f.Name, l.Header, end-start, start)
-			ctx.Unit.List.InsertBefore(ir.DirectiveNode(".p2align", "4"), head)
+			ctx.InsertBefore(ir.DirectiveNode(".p2align", "4"), head)
 			ctx.Count("aligned", 1)
 			changed = true
 		}
@@ -188,7 +188,7 @@ func (p *lsdFit) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 			ctx.Trace(2, "%s: shifting loop %s by %d nops (%d -> %d lines)",
 				f.Name, l.Header, shift, spans(start), spans(start+shift))
 			for _, nop := range encode.OneByteNops(int(shift)) {
-				f.Unit().List.InsertBefore(ir.InstNode(nop), head)
+				ctx.InsertBefore(ir.InstNode(nop), head)
 			}
 			ctx.Count("shifted", 1)
 			ctx.Count("nops", int(shift))
@@ -252,7 +252,7 @@ func (p *brAlign) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 			ctx.Trace(2, "%s: branches at %#x/%#x alias (bucket %d); padding %d",
 				f.Name, a, b, bucket(a), pad)
 			for _, nop := range encode.OneByteNops(int(pad)) {
-				f.Unit().List.InsertBefore(ir.InstNode(nop), backs[i])
+				ctx.InsertBefore(ir.InstNode(nop), backs[i])
 			}
 			ctx.Count("separated", 1)
 			ctx.Count("nops", int(pad))

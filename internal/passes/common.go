@@ -11,7 +11,6 @@ package passes
 
 import (
 	"mao/internal/dataflow"
-	"mao/internal/ir"
 	"mao/internal/x86"
 )
 
@@ -67,9 +66,4 @@ var resultFlagsOps = map[x86.Op]bool{
 // zeroesCFOF lists opcodes that define CF=OF=0 like test does.
 var zeroesCFOF = map[x86.Op]bool{
 	x86.OpAND: true, x86.OpOR: true, x86.OpXOR: true,
-}
-
-// removeInst unlinks an instruction node from its unit.
-func removeInst(f *ir.Function, n *ir.Node) {
-	f.Unit().List.Remove(n)
 }

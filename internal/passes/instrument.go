@@ -40,9 +40,9 @@ func (p *instrument) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	probe := func(at *ir.Node, before bool) {
 		n := ir.InstNode(encode.Nop(5))
 		if before {
-			f.Unit().List.InsertBefore(n, at)
+			ctx.InsertBefore(n, at)
 		} else {
-			f.Unit().List.InsertAfter(n, at)
+			ctx.InsertAfter(n, at)
 		}
 		probes = append(probes, n)
 	}
@@ -72,7 +72,7 @@ func (p *instrument) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 			ctx.Trace(2, "%s: probe at %#x crosses %d-byte line; padding %d",
 				f.Name, a, lineSize, pad)
 			for _, nop := range encode.OneByteNops(int(pad)) {
-				f.Unit().List.InsertBefore(ir.InstNode(nop), n)
+				ctx.InsertBefore(ir.InstNode(nop), n)
 			}
 			ctx.Count("pad_nops", int(pad))
 			moved = true

@@ -55,7 +55,7 @@ func (p *nopin) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 		}
 		count := 1 + rng.IntN(maxLen)
 		for _, nop := range encode.OneByteNops(count) {
-			f.Unit().List.InsertBefore(ir.InstNode(nop), n)
+			ctx.InsertBefore(ir.InstNode(nop), n)
 		}
 		ctx.Count("inserted", count)
 		changed = true

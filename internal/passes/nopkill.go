@@ -35,14 +35,14 @@ func (p *nopKill) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 		case ir.NodeDirective:
 			if _, isAlign := n.IsAlignDirective(); isAlign && killAligns {
 				ctx.Trace(2, "%s: removing %v", f.Name, n.Dir)
-				f.Unit().List.Remove(n)
+				ctx.Delete(n)
 				ctx.Count("aligns", 1)
 				changed = true
 			}
 		case ir.NodeInst:
 			if n.Inst.IsNop() && killNops {
 				ctx.Trace(2, "%s: removing %v", f.Name, n.Inst)
-				f.Unit().List.Remove(n)
+				ctx.Delete(n)
 				ctx.Count("nops", 1)
 				changed = true
 			}

@@ -92,7 +92,7 @@ func (p *prefNTA) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 			continue
 		}
 		pf := x86.NewInst(x86.Mnem{Op: x86.OpPREFETCHNTA}, x86.MemOp(mem.Mem))
-		f.Unit().List.InsertBefore(ir.InstNode(pf), n)
+		ctx.InsertBefore(ir.InstNode(pf), n)
 		ctx.Trace(2, "%s: non-temporal hint for %v (site %d)", f.Name, in, idx)
 		ctx.Count("prefetches", 1)
 		changed = true

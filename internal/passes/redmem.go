@@ -56,7 +56,7 @@ func (p *redMem) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 					second := in.Args[1].Reg
 					if second == dst {
 						ctx.Trace(2, "%s: removing fully redundant %v", f.Name, in)
-						removeInst(f, n)
+						ctx.Delete(n)
 						b.Insts = append(b.Insts[:j], b.Insts[j+1:]...)
 						j--
 						ctx.Count("removed", 1)
@@ -65,6 +65,7 @@ func (p *redMem) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 					}
 					ctx.Trace(2, "%s: rewriting %v -> mov %s, %s", f.Name, in, dst.ATT(), second.ATT())
 					in.Args[0] = x86.RegOp(dst)
+					ctx.Rewrite(n)
 					ctx.Count("rewritten", 1)
 					changed = true
 					continue

@@ -65,7 +65,7 @@ func (p *redTest) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 				continue
 			}
 			ctx.Trace(2, "%s: removing %v (flags set by %v)", f.Name, in, def.Inst)
-			removeInst(f, n)
+			ctx.Delete(n)
 			ctx.Count("removed", 1)
 			changed = true
 		}

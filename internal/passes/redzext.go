@@ -55,7 +55,7 @@ func (p *redZext) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 			continue
 		}
 		ctx.Trace(2, "%s: removing %v (all reaching defs zero-extend)", f.Name, in)
-		removeInst(f, n)
+		ctx.Delete(n)
 		ctx.Count("removed", 1)
 		changed = true
 	}

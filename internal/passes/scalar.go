@@ -61,7 +61,7 @@ func (p *dce) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 		}
 		for _, n := range b.Insts {
 			ctx.Trace(2, "%s: removing unreachable %v", f.Name, n.Inst)
-			removeInst(f, n)
+			ctx.Delete(n)
 			ctx.Count("removed", 1)
 			changed = true
 		}
@@ -116,7 +116,8 @@ func (p *constFold) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 					ctx.Trace(2, "%s: folding %v through %v", f.Name, mov, in)
 					in.Op = x86.OpMOV
 					in.Args[0] = x86.Imm(folded)
-					removeInst(f, b.Insts[i])
+					ctx.Rewrite(n)
+					ctx.Delete(b.Insts[i])
 					b.Insts = append(b.Insts[:i], b.Insts[i+1:]...)
 					ctx.Count("folded", 1)
 					changed = true

@@ -269,16 +269,13 @@ func (p *sched) scheduleBlock(ctx *pass.Ctx, f *ir.Function, b *cfg.BasicBlock, 
 	} else {
 		anchor = body[n-1].Next()
 	}
-	for _, x := range body {
-		f.Unit().List.Remove(x)
-	}
 	newBody := make([]*ir.Node, 0, n)
 	for _, idx := range order {
 		x := nodes[idx].node
 		if anchor != nil {
-			f.Unit().List.InsertBefore(x, anchor)
+			ctx.MoveBefore(x, anchor)
 		} else {
-			f.Unit().List.Append(x)
+			ctx.MoveToEnd(x)
 		}
 		newBody = append(newBody, x)
 	}

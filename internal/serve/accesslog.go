@@ -38,13 +38,20 @@ type accessRecord struct {
 	DurationMS float64 `json:"dur_ms"`
 	Bytes      int64   `json:"bytes"`
 	Remote     string  `json:"remote"`
+	RequestID  string  `json:"request_id"`
 }
 
-// instrument wraps the service mux with request metrics and, when
-// configured, structured JSON access logging.
+// instrument wraps the service mux with request-ID propagation,
+// request metrics and, when configured, structured JSON access
+// logging. The effective request ID (inbound X-Request-ID or freshly
+// generated) is echoed on the response, logged, and available to
+// handlers via requestIDFrom, which carries it into the spans of the
+// request's pipeline run.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		r, rid := withRequestID(r)
+		w.Header().Set(requestIDHeader, rid)
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
@@ -61,6 +68,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				DurationMS: float64(d.Microseconds()) / 1000,
 				Bytes:      sw.bytes,
 				Remote:     r.RemoteAddr,
+				RequestID:  rid,
 			}
 			line, err := json.Marshal(rec)
 			if err == nil {

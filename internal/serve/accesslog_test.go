@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// lastLogLine parses the final access-log line written so far.
+// (syncBuffer is serve_test.go's mutex-guarded log sink.)
+func lastLogLine(t *testing.T, log *syncBuffer) map[string]any {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(log.String(), "\n"), "\n")
+	last := lines[len(lines)-1]
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(last), &rec); err != nil {
+		t.Fatalf("access log line is not valid JSON: %q: %v", last, err)
+	}
+	return rec
+}
+
+// TestAccessLogFieldSet: every completed request writes one JSON line
+// carrying the full field set.
+func TestAccessLogFieldSet(t *testing.T) {
+	log := &syncBuffer{}
+	_, ts := testServer(t, Config{Workers: 1, AccessLog: log})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	rec := lastLogLine(t, log)
+	for _, field := range []string{"time", "method", "path", "status", "dur_ms", "bytes", "remote", "request_id"} {
+		if _, ok := rec[field]; !ok {
+			t.Errorf("access log missing field %q: %v", field, rec)
+		}
+	}
+	if rec["method"] != "GET" || rec["path"] != "/healthz" || rec["status"] != float64(200) {
+		t.Errorf("access log fields wrong: %v", rec)
+	}
+	if rec["bytes"].(float64) <= 0 {
+		t.Errorf("bytes not recorded: %v", rec)
+	}
+}
+
+// TestAccessLogEscaping: attacker-shaped paths (quotes, backslashes,
+// control bytes) stay inside their JSON string — one parseable line,
+// exact round-trip of the path.
+func TestAccessLogEscaping(t *testing.T) {
+	log := &syncBuffer{}
+	_, ts := testServer(t, Config{Workers: 1, AccessLog: log})
+
+	hostile := `/healthz/x%22%2C%22status%22%3A0%5C%7B` // decodes to /healthz/x","status":0\{
+	req, err := http.NewRequest("GET", ts.URL+hostile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	rec := lastLogLine(t, log)
+	if want := `/healthz/x","status":0\{`; rec["path"] != want {
+		t.Errorf("path round-trip: got %q, want %q", rec["path"], want)
+	}
+	if rec["status"] != float64(404) {
+		t.Errorf("status overwritten by injected field: %v", rec)
+	}
+}
+
+// TestAccessLogTraceIDPropagation: an inbound X-Request-ID is logged
+// and echoed on the response; a request without one gets a generated
+// ID, consistent between log and response header.
+func TestAccessLogTraceIDPropagation(t *testing.T) {
+	log := &syncBuffer{}
+	_, ts := testServer(t, Config{Workers: 1, AccessLog: log})
+
+	// Inbound ID: propagated verbatim.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-abc-123" {
+		t.Errorf("response header: got %q, want inbound ID echoed", got)
+	}
+	if rec := lastLogLine(t, log); rec["request_id"] != "trace-abc-123" {
+		t.Errorf("log request_id: got %v, want trace-abc-123", rec["request_id"])
+	}
+
+	// No inbound ID: one is generated, identical in header and log.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	gen := resp2.Header.Get("X-Request-ID")
+	if len(gen) != 16 {
+		t.Errorf("generated ID %q, want 16 hex digits", gen)
+	}
+	if rec := lastLogLine(t, log); rec["request_id"] != gen {
+		t.Errorf("log request_id %v != response header %q", rec["request_id"], gen)
+	}
+
+	// Oversize inbound IDs are replaced, not propagated.
+	req3, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req3.Header.Set("X-Request-ID", strings.Repeat("x", 4096))
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("oversize inbound ID propagated: %d bytes", len(got))
+	}
+}

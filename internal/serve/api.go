@@ -11,6 +11,7 @@ import (
 
 	"mao/internal/check"
 	"mao/internal/pass"
+	"mao/internal/trace"
 )
 
 // OptimizeRequest is the body of POST /v1/optimize.
@@ -42,6 +43,10 @@ type OptimizeOptions struct {
 	// NoCache bypasses the result cache for this request (the fresh
 	// result is still stored).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Explain returns per-instruction lineage (origin and last-mutator
+	// pass of every node) alongside the optimized assembly. Also
+	// settable as the explain=1 query parameter.
+	Explain bool `json:"explain,omitempty"`
 }
 
 func (r *OptimizeRequest) unitName() string {
@@ -68,6 +73,9 @@ type OptimizeResponse struct {
 	// BatchSize is how many same-spec requests shared this request's
 	// batch (1 = alone; 0 on cached responses).
 	BatchSize int `json:"batch_size,omitempty"`
+	// Lineage is the per-instruction provenance of the optimized unit,
+	// present when options.explain (or ?explain=1) was set.
+	Lineage []trace.InstLineage `json:"lineage,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx answer.
@@ -190,6 +198,10 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 	}
 	if req.Options.DeadlineMS < 0 {
 		return nil, http.StatusBadRequest, errors.New("deadline_ms must be >= 0")
+	}
+	// ?explain=1 is the curl-friendly spelling of options.explain.
+	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+		req.Options.Explain = true
 	}
 	return &req, 0, nil
 }

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug plane served on maod's opt-in debug
+// listener (-debug-addr): the net/http/pprof profiling endpoints under
+// /debug/pprof/. It is deliberately a separate handler instead of
+// extra routes on Handler(): profiles expose internals (memory
+// contents, goroutine stacks, timing side channels) that must never
+// ride on the service port. The main handler serves nothing under
+// /debug/, which the tests pin.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

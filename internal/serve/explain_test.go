@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestOptimizeExplain: ?explain=1 returns per-instruction lineage, the
+// synthesized/transformed instructions carry real NAME[idx] refs, and
+// the explain response is cached separately from the plain one.
+func TestOptimizeExplain(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+
+	body, _ := json.Marshal(&OptimizeRequest{Source: testSource, Spec: "REDTEST:REDMOV"})
+	resp, err := http.Post(ts.URL+"/v1/optimize?explain=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lineage) == 0 {
+		t.Fatal("explain=1 returned no lineage")
+	}
+	var mutated int
+	for _, l := range out.Lineage {
+		if l.LastMutator == "" {
+			continue
+		}
+		mutated++
+		// REDMOV[1] rewrote the duplicate load in testSource.
+		if !strings.HasPrefix(l.LastMutator, "REDMOV[") && !strings.HasPrefix(l.LastMutator, "REDTEST[") {
+			t.Errorf("unexpected mutator ref %q on %q", l.LastMutator, l.Text)
+		}
+	}
+	if mutated == 0 {
+		t.Error("no instruction attributed to a pass")
+	}
+
+	// The plain request must not be served the explain-shaped cache
+	// entry (and vice versa).
+	status, plain, _ := postOptimize(t, ts.URL, &OptimizeRequest{Source: testSource, Spec: "REDTEST:REDMOV"})
+	if status != http.StatusOK {
+		t.Fatalf("plain request status %d", status)
+	}
+	if len(plain.Lineage) != 0 {
+		t.Error("plain request served lineage from the explain cache entry")
+	}
+	if plain.Assembly != out.Assembly {
+		t.Error("explain changed the optimized assembly")
+	}
+}
+
+// TestMetricsPassHistograms: completed requests feed per-pass latency
+// histograms into /metrics.
+func TestMetricsPassHistograms(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	if status, _, _ := postOptimize(t, ts.URL, &OptimizeRequest{Source: testSource, Spec: "REDTEST:REDMOV"}); status != http.StatusOK {
+		t.Fatalf("optimize status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	text := string(b)
+	for _, want := range []string{
+		`maod_pass_duration_seconds_bucket{pass="REDTEST",le="+Inf"} 1`,
+		`maod_pass_duration_seconds_count{pass="REDMOV"} 1`,
+		`maod_pass_duration_seconds_sum{pass="REDTEST"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDebugHandlerSeparation: pprof is reachable on the debug handler
+// and absent from the service handler.
+func TestDebugHandlerSeparation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("service handler exposes /debug/pprof/: status %d", resp.StatusCode)
+	}
+
+	// The debug handler serves the pprof index.
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	DebugHandler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("debug handler pprof index: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

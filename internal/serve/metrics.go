@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mao/internal/pass"
+	"mao/internal/trace"
 )
 
 // metrics is the hand-rolled observability plane: atomic counters and
@@ -20,6 +21,10 @@ import (
 type metrics struct {
 	requestsByCode sync.Map // int (status code) → *atomic.Int64
 	latency        histogram
+
+	// passLatency histograms per pass name, fed by the invocation
+	// spans of every request's pipeline run.
+	passLatency sync.Map // string (pass name) → *histogram
 
 	queueRejects   atomic.Int64
 	batchesTotal   atomic.Int64
@@ -50,6 +55,28 @@ func (m *metrics) observeRequest(code int, d time.Duration) {
 	}
 	v.(*atomic.Int64).Add(1)
 	m.latency.observe(d.Seconds())
+}
+
+// passLatencyBuckets span single-pass wall times: peepholes run in
+// tens of microseconds, relaxing alignment passes in milliseconds.
+var passLatencyBuckets = []float64{
+	.000025, .0001, .00025, .001, .0025, .01, .025, .1, .25, 1,
+}
+
+// observePassSpans folds a request's span stream into the per-pass
+// latency histograms (one observation per pass invocation).
+func (m *metrics) observePassSpans(spans []trace.Span) {
+	for _, sp := range spans {
+		if sp.Kind != trace.KindInvocation {
+			continue
+		}
+		v, ok := m.passLatency.Load(sp.Ref.Pass)
+		if !ok {
+			h := newHistogram(passLatencyBuckets)
+			v, _ = m.passLatency.LoadOrStore(sp.Ref.Pass, &h)
+		}
+		v.(*histogram).observe(sp.Dur.Seconds())
+	}
 }
 
 func (m *metrics) mergePassStats(s *pass.Stats) {
@@ -128,6 +155,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "maod_request_duration_seconds_sum %g\n",
 		math.Float64frombits(m.latency.sumBits.Load()))
 	fmt.Fprintf(w, "maod_request_duration_seconds_count %d\n", total)
+
+	// Per-pass latency histograms, one series set per pass name,
+	// deterministically ordered.
+	var passNames []string
+	m.passLatency.Range(func(k, _ any) bool { passNames = append(passNames, k.(string)); return true })
+	sort.Strings(passNames)
+	fmt.Fprintf(w, "# HELP maod_pass_duration_seconds Wall time of one pass invocation, by pass (from pipeline spans).\n")
+	fmt.Fprintf(w, "# TYPE maod_pass_duration_seconds histogram\n")
+	for _, name := range passNames {
+		v, _ := m.passLatency.Load(name)
+		h := v.(*histogram)
+		cum := int64(0)
+		for i, ub := range h.buckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "maod_pass_duration_seconds_bucket{pass=%q,le=\"%s\"} %d\n",
+				name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		n := h.count.Load()
+		fmt.Fprintf(w, "maod_pass_duration_seconds_bucket{pass=%q,le=\"+Inf\"} %d\n", name, n)
+		fmt.Fprintf(w, "maod_pass_duration_seconds_sum{pass=%q} %g\n",
+			name, math.Float64frombits(h.sumBits.Load()))
+		fmt.Fprintf(w, "maod_pass_duration_seconds_count{pass=%q} %d\n", name, n)
+	}
 
 	// Queue and worker-pool state.
 	writeMetric("Requests admitted and waiting for a worker.", "gauge",

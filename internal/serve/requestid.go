@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// requestIDHeader is the header MAOD reads an inbound trace ID from
+// and echoes the effective ID back on. Callers that already operate a
+// tracing scheme pass their ID through; everyone else gets a fresh one,
+// so every access-log line and span is correlatable either way.
+const requestIDHeader = "X-Request-ID"
+
+// ridKey is the context key the effective request ID travels under —
+// from the instrument middleware, through the handler and job context,
+// into the worker that stamps it on the request's spans.
+type ridKey struct{}
+
+// newRequestID returns a fresh 16-hex-digit request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000deadbeef" // rand.Read failing means larger problems
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID resolves the request's trace ID (inbound header or
+// fresh), stores it in the request context and echoes it on the
+// response. Inbound IDs are length-capped: the ID is reflected into
+// logs, metrics-adjacent structures and the response header, and an
+// unbounded attacker-controlled value has no business in any of them.
+func withRequestID(r *http.Request) (*http.Request, string) {
+	id := r.Header.Get(requestIDHeader)
+	if id == "" || len(id) > 128 {
+		id = newRequestID()
+	}
+	return r.WithContext(context.WithValue(r.Context(), ridKey{}, id)), id
+}
+
+// requestIDFrom returns the request ID carried by ctx ("" when the
+// request did not pass through the instrument middleware).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}

@@ -17,7 +17,8 @@ func resultKey(req *OptimizeRequest) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "src:%d:", len(req.Source))
 	h.Write([]byte(req.Source))
-	fmt.Fprintf(h, ":name:%s:spec:%s:check:%t", req.unitName(), req.Spec, req.Options.Check)
+	fmt.Fprintf(h, ":name:%s:spec:%s:check:%t:explain:%t",
+		req.unitName(), req.Spec, req.Options.Check, req.Options.Explain)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -52,6 +52,7 @@ import (
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the pass catalog
 	"mao/internal/relax"
+	"mao/internal/trace"
 )
 
 // Config parameterizes a Server. The zero value selects production
@@ -301,7 +302,14 @@ func (s *Server) runJob(j *job, batchSize int) {
 	}
 	mgr.Workers = s.cfg.PipelineWorkers
 	mgr.Cache = s.relaxCache
+	// Every request's pipeline is traced: the collector carries the
+	// request's trace ID (X-Request-ID) into the spans, and the
+	// invocation spans feed the per-pass latency histograms on /metrics.
+	col := trace.NewCollector()
+	col.TraceID = requestIDFrom(j.ctx)
+	mgr.Tracer = col
 	stats, err := mgr.RunContext(j.ctx, u)
+	s.met.observePassSpans(col.Spans())
 	if err != nil {
 		j.done <- jobResult{status: statusForRun(err), err: err}
 		return
@@ -314,6 +322,9 @@ func (s *Server) runJob(j *job, batchSize int) {
 		Assembly:  u.String(),
 		Stats:     stats.Map(),
 		BatchSize: batchSize,
+	}
+	if j.req.Options.Explain {
+		resp.Lineage = trace.Lineage(u)
 	}
 	if j.req.Options.Check {
 		resp.Diags = check.CheckUnit(u)

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mao/internal/ir"
+)
+
+// InstLineage is the machine-readable provenance of one emitted IR
+// node — the per-instruction record `mao --explain=json` dumps and a
+// phase-ordering searcher consumes.
+type InstLineage struct {
+	// Index is the node's position in emission order (over all nodes
+	// of the unit).
+	Index int `json:"index"`
+	// Kind is "inst", "label" or "directive".
+	Kind string `json:"kind"`
+	// Text is the node rendered as one line of assembly.
+	Text string `json:"text"`
+	// Function is the enclosing function ("" outside any function).
+	Function string `json:"function,omitempty"`
+	// SourceLine is the 1-based input line the node was parsed from;
+	// 0 for nodes a pass synthesized.
+	SourceLine int `json:"source_line,omitempty"`
+	// Origin names the pass invocation that created the node
+	// ("NAME[idx]"), empty for source nodes.
+	Origin string `json:"origin,omitempty"`
+	// LastMutator names the invocation that last rewrote the node in
+	// place (or created it), empty for untouched source nodes.
+	LastMutator string `json:"last_mutator,omitempty"`
+}
+
+func nodeKind(n *ir.Node) string {
+	switch n.Kind {
+	case ir.NodeInst:
+		return "inst"
+	case ir.NodeLabel:
+		return "label"
+	case ir.NodeDirective:
+		return "directive"
+	}
+	return "unknown"
+}
+
+// Lineage extracts the per-node lineage of the whole unit in emission
+// order. Call it after the pipeline (and after Unit.Analyze, so
+// function attribution is current).
+func Lineage(u *ir.Unit) []InstLineage {
+	// Function attribution by span walk: node → enclosing function.
+	inFunc := map[*ir.Node]string{}
+	for _, f := range u.Functions() {
+		for _, n := range f.Entries() {
+			inFunc[n] = f.Name
+		}
+	}
+	var out []InstLineage
+	i := 0
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		l := InstLineage{
+			Index:      i,
+			Kind:       nodeKind(n),
+			Text:       n.String(),
+			Function:   inFunc[n],
+			SourceLine: n.Line,
+		}
+		if n.Prov != nil {
+			l.Origin = n.Prov.Origin.String()
+			l.LastMutator = n.Prov.LastMut.String()
+		}
+		out = append(out, l)
+		i++
+	}
+	return out
+}
+
+// ExplainDoc is the top-level document of `mao --explain=json`.
+type ExplainDoc struct {
+	// Unit is the unit's file name.
+	Unit string `json:"unit"`
+	// Nodes is the per-node lineage in emission order.
+	Nodes []InstLineage `json:"nodes"`
+}
+
+// WriteExplainJSON dumps the unit's lineage as one JSON document
+// (schema: internal/trace/testdata/explain.schema.json).
+func WriteExplainJSON(w io.Writer, u *ir.Unit) error {
+	doc := ExplainDoc{Unit: u.FileName, Nodes: Lineage(u)}
+	if doc.Nodes == nil {
+		doc.Nodes = []InstLineage{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(doc)
+}
+
+// WriteExplainText emits the unit as assembly with provenance
+// comments: nodes a pass created or rewrote gain a trailing
+// "# pass: NAME[idx]" (with "(rewrite)" appended when a source node
+// was mutated in place). Untouched source nodes emit verbatim, so the
+// output assembles exactly like the plain emission.
+func WriteExplainText(w io.Writer, u *ir.Unit) error {
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		line := n.String()
+		if n.Prov != nil {
+			switch {
+			case !n.Prov.Origin.IsZero():
+				line += "\t# pass: " + n.Prov.Origin.String()
+			case !n.Prov.LastMut.IsZero():
+				line += "\t# pass: " + n.Prov.LastMut.String() + " (rewrite)"
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

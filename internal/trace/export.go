@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteJSON exports the collector's spans as JSON lines, one span per
+// line, in collection order. The stream is deterministic apart from
+// the recorded times.
+func WriteJSON(w io.Writer, c *Collector) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for _, s := range c.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one complete ("ph":"X") trace event in the Chrome
+// trace-event JSON array format, loadable by chrome://tracing and
+// Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports spans in Chrome trace-event format: a JSON
+// array of complete events. Pipeline- and invocation-level spans land
+// on tid 0 (the manager); function spans on tid worker+1, so the
+// timeline shows the worker pool's actual occupancy.
+func WriteChromeTrace(w io.Writer, c *Collector) error {
+	spans := c.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		name := s.Ref.String()
+		if name == "" {
+			name = string(s.Kind)
+		}
+		if s.Function != "" {
+			name += " " + s.Function
+		}
+		tid := 0
+		if s.Kind == KindFunction {
+			tid = s.Worker + 1
+		}
+		args := map[string]any{
+			"kind":         string(s.Kind),
+			"nodes_before": s.NodesBefore,
+			"nodes_after":  s.NodesAfter,
+			"changed":      s.Changed,
+		}
+		if s.Function != "" {
+			args["function"] = s.Function
+		}
+		if len(s.Stats) > 0 {
+			args["stats"] = s.Stats
+		}
+		if s.TraceID != "" {
+			args["trace_id"] = s.TraceID
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  string(s.Kind),
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+		})
+		events[len(events)-1].Args = args
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(events)
+}
+
+// summaryRow aggregates the spans of one invocation for WriteSummary.
+type summaryRow struct {
+	ref     Ref
+	kind    Kind
+	total   time.Duration
+	funcs   int
+	changed int
+	delta   int
+	stats   int
+}
+
+// WriteSummary renders the terminal timing table `mao -timings`
+// prints: one row per pass invocation in pipeline order, with wall
+// time, function count, how many regions changed, the IR-size delta
+// and the total of the invocation's statistics counters.
+func WriteSummary(w io.Writer, c *Collector) error {
+	spans := c.Spans()
+	rows := map[Ref]*summaryRow{}
+	var order []Ref
+	var pipeline time.Duration
+	for _, s := range spans {
+		if s.Kind == KindPipeline {
+			pipeline += s.Dur
+			continue
+		}
+		r, ok := rows[s.Ref]
+		if !ok {
+			r = &summaryRow{ref: s.Ref, kind: s.Kind}
+			rows[s.Ref] = r
+			order = append(order, s.Ref)
+		}
+		switch s.Kind {
+		case KindInvocation:
+			// The invocation span carries the authoritative wall time
+			// and unit-level IR delta; function spans fill in detail.
+			// Accumulating (not assigning) lets one collector aggregate
+			// several pipeline runs (maobench -timings).
+			r.total += s.Dur
+			r.delta += s.NodesAfter - s.NodesBefore
+			if s.Changed {
+				r.changed++
+			}
+		case KindFunction:
+			r.kind = KindFunction
+			r.funcs++
+			if s.Changed {
+				r.changed++
+			}
+		}
+		for _, v := range s.Stats {
+			r.stats += v
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Index < order[j].Index })
+
+	fmt.Fprintf(w, "%-16s %12s %6s %8s %8s %8s\n",
+		"PASS", "WALL", "FUNCS", "CHANGED", "ΔNODES", "COUNTS")
+	for _, ref := range order {
+		r := rows[ref]
+		funcs := "-"
+		changed := fmt.Sprintf("%d", 0)
+		if r.funcs > 0 {
+			funcs = fmt.Sprintf("%d", r.funcs)
+			changed = fmt.Sprintf("%d", r.changed)
+		} else if r.changed > 0 {
+			changed = "1"
+		}
+		fmt.Fprintf(w, "%-16s %12s %6s %8s %+8d %8d\n",
+			ref, r.total.Round(time.Microsecond), funcs, changed, r.delta, r.stats)
+	}
+	if pipeline > 0 {
+		fmt.Fprintf(w, "%-16s %12s\n", "TOTAL", pipeline.Round(time.Microsecond))
+	}
+	return nil
+}

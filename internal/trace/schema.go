@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements the minimal JSON-schema dialect MAO's CI uses
+// to pin its observability artifacts: `mao --explain=json` documents
+// and Chrome trace exports are validated against checked-in schema
+// files (internal/trace/testdata/*.schema.json) so the formats cannot
+// drift silently. The dialect is the subset the schemas need —
+// type / required / properties / additionalProperties / items / enum —
+// interpreted structurally; no third-party validator, no network.
+
+// ValidateJSON checks a JSON document against a schema written in the
+// supported dialect. It returns nil when the document conforms, or an
+// error naming the first offending path.
+func ValidateJSON(schema, doc []byte) error {
+	var sch, val any
+	if err := json.Unmarshal(schema, &sch); err != nil {
+		return fmt.Errorf("schema: %w", err)
+	}
+	if err := json.Unmarshal(doc, &val); err != nil {
+		return fmt.Errorf("document: %w", err)
+	}
+	return validate(sch, val, "$")
+}
+
+func validate(schema, val any, path string) error {
+	sch, ok := schema.(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: schema node is not an object", path)
+	}
+	if t, ok := sch["type"].(string); ok {
+		if err := checkType(t, val, path); err != nil {
+			return err
+		}
+	}
+	if enum, ok := sch["enum"].([]any); ok {
+		found := false
+		for _, e := range enum {
+			if e == val {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: value %v not in enum %v", path, val, enum)
+		}
+	}
+	switch v := val.(type) {
+	case map[string]any:
+		if req, ok := sch["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := v[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		props, _ := sch["properties"].(map[string]any)
+		for name, pv := range v {
+			psch, known := props[name]
+			if !known {
+				if add, ok := sch["additionalProperties"].(bool); ok && !add {
+					return fmt.Errorf("%s: unexpected property %q", path, name)
+				}
+				continue
+			}
+			if err := validate(psch, pv, path+"."+name); err != nil {
+				return err
+			}
+		}
+	case []any:
+		if items, ok := sch["items"]; ok {
+			for i, e := range v {
+				if err := validate(items, e, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(want string, val any, path string) error {
+	ok := false
+	switch want {
+	case "object":
+		_, ok = val.(map[string]any)
+	case "array":
+		_, ok = val.([]any)
+	case "string":
+		_, ok = val.(string)
+	case "boolean":
+		_, ok = val.(bool)
+	case "number":
+		_, ok = val.(float64)
+	case "integer":
+		if f, isNum := val.(float64); isNum {
+			ok = f == math.Trunc(f)
+		}
+	case "null":
+		ok = val == nil
+	default:
+		return fmt.Errorf("%s: unsupported schema type %q", path, want)
+	}
+	if !ok {
+		return fmt.Errorf("%s: want %s, got %s", path, want, jsonTypeName(val))
+	}
+	return nil
+}
+
+func jsonTypeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case nil:
+		return "null"
+	}
+	return strings.TrimPrefix(fmt.Sprintf("%T", v), "*")
+}

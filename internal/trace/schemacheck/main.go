@@ -1,0 +1,41 @@
+// Schemacheck validates a JSON document against one of MAO's
+// checked-in observability schemas (internal/trace/testdata). CI runs
+// it over `mao --explain=json` output and Chrome trace exports so the
+// formats cannot drift from their documented shape:
+//
+//	go run ./internal/trace/schemacheck -schema internal/trace/testdata/explain.schema.json explain.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mao/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schemacheck: ")
+	schemaPath := flag.String("schema", "", "path to the schema file (required)")
+	flag.Parse()
+	if *schemaPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: schemacheck -schema schema.json doc.json [doc.json ...]")
+		os.Exit(2)
+	}
+	schema, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, path := range flag.Args() {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.ValidateJSON(schema, doc); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%s)\n", path, *schemaPath)
+	}
+}

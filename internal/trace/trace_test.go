@@ -1,0 +1,312 @@
+package trace_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+	"mao/internal/trace"
+)
+
+// TestCollectorNilSafety pins the disabled-tracer contract: every
+// read-side method is callable on a nil *Collector, because pass
+// execution stamps span starts unconditionally.
+func TestCollectorNilSafety(t *testing.T) {
+	var c *trace.Collector
+	if c.Enabled() {
+		t.Error("nil collector reports Enabled")
+	}
+	if d := c.Now(); d != 0 {
+		t.Errorf("nil collector Now() = %v, want 0", d)
+	}
+	if s := c.Spans(); s != nil {
+		t.Errorf("nil collector Spans() = %v, want nil", s)
+	}
+	if !c.Epoch().IsZero() {
+		t.Error("nil collector Epoch() not zero")
+	}
+}
+
+// TestCollectorAddUpdateSpans covers index stability, trace-ID
+// stamping, placeholder finishing via Update, and snapshot isolation.
+func TestCollectorAddUpdateSpans(t *testing.T) {
+	c := trace.NewCollector()
+	c.TraceID = "req-42"
+	if !c.Enabled() {
+		t.Fatal("fresh collector not enabled")
+	}
+	root := c.Add(trace.Span{Kind: trace.KindPipeline, Parent: -1})
+	inv := c.Add(trace.Span{
+		Kind:   trace.KindInvocation,
+		Ref:    trace.Ref{Pass: "REDTEST", Index: 0},
+		Parent: root,
+	})
+	if root != 0 || inv != 1 {
+		t.Fatalf("Add indices = %d, %d; want 0, 1", root, inv)
+	}
+	c.Update(root, func(s *trace.Span) { s.Dur = time.Second })
+	c.Update(99, func(s *trace.Span) { t.Error("Update ran on out-of-range index") })
+
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans() len = %d, want 2", len(spans))
+	}
+	if spans[0].Dur != time.Second {
+		t.Errorf("Update did not reach span 0: Dur = %v", spans[0].Dur)
+	}
+	for i, s := range spans {
+		if s.TraceID != "req-42" {
+			t.Errorf("span %d TraceID = %q, want req-42", i, s.TraceID)
+		}
+	}
+	// The snapshot must be isolated from later mutation.
+	c.Update(0, func(s *trace.Span) { s.Dur = 2 * time.Second })
+	if spans[0].Dur != time.Second {
+		t.Error("Spans() snapshot aliases collector storage")
+	}
+	// An explicit per-span trace ID wins over the collector's.
+	c.Add(trace.Span{Kind: trace.KindFunction, TraceID: "other"})
+	if got := c.Spans()[2].TraceID; got != "other" {
+		t.Errorf("explicit span TraceID overwritten: %q", got)
+	}
+}
+
+// sampleCollector builds a small deterministic span tree for the
+// exporter tests.
+func sampleCollector() *trace.Collector {
+	c := trace.NewCollector()
+	c.TraceID = "t-1"
+	root := c.Add(trace.Span{Kind: trace.KindPipeline, Parent: -1, Dur: 5 * time.Millisecond,
+		NodesBefore: 10, NodesAfter: 12})
+	// A function-pass invocation span leaves Changed false and carries
+	// no Stats — its function spans hold the detail (the manager's
+	// discipline, so the summary doesn't double-count).
+	inv := c.Add(trace.Span{Kind: trace.KindInvocation, Ref: trace.Ref{Pass: "NOPIN", Index: 0},
+		Parent: root, Dur: 3 * time.Millisecond, NodesBefore: 10, NodesAfter: 12})
+	c.Add(trace.Span{Kind: trace.KindFunction, Ref: trace.Ref{Pass: "NOPIN", Index: 0},
+		Function: "f", Worker: 2, Parent: inv, Start: time.Millisecond, Dur: time.Millisecond,
+		NodesBefore: 5, NodesAfter: 7, Changed: true, Stats: map[string]int{"nops": 2}})
+	c.Add(trace.Span{Kind: trace.KindInvocation, Ref: trace.Ref{Pass: "REDTEST", Index: 1},
+		Parent: root, Start: 3 * time.Millisecond, Dur: 2 * time.Millisecond,
+		NodesBefore: 12, NodesAfter: 12})
+	return c
+}
+
+func TestWriteJSONLines(t *testing.T) {
+	c := sampleCollector()
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var s trace.Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d does not round-trip as a Span: %v", lines, err)
+		}
+		if s.TraceID != "t-1" {
+			t.Errorf("line %d lost the trace ID: %q", lines, s.TraceID)
+		}
+		lines++
+	}
+	if want := len(c.Spans()); lines != want {
+		t.Errorf("JSONL lines = %d, want %d (one per span)", lines, want)
+	}
+}
+
+func TestWriteChromeTraceAgainstSchema(t *testing.T) {
+	c := sampleCollector()
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := os.ReadFile(filepath.Join("testdata", "chrome_trace.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateJSON(schema, buf.Bytes()); err != nil {
+		t.Fatalf("chrome trace export violates the checked-in schema: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	// Manager-level spans render on tid 0; function spans on worker+1.
+	for _, e := range events {
+		tid := int(e["tid"].(float64))
+		if e["cat"] == "function" {
+			if tid != 3 {
+				t.Errorf("function span tid = %d, want worker+1 = 3", tid)
+			}
+		} else if tid != 0 {
+			t.Errorf("%s span tid = %d, want 0", e["cat"], tid)
+		}
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	c := sampleCollector()
+	var buf bytes.Buffer
+	if err := trace.WriteSummary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PASS", "NOPIN[0]", "REDTEST[1]", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// NOPIN[0] ran one function that changed, grew the unit by 2 nodes
+	// and counted 2 transformations.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "NOPIN[0]") {
+			f := strings.Fields(line)
+			if got := f[len(f)-3:]; got[0] != "1" || got[1] != "+2" || got[2] != "2" {
+				t.Errorf("NOPIN[0] row = %q, want changed=1 Δnodes=+2 counts=2", line)
+			}
+		}
+	}
+}
+
+// TestExplainWriters stamps provenance by hand on a parsed unit and
+// checks both renderings: the text form annotates exactly the touched
+// nodes, the JSON form validates against the checked-in schema.
+func TestExplainWriters(t *testing.T) {
+	u, err := asm.ParseString("t.s", "\t.text\n\t.globl\tf\n\t.type\tf, @function\nf:\n\tmovq\t%rdi, %rax\n\tret\n\t.size\tf, .-f\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nopin := ir.PassRef{Pass: "NOPIN", Index: 0}
+	sched := ir.PassRef{Pass: "SCHED", Index: 1}
+	var synth, rewritten *ir.Node
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		if n.Kind != ir.NodeInst {
+			continue
+		}
+		if synth == nil {
+			// Simulate a pass-created node: no source line, full record.
+			synth = n
+			synth.Line = 0
+			synth.Prov = &ir.Provenance{Origin: nopin, LastMut: nopin}
+			continue
+		}
+		// Simulate an in-place rewrite of a source node.
+		rewritten = n
+		rewritten.Prov = &ir.Provenance{LastMut: sched}
+	}
+	if synth == nil || rewritten == nil {
+		t.Fatal("fixture did not yield two instructions")
+	}
+
+	var text bytes.Buffer
+	if err := trace.WriteExplainText(&text, u); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	if !strings.Contains(out, "# pass: NOPIN[0]") {
+		t.Errorf("synthesized node not annotated:\n%s", out)
+	}
+	if !strings.Contains(out, "# pass: SCHED[1] (rewrite)") {
+		t.Errorf("rewritten node not annotated as rewrite:\n%s", out)
+	}
+	if n := strings.Count(out, "# pass:"); n != 2 {
+		t.Errorf("annotations = %d, want exactly 2 (untouched nodes stay verbatim)", n)
+	}
+	// Stripping the annotations must recover the plain emission.
+	var plain []string
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "\t# pass:"); i >= 0 {
+			line = line[:i]
+		}
+		plain = append(plain, line)
+	}
+	if got := strings.Join(plain, "\n"); got != u.String() {
+		t.Errorf("explain text is not the plain emission plus comments:\n got %q\nwant %q", got, u.String())
+	}
+
+	var js bytes.Buffer
+	if err := trace.WriteExplainJSON(&js, u); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := os.ReadFile(filepath.Join("testdata", "explain.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateJSON(schema, js.Bytes()); err != nil {
+		t.Fatalf("explain JSON violates the checked-in schema: %v", err)
+	}
+	var doc trace.ExplainDoc
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var origins, mutators int
+	for _, n := range doc.Nodes {
+		if n.Origin != "" {
+			origins++
+			if n.Origin != "NOPIN[0]" || n.SourceLine != 0 {
+				t.Errorf("synthesized node lineage wrong: %+v", n)
+			}
+		}
+		if n.LastMutator == "SCHED[1]" {
+			mutators++
+			if n.Origin != "" || n.SourceLine == 0 {
+				t.Errorf("rewrite lineage wrong: %+v", n)
+			}
+		}
+	}
+	if origins != 1 || mutators != 1 {
+		t.Errorf("lineage counts: origins=%d mutators=%d, want 1 and 1", origins, mutators)
+	}
+}
+
+// TestValidateJSONRejects exercises the validator's failure modes so
+// the CI schema check can actually fail when a format drifts.
+func TestValidateJSONRejects(t *testing.T) {
+	schema := []byte(`{
+		"type": "object",
+		"required": ["name"],
+		"additionalProperties": false,
+		"properties": {
+			"name": {"type": "string"},
+			"n": {"type": "integer"},
+			"kind": {"type": "string", "enum": ["a", "b"]},
+			"tags": {"type": "array", "items": {"type": "string"}}
+		}
+	}`)
+	cases := []struct {
+		doc  string
+		want string // substring of the error, "" = must pass
+	}{
+		{`{"name": "x", "n": 3, "kind": "a", "tags": ["t"]}`, ""},
+		{`{"n": 1}`, `missing required property "name"`},
+		{`{"name": 5}`, "want string"},
+		{`{"name": "x", "n": 1.5}`, "want integer"},
+		{`{"name": "x", "kind": "c"}`, "not in enum"},
+		{`{"name": "x", "extra": 1}`, `unexpected property "extra"`},
+		{`{"name": "x", "tags": ["t", 7]}`, "$.tags[1]"},
+		{`[]`, "want object"},
+	}
+	for _, c := range cases {
+		err := trace.ValidateJSON(schema, []byte(c.doc))
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.doc, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.doc, err, c.want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the pass catalog
 	"mao/internal/relax"
+	"mao/internal/trace"
 	"mao/internal/uarch"
 	"mao/internal/uarch/exec"
 	"mao/internal/uarch/sim"
@@ -102,6 +103,29 @@ type Cache = relax.Cache
 // NewCache returns an empty relaxation/encoding cache.
 func NewCache() *Cache { return relax.NewCache() }
 
+// Tracing and provenance types (see mao/internal/trace).
+type (
+	// TraceCollector gathers pipeline, invocation and function spans
+	// while a pipeline runs. Attach one via Options.Tracer; export with
+	// trace.WriteJSON, trace.WriteChromeTrace or trace.WriteSummary.
+	TraceCollector = trace.Collector
+	// Span is one timed region of a pipeline run.
+	Span = trace.Span
+	// InstLineage is the provenance record of one instruction: which
+	// pass invocation synthesized it and which mutated it last.
+	InstLineage = trace.InstLineage
+)
+
+// NewTraceCollector returns an empty span collector.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// Explain returns per-instruction lineage for every function of the
+// unit, in program order: source instructions carry their input line,
+// synthesized and rewritten ones the NAME[idx] pass invocation that
+// produced them. Run a pipeline first; on a freshly parsed unit every
+// instruction is simply a source line.
+func Explain(u *Unit) []InstLineage { return trace.Lineage(u) }
+
 // Options configures a pipeline run.
 type Options struct {
 	// Workers bounds the per-function worker pool for parallel-safe
@@ -111,6 +135,10 @@ type Options struct {
 	// Cache, when non-nil, memoizes instruction encodings across
 	// relaxation runs (within alignment passes and the final Relax).
 	Cache *Cache
+	// Tracer, when non-nil, collects timing spans for the run. Span
+	// collection is byte- and stats-transparent; when nil the pipeline
+	// pays only a nil check.
+	Tracer *TraceCollector
 }
 
 // RunPipelineParallel is RunPipeline with an explicit worker count and
@@ -133,6 +161,7 @@ func RunPipelineContext(ctx context.Context, u *Unit, spec string, opts Options)
 	}
 	mgr.Workers = opts.Workers
 	mgr.Cache = opts.Cache
+	mgr.Tracer = opts.Tracer
 	stats, err := mgr.RunContext(ctx, u)
 	if err != nil {
 		return nil, err

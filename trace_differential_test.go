@@ -1,0 +1,146 @@
+package mao_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mao"
+)
+
+// corpusSources reads every corpus fixture into memory.
+func corpusSources(t *testing.T) map[string]string {
+	t.Helper()
+	fixtures, err := filepath.Glob(filepath.Join("internal", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	sources := map[string]string{}
+	for _, fx := range fixtures {
+		b, err := os.ReadFile(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[fx] = string(b)
+	}
+	return sources
+}
+
+// TestTracerByteTransparency is the differential test of the tracing
+// subsystem: over the whole corpus and a pipeline mix that deletes,
+// rewrites, synthesizes and reorders instructions, a run with a span
+// collector attached must produce byte-for-byte the assembly and
+// exactly the statistics of a run without one — at one worker and at
+// eight.
+func TestTracerByteTransparency(t *testing.T) {
+	sources := corpusSources(t)
+	specs := []string{
+		"REDTEST:REDMOV:REDZEXT",
+		"DCE:CONSTFOLD:SCHED",
+		"NOPKILL:LOOP16",
+		"INSTRUMENT:ADDADD",
+	}
+	for fx, src := range sources {
+		for _, spec := range specs {
+			// Reference: tracer off, sequential.
+			ref, err := mao.ParseString(fx, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refStats, err := mao.RunPipelineParallel(ref, spec, mao.Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s %s: %v", fx, spec, err)
+			}
+			wantAsm, wantStats := ref.String(), refStats.String()
+
+			for _, workers := range []int{1, 8} {
+				name := fmt.Sprintf("%s/%s/j%d", filepath.Base(fx), spec, workers)
+				u, err := mao.ParseString(fx, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				col := mao.NewTraceCollector()
+				st, err := mao.RunPipelineParallel(u, spec, mao.Options{Workers: workers, Tracer: col})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got := u.String(); got != wantAsm {
+					t.Errorf("%s: traced output differs from untraced reference", name)
+				}
+				if got := st.String(); got != wantStats {
+					t.Errorf("%s: traced stats differ from untraced reference:\n got %q\nwant %q",
+						name, got, wantStats)
+				}
+				if len(col.Spans()) == 0 {
+					t.Errorf("%s: collector attached but no spans recorded", name)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainAttribution pins the provenance contract of --explain:
+// after a pipeline that synthesizes instructions, every node that did
+// not come from the input (SourceLine 0) must name a real pass
+// invocation of the pipeline as its origin — no anonymous machine
+// code in the output.
+func TestExplainAttribution(t *testing.T) {
+	sources := corpusSources(t)
+	const spec = "INSTRUMENT:LOOP16:REDTEST"
+	passNames := map[string]bool{}
+	invocations := 0
+	for _, p := range strings.Split(spec, ":") {
+		passNames[p] = true
+		invocations++
+	}
+	refRE := regexp.MustCompile(`^([A-Z0-9]+)\[(\d+)\]$`)
+
+	for fx, src := range sources {
+		u, err := mao.ParseString(fx, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mao.RunPipelineParallel(u, spec, mao.Options{Workers: 4}); err != nil {
+			t.Fatalf("%s: %v", fx, err)
+		}
+		lineage := mao.Explain(u)
+		if len(lineage) == 0 {
+			t.Fatalf("%s: empty lineage", fx)
+		}
+		synthesized := 0
+		for _, l := range lineage {
+			if l.SourceLine != 0 {
+				// A source node: it may carry a LastMutator (in-place
+				// rewrite) but never a synthetic origin.
+				if l.Origin != "" {
+					t.Errorf("%s: source node %d (%s) carries origin %q",
+						fx, l.Index, l.Text, l.Origin)
+				}
+				continue
+			}
+			synthesized++
+			m := refRE.FindStringSubmatch(l.Origin)
+			if m == nil {
+				t.Errorf("%s: synthesized node %d (%s) has unattributable origin %q",
+					fx, l.Index, l.Text, l.Origin)
+				continue
+			}
+			if !passNames[m[1]] {
+				t.Errorf("%s: node %d origin %q names a pass outside the pipeline %q",
+					fx, l.Index, l.Origin, spec)
+			}
+			var idx int
+			fmt.Sscanf(m[2], "%d", &idx)
+			if idx < 0 || idx >= invocations {
+				t.Errorf("%s: node %d origin %q has invocation index outside [0,%d)",
+					fx, l.Index, l.Origin, invocations)
+			}
+		}
+		if synthesized == 0 {
+			t.Errorf("%s: pipeline %q synthesized no nodes — attribution untested", fx, spec)
+		}
+	}
+}
