@@ -6,7 +6,9 @@
 #   go build    everything compiles
 #   go test     full test suite under the race detector
 #   race-stress the concurrency-bearing packages (the parallel pass
-#               manager, the shared encode cache and the maod service)
+#               manager with its per-worker relax.State pool, the
+#               shared encode cache, the incremental relaxation
+#               differential suite at 8 workers and the maod service)
 #               repeated under the race detector to shake out
 #               scheduling-dependent races
 #   fuzz smoke  the parser fuzz target runs briefly, so the committed
@@ -17,6 +19,13 @@
 #   bench smoke every benchmark runs once, so the committed benchmarks
 #               (including the worker-scaling and cache benchmarks)
 #               cannot silently rot
+#   bench regression
+#               maobench -json re-measures the repeated-relaxation and
+#               repeated-pipeline benchmarks and fails on a >2x ns/op
+#               regression against the checked-in BENCH_relax.json /
+#               BENCH_pipeline.json baselines — the guard that
+#               incremental relaxation never silently degrades back to
+#               full rebuilds
 #   self-lint   mao --check over the committed corpus fixtures: the
 #               checker must parse and lint generator output without
 #               error-severity diagnostics (warnings are expected —
@@ -45,15 +54,23 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== race-stress: parallel pass manager + encode cache + service"
+echo "== race-stress: parallel pass manager + per-worker relax state + encode cache + service"
 go test -race -count=3 ./internal/pass/ ./internal/relax/
 go test -race -count=2 ./internal/serve/
+# The differential suite drives the pooled per-worker relax.States at 8
+# workers with tracing on; repeat it specifically under the detector.
+go test -race -count=2 -run 'TestDifferentialAfterPasses' ./internal/relax/
 
 echo "== fuzz smoke: parser"
 go test -run '^$' -fuzz FuzzParseString -fuzztime 10s ./internal/asm/
 
 echo "== benchmark smoke run"
 go test -run '^$' -bench . -benchtime=1x ./...
+
+echo "== bench regression: relaxation + pipeline vs checked-in baselines"
+benchdir=$(mktemp -d)
+go run ./cmd/maobench -json -outdir "$benchdir" -baseline .
+rm -rf "$benchdir"
 
 echo "== self-lint corpus fixtures (mao --check)"
 bin=$(mktemp -d)/mao

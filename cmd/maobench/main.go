@@ -8,6 +8,8 @@
 //	maobench -experiment fig1-nop
 //	maobench -list
 //	maobench -scale 0.1          # shrink corpora for a quick pass
+//	maobench -json               # write BENCH_relax.json / BENCH_pipeline.json
+//	maobench -json -baseline .   # also fail on >2x ns/op regression
 package main
 
 import (
@@ -15,12 +17,61 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"mao/internal/bench"
 	"mao/internal/experiments"
 	"mao/internal/relax"
 	"mao/internal/trace"
 )
+
+// regressionFactor is the ns/op ratio -baseline tolerates before
+// failing. Loose on purpose: the smoke catches order-of-magnitude
+// breakage (incremental relaxation degrading to full rebuilds), not
+// machine-to-machine noise.
+const regressionFactor = 2.0
+
+// runBenchJSON measures the repeated-relaxation and repeated-pipeline
+// benchmarks, writes BENCH_relax.json and BENCH_pipeline.json into
+// outDir, and — when baselineDir is set — fails on a >2x ns/op
+// regression against the baselines checked in there.
+func runBenchJSON(outDir, baselineDir string) error {
+	relaxRes, err := bench.MeasureRelaxBench()
+	if err != nil {
+		return err
+	}
+	pipeRes, err := bench.MeasurePipelineBench()
+	if err != nil {
+		return err
+	}
+	for _, e := range []struct {
+		file string
+		res  *bench.BenchResult
+	}{
+		{"BENCH_relax.json", relaxRes},
+		{"BENCH_pipeline.json", pipeRes},
+	} {
+		out := filepath.Join(outDir, e.file)
+		if err := bench.WriteBenchJSON(out, e.res); err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %10.0f ns/op %8d B/op %6d allocs/op", e.res.Benchmark,
+			e.res.NsPerOp, e.res.BytesPerOp, e.res.AllocsPerOp)
+		if e.res.Speedup > 0 {
+			fmt.Printf("  %5.1fx vs reference  %.2f frag-reuse", e.res.Speedup, e.res.FragmentReuseRate)
+		}
+		fmt.Printf("  -> %s\n", out)
+		if baselineDir != "" {
+			if err := bench.CompareBaseline(e.res, filepath.Join(baselineDir, e.file), regressionFactor); err != nil {
+				return err
+			}
+		}
+	}
+	if baselineDir != "" {
+		fmt.Printf("baseline check passed (tolerance %.1fx)\n", regressionFactor)
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,11 +81,21 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale factor (1.0 = the paper's sizes)")
 	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
 	timings := flag.Bool("timings", false, "print an aggregate per-pass timing table for all pipelines run")
+	jsonOut := flag.Bool("json", false, "measure relaxation/pipeline benchmarks and write BENCH_relax.json + BENCH_pipeline.json")
+	outDir := flag.String("outdir", ".", "directory BENCH_*.json files are written to (with -json)")
+	baseline := flag.String("baseline", "", "directory holding baseline BENCH_*.json; exit non-zero on >2x ns/op regression (with -json)")
 	flag.Parse()
 	bench.Workers = *workers
 	bench.EncodeCache = relax.NewCache()
 	if *timings {
 		bench.Tracer = trace.NewCollector()
+	}
+
+	if *jsonOut {
+		if err := runBenchJSON(*outDir, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *list {

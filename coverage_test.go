@@ -217,10 +217,10 @@ func TestLayoutImageMatchesLengths(t *testing.T) {
 		if n.Kind != ir.NodeInst {
 			continue
 		}
-		if len(layout.Bytes[n]) != layout.Len[n] {
-			t.Errorf("%v: bytes %d != len %d", n.Inst, len(layout.Bytes[n]), layout.Len[n])
+		if len(layout.Bytes(n)) != layout.Len(n) {
+			t.Errorf("%v: bytes %d != len %d", n.Inst, len(layout.Bytes(n)), layout.Len(n))
 		}
-		sum += int64(layout.Len[n])
+		sum += int64(layout.Len(n))
 	}
 	if got := layout.SectionEnd[".text"]; got != sum {
 		t.Errorf("section end %d != instruction sum %d", got, sum)

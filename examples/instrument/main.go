@@ -47,9 +47,9 @@ func main() {
 	probes := 0
 	for _, f := range u.Functions() {
 		for _, n := range f.Instructions() {
-			if n.Inst.IsNop() && layout.Len[n] == 5 {
+			if n.Inst.IsNop() && layout.Len(n) == 5 {
 				probes++
-				a := layout.Addr[n]
+				a := layout.Addr(n)
 				crosses := a/lineSize != (a+4)/lineSize
 				fmt.Printf("probe in %-22s at %#06x..%#06x  crosses line: %v\n",
 					f.Name, a, a+4, crosses)

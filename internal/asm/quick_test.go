@@ -181,13 +181,13 @@ func checkMonotoneLayout(t *testing.T, u *ir.Unit) {
 		if n.Kind != ir.NodeInst {
 			continue
 		}
-		a := layout.Addr[n]
+		a := layout.Addr(n)
 		if a < last {
 			t.Fatalf("addresses not monotone: %d after %d", a, last)
 		}
-		if layout.Len[n] <= 0 || layout.Len[n] > 15 {
-			t.Fatalf("bad length %d for %v", layout.Len[n], n.Inst)
+		if layout.Len(n) <= 0 || layout.Len(n) > 15 {
+			t.Fatalf("bad length %d for %v", layout.Len(n), n.Inst)
 		}
-		last = a + int64(layout.Len[n])
+		last = a + int64(layout.Len(n))
 	}
 }

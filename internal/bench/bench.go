@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mao/internal/asm"
 	"mao/internal/corpus"
@@ -50,6 +51,19 @@ var EncodeCache *relax.Cache
 // byte- and stats-transparent, so measured results are unaffected.
 var Tracer *trace.Collector
 
+// relaxStates recycles relaxation states across Optimize calls (each
+// call builds a fresh Manager, so without this pool every benchmarked
+// pipeline would start from an empty fragment partition). States are
+// never shared: each Optimize call owns one for its duration.
+var relaxStates sync.Pool
+
+func acquireRelaxState() *relax.State {
+	if v := relaxStates.Get(); v != nil {
+		return v.(*relax.State)
+	}
+	return relax.NewState()
+}
+
 // Prepare parses a workload into a unit (no passes yet).
 func Prepare(w corpus.Workload) (*ir.Unit, error) {
 	return asm.ParseString(w.Name+".s", corpus.Generate(w))
@@ -68,6 +82,9 @@ func Optimize(u *ir.Unit, pipeline string) (*pass.Stats, error) {
 	mgr.Workers = Workers
 	mgr.Cache = EncodeCache
 	mgr.Tracer = Tracer
+	st := acquireRelaxState()
+	defer relaxStates.Put(st)
+	mgr.RelaxState = st
 	stats, err := mgr.Run(u)
 	if err != nil {
 		return nil, err
@@ -75,7 +92,9 @@ func Optimize(u *ir.Unit, pipeline string) (*pass.Stats, error) {
 	return stats, u.Analyze()
 }
 
-// Measure relaxes, executes and simulates a prepared unit.
+// Measure relaxes, executes and simulates a prepared unit. The layout
+// gets its own relaxation state (not a pooled one): it is returned to
+// the caller, and a Layout is a live view into the State that built it.
 func Measure(u *ir.Unit, entry string, model *uarch.CPUModel) (*sim.Counters, *relax.Layout, int64, error) {
 	layout, err := relax.Relax(u, nil)
 	if err != nil {

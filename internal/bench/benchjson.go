@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// BenchResult is one benchmark's measurement as written to the
+// BENCH_*.json files by `maobench -json` and compared against the
+// checked-in baselines by ci.sh's bench smoke.
+type BenchResult struct {
+	Benchmark   string  `json:"benchmark"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Relaxation-specific facts (zero for pipeline results).
+	ReferenceNsPerOp  float64 `json:"reference_ns_per_op,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+	RelaxIterations   int     `json:"relax_iterations,omitempty"`
+	FragmentReuseRate float64 `json:"fragment_reuse_rate,omitempty"`
+}
+
+// MeasureRelaxBench runs the incremental and reference repeated-
+// relaxation benchmarks through testing.Benchmark — the exact bodies
+// `go test -bench` runs — and folds in the workload stats.
+func MeasureRelaxBench() (*BenchResult, error) {
+	inc := testing.Benchmark(RelaxRepeated)
+	if inc.N == 0 {
+		return nil, fmt.Errorf("RelaxRepeated benchmark failed to run")
+	}
+	ref := testing.Benchmark(RelaxRepeatedReference)
+	if ref.N == 0 {
+		return nil, fmt.Errorf("RelaxRepeatedReference benchmark failed to run")
+	}
+	iters, reuse, err := RelaxBenchStats()
+	if err != nil {
+		return nil, err
+	}
+	r := &BenchResult{
+		Benchmark:         "RelaxRepeated",
+		NsPerOp:           float64(inc.NsPerOp()),
+		BytesPerOp:        inc.AllocedBytesPerOp(),
+		AllocsPerOp:       inc.AllocsPerOp(),
+		ReferenceNsPerOp:  float64(ref.NsPerOp()),
+		RelaxIterations:   iters,
+		FragmentReuseRate: reuse,
+	}
+	if r.NsPerOp > 0 {
+		r.Speedup = r.ReferenceNsPerOp / r.NsPerOp
+	}
+	return r, nil
+}
+
+// MeasurePipelineBench runs the repeated-pipeline benchmark through
+// testing.Benchmark.
+func MeasurePipelineBench() (*BenchResult, error) {
+	res := testing.Benchmark(PipelineRepeated)
+	if res.N == 0 {
+		return nil, fmt.Errorf("PipelineRepeated benchmark failed to run")
+	}
+	return &BenchResult{
+		Benchmark:   "PipelineRepeated",
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// WriteBenchJSON writes one result as indented JSON.
+func WriteBenchJSON(path string, r *BenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads a previously written result.
+func ReadBenchJSON(path string) (*BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBaseline fails when the current measurement regresses by more
+// than factor× in ns/op against the baseline at path. Benchmarks are
+// noisy in CI, so the factor is deliberately loose: it catches
+// "incremental relaxation silently fell back to full rebuilds", not
+// single-digit-percent drift.
+func CompareBaseline(cur *BenchResult, path string, factor float64) error {
+	base, err := ReadBenchJSON(path)
+	if err != nil {
+		return err
+	}
+	if base.NsPerOp > 0 && cur.NsPerOp > factor*base.NsPerOp {
+		return fmt.Errorf("%s: %.0f ns/op is a >%.1fx regression vs baseline %.0f ns/op (%s)",
+			cur.Benchmark, cur.NsPerOp, factor, base.NsPerOp, path)
+	}
+	return nil
+}

@@ -184,7 +184,7 @@ func RelaxExample(w io.Writer, scale float64) error {
 			if n.Kind != ir.NodeInst {
 				continue
 			}
-			fmt.Fprintf(w, "  %4x: %-24x %s\n", layout.Addr[n], layout.Bytes[n], n.Inst)
+			fmt.Fprintf(w, "  %4x: %-24x %s\n", layout.Addr(n), layout.Bytes(n), n.Inst)
 		}
 		return nil
 	}

@@ -1,6 +1,9 @@
 package ir
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // List is the doubly-linked node list backing a Unit. The zero value
 // is an empty list.
@@ -17,7 +20,43 @@ type List struct {
 	mu         sync.Mutex
 	head, tail *Node
 	len        int
+
+	// nextID hands out dense node indices (see Node.Index); the first
+	// linked node gets index 1. Indices are never reclaimed.
+	nextID int
+
+	// version counts mutations relevant to layout: every structural op
+	// bumps it, and in-place content edits report through BumpVersion.
+	// Incremental relaxation snapshots it to detect edits it was not
+	// explicitly notified about.
+	version atomic.Int64
 }
+
+// assignID gives n its dense index on first link. Caller holds l.mu.
+func (l *List) assignID(n *Node) {
+	if n.id == 0 {
+		l.nextID++
+		n.id = l.nextID
+	}
+}
+
+// IndexBound returns an exclusive upper bound on every node index this
+// list has assigned (Node.Index values are in [1, IndexBound)).
+func (l *List) IndexBound() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextID + 1
+}
+
+// Version returns the list's mutation counter. It increases on every
+// structural mutation (Append/Insert*/Remove), on BumpVersion, and on
+// Unit.Analyze (which rewrites node section attribution in place).
+func (l *List) Version() int64 { return l.version.Load() }
+
+// BumpVersion records a mutation the list cannot observe itself — an
+// in-place edit of a node's instruction, directive or section — so
+// cached layout state keyed on Version cannot go stale silently.
+func (l *List) BumpVersion() { l.version.Add(1) }
 
 // Front returns the first node or nil.
 func (l *List) Front() *Node { return l.head }
@@ -36,6 +75,8 @@ func (l *List) Len() int {
 func (l *List) Append(n *Node) *Node {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.assignID(n)
+	l.version.Add(1)
 	n.list = l
 	n.prev = l.tail
 	n.next = nil
@@ -57,6 +98,8 @@ func (l *List) InsertAfter(n, at *Node) *Node {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.assignID(n)
+	l.version.Add(1)
 	n.list = l
 	n.prev = at
 	n.next = at.next
@@ -79,6 +122,8 @@ func (l *List) InsertBefore(n, at *Node) *Node {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.assignID(n)
+	l.version.Add(1)
 	n.list = l
 	n.next = at
 	n.prev = at.prev
@@ -101,6 +146,7 @@ func (l *List) Remove(n *Node) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.version.Add(1)
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {

@@ -32,6 +32,12 @@ type Node struct {
 	prev, next *Node
 	list       *List
 
+	// id is the node's dense per-list index, assigned by the owning
+	// List the first time the node is linked (see List.assignID) and
+	// kept for the node's lifetime — a node removed and re-inserted
+	// into the same list keeps its index. 0 means "never linked".
+	id int
+
 	Kind  NodeKind
 	Inst  *x86.Inst  // NodeInst
 	Label string     // NodeLabel: label name (without trailing colon)
@@ -115,6 +121,16 @@ func LabelNode(name string) *Node { return &Node{Kind: NodeLabel, Label: name} }
 func DirectiveNode(name string, args ...string) *Node {
 	return &Node{Kind: NodeDirective, Dir: &Directive{Name: name, Args: args}}
 }
+
+// Index returns the node's dense per-list index: a small positive
+// integer assigned on first insertion and stable for the node's
+// lifetime (re-inserting a removed node keeps its index). 0 means the
+// node was never linked into a list. Relaxation uses it to keep
+// per-node layout data in slices instead of maps.
+func (n *Node) Index() int { return n.id }
+
+// InList reports whether the node is currently linked into a list.
+func (n *Node) InList() bool { return n.list != nil }
 
 // Next returns the following node in the unit list, or nil at the end.
 func (n *Node) Next() *Node { return n.next }

@@ -30,6 +30,10 @@ func (u *Unit) Append(n *Node) *Node { return u.List.Append(n) }
 // structural change that adds or removes labels, section switches or
 // function markers. Pure instruction edits do not require re-analysis.
 func (u *Unit) Analyze() error {
+	// Analyze rewrites node section attribution and the label map in
+	// place — inputs cached relaxation state depends on — so it counts
+	// as a mutation for ir.List.Version consumers.
+	u.List.BumpVersion()
 	u.labels = make(map[string]*Node)
 	u.functions = nil
 	u.sections = nil

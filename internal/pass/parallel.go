@@ -139,6 +139,11 @@ func (m *Manager) runFuncPass(runCtx context.Context, u *ir.Unit, p FuncPass, ct
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// Each worker owns one relaxation state for its lifetime (a
+			// State is single-goroutine); the pool carries partitions
+			// across invocations and runs.
+			wRelax := m.acquireRelax()
+			defer m.releaseRelax(wRelax)
 			for {
 				if runCtx.Err() != nil {
 					return
@@ -154,6 +159,7 @@ func (m *Manager) runFuncPass(runCtx context.Context, u *ir.Unit, p FuncPass, ct
 					Opts:      ctx.Opts,
 					Stats:     r.stats,
 					Cache:     m.Cache,
+					Relax:     wRelax,
 					ctx:       runCtx,
 					passName:  name,
 					passIndex: idx,

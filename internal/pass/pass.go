@@ -83,6 +83,14 @@ type Ctx struct {
 	// unchanged instructions.
 	Cache *relax.Cache
 
+	// Relax is the invocation's reusable relaxation state. Passes that
+	// relax internally thread it into their relax.Options (alongside
+	// Cache), so probe loops — relax, edit, relax again — rescan only
+	// the fragments each edit touched instead of re-walking the unit.
+	// The Ctx mutation helpers keep it notified of edits; a nil state
+	// is valid everywhere and simply disables incrementality.
+	Relax *relax.State
+
 	ctx       context.Context
 	passName  string
 	passIndex int
@@ -104,7 +112,12 @@ func (c *Ctx) Context() context.Context {
 // outside a Manager pipeline — e.g. for passes that need data injected
 // on the instance (SIMADDR samples, PREFNTA profiles) before running.
 func NewCtx(u *ir.Unit, passName string, opts *Options, stats *Stats) *Ctx {
-	return &Ctx{Unit: u, Opts: opts, Stats: stats, passName: passName, passIndex: -1}
+	return &Ctx{
+		Unit: u, Opts: opts, Stats: stats,
+		Relax:     relax.NewState(),
+		passName:  passName,
+		passIndex: -1,
+	}
 }
 
 // Trace emits a trace record when the invocation's trace level is at
@@ -465,6 +478,20 @@ type Manager struct {
 	// returned Stats under the pseudo-pass RELAXCACHE.
 	Cache *relax.Cache
 
+	// RelaxState, when non-nil, carries fragment-based relaxation
+	// state across this manager's runs: successive pipelines over the
+	// same unit rescan only what changed. It backs the serial contexts
+	// of a run (unit passes, non-parallel function passes); parallel
+	// workers draw their own states from an internal pool instead,
+	// since a State is single-goroutine. A manager with RelaxState set
+	// must not run pipelines concurrently.
+	RelaxState *relax.State
+
+	// relaxPool recycles per-worker (and, when RelaxState is unset,
+	// per-run) relaxation states, so repeated runs through one manager
+	// reuse fragment partitions without any sharing across goroutines.
+	relaxPool sync.Pool
+
 	// Tracer, when non-nil, collects structured spans: one for the
 	// pipeline run, one per pass invocation, and one per function of
 	// each function-pass invocation. Span collection is byte- and
@@ -516,6 +543,15 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 	stats := NewStats()
 	baseHits, baseMisses := m.Cache.Counters()
 
+	// The relaxation state serial contexts of this run share: the
+	// manager's configured one, or a pooled state so repeated runs
+	// through the same manager still relax incrementally.
+	relaxState := m.RelaxState
+	if relaxState == nil {
+		relaxState = m.acquireRelax()
+		defer m.releaseRelax(relaxState)
+	}
+
 	// The trace writer every context of this run shares: nil when
 	// tracing is off, otherwise a serializing wrapper so concurrent
 	// writers (unit passes running helper goroutines, programmatic
@@ -554,6 +590,7 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 			Stats:     stats,
 			TraceW:    traceW,
 			Cache:     m.Cache,
+			Relax:     relaxState,
 			ctx:       runCtx,
 			passName:  name,
 			passIndex: idx,
@@ -642,6 +679,16 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 	}
 	return stats, nil
 }
+
+// acquireRelax takes a relaxation state from the manager's pool.
+func (m *Manager) acquireRelax() *relax.State {
+	if v := m.relaxPool.Get(); v != nil {
+		return v.(*relax.State)
+	}
+	return relax.NewState()
+}
+
+func (m *Manager) releaseRelax(s *relax.State) { m.relaxPool.Put(s) }
 
 // dumpIR implements the dump_before/dump_after standard options.
 func dumpIR(u *ir.Unit, inv Invocation, key string) error {

@@ -19,6 +19,13 @@ import "mao/internal/ir"
 // the unit list (whose structural ops are internally serialized), so
 // ParallelSafe passes may call them from worker goroutines exactly as
 // they previously called ir.List methods.
+//
+// The helpers also notify the invocation's relaxation state (Ctx.Relax)
+// about every edit, so the next layout computation rescans only the
+// fragments the edit touched. Passes that bypass the helpers still get
+// correct layouts — the state detects unnotified edits through the
+// list's version counter and falls back to a full rebuild — they just
+// forfeit the incremental path.
 
 // Ref returns this invocation's reference: the pass name plus its
 // pipeline invocation index. Programmatic contexts built with NewCtx
@@ -36,6 +43,7 @@ func (c *Ctx) stampNew(n *ir.Node) *ir.Node {
 // last mutator.
 func (c *Ctx) InsertBefore(n, at *ir.Node) *ir.Node {
 	c.Unit.List.InsertBefore(n, at)
+	c.Relax.NodeInserted(n)
 	return c.stampNew(n)
 }
 
@@ -43,6 +51,7 @@ func (c *Ctx) InsertBefore(n, at *ir.Node) *ir.Node {
 // at and stamps this invocation as its origin and last mutator.
 func (c *Ctx) InsertAfter(n, at *ir.Node) *ir.Node {
 	c.Unit.List.InsertAfter(n, at)
+	c.Relax.NodeInserted(n)
 	return c.stampNew(n)
 }
 
@@ -50,6 +59,7 @@ func (c *Ctx) InsertAfter(n, at *ir.Node) *ir.Node {
 // list and stamps this invocation as its origin and last mutator.
 func (c *Ctx) Append(n *ir.Node) *ir.Node {
 	c.Unit.List.Append(n)
+	c.Relax.NodeInserted(n)
 	return c.stampNew(n)
 }
 
@@ -57,17 +67,23 @@ func (c *Ctx) Append(n *ir.Node) *ir.Node {
 // lineage behind (there is no node to carry it); passes report
 // deletions through their statistics counters, which the span of this
 // invocation captures.
-func (c *Ctx) Delete(n *ir.Node) { c.Unit.List.Remove(n) }
+func (c *Ctx) Delete(n *ir.Node) {
+	c.Unit.List.Remove(n)
+	c.Relax.NodeRemoved(n)
+}
 
 // Rewrite records an in-place mutation of n (opcode or operand
 // change): the node keeps its origin — a source line or the pass that
 // created it — and this invocation becomes its last mutator. Call it
-// after editing n.Inst.
+// after editing n.Inst. The list cannot observe in-place edits itself,
+// so Rewrite also bumps its version counter on the node's behalf.
 func (c *Ctx) Rewrite(n *ir.Node) {
 	if n.Prov == nil {
 		n.Prov = &ir.Provenance{}
 	}
 	n.Prov.LastMut = c.Ref()
+	c.Unit.List.BumpVersion()
+	c.Relax.NodeMutated(n)
 }
 
 // MoveBefore relinks the existing node n immediately before at. The
@@ -75,7 +91,9 @@ func (c *Ctx) Rewrite(n *ir.Node) {
 // its last mutator (SCHED's reordering shows up in lineage this way).
 func (c *Ctx) MoveBefore(n, at *ir.Node) {
 	c.Unit.List.Remove(n)
+	c.Relax.NodeRemoved(n)
 	c.Unit.List.InsertBefore(n, at)
+	c.Relax.NodeInserted(n)
 	c.Rewrite(n)
 }
 
@@ -83,6 +101,8 @@ func (c *Ctx) MoveBefore(n, at *ir.Node) {
 // preserving origin and stamping this invocation as last mutator.
 func (c *Ctx) MoveToEnd(n *ir.Node) {
 	c.Unit.List.Remove(n)
+	c.Relax.NodeRemoved(n)
 	c.Unit.List.Append(n)
+	c.Relax.NodeInserted(n)
 	c.Rewrite(n)
 }

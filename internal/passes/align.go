@@ -36,8 +36,8 @@ func loopExtent(l *loops.Loop, layout *relax.Layout) (start, end int64, ok bool)
 	var covered int64
 	for _, b := range blocks {
 		for _, n := range b.Insts {
-			a := layout.Addr[n]
-			ln := int64(layout.Len[n])
+			a := layout.Addr(n)
+			ln := int64(layout.Len(n))
 			if start == -1 || a < start {
 				start = a
 			}
@@ -83,7 +83,7 @@ type loop16 struct{ base }
 func (p *loop16) RunUnit(ctx *pass.Ctx) (bool, error) {
 	maxSize := int64(ctx.Opts.Int("size", 16))
 
-	layout, err := relax.Relax(ctx.Unit, &relax.Options{Cache: ctx.Cache})
+	layout, err := relax.Relax(ctx.Unit, &relax.Options{Cache: ctx.Cache, State: ctx.Relax})
 	if err != nil {
 		return false, err
 	}
@@ -140,7 +140,7 @@ func (p *lsdFit) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	// Fixing one loop shifts everything after it, so re-relax and
 	// re-scan until no fixable loop remains.
 	for iter := 0; iter < 32; iter++ {
-		layout, err := relax.Relax(f.Unit(), &relax.Options{Cache: ctx.Cache})
+		layout, err := relax.Relax(f.Unit(), &relax.Options{Cache: ctx.Cache, State: ctx.Relax})
 		if err != nil {
 			return changed, err
 		}
@@ -153,7 +153,7 @@ func (p *lsdFit) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 			if hi == nil || hj == nil {
 				return hi != nil
 			}
-			return layout.Addr[hi] < layout.Addr[hj]
+			return layout.Addr(hi) < layout.Addr(hj)
 		})
 
 		again := false
@@ -219,7 +219,7 @@ func (p *brAlign) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 
 	changed := false
 	for iter := 0; iter < 32; iter++ {
-		layout, err := relax.Relax(f.Unit(), &relax.Options{Cache: ctx.Cache})
+		layout, err := relax.Relax(f.Unit(), &relax.Options{Cache: ctx.Cache, State: ctx.Relax})
 		if err != nil {
 			return changed, err
 		}
@@ -236,15 +236,15 @@ func (p *brAlign) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 				continue
 			}
 			taddr, known := layout.SymAddr(tgt)
-			if known && taddr <= layout.Addr[n] {
+			if known && taddr <= layout.Addr(n) {
 				backs = append(backs, n)
 			}
 		}
-		sort.Slice(backs, func(i, j int) bool { return layout.Addr[backs[i]] < layout.Addr[backs[j]] })
+		sort.Slice(backs, func(i, j int) bool { return layout.Addr(backs[i]) < layout.Addr(backs[j]) })
 
 		again := false
 		for i := 1; i < len(backs); i++ {
-			a, b := layout.Addr[backs[i-1]], layout.Addr[backs[i]]
+			a, b := layout.Addr(backs[i-1]), layout.Addr(backs[i])
 			if bucket(a) != bucket(b) {
 				continue
 			}

@@ -45,7 +45,7 @@ func TestLoop16AlignsShortLoop(t *testing.T) {
 	}
 	l := relaxOf(t, u)
 	head := u.FindLabel(".Lloop")
-	if addr := l.Addr[head]; addr%16 != 0 {
+	if addr := l.Addr(head); addr%16 != 0 {
 		t.Errorf("loop head at %#x, want 16-byte aligned", addr)
 	}
 }
@@ -97,12 +97,12 @@ func TestLSDShiftsStraddlingLoop(t *testing.T) {
 	}
 	l := relaxOf(t, u)
 	head := u.FindLabel(".Lloop")
-	start := l.Addr[head]
+	start := l.Addr(head)
 	var end int64
 	for _, f := range u.Functions() {
 		for _, n := range f.Instructions() {
 			if n.Inst.Op == x86.OpJCC {
-				end = l.Addr[n] + int64(l.Len[n])
+				end = l.Addr(n) + int64(l.Len(n))
 			}
 		}
 	}
@@ -163,7 +163,7 @@ func TestBrAlignSeparatesAliasedBranches(t *testing.T) {
 	for _, f := range u.Functions() {
 		for _, n := range f.Instructions() {
 			if n.Inst.Op == x86.OpJCC {
-				branchAddrs = append(branchAddrs, l.Addr[n])
+				branchAddrs = append(branchAddrs, l.Addr(n))
 			}
 		}
 	}
@@ -193,7 +193,7 @@ func TestBrAlignLeavesSeparatedBranches(t *testing.T) {
 		for _, f := range u.Functions() {
 			for _, n := range f.Instructions() {
 				if n.Inst.Op == x86.OpJCC {
-					addrs = append(addrs, l.Addr[n])
+					addrs = append(addrs, l.Addr(n))
 				}
 			}
 		}
@@ -219,9 +219,9 @@ func TestInstrumentPlantsProbes(t *testing.T) {
 	probes := 0
 	for _, f := range u.Functions() {
 		for _, n := range f.Instructions() {
-			if n.Inst.Op == x86.OpNOP && l.Len[n] == 5 {
+			if n.Inst.Op == x86.OpNOP && l.Len(n) == 5 {
 				probes++
-				a := l.Addr[n]
+				a := l.Addr(n)
 				if a/32 != (a+4)/32 {
 					t.Errorf("probe at %#x crosses a 32-byte line", a)
 				}
@@ -250,8 +250,8 @@ func TestInstrumentPadsAcrossLineBoundary(t *testing.T) {
 	l := relaxOf(t, u)
 	for _, f := range u.Functions() {
 		for _, n := range f.Instructions() {
-			if n.Inst.Op == x86.OpNOP && l.Len[n] == 5 {
-				if a := l.Addr[n]; a/32 != (a+4)/32 {
+			if n.Inst.Op == x86.OpNOP && l.Len(n) == 5 {
+				if a := l.Addr(n); a/32 != (a+4)/32 {
 					t.Errorf("probe at %#x still crosses line", a)
 				}
 			}

@@ -58,13 +58,13 @@ func (p *instrument) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	// front until it fits. Each insertion can shift later probes, so
 	// re-relax until stable.
 	for iter := 0; iter < 64; iter++ {
-		layout, err := relax.Relax(f.Unit(), &relax.Options{Cache: ctx.Cache})
+		layout, err := relax.Relax(f.Unit(), &relax.Options{Cache: ctx.Cache, State: ctx.Relax})
 		if err != nil {
 			return true, err
 		}
 		moved := false
 		for _, n := range probes {
-			a := layout.Addr[n]
+			a := layout.Addr(n)
 			if a/lineSize == (a+4)/lineSize {
 				continue
 			}

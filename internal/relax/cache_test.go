@@ -49,10 +49,10 @@ func TestCacheTransparent(t *testing.T) {
 		t.Fatalf("instruction counts differ")
 	}
 	for k := range i1 {
-		if plain.Addr[i1[k]] != cached.Addr[i2[k]] {
-			t.Errorf("inst %d: addr %#x (plain) vs %#x (cached)", k, plain.Addr[i1[k]], cached.Addr[i2[k]])
+		if plain.Addr(i1[k]) != cached.Addr(i2[k]) {
+			t.Errorf("inst %d: addr %#x (plain) vs %#x (cached)", k, plain.Addr(i1[k]), cached.Addr(i2[k]))
 		}
-		if string(plain.Bytes[i1[k]]) != string(cached.Bytes[i2[k]]) {
+		if string(plain.Bytes(i1[k])) != string(cached.Bytes(i2[k])) {
 			t.Errorf("inst %d: bytes differ", k)
 		}
 	}
@@ -99,7 +99,7 @@ func TestCacheInvalidation(t *testing.T) {
 	}
 	f := u.Functions()[0]
 	target := f.Instructions()[2] // movl $5, %eax
-	before := string(l1.Bytes[target])
+	before := string(l1.Bytes(target))
 
 	// Mutate in place, as passes do, then invalidate the span.
 	target.Inst.Args[0].Imm = 7
@@ -109,7 +109,7 @@ func TestCacheInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after := string(l2.Bytes[target])
+	after := string(l2.Bytes(target))
 	if before == after {
 		t.Errorf("mutated instruction re-encoded to identical bytes % x", after)
 	}
@@ -117,8 +117,8 @@ func TestCacheInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(uncached.Bytes[target]) != after {
-		t.Errorf("cached encoding % x differs from uncached % x", after, uncached.Bytes[target])
+	if string(uncached.Bytes(target)) != after {
+		t.Errorf("cached encoding % x differs from uncached % x", after, uncached.Bytes(target))
 	}
 }
 
@@ -212,10 +212,10 @@ func TestCacheBounded(t *testing.T) {
 		t.Fatal("instruction counts differ")
 	}
 	for k := range a {
-		if string(bounded.Bytes[a[k]]) != string(plain.Bytes[b[k]]) {
+		if string(bounded.Bytes(a[k])) != string(plain.Bytes(b[k])) {
 			t.Errorf("inst %d: bounded-cache bytes differ from uncached", k)
 		}
-		if bounded.Addr[a[k]] != plain.Addr[b[k]] {
+		if bounded.Addr(a[k]) != plain.Addr(b[k]) {
 			t.Errorf("inst %d: bounded-cache addr differs from uncached", k)
 		}
 	}

@@ -11,6 +11,14 @@
 // the original MAO (and gas), branch sizes only ever grow, and an
 // iteration cap of 100 bounds the computation. In practice almost
 // every relaxation converges in a few iterations.
+//
+// The engine is fragment-based (see State): each section is partitioned
+// into runs of fixed-size nodes ending at a size-variable tail — a
+// relaxable branch or an alignment directive — so the fixpoint sweeps
+// O(fragments) integers per round instead of re-encoding O(nodes), and
+// a reusable State re-partitions only the fragments an edit touched.
+// Reference is the straight-line full-walk implementation the
+// differential tests compare against.
 package relax
 
 import (
@@ -20,37 +28,55 @@ import (
 
 	"mao/internal/ir"
 	"mao/internal/x86"
-	"mao/internal/x86/encode"
 )
 
 // Layout is the result of relaxation: byte-accurate addresses and
-// lengths for every node of the unit, per section.
+// lengths for every node of the unit, per section. A Layout is a view
+// into the State that produced it — reading it is cheap (slice
+// indexing off the node's dense ir.Node.Index), but it is invalidated
+// by that State's next Relax call.
 type Layout struct {
-	// Addr is the address of each node within its section (labels and
-	// directives included; a label's address is that of the following
-	// byte of code/data).
-	Addr map[*ir.Node]int64
-	// Len is the encoded length in bytes of each node (zero for
-	// labels and non-emitting directives; padding length for
-	// alignment directives).
-	Len map[*ir.Node]int
-	// Bytes is the final encoding of each instruction node.
-	Bytes map[*ir.Node][]byte
 	// SectionEnd maps each section name to its end address (== size,
 	// since sections start at the base address).
 	SectionEnd map[string]int64
 	// Iterations is the number of fixpoint iterations performed.
 	Iterations int
 
-	labelAddr map[string]int64
+	s *State
+}
+
+// Addr returns the address of n within its section (labels and
+// directives included; a label's address is that of the following byte
+// of code/data). Nodes unknown to the layout report 0.
+func (l *Layout) Addr(n *ir.Node) int64 {
+	f := l.s.fragAt(n)
+	if f == nil {
+		return 0
+	}
+	return f.start + l.s.off[n.Index()]
+}
+
+// Len returns the encoded length of n in bytes (zero for labels and
+// non-emitting directives; padding length for alignment directives).
+func (l *Layout) Len(n *ir.Node) int {
+	if l.s.fragAt(n) == nil {
+		return 0
+	}
+	return l.s.lenv[n.Index()]
+}
+
+// Bytes returns the final encoding of an instruction node (nil for
+// labels, directives and unresolved short branches).
+func (l *Layout) Bytes(n *ir.Node) []byte {
+	if l.s.fragAt(n) == nil {
+		return nil
+	}
+	return l.s.byt[n.Index()]
 }
 
 // SymAddr resolves a label to its relaxed address (implements the
 // encoder's resolver signature).
-func (l *Layout) SymAddr(sym string) (int64, bool) {
-	a, ok := l.labelAddr[sym]
-	return a, ok
-}
+func (l *Layout) SymAddr(sym string) (int64, bool) { return l.s.symAddr(sym) }
 
 // Options configures relaxation.
 type Options struct {
@@ -64,108 +90,35 @@ type Options struct {
 	// encodings across iterations and across Relax calls. See Cache
 	// for the invalidation protocol.
 	Cache *Cache
+	// State, when non-nil, carries fragment state across Relax calls:
+	// repeated relaxation of the same (possibly edited) unit rescans
+	// only the fragments that changed and re-encodes only the bytes
+	// whose addresses or targets moved. See State for the reuse and
+	// invalidation protocol. When nil, Relax builds a throwaway State.
+	State *State
 }
 
-// Relax computes the layout of every section of u.
+// Relax computes the layout of every section of u. With opts.State set
+// the call is incremental; otherwise it performs a full build.
 func Relax(u *ir.Unit, opts *Options) (*Layout, error) {
-	var o Options
+	st := (*State)(nil)
 	if opts != nil {
-		o = *opts
+		st = opts.State
 	}
-	if o.MaxIterations == 0 {
-		o.MaxIterations = 100
+	if st == nil {
+		st = NewState()
 	}
+	return st.Relax(u, opts)
+}
 
-	l := &Layout{
-		Addr:       make(map[*ir.Node]int64),
-		Len:        make(map[*ir.Node]int),
-		Bytes:      make(map[*ir.Node][]byte),
-		SectionEnd: make(map[string]int64),
-		labelAddr:  make(map[string]int64),
+// nodeErr attributes a relaxation error to its node's source position:
+// "relax: file:line: ..." when the parser stamped a line (PR 1),
+// "relax: ..." for synthesized nodes.
+func nodeErr(u *ir.Unit, n *ir.Node, err error) error {
+	if n != nil && n.Line > 0 && u != nil {
+		return fmt.Errorf("relax: %s:%d: %v", u.FileName, n.Line, err)
 	}
-	forceLong := make(map[*ir.Node]bool)
-
-	resolver := func(sym string) (int64, bool) {
-		a, ok := l.labelAddr[sym]
-		return a, ok
-	}
-
-	for iter := 1; ; iter++ {
-		if iter > o.MaxIterations {
-			return nil, fmt.Errorf("relax: no fixpoint after %d iterations", o.MaxIterations)
-		}
-		l.Iterations = iter
-
-		cursor := make(map[string]int64) // per-section location counter
-		newLabels := make(map[string]int64)
-		grew := false
-
-		for n := u.List.Front(); n != nil; n = n.Next() {
-			sec := n.Section
-			addr, ok := cursor[sec]
-			if !ok {
-				addr = o.Base
-			}
-			l.Addr[n] = addr
-
-			size := 0
-			switch n.Kind {
-			case ir.NodeLabel:
-				newLabels[n.Label] = addr
-			case ir.NodeDirective:
-				var err error
-				size, err = directiveSize(n, addr)
-				if err != nil {
-					return nil, err
-				}
-			case ir.NodeInst:
-				// Grow-only sizing: a relaxable branch to an internal
-				// label starts short (2 bytes) while the label's
-				// address is still unknown; once known, the encoder
-				// picks short or long by fit, and a long choice is
-				// made sticky so sizes never shrink across iterations
-				// (the property that guarantees termination).
-				if tgt, relaxable := relaxTarget(n.Inst); relaxable && !forceLong[n] {
-					if _, known := l.labelAddr[tgt]; !known && u.FindLabel(tgt) != nil {
-						size = 2
-						l.Len[n] = size
-						cursor[sec] = addr + int64(size)
-						continue
-					}
-				}
-				ctx := &encode.Ctx{Addr: addr, SymAddr: resolver, ForceLong: forceLong[n]}
-				b, err := encodeCached(o.Cache, n, ctx)
-				if err != nil {
-					return nil, fmt.Errorf("relax: %v", err)
-				}
-				size = len(b)
-				l.Bytes[n] = b
-				if _, relaxable := relaxTarget(n.Inst); relaxable && size > 2 && !forceLong[n] {
-					forceLong[n] = true
-					grew = true
-				}
-			}
-			l.Len[n] = size
-			cursor[sec] = addr + int64(size)
-		}
-
-		stable := !grew && len(newLabels) == len(l.labelAddr)
-		if stable {
-			for k, v := range newLabels {
-				if l.labelAddr[k] != v {
-					stable = false
-					break
-				}
-			}
-		}
-		l.labelAddr = newLabels
-		for sec, end := range cursor {
-			l.SectionEnd[sec] = end
-		}
-		if stable {
-			return l, nil
-		}
-	}
+	return fmt.Errorf("relax: %v", err)
 }
 
 // relaxTarget returns the branch target and whether the instruction's
@@ -178,8 +131,20 @@ func relaxTarget(in *x86.Inst) (string, bool) {
 	return in.BranchTarget()
 }
 
+// longLen is the rel32 form length of a relaxable branch: jmp is
+// E9 imm32 (5 bytes), jcc is 0F 8x imm32 (6 bytes). The emit phase
+// cross-checks every predicted size against the encoder's output, so
+// these constants cannot drift silently.
+func longLen(in *x86.Inst) int {
+	if in.Op == x86.OpJCC {
+		return 6
+	}
+	return 5
+}
+
 // directiveSize returns the emitted size of a data/alignment directive
-// at the given address. Non-emitting directives return 0.
+// at the given address. Non-emitting directives return 0. Errors are
+// bare; callers attribute them with nodeErr.
 func directiveSize(n *ir.Node, addr int64) (int, error) {
 	d := n.Dir
 	switch d.Name {
@@ -193,11 +158,11 @@ func directiveSize(n *ir.Node, addr int64) (int, error) {
 		return 8 * len(d.Args), nil
 	case ".zero", ".skip", ".space":
 		if len(d.Args) == 0 {
-			return 0, fmt.Errorf("relax: %s without size", d.Name)
+			return 0, fmt.Errorf("%s without size", d.Name)
 		}
 		v, err := strconv.Atoi(strings.TrimSpace(d.Args[0]))
 		if err != nil || v < 0 {
-			return 0, fmt.Errorf("relax: bad %s size %q", d.Name, d.Args[0])
+			return 0, fmt.Errorf("bad %s size %q", d.Name, d.Args[0])
 		}
 		return v, nil
 	case ".ascii", ".string", ".asciz":
@@ -205,7 +170,7 @@ func directiveSize(n *ir.Node, addr int64) (int, error) {
 		for _, a := range d.Args {
 			s, err := unquote(a)
 			if err != nil {
-				return 0, fmt.Errorf("relax: %v", err)
+				return 0, err
 			}
 			total += len(s)
 			if d.Name != ".ascii" {
@@ -271,13 +236,13 @@ func (l *Layout) Image(u *ir.Unit, section string) []byte {
 		if n.Section != section {
 			continue
 		}
-		if b, ok := l.Bytes[n]; ok {
-			copy(img[l.Addr[n]:], b)
+		if b := l.Bytes(n); b != nil {
+			copy(img[l.Addr(n):], b)
 			continue
 		}
 		if _, ok := n.IsAlignDirective(); ok {
-			for i := 0; i < l.Len[n]; i++ {
-				img[l.Addr[n]+int64(i)] = 0x90
+			for i := 0; i < l.Len(n); i++ {
+				img[l.Addr(n)+int64(i)] = 0x90
 			}
 		}
 	}

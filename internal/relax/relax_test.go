@@ -63,18 +63,18 @@ func TestPaperSection2Before(t *testing.T) {
 
 	wantAddrs := []int64{0x0, 0x1, 0x4, 0xb, 0xd, 0x11, 0x8c, 0x90}
 	for i, n := range insts {
-		if got := l.Addr[n]; got != wantAddrs[i] {
+		if got := l.Addr(n); got != wantAddrs[i] {
 			t.Errorf("inst %d (%s) at %#x, want %#x", i, n.Inst, got, wantAddrs[i])
 		}
 	}
 	// jmp fits rel8: eb 7f.
 	jmp := insts[3]
-	if got := hex.EncodeToString(l.Bytes[jmp]); got != "eb7f" {
+	if got := hex.EncodeToString(l.Bytes(jmp)); got != "eb7f" {
 		t.Errorf("jmp bytes = %s, want eb7f", got)
 	}
 	// jne needs rel32 (backward -0x89).
 	jne := insts[7]
-	if got := hex.EncodeToString(l.Bytes[jne]); got != "0f8577ffffff" {
+	if got := hex.EncodeToString(l.Bytes(jne)); got != "0f8577ffffff" {
 		t.Errorf("jne bytes = %s", got)
 	}
 }
@@ -95,16 +95,16 @@ func TestPaperSection2AfterNop(t *testing.T) {
 	// push, mov, movl, jmp, addl, subl, nop, cmpl, jne
 	wantAddrs := []int64{0x0, 0x1, 0x4, 0xb, 0x10, 0x14, 0x8f, 0x90, 0x94}
 	for i, n := range insts {
-		if got := l.Addr[n]; got != wantAddrs[i] {
+		if got := l.Addr(n); got != wantAddrs[i] {
 			t.Errorf("inst %d (%s) at %#x, want %#x", i, n.Inst, got, wantAddrs[i])
 		}
 	}
 	jmp := insts[3]
-	if got := hex.EncodeToString(l.Bytes[jmp]); got != "e980000000" {
+	if got := hex.EncodeToString(l.Bytes(jmp)); got != "e980000000" {
 		t.Errorf("jmp bytes = %s, want e980000000", got)
 	}
 	jne := insts[8]
-	if got := hex.EncodeToString(l.Bytes[jne]); got != "0f8576ffffff" {
+	if got := hex.EncodeToString(l.Bytes(jne)); got != "0f8576ffffff" {
 		t.Errorf("jne bytes = %s, want 0f8576ffffff (paper listing)", got)
 	}
 	if l.Iterations < 2 {
@@ -141,8 +141,8 @@ func TestCascadingGrowth(t *testing.T) {
 	// jmp1: target at 2+2+120 = 124 if both short; rel = 124-4 = 120,
 	// fits. But jmp2's target .Lb = 124+1+1 = 126; rel = 126-4 = 122,
 	// fits too. Verify both stayed short.
-	if l.Len[jmp1] != 2 || l.Len[jmp2] != 2 {
-		t.Fatalf("lengths = %d, %d; want both short", l.Len[jmp1], l.Len[jmp2])
+	if l.Len(jmp1) != 2 || l.Len(jmp2) != 2 {
+		t.Fatalf("lengths = %d, %d; want both short", l.Len(jmp1), l.Len(jmp2))
 	}
 
 	// Now add 10 more filler bytes, pushing .Lb (but not .La) out of
@@ -154,11 +154,11 @@ func TestCascadingGrowth(t *testing.T) {
 		t.Fatal(err)
 	}
 	insts2 := findInsts(u2)
-	if l2.Len[insts2[0]] != 2 {
-		t.Errorf("jmp1 grew unnecessarily to %d", l2.Len[insts2[0]])
+	if l2.Len(insts2[0]) != 2 {
+		t.Errorf("jmp1 grew unnecessarily to %d", l2.Len(insts2[0]))
 	}
-	if l2.Len[insts2[1]] != 5 {
-		t.Errorf("jmp2 length = %d, want 5", l2.Len[insts2[1]])
+	if l2.Len(insts2[1]) != 5 {
+		t.Errorf("jmp2 length = %d, want 5", l2.Len(insts2[1]))
 	}
 }
 
@@ -170,11 +170,11 @@ func TestAlignmentPadding(t *testing.T) {
 	ret
 `)
 	lbl := u.FindLabel(".Laligned")
-	if got := l.Addr[lbl]; got != 16 {
+	if got := l.Addr(lbl); got != 16 {
 		t.Errorf("aligned label at %d, want 16", got)
 	}
 	insts := findInsts(u)
-	if got := l.Addr[insts[1]]; got != 16 {
+	if got := l.Addr(insts[1]); got != 16 {
 		t.Errorf("ret at %d, want 16", got)
 	}
 }
@@ -187,12 +187,12 @@ func TestAlignmentMaxSkip(t *testing.T) {
 .Lx:
 	ret
 `)
-	if got := l.Addr[u.FindLabel(".Lx")]; got != 1 {
+	if got := l.Addr(u.FindLabel(".Lx")); got != 1 {
 		t.Errorf("label at %d, want 1 (padding suppressed)", got)
 	}
 	// With 15 allowed it pads.
 	u2, l2 := relaxed(t, "\tnop\n\t.p2align 4,,15\n.Lx:\n\tret\n")
-	if got := l2.Addr[u2.FindLabel(".Lx")]; got != 16 {
+	if got := l2.Addr(u2.FindLabel(".Lx")); got != 16 {
 		t.Errorf("label at %d, want 16", got)
 	}
 }
@@ -261,7 +261,7 @@ func TestRelaxationIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for n := u.List.Front(); n != nil; n = n.Next() {
-		if l1.Addr[n] != l2.Addr[n] || l1.Len[n] != l2.Len[n] {
+		if l1.Addr(n) != l2.Addr(n) || l1.Len(n) != l2.Len(n) {
 			t.Fatalf("non-deterministic layout at %v", n)
 		}
 	}

@@ -253,11 +253,15 @@ func (s *Server) dispatch() {
 	close(s.batches)
 }
 
-// worker executes batches until the batches channel closes.
+// worker executes batches until the batches channel closes. Each
+// worker owns one relaxation state for its lifetime — a relax.State is
+// single-goroutine, and per-worker ownership lets back-to-back jobs
+// over similar units reuse fragment partitions without locking.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	st := relax.NewState()
 	for bt := range s.batches {
-		s.runBatch(bt)
+		s.runBatch(bt, st)
 	}
 }
 
@@ -267,7 +271,7 @@ func (s *Server) worker() {
 // are deliberately created fresh per unit (via pass.NewManager):
 // passes like SIMADDR accumulate per-run instance state, so sharing
 // instances across units would cross-contaminate results.
-func (s *Server) runBatch(bt *batch) {
+func (s *Server) runBatch(bt *batch, st *relax.State) {
 	n := int64(len(bt.jobs))
 	s.queued.Add(-n)
 	s.inflight.Add(n)
@@ -275,7 +279,7 @@ func (s *Server) runBatch(bt *batch) {
 	s.met.batchesTotal.Add(1)
 	s.met.batchJobsTotal.Add(n)
 	for _, j := range bt.jobs {
-		s.runJob(j, len(bt.jobs))
+		s.runJob(j, len(bt.jobs), st)
 	}
 }
 
@@ -283,7 +287,7 @@ func (s *Server) runBatch(bt *batch) {
 // execution path mirrors cmd/mao exactly — parse, pass.Manager with
 // the shared cache, Analyze, emit — so responses are byte-identical
 // to the CLI.
-func (s *Server) runJob(j *job, batchSize int) {
+func (s *Server) runJob(j *job, batchSize int, st *relax.State) {
 	if err := j.ctx.Err(); err != nil {
 		j.done <- jobResult{status: statusForCtx(err), err: err}
 		return
@@ -302,6 +306,7 @@ func (s *Server) runJob(j *job, batchSize int) {
 	}
 	mgr.Workers = s.cfg.PipelineWorkers
 	mgr.Cache = s.relaxCache
+	mgr.RelaxState = st
 	// Every request's pipeline is traced: the collector carries the
 	// request's trace ID (X-Request-ID) into the spans, and the
 	// invocation spans feed the per-pass latency histograms on /metrics.

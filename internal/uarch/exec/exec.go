@@ -150,7 +150,7 @@ func Run(cfg *Config) (*Result, error) {
 
 // EffAddr returns a node's effective (based) address.
 func (m *machine) effAddr(n *ir.Node) int64 {
-	return m.sectionBase[n.Section] + m.layout.Addr[n]
+	return m.sectionBase[n.Section] + m.layout.Addr(n)
 }
 
 func (m *machine) buildMaps() {

@@ -90,7 +90,7 @@ func (m *machine) step(n *ir.Node) (*ir.Node, error) {
 	in := n.Inst
 	s := m.state
 	w := in.Width
-	ev := Event{Node: n, Addr: m.effAddr(n), Len: m.layout.Len[n]}
+	ev := Event{Node: n, Addr: m.effAddr(n), Len: m.layout.Len(n)}
 	next := m.nextInst[n]
 
 	// branchTo resolves a label target node.

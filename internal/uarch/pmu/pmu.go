@@ -35,11 +35,11 @@ func MapSample(u *ir.Unit, layout *relax.Layout, s Sample) *ir.Node {
 	if f == nil {
 		return nil
 	}
-	base := layout.Addr[f.EntryLabel()]
+	base := layout.Addr(f.EntryLabel())
 	target := base + s.Offset
 	for _, n := range f.Instructions() {
-		a := layout.Addr[n]
-		if target >= a && target < a+int64(layout.Len[n]) {
+		a := layout.Addr(n)
+		if target >= a && target < a+int64(layout.Len(n)) {
 			return n
 		}
 	}

@@ -103,6 +103,25 @@ type Cache = relax.Cache
 // NewCache returns an empty relaxation/encoding cache.
 func NewCache() *Cache { return relax.NewCache() }
 
+// Relaxer is reusable fragment-based relaxation state: repeated
+// relaxation of the same (possibly edited) unit rescans only the
+// fragments that changed instead of re-walking the whole unit. A
+// Relaxer is single-goroutine; see relax.State for the reuse and
+// invalidation protocol.
+type Relaxer = relax.State
+
+// NewRelaxer returns an empty reusable relaxation state. Pass it via
+// Options.Relaxer to carry fragment partitions across pipeline runs,
+// or use it directly with RelaxWith.
+func NewRelaxer() *Relaxer { return relax.NewState() }
+
+// RelaxWith is Relax carrying state across calls: layouts after the
+// first are computed incrementally. The returned Layout is a view into
+// st and is invalidated by st's next relaxation.
+func RelaxWith(u *Unit, st *Relaxer) (*Layout, error) {
+	return relax.Relax(u, &relax.Options{State: st})
+}
+
 // Tracing and provenance types (see mao/internal/trace).
 type (
 	// TraceCollector gathers pipeline, invocation and function spans
@@ -139,6 +158,11 @@ type Options struct {
 	// collection is byte- and stats-transparent; when nil the pipeline
 	// pays only a nil check.
 	Tracer *TraceCollector
+	// Relaxer, when non-nil, carries fragment-based relaxation state
+	// across pipeline runs over the same unit, so each run's internal
+	// relaxations rescan only what earlier edits touched. Do not run
+	// pipelines sharing one Relaxer concurrently.
+	Relaxer *Relaxer
 }
 
 // RunPipelineParallel is RunPipeline with an explicit worker count and
@@ -162,6 +186,7 @@ func RunPipelineContext(ctx context.Context, u *Unit, spec string, opts Options)
 	mgr.Workers = opts.Workers
 	mgr.Cache = opts.Cache
 	mgr.Tracer = opts.Tracer
+	mgr.RelaxState = opts.Relaxer
 	stats, err := mgr.RunContext(ctx, u)
 	if err != nil {
 		return nil, err
