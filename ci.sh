@@ -11,8 +11,13 @@
 #               differential suite at 8 workers and the maod service)
 #               repeated under the race detector to shake out
 #               scheduling-dependent races
+#   maolint     pass bodies may mutate the IR only through the
+#               pass.Ctx helpers — raw ir.List calls break provenance
+#               and fragment dirtying silently
 #   fuzz smoke  the parser fuzz target runs briefly, so the committed
-#               seeds keep passing and the harness cannot rot
+#               seeds keep passing and the harness cannot rot; the
+#               verifier's zero-false-positive fuzz gate
+#               (FuzzVerifyEquiv) runs briefly for the same reason
 #   maod smoke  boot the daemon, probe /healthz and /metrics, run one
 #               optimization, then SIGTERM and require a clean drain
 #               (exit 0)
@@ -30,6 +35,10 @@
 #               checker must parse and lint generator output without
 #               error-severity diagnostics (warnings are expected —
 #               synthetic workloads take ABI liberties on purpose)
+#   self-verify mao -verify over the committed corpus fixtures under
+#               the full pass pipeline: every pass invocation must
+#               certify clean (exit 0) — the translation validator's
+#               zero-false-positive contract, asserted on real input
 #   trace smoke mao --explain=json and -trace-chrome over a corpus
 #               fixture, with both artifacts validated against the
 #               checked-in schemas (internal/trace/testdata), so the
@@ -61,8 +70,14 @@ go test -race -count=2 ./internal/serve/
 # workers with tracing on; repeat it specifically under the detector.
 go test -race -count=2 -run 'TestDifferentialAfterPasses' ./internal/relax/
 
+echo "== maolint: passes mutate IR only through pass.Ctx helpers"
+go run ./cmd/maolint ./internal/passes
+
 echo "== fuzz smoke: parser"
 go test -run '^$' -fuzz FuzzParseString -fuzztime 10s ./internal/asm/
+
+echo "== fuzz smoke: verifier zero-false-positive gate"
+go test -run '^$' -fuzz FuzzVerifyEquiv -fuzztime 10s ./internal/verify/
 
 echo "== benchmark smoke run"
 go test -run '^$' -bench . -benchtime=1x ./...
@@ -79,6 +94,12 @@ go build -o "$bin" ./cmd/mao
 for f in internal/corpus/testdata/*.s; do
 	echo "-- $f"
 	"$bin" --check "$f"
+done
+
+echo "== self-verify corpus fixtures (mao -verify, full pipeline)"
+for f in internal/corpus/testdata/*.s; do
+	echo "-- $f"
+	"$bin" -verify --mao=REDTEST:REDMOV:REDZEXT:ADDADD:SCHED "$f" >/dev/null
 done
 
 echo "== trace smoke: --explain and Chrome trace export validate against their schemas"

@@ -17,10 +17,18 @@
 //	mao --check=json in.s       same, JSON diagnostics on stdout
 //	mao -certify --mao=... in.s certify every pass invocation of the pipeline
 //
+// The translation validator (see mao/internal/verify) proves every
+// pass invocation observationally equivalent to its input:
+//
+//	mao -verify --mao=... in.s       refutations as diagnostics, exit 2
+//	mao -verify=json --mao=... in.s  same, JSON diagnostics on stdout
+//
 // --check runs after the pipeline (if any), so it lints what the
-// passes produced; with no --mao it lints the input. The driver exits
-// with status 2 when the checker reports an error-severity diagnostic
-// or the certifier attributes a violation.
+// passes produced; with no --mao it lints the input. When --check,
+// -verify and/or -certify are combined, their diagnostics merge into
+// one deduplicated, sorted stream. The driver exits with status 2 when
+// the checker reports an error-severity diagnostic, the certifier
+// attributes a violation, or the verifier refutes an invocation.
 //
 // The tracing and provenance plane (see mao/internal/trace) is
 // byte-transparent and off by default:
@@ -54,6 +62,7 @@ import (
 	"mao/internal/pass"
 	"mao/internal/relax"
 	"mao/internal/trace"
+	"mao/internal/verify"
 )
 
 func main() {
@@ -61,12 +70,14 @@ func main() {
 	log.SetPrefix("mao: ")
 
 	var specs, plugins multiFlag
-	var checkMode checkFlag
-	var explainMode explainFlag
+	checkMode := modeFlag{name: "check"}
+	explainMode := modeFlag{name: "explain"}
+	verifyMode := modeFlag{name: "verify"}
 	flag.Var(&specs, "mao", "pass pipeline, e.g. REDTEST:REDMOV:ASM=o[out.s] (repeatable)")
 	flag.Var(&plugins, "plugin", "load additional passes from a Go plugin .so (repeatable)")
 	flag.Var(&checkMode, "check", "run the static checker over the result; --check=json for JSON output")
 	flag.Var(&explainMode, "explain", "emit provenance-annotated assembly on stdout; --explain=json for per-instruction lineage JSON")
+	flag.Var(&verifyMode, "verify", "translation-validate every pass invocation; -verify=json for JSON diagnostics")
 	certify := flag.Bool("certify", false, "certify every pass invocation with the static checker")
 	stats := flag.Bool("stats", false, "print per-pass transformation statistics")
 	timings := flag.Bool("timings", false, "print a per-pass timing table (from pipeline spans) on stderr")
@@ -111,15 +122,31 @@ func main() {
 	mgr.Workers = *workers
 	mgr.Cache = relax.NewCache()
 	var cert *check.Certifier
+	var vcert *verify.Certifier
+	var hooks pass.Hooks
 	if *certify {
 		cert = &check.Certifier{}
-		mgr.Hook = cert
+		hooks = append(hooks, cert)
+	}
+	if verifyMode.set {
+		vcert = &verify.Certifier{}
+		hooks = append(hooks, vcert)
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		mgr.Hook = hooks[0]
+	default:
+		mgr.Hook = hooks
 	}
 	// Span collection is byte- and stats-transparent, but the collector
 	// is only attached when an observer asked for it — the default run
 	// stays at the nil-check fast path.
 	if *timings || *traceJSON != "" || *traceChrome != "" {
 		mgr.Tracer = trace.NewCollector()
+		if vcert != nil {
+			vcert.Tracer = mgr.Tracer
+		}
 	}
 	st, err := mgr.Run(u)
 	if err != nil {
@@ -153,18 +180,40 @@ func main() {
 		}
 	}
 
+	// Diagnostic reporting. --check, -verify and -certify all speak
+	// check.Diag; when more than one producer is active their outputs
+	// merge into ONE deduplicated, sorted stream instead of interleaved
+	// per-producer reports. Certifier violations that lack node-level
+	// provenance are attributed to the offending invocation via Origin,
+	// which is excluded from the dedup key.
 	exit := 0
+	merged := checkMode.set || verifyMode.set
+	var diags []check.Diag
 	if cert != nil {
-		for _, v := range cert.Violations {
-			fmt.Fprintln(os.Stderr, v)
+		if merged {
+			diags = append(diags, violationDiags(cert.Violations)...)
+		} else {
+			for _, v := range cert.Violations {
+				fmt.Fprintln(os.Stderr, v)
+			}
 		}
 		if len(cert.Violations) > 0 {
 			exit = 2
 		}
 	}
+	if vcert != nil {
+		diags = append(diags, violationDiags(vcert.Violations)...)
+		if len(vcert.Violations) > 0 {
+			exit = 2
+		}
+	}
 	if checkMode.set {
-		diags := mao.Check(u)
-		if checkMode.json {
+		diags = append(diags, mao.Check(u)...)
+	}
+	if merged {
+		diags = dedupDiags(diags)
+		check.Sort(diags)
+		if checkMode.json || verifyMode.json {
 			err = check.WriteJSON(os.Stdout, diags)
 		} else {
 			err = check.WriteText(os.Stderr, diags)
@@ -177,6 +226,36 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// violationDiags projects certifier violations onto plain diagnostics
+// for the merged stream, stamping the offending invocation into Origin
+// when the anchored node carried none.
+func violationDiags(vs []check.Violation) []check.Diag {
+	out := make([]check.Diag, 0, len(vs))
+	for _, v := range vs {
+		d := v.Diag
+		if d.Origin == "" {
+			d.Origin = fmt.Sprintf("%s[%d]", v.Pass, v.Index)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// dedupDiags drops diagnostics whose identity (Diag.Key: rule,
+// function, message — position- and provenance-independent) was
+// already seen, keeping the first occurrence.
+func dedupDiags(diags []check.Diag) []check.Diag {
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		if k := d.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // loadPlugins opens and registers every plugin, collecting all errors
@@ -204,74 +283,40 @@ func loadPlugins(plugins []string) []error {
 	return errs
 }
 
-// checkFlag implements --check as an optional-value boolean flag:
-// bare --check selects text output, --check=json selects JSON.
-type checkFlag struct {
+// modeFlag implements --check, --explain and -verify as optional-value
+// boolean flags: bare --check selects text output, --check=json JSON.
+type modeFlag struct {
+	name string // flag name, for error messages
 	set  bool
 	json bool
 }
 
-func (c *checkFlag) String() string {
+func (m *modeFlag) String() string {
 	switch {
-	case c.json:
+	case m.json:
 		return "json"
-	case c.set:
+	case m.set:
 		return "true"
 	}
 	return ""
 }
 
-func (c *checkFlag) Set(v string) error {
+func (m *modeFlag) Set(v string) error {
 	switch v {
 	case "", "true":
-		c.set, c.json = true, false
+		m.set, m.json = true, false
 	case "false":
-		c.set, c.json = false, false
+		m.set, m.json = false, false
 	case "json":
-		c.set, c.json = true, true
+		m.set, m.json = true, true
 	default:
-		return fmt.Errorf("invalid --check mode %q (want json)", v)
+		return fmt.Errorf("invalid --%s mode %q (want json)", m.name, v)
 	}
 	return nil
 }
 
-// IsBoolFlag lets the flag package accept a bare --check.
-func (c *checkFlag) IsBoolFlag() bool { return true }
-
-// explainFlag implements --explain the same way: bare --explain emits
-// provenance-annotated assembly, --explain=json machine-readable
-// lineage.
-type explainFlag struct {
-	set  bool
-	json bool
-}
-
-func (e *explainFlag) String() string {
-	switch {
-	case e.json:
-		return "json"
-	case e.set:
-		return "true"
-	}
-	return ""
-}
-
-func (e *explainFlag) Set(v string) error {
-	switch v {
-	case "", "true":
-		e.set, e.json = true, false
-	case "false":
-		e.set, e.json = false, false
-	case "json":
-		e.set, e.json = true, true
-	default:
-		return fmt.Errorf("invalid --explain mode %q (want json)", v)
-	}
-	return nil
-}
-
-// IsBoolFlag lets the flag package accept a bare --explain.
-func (e *explainFlag) IsBoolFlag() bool { return true }
+// IsBoolFlag lets the flag package accept the bare form.
+func (m *modeFlag) IsBoolFlag() bool { return true }
 
 // exportSpans writes the collected spans to path with the given
 // exporter; a no-op when no path was requested.

@@ -274,3 +274,71 @@ func TestDriverPlugin(t *testing.T) {
 		t.Errorf("plugin pass stats missing:\n%s", out)
 	}
 }
+
+// TestDriverVerifyClean: a correct pipeline translation-validates
+// clean — no refutation diagnostics, exit 0.
+func TestDriverVerifyClean(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-verify", "--mao=REDTEST:REDMOV", in)
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Errorf("verified pipeline exit = %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(string(out), "verify-equiv") {
+		t.Errorf("spurious refutations:\n%s", out)
+	}
+}
+
+// TestDriverVerifyJSON: -verify=json emits a (here empty) JSON
+// diagnostic array on stdout.
+func TestDriverVerifyJSON(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-verify=json", "--mao=REDTEST:REDMOV", in)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if code := exitCode(t, cmd.Run()); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, stderr.String())
+	}
+	var diags []json.RawMessage
+	if err := json.Unmarshal([]byte(stdout.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean pipeline produced %d diagnostics:\n%s", len(diags), stdout.String())
+	}
+}
+
+// TestDriverMergedStream: --check and -verify combined produce ONE
+// merged, sorted diagnostic stream — byte-identical to --check alone
+// when verification is clean, never a second interleaved report.
+func TestDriverMergedStream(t *testing.T) {
+	bin := buildDriver(t)
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, append(args, "testdata/check/bad.s")...)
+		out, err := cmd.CombinedOutput()
+		return string(out), exitCode(t, err)
+	}
+	checkOnly, code1 := run("--check")
+	if code1 != 2 {
+		t.Fatalf("--check exit = %d, want 2\n%s", code1, checkOnly)
+	}
+	both, code2 := run("--check", "-verify")
+	if code2 != 2 {
+		t.Fatalf("--check -verify exit = %d, want 2\n%s", code2, both)
+	}
+	if both != checkOnly {
+		t.Errorf("merged stream differs from --check alone:\n--- merged ---\n%s--- check ---\n%s",
+			both, checkOnly)
+	}
+}

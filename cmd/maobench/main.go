@@ -10,6 +10,7 @@
 //	maobench -scale 0.1          # shrink corpora for a quick pass
 //	maobench -json               # write BENCH_relax.json / BENCH_pipeline.json
 //	maobench -json -baseline .   # also fail on >2x ns/op regression
+//	maobench -verify             # measure translation-validation overhead
 package main
 
 import (
@@ -82,6 +83,7 @@ func main() {
 	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
 	timings := flag.Bool("timings", false, "print an aggregate per-pass timing table for all pipelines run")
 	jsonOut := flag.Bool("json", false, "measure relaxation/pipeline benchmarks and write BENCH_relax.json + BENCH_pipeline.json")
+	verifyOH := flag.Bool("verify", false, "measure the translation-validation overhead of a verified pipeline")
 	outDir := flag.String("outdir", ".", "directory BENCH_*.json files are written to (with -json)")
 	baseline := flag.String("baseline", "", "directory holding baseline BENCH_*.json; exit non-zero on >2x ns/op regression (with -json)")
 	flag.Parse()
@@ -95,6 +97,16 @@ func main() {
 		if err := runBenchJSON(*outDir, *baseline); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *verifyOH {
+		r, err := bench.MeasureVerifyOverhead()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("verify overhead (%s): plain %.2f ms/op, verified %.2f ms/op, %.2fx\n",
+			r.Pipeline, r.PlainNsPerOp/1e6, r.VerifyNsPerOp/1e6, r.Overhead)
 		return
 	}
 

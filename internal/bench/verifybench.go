@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/corpus"
+	"mao/internal/pass"
+	"mao/internal/verify"
+)
+
+// verifyBenchPipeline is a representative transforming pipeline mix
+// for the overhead measurement: peepholes, folding and scheduling all
+// change the unit, so each invocation really is validated.
+const verifyBenchPipeline = "REDTEST:REDMOV:REDZEXT:ADDADD:SCHED"
+
+func verifyBenchSource() string {
+	return corpus.Generate(corpus.Spec2000Int(0.05)[0])
+}
+
+// runVerifyBench is the shared benchmark body: parse and optimize the
+// corpus unit once per iteration, with or without the translation
+// validator hooked into the manager.
+func runVerifyBench(b *testing.B, src string, validated bool) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := asm.ParseString("bench.s", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr, err := pass.NewManager(verifyBenchPipeline)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.Workers = 1
+		if validated {
+			vcert := &verify.Certifier{}
+			mgr.Hook = vcert
+			if _, err := mgr.Run(u); err != nil {
+				b.Fatal(err)
+			}
+			if len(vcert.Violations) != 0 {
+				b.Fatalf("benchmark pipeline refuted: %v", vcert.Violations[0])
+			}
+			continue
+		}
+		if _, err := mgr.Run(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// VerifyOverhead is the -verify measurement of cmd/maobench: the cost
+// of translation-validating every pass invocation, as a ratio over the
+// plain pipeline.
+type VerifyOverhead struct {
+	Pipeline      string  `json:"pipeline"`
+	PlainNsPerOp  float64 `json:"plain_ns_per_op"`
+	VerifyNsPerOp float64 `json:"verify_ns_per_op"`
+	Overhead      float64 `json:"overhead"` // VerifyNsPerOp / PlainNsPerOp
+}
+
+// MeasureVerifyOverhead times the pipeline with and without the
+// verify.Certifier hook over a corpus unit.
+func MeasureVerifyOverhead() (*VerifyOverhead, error) {
+	src := verifyBenchSource()
+	plain := testing.Benchmark(func(b *testing.B) { runVerifyBench(b, src, false) })
+	if plain.N == 0 {
+		return nil, fmt.Errorf("plain pipeline benchmark failed to run")
+	}
+	validated := testing.Benchmark(func(b *testing.B) { runVerifyBench(b, src, true) })
+	if validated.N == 0 {
+		return nil, fmt.Errorf("verified pipeline benchmark failed to run")
+	}
+	r := &VerifyOverhead{
+		Pipeline:      verifyBenchPipeline,
+		PlainNsPerOp:  float64(plain.NsPerOp()),
+		VerifyNsPerOp: float64(validated.NsPerOp()),
+	}
+	if r.PlainNsPerOp > 0 {
+		r.Overhead = r.VerifyNsPerOp / r.PlainNsPerOp
+	}
+	return r, nil
+}

@@ -63,8 +63,18 @@ type Graph struct {
 	// are incomplete.
 	Unresolved []*ir.Node
 
-	blockOf map[*ir.Node]*BasicBlock
-	byLabel map[string]*BasicBlock
+	// nodeBlocks records (node, block) pairs in construction order;
+	// the blockOf map is materialized from it on the first BlockOf
+	// query, so builds that never ask (the verifier's) skip the
+	// per-node map fill.
+	nodeBlocks []nodeBlock
+	blockOf    map[*ir.Node]*BasicBlock
+	byLabel    map[string]*BasicBlock
+}
+
+type nodeBlock struct {
+	n *ir.Node
+	b *BasicBlock
 }
 
 // Options controls CFG construction.
@@ -83,24 +93,24 @@ func Build(f *ir.Function) *Graph { return BuildWith(f, Options{ResolveWithDataf
 func BuildWith(f *ir.Function, opts Options) *Graph {
 	g := &Graph{
 		Fn:      f,
-		blockOf: make(map[*ir.Node]*BasicBlock),
 		byLabel: make(map[string]*BasicBlock),
 	}
 
 	entries := f.CodeEntries()
+	g.nodeBlocks = make([]nodeBlock, 0, len(entries))
 
 	// Pass 1: identify leaders. Every label starts a block; every
 	// instruction after a control transfer starts a block.
-	leader := make(map[*ir.Node]bool)
+	leader := make([]bool, len(entries))
 	afterBranch := true // function entry
-	for _, n := range entries {
+	for i, n := range entries {
 		switch n.Kind {
 		case ir.NodeLabel:
-			leader[n] = true
+			leader[i] = true
 			afterBranch = false
 		case ir.NodeInst:
 			if afterBranch {
-				leader[n] = true
+				leader[i] = true
 			}
 			afterBranch = n.Inst.Op.IsBranch() && n.Inst.Op != x86.OpCALL
 		}
@@ -116,7 +126,7 @@ func BuildWith(f *ir.Function, opts Options) *Graph {
 		}
 		return b
 	}
-	for _, n := range entries {
+	for i, n := range entries {
 		switch n.Kind {
 		case ir.NodeLabel:
 			if cur == nil || len(cur.Insts) > 0 || cur.Label != "" && cur.Label != n.Label {
@@ -125,13 +135,13 @@ func BuildWith(f *ir.Function, opts Options) *Graph {
 				cur.Label = n.Label
 				g.byLabel[n.Label] = cur
 			}
-			g.blockOf[n] = cur
+			g.nodeBlocks = append(g.nodeBlocks, nodeBlock{n, cur})
 		case ir.NodeInst:
-			if cur == nil || leader[n] && len(cur.Insts) > 0 {
+			if cur == nil || leader[i] && len(cur.Insts) > 0 {
 				cur = newBlock("")
 			}
 			cur.Insts = append(cur.Insts, n)
-			g.blockOf[n] = cur
+			g.nodeBlocks = append(g.nodeBlocks, nodeBlock{n, cur})
 		}
 	}
 	if len(g.Blocks) == 0 {
@@ -198,7 +208,15 @@ func (g *Graph) targetBlock(label string) *BasicBlock {
 }
 
 // BlockOf returns the block containing node n, or nil.
-func (g *Graph) BlockOf(n *ir.Node) *BasicBlock { return g.blockOf[n] }
+func (g *Graph) BlockOf(n *ir.Node) *BasicBlock {
+	if g.blockOf == nil {
+		g.blockOf = make(map[*ir.Node]*BasicBlock, len(g.nodeBlocks))
+		for _, nb := range g.nodeBlocks {
+			g.blockOf[nb.n] = nb.b
+		}
+	}
+	return g.blockOf[n]
+}
 
 // BlockByLabel returns the block led by the given label, or nil.
 func (g *Graph) BlockByLabel(label string) *BasicBlock { return g.byLabel[label] }

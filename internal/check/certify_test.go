@@ -36,7 +36,7 @@ func (brokenClobber) Description() string { return "test pass clobbering conditi
 func (brokenClobber) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	for _, n := range f.Instructions() {
 		if n.Inst.Op == x86.OpCMP {
-			ctx.Unit.List.InsertAfter(ir.InstNode(synthInst("imull %edx, %edx")), n)
+			ctx.InsertAfter(ir.InstNode(synthInst("imull %edx, %edx")), n)
 			return true, nil
 		}
 	}
@@ -61,6 +61,18 @@ func (brokenDelete) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
 	return false, nil
 }
 
+// brokenSynth synthesizes a callee-save clobber through the Ctx
+// helpers, so the node carries provenance into the diagnostic.
+type brokenSynth struct{}
+
+func (brokenSynth) Name() string        { return "TSYNCLOB" }
+func (brokenSynth) Description() string { return "test pass synthesizing a callee-save clobber" }
+
+func (brokenSynth) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	ctx.InsertAfter(ir.InstNode(synthInst("movl $1, %ebx")), f.EntryLabel())
+	return true, nil
+}
+
 // harmless changes nothing.
 type harmless struct{}
 
@@ -71,6 +83,7 @@ func (harmless) RunFunc(*pass.Ctx, *ir.Function) (bool, error) { return false, n
 func init() {
 	pass.Register(func() pass.Pass { return brokenClobber{} })
 	pass.Register(func() pass.Pass { return brokenDelete{} })
+	pass.Register(func() pass.Pass { return brokenSynth{} })
 	pass.Register(func() pass.Pass { return harmless{} })
 }
 
@@ -120,6 +133,42 @@ func TestCertifierAttributesClobber(t *testing.T) {
 	for _, v := range cert.Violations {
 		if v.Pass == "TGOOD" {
 			t.Errorf("violation wrongly attributed to TGOOD: %v", v)
+		}
+	}
+}
+
+// TestDiagCarriesProvenance: a violation anchored on a synthesized
+// node names the creating pass in Origin/LastMut, both through the
+// certifier and through a plain post-pipeline CheckUnit.
+func TestDiagCarriesProvenance(t *testing.T) {
+	cert, err := runCertified(t, "TGOOD:TSYNCLOB", false)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	var found bool
+	for _, v := range cert.Violations {
+		if v.Diag.Rule != "callee-save" {
+			continue
+		}
+		found = true
+		if v.Diag.Origin != "TSYNCLOB[1]" {
+			t.Errorf("origin = %q, want TSYNCLOB[1]", v.Diag.Origin)
+		}
+		if v.Diag.LastMut != "TSYNCLOB[1]" {
+			t.Errorf("last-mut = %q, want TSYNCLOB[1]", v.Diag.LastMut)
+		}
+		if s := v.Diag.String(); !strings.Contains(s, "{origin TSYNCLOB[1]}") {
+			t.Errorf("String() = %q, want origin suffix", s)
+		}
+	}
+	if !found {
+		t.Fatal("no callee-save violation recorded")
+	}
+	// Parsed nodes must stay attribution-free.
+	u := parseFunc(t, "\tmovl $1, %ebx\n\tret\n")
+	for _, d := range CheckUnit(u) {
+		if d.Origin != "" || d.LastMut != "" {
+			t.Errorf("parsed-node diagnostic carries provenance: %+v", d)
 		}
 	}
 }

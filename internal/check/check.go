@@ -87,6 +87,10 @@ func CheckFunction(u *ir.Unit, f *ir.Function) []Diag {
 			}
 			if n != nil {
 				d.Line = n.Line
+				if n.Prov != nil {
+					d.Origin = n.Prov.Origin.String()
+					d.LastMut = n.Prov.LastMut.String()
+				}
 			}
 			d.Msg = fmt.Sprintf(format, args...)
 			out = append(out, d)

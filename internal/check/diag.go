@@ -76,6 +76,16 @@ type Diag struct {
 	Line     int      `json:"line"` // 1-based; 0 for synthesized nodes
 	Func     string   `json:"func,omitempty"`
 	Msg      string   `json:"msg"`
+
+	// Origin and LastMut carry the provenance of the node the
+	// diagnostic anchors to, rendered "NAME[idx]": the invocation that
+	// synthesized it and the one that last mutated it. Both are empty
+	// for nodes straight from the parser — a violation on a line the
+	// input already contained names no pass. Attribution is advisory
+	// and excluded from key(): the certifier diffs diagnostics by what
+	// is wrong, not by who touched the node last.
+	Origin  string `json:"origin,omitempty"`
+	LastMut string `json:"last_mut,omitempty"`
 }
 
 // String renders the diagnostic in the familiar compiler format:
@@ -90,6 +100,13 @@ func (d Diag) String() string {
 	if d.Func != "" {
 		s += " (in " + d.Func + ")"
 	}
+	if d.Origin != "" {
+		s += " {origin " + d.Origin
+		if d.LastMut != "" && d.LastMut != d.Origin {
+			s += ", last-mut " + d.LastMut
+		}
+		s += "}"
+	}
 	return s
 }
 
@@ -100,6 +117,11 @@ func (d Diag) String() string {
 func (d Diag) key() string {
 	return d.Rule + "\x00" + d.Func + "\x00" + d.Msg
 }
+
+// Key returns the diagnostic's position- and provenance-independent
+// identity, for callers merging diagnostic streams (cmd/mao dedups a
+// combined --check/-verify/-certify report with it).
+func (d Diag) Key() string { return d.key() }
 
 // Sort orders diagnostics deterministically: by file, line, rule,
 // function, then message.

@@ -121,21 +121,64 @@ type Liveness struct {
 // Live computes backward liveness over g. Values possibly live on
 // function exit (return registers, callee-saved restores) are handled
 // by treating ret as a barrier that uses everything.
-func Live(g *cfg.Graph) *Liveness {
-	l := &Liveness{
-		liveOut:  make(map[*ir.Node]RegSet),
-		flagsOut: make(map[*ir.Node]x86.Flags),
+//
+// The fixpoint runs on per-block composite transfers — one (kill,
+// gen) pair per block, precomputed from the per-instruction def/use
+// sets — so each iteration is a handful of mask operations per block.
+// The per-node live-out sets are filled in by one final backward walk.
+func Live(g *cfg.Graph) *Liveness { return live(g, true) }
+
+// LiveBlocks computes liveness at block boundaries only: BlockLiveIn
+// and BlockFlagsIn are exact, but the per-node LiveOut/FlagsLiveOut
+// maps are not filled and answer conservatively (everything live).
+// Callers that never ask per-node questions — the verifier compares
+// states at cut points, which are block boundaries — skip the final
+// materialization walk, the dominant cost on large functions.
+func LiveBlocks(g *cfg.Graph) *Liveness { return live(g, false) }
+
+func live(g *cfg.Graph, fillNodes bool) *Liveness {
+	l := &Liveness{}
+	if fillNodes {
+		l.liveOut = make(map[*ir.Node]RegSet)
+		l.flagsOut = make(map[*ir.Node]x86.Flags)
 	}
 
-	// Per-block gen/kill, computed backward within the block on the
-	// fly during iteration (block bodies are short in practice).
-	blockLiveIn := make([]RegSet, len(g.Blocks))
-	blockFlagsIn := make([]x86.Flags, len(g.Blocks))
+	nb := len(g.Blocks)
+	blockLiveIn := make([]RegSet, nb)
+	blockFlagsIn := make([]x86.Flags, nb)
+
+	// Per-inst def/use, resolved once, and the per-block composition:
+	// live-in = (live-out &^ kill) | gen. Prepending instruction f
+	// (live = live&^Defs | Uses) to composite T gives kill' = kill |
+	// Defs, gen' = (gen &^ Defs) | Uses.
+	var du [][]DefUse
+	if fillNodes {
+		du = make([][]DefUse, nb)
+	}
+	killR := make([]RegSet, nb)
+	genR := make([]RegSet, nb)
+	killF := make([]x86.Flags, nb)
+	genF := make([]x86.Flags, nb)
+	for i, b := range g.Blocks {
+		if fillNodes {
+			du[i] = make([]DefUse, len(b.Insts))
+		}
+		for j := len(b.Insts) - 1; j >= 0; j-- {
+			d := InstDefUse(b.Insts[j].Inst)
+			if fillNodes {
+				du[i][j] = d
+			}
+			killR[i] |= d.Defs
+			genR[i] = genR[i]&^d.Defs | d.Uses
+			killF[i] |= d.FlagDefs
+			genF[i] = genF[i]&^d.FlagDefs | d.FlagUses
+		}
+	}
 
 	changed := true
 	for changed {
 		changed = false
-		for i := len(g.Blocks) - 1; i >= 0; i-- {
+		for i := nb - 1; i >= 0; i-- {
 			b := g.Blocks[i]
 			var live RegSet
 			var flags x86.Flags
@@ -149,19 +192,41 @@ func Live(g *cfg.Graph) *Liveness {
 				live = allRegs
 				flags = x86.AllFlags
 			}
-			for j := len(b.Insts) - 1; j >= 0; j-- {
-				n := b.Insts[j]
-				l.liveOut[n] = live
-				l.flagsOut[n] = flags
-				d := InstDefUse(n.Inst)
-				live = live&^d.Defs | d.Uses
-				flags = flags&^d.FlagDefs | d.FlagUses
-			}
-			if live != blockLiveIn[b.Index] || flags != blockFlagsIn[b.Index] {
-				blockLiveIn[b.Index] = live
-				blockFlagsIn[b.Index] = flags
+			live = live&^killR[i] | genR[i]
+			flags = flags&^killF[i] | genF[i]
+			if live != blockLiveIn[i] || flags != blockFlagsIn[i] {
+				blockLiveIn[i] = live
+				blockFlagsIn[i] = flags
 				changed = true
 			}
+		}
+	}
+
+	// Final walk: materialize per-node live-out from the solved block
+	// boundaries.
+	if !fillNodes {
+		l.blockLiveIn = blockLiveIn
+		l.blockFlagsIn = blockFlagsIn
+		return l
+	}
+	for i, b := range g.Blocks {
+		var live RegSet
+		var flags x86.Flags
+		for _, s := range b.Succs {
+			live |= blockLiveIn[s.Index]
+			flags |= blockFlagsIn[s.Index]
+		}
+		if term := b.Terminator(); term != nil && term.IsIndirectBranch() && len(b.Succs) == 0 {
+			live = allRegs
+			flags = x86.AllFlags
+		}
+		for j := len(b.Insts) - 1; j >= 0; j-- {
+			n := b.Insts[j]
+			l.liveOut[n] = live
+			l.flagsOut[n] = flags
+			d := &du[i][j]
+			live = live&^d.Defs | d.Uses
+			flags = flags&^d.FlagDefs | d.FlagUses
 		}
 	}
 	l.blockLiveIn = blockLiveIn
@@ -169,11 +234,23 @@ func Live(g *cfg.Graph) *Liveness {
 	return l
 }
 
-// LiveOut returns the registers live immediately after n.
-func (l *Liveness) LiveOut(n *ir.Node) RegSet { return l.liveOut[n] }
+// LiveOut returns the registers live immediately after n. On a
+// LiveBlocks result it answers conservatively: everything live.
+func (l *Liveness) LiveOut(n *ir.Node) RegSet {
+	if l.liveOut == nil {
+		return allRegs
+	}
+	return l.liveOut[n]
+}
 
-// FlagsLiveOut returns the flag bits live immediately after n.
-func (l *Liveness) FlagsLiveOut(n *ir.Node) x86.Flags { return l.flagsOut[n] }
+// FlagsLiveOut returns the flag bits live immediately after n. On a
+// LiveBlocks result it answers conservatively: all flags live.
+func (l *Liveness) FlagsLiveOut(n *ir.Node) x86.Flags {
+	if l.flagsOut == nil {
+		return x86.AllFlags
+	}
+	return l.flagsOut[n]
+}
 
 // BlockLiveIn returns the registers live on entry to block b. For the
 // entry block this is the set of registers some path may read before

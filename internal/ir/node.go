@@ -122,6 +122,25 @@ func DirectiveNode(name string, args ...string) *Node {
 	return &Node{Kind: NodeDirective, Dir: &Directive{Name: name, Args: args}}
 }
 
+// Clone returns a deep copy of the node, unlinked from any list:
+// instruction, directive and provenance records are independent of
+// the original's, so mutating either side never aliases the other.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Label: n.Label, Section: n.Section, Line: n.Line}
+	if n.Inst != nil {
+		c.Inst = n.Inst.Clone()
+	}
+	if n.Dir != nil {
+		d := Directive{Name: n.Dir.Name, Args: append([]string(nil), n.Dir.Args...)}
+		c.Dir = &d
+	}
+	if n.Prov != nil {
+		p := *n.Prov
+		c.Prov = &p
+	}
+	return c
+}
+
 // Index returns the node's dense per-list index: a small positive
 // integer assigned on first insertion and stable for the node's
 // lifetime (re-inserting a removed node keeps its index). 0 means the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"mao/internal/x86"
 )
 
 // Unit is the IR for one assembly file: the flat node list plus the
@@ -103,6 +105,96 @@ func (u *Unit) Analyze() error {
 	return nil
 }
 
+// Clone returns a deep, structurally independent copy of the unit:
+// every node is cloned (see Node.Clone) and the copy is re-analyzed,
+// so it carries its own label index and function structure. It is the
+// cheap way to snapshot a unit — no rendering, no re-parsing.
+func (u *Unit) Clone() (*Unit, error) {
+	// Slab-allocate the copies: clones are taken per pass invocation by
+	// the certifier, so the node, instruction and operand storage comes
+	// from three bulk allocations instead of a few per node.
+	var nNodes, nInsts, nArgs int
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		nNodes++
+		if n.Inst != nil {
+			nInsts++
+			nArgs += len(n.Inst.Args)
+		}
+	}
+	nodes := make([]Node, nNodes)
+	insts := make([]x86.Inst, nInsts)
+	args := make([]x86.Operand, nArgs)
+
+	nu := NewUnit(u.FileName)
+
+	// An analyzed source (the certifier's case — it clones between
+	// passes) lets the copy inherit the analysis instead of re-running
+	// it: labels, sections and function spans are remapped during the
+	// same walk. Node sections were stamped by the source's Analyze and
+	// are copied with the node.
+	analyzed := u.labels != nil
+	var fns []*Function
+	var nf *Function
+	fi := 0
+	if analyzed {
+		nu.labels = make(map[string]*Node, len(u.labels))
+		nu.sections = append([]string(nil), u.sections...)
+		fns = u.functions
+	}
+
+	i, j, k := 0, 0, 0
+	for n := u.List.Front(); n != nil; n = n.Next() {
+		c := &nodes[i]
+		i++
+		c.Kind, c.Label, c.Section, c.Line = n.Kind, n.Label, n.Section, n.Line
+		if n.Inst != nil {
+			ci := &insts[j]
+			j++
+			*ci = *n.Inst
+			if na := len(n.Inst.Args); na > 0 {
+				ci.Args = args[k : k+na : k+na]
+				copy(ci.Args, n.Inst.Args)
+				k += na
+			}
+			c.Inst = ci
+		}
+		if n.Dir != nil {
+			d := Directive{Name: n.Dir.Name, Args: append([]string(nil), n.Dir.Args...)}
+			c.Dir = &d
+		}
+		if n.Prov != nil {
+			p := *n.Prov
+			c.Prov = &p
+		}
+		nu.Append(c)
+		if analyzed {
+			if n.Kind == NodeLabel {
+				nu.labels[n.Label] = c
+			}
+			if fi < len(fns) && n == fns[fi].start {
+				nf = &Function{Name: fns[fi].Name, SectionName: fns[fi].SectionName,
+					unit: nu, start: c, Unresolved: fns[fi].Unresolved}
+				nu.functions = append(nu.functions, nf)
+				if fns[fi].end == nil {
+					fi++
+					nf = nil
+				}
+			}
+			if nf != nil && fi < len(fns) && n == fns[fi].end {
+				nf.end = c
+				fi++
+				nf = nil
+			}
+		}
+	}
+	if !analyzed {
+		if err := nu.Analyze(); err != nil {
+			return nil, err
+		}
+	}
+	return nu, nil
+}
+
 // FindLabel returns the node defining the given label, or nil.
 func (u *Unit) FindLabel(name string) *Node { return u.labels[name] }
 
@@ -194,7 +286,16 @@ func (f *Function) Entries() []*Node {
 // CodeEntries returns the function's nodes restricted to its code
 // section, transparently skipping interleaved data fragments.
 func (f *Function) CodeEntries() []*Node {
-	var out []*Node
+	count := 0
+	for n := f.start; n != nil; n = n.Next() {
+		if n.Section == f.SectionName {
+			count++
+		}
+		if n == f.end {
+			break
+		}
+	}
+	out := make([]*Node, 0, count)
 	for n := f.start; n != nil; n = n.Next() {
 		if n.Section == f.SectionName {
 			out = append(out, n)

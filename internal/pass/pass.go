@@ -450,6 +450,32 @@ type Hook interface {
 	AfterPass(u *ir.Unit, name string, index int) error
 }
 
+// Hooks composes several Hooks into one: each method runs the
+// receivers in order and stops at the first error. It lets a pipeline
+// stack the static certifier and the translation validator (or any
+// other observers) on the Manager's single Hook field.
+type Hooks []Hook
+
+// BeforePass runs every hook's BeforePass in order.
+func (hs Hooks) BeforePass(u *ir.Unit, name string, index int) error {
+	for _, h := range hs {
+		if err := h.BeforePass(u, name, index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AfterPass runs every hook's AfterPass in order.
+func (hs Hooks) AfterPass(u *ir.Unit, name string, index int) error {
+	for _, h := range hs {
+		if err := h.AfterPass(u, name, index); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Manager runs a pipeline over a unit.
 type Manager struct {
 	Pipeline []Invocation

@@ -47,6 +47,26 @@ type OptimizeOptions struct {
 	// pass of every node) alongside the optimized assembly. Also
 	// settable as the explain=1 query parameter.
 	Explain bool `json:"explain,omitempty"`
+	// Verify translation-validates every pass invocation of the
+	// pipeline (see mao/internal/verify): the response carries one
+	// verdict per invocation, and any refutation appears in Diags with
+	// rule verify-equiv. Also settable as the verify=1 query parameter.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// VerifyVerdict is one pass invocation's translation-validation
+// outcome, present when options.verify was set.
+type VerifyVerdict struct {
+	Pass  string `json:"pass"`
+	Index int    `json:"index"`
+	// Statuses counts the per-function outcomes: proved, concrete,
+	// refuted, inconclusive.
+	Statuses map[string]int `json:"statuses"`
+	// Refuted names the functions proven not observationally
+	// equivalent (empty = the invocation validated clean).
+	Refuted []string `json:"refuted,omitempty"`
+	// DurMS is the verification wall time for this invocation.
+	DurMS float64 `json:"dur_ms"`
 }
 
 func (r *OptimizeRequest) unitName() string {
@@ -76,6 +96,10 @@ type OptimizeResponse struct {
 	// Lineage is the per-instruction provenance of the optimized unit,
 	// present when options.explain (or ?explain=1) was set.
 	Lineage []trace.InstLineage `json:"lineage,omitempty"`
+	// Verify carries one translation-validation verdict per pass
+	// invocation, in pipeline order, when options.verify (or
+	// ?verify=1) was set. Refutations additionally surface in Diags.
+	Verify []VerifyVerdict `json:"verify,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx answer.
@@ -199,9 +223,13 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 	if req.Options.DeadlineMS < 0 {
 		return nil, http.StatusBadRequest, errors.New("deadline_ms must be >= 0")
 	}
-	// ?explain=1 is the curl-friendly spelling of options.explain.
+	// ?explain=1 and ?verify=1 are the curl-friendly spellings of the
+	// corresponding body options.
 	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
 		req.Options.Explain = true
+	}
+	if v := r.URL.Query().Get("verify"); v == "1" || v == "true" {
+		req.Options.Verify = true
 	}
 	return &req, 0, nil
 }

@@ -26,6 +26,12 @@ type metrics struct {
 	// spans of every request's pipeline run.
 	passLatency sync.Map // string (pass name) → *histogram
 
+	// verifyLatency is the translation-validation wall time per pass
+	// invocation (requests with options.verify), fed by KindVerify
+	// spans; verifyRefutations counts refuted invocations daemon-wide.
+	verifyLatency     histogram
+	verifyRefutations atomic.Int64
+
 	queueRejects   atomic.Int64
 	batchesTotal   atomic.Int64
 	batchJobsTotal atomic.Int64
@@ -36,8 +42,9 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		latency:   newHistogram(latencyBuckets),
-		passStats: pass.NewStats(),
+		latency:       newHistogram(latencyBuckets),
+		verifyLatency: newHistogram(passLatencyBuckets),
+		passStats:     pass.NewStats(),
 	}
 }
 
@@ -67,6 +74,10 @@ var passLatencyBuckets = []float64{
 // latency histograms (one observation per pass invocation).
 func (m *metrics) observePassSpans(spans []trace.Span) {
 	for _, sp := range spans {
+		if sp.Kind == trace.KindVerify {
+			m.verifyLatency.observe(sp.Dur.Seconds())
+			continue
+		}
 		if sp.Kind != trace.KindInvocation {
 			continue
 		}
@@ -178,6 +189,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			name, math.Float64frombits(h.sumBits.Load()))
 		fmt.Fprintf(w, "maod_pass_duration_seconds_count{pass=%q} %d\n", name, n)
 	}
+
+	// Translation-validation latency (requests with options.verify;
+	// one observation per validated pass invocation) and refutations.
+	fmt.Fprintf(w, "# HELP maod_verify_duration_seconds Translation-validation wall time per pass invocation (options.verify).\n")
+	fmt.Fprintf(w, "# TYPE maod_verify_duration_seconds histogram\n")
+	vcum := int64(0)
+	for i, ub := range m.verifyLatency.buckets {
+		vcum += m.verifyLatency.counts[i].Load()
+		fmt.Fprintf(w, "maod_verify_duration_seconds_bucket{le=\"%s\"} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), vcum)
+	}
+	vtotal := m.verifyLatency.count.Load()
+	fmt.Fprintf(w, "maod_verify_duration_seconds_bucket{le=\"+Inf\"} %d\n", vtotal)
+	fmt.Fprintf(w, "maod_verify_duration_seconds_sum %g\n",
+		math.Float64frombits(m.verifyLatency.sumBits.Load()))
+	fmt.Fprintf(w, "maod_verify_duration_seconds_count %d\n", vtotal)
+	writeMetric("Pass invocations refuted by the translation validator.", "counter",
+		"maod_verify_refutations_total", "", strconv.FormatInt(m.verifyRefutations.Load(), 10))
 
 	// Queue and worker-pool state.
 	writeMetric("Requests admitted and waiting for a worker.", "gauge",

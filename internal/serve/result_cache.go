@@ -17,8 +17,8 @@ func resultKey(req *OptimizeRequest) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "src:%d:", len(req.Source))
 	h.Write([]byte(req.Source))
-	fmt.Fprintf(h, ":name:%s:spec:%s:check:%t:explain:%t",
-		req.unitName(), req.Spec, req.Options.Check, req.Options.Explain)
+	fmt.Fprintf(h, ":name:%s:spec:%s:check:%t:explain:%t:verify:%t",
+		req.unitName(), req.Spec, req.Options.Check, req.Options.Explain, req.Options.Verify)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

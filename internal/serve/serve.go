@@ -41,6 +41,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -53,6 +54,7 @@ import (
 	_ "mao/internal/passes" // register the pass catalog
 	"mao/internal/relax"
 	"mao/internal/trace"
+	"mao/internal/verify"
 )
 
 // Config parameterizes a Server. The zero value selects production
@@ -313,6 +315,11 @@ func (s *Server) runJob(j *job, batchSize int, st *relax.State) {
 	col := trace.NewCollector()
 	col.TraceID = requestIDFrom(j.ctx)
 	mgr.Tracer = col
+	var vcert *verify.Certifier
+	if j.req.Options.Verify {
+		vcert = &verify.Certifier{Tracer: col}
+		mgr.Hook = vcert
+	}
 	stats, err := mgr.RunContext(j.ctx, u)
 	s.met.observePassSpans(col.Spans())
 	if err != nil {
@@ -337,9 +344,43 @@ func (s *Server) runJob(j *job, batchSize int, st *relax.State) {
 			resp.Diags = []check.Diag{}
 		}
 	}
+	if vcert != nil {
+		resp.Verify = verifyVerdicts(vcert)
+		for _, v := range vcert.Violations {
+			d := v.Diag
+			if d.Origin == "" {
+				d.Origin = fmt.Sprintf("%s[%d]", v.Pass, v.Index)
+			}
+			resp.Diags = append(resp.Diags, d)
+			s.met.verifyRefutations.Add(1)
+		}
+		check.Sort(resp.Diags)
+	}
 	s.met.mergePassStats(stats)
 	s.results.put(j.key, resp)
 	j.done <- jobResult{resp: resp, status: 200}
+}
+
+// verifyVerdicts projects the certifier's per-invocation results onto
+// the response schema.
+func verifyVerdicts(vcert *verify.Certifier) []VerifyVerdict {
+	out := make([]VerifyVerdict, 0, len(vcert.Invocations))
+	for _, inv := range vcert.Invocations {
+		v := VerifyVerdict{
+			Pass:     inv.Pass,
+			Index:    inv.Index,
+			Statuses: make(map[string]int),
+			DurMS:    float64(inv.Dur) / float64(time.Millisecond),
+		}
+		for st, n := range inv.Result.Counts() {
+			v.Statuses[string(st)] = n
+		}
+		for _, fr := range inv.Result.Refuted() {
+			v.Refuted = append(v.Refuted, fr.Func)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // statusForCtx maps a context error to the HTTP status the handler

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestOptimizeVerify: options.verify returns one clean verdict per
+// pass invocation and no refutation diagnostics.
+func TestOptimizeVerify(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, out, _ := postOptimize(t, ts.URL, &OptimizeRequest{
+		Source: testSource, Spec: "REDTEST:REDMOV",
+		Options: OptimizeOptions{Verify: true},
+	})
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out.Verify) != 2 {
+		t.Fatalf("verdicts = %d, want 2: %+v", len(out.Verify), out.Verify)
+	}
+	wantPasses := []string{"REDTEST", "REDMOV"}
+	for i, v := range out.Verify {
+		if v.Pass != wantPasses[i] || v.Index != i {
+			t.Errorf("verdict %d = %s[%d], want %s[%d]", i, v.Pass, v.Index, wantPasses[i], i)
+		}
+		if len(v.Refuted) != 0 || v.Statuses["refuted"] != 0 {
+			t.Errorf("clean pipeline refuted: %+v", v)
+		}
+		total := 0
+		for _, n := range v.Statuses {
+			total += n
+		}
+		if total == 0 {
+			t.Errorf("verdict %d verified no functions: %+v", i, v)
+		}
+	}
+	for _, d := range out.Diags {
+		if d.Rule == "verify-equiv" {
+			t.Errorf("spurious refutation diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestOptimizeVerifyQueryParam: ?verify=1 is equivalent to
+// options.verify in the body.
+func TestOptimizeVerifyQueryParam(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	body, _ := json.Marshal(&OptimizeRequest{Source: testSource, Spec: "REDTEST"})
+	resp, err := http.Post(ts.URL+"/v1/optimize?verify=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Verify) != 1 || out.Verify[0].Pass != "REDTEST" {
+		t.Errorf("verdicts = %+v, want one REDTEST verdict", out.Verify)
+	}
+}
+
+// TestVerifyJoinsCacheKey: verify on/off are distinct result-cache
+// entries, and a verified response replays from cache with verdicts.
+func TestVerifyJoinsCacheKey(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	plain := &OptimizeRequest{Source: testSource, Spec: "REDTEST"}
+	verified := &OptimizeRequest{Source: testSource, Spec: "REDTEST",
+		Options: OptimizeOptions{Verify: true}}
+
+	if _, out, _ := postOptimize(t, ts.URL, plain); out.Cached {
+		t.Fatal("first plain request reported cached")
+	}
+	_, first, _ := postOptimize(t, ts.URL, verified)
+	if first.Cached {
+		t.Fatal("verify request hit the plain request's cache entry")
+	}
+	_, second, _ := postOptimize(t, ts.URL, verified)
+	if !second.Cached {
+		t.Fatal("repeated verify request missed the cache")
+	}
+	if len(second.Verify) != 1 {
+		t.Errorf("cached response lost verdicts: %+v", second.Verify)
+	}
+}
+
+// TestMetricsVerify: verification latency and refutation counters are
+// exposed on /metrics.
+func TestMetricsVerify(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	postOptimize(t, ts.URL, &OptimizeRequest{
+		Source: testSource, Spec: "REDTEST:REDMOV",
+		Options: OptimizeOptions{Verify: true},
+	})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	text := string(b)
+	if !strings.Contains(text, "maod_verify_duration_seconds_count 2") {
+		t.Errorf("verify latency histogram missing or wrong count:\n%s", grepLines(text, "maod_verify"))
+	}
+	if !strings.Contains(text, "maod_verify_refutations_total 0") {
+		t.Errorf("refutation counter missing:\n%s", grepLines(text, "maod_verify"))
+	}
+}
+
+// grepLines returns the lines of text containing substr, for failure
+// messages.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -47,6 +47,10 @@ const (
 	// KindFunction covers one function within a function-pass
 	// invocation.
 	KindFunction Kind = "function"
+	// KindVerify covers the translation-validation check that follows
+	// one pass invocation when the pipeline runs under a
+	// verify.Certifier.
+	KindVerify Kind = "verify"
 )
 
 // Span is one timed region of a pipeline run.

@@ -1,0 +1,178 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"mao/internal/check"
+	"mao/internal/ir"
+	"mao/internal/trace"
+)
+
+// InvocationResult is one pass invocation's verification outcome.
+type InvocationResult struct {
+	Pass   string        `json:"pass"`
+	Index  int           `json:"index"`
+	Result *Result       `json:"result"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// Certifier is a pass.Hook that translation-validates every pass
+// invocation of a pipeline: before each pass it snapshots the unit
+// (a deep Clone, so the snapshot is independent of the live IR),
+// after the pass it proves the live unit observationally equivalent
+// to the snapshot with Equiv. A refutation is attributed to the
+// offending invocation as NAME[idx] with a structured counterexample
+// diagnostic.
+//
+// Wire it into a pipeline with:
+//
+//	mgr, _ := pass.NewManager("REDTEST:SCHED")
+//	cert := &verify.Certifier{}
+//	mgr.Hook = cert
+//	stats, err := mgr.Run(u)
+//	// cert.Violations lists every refutation, pass by pass.
+//
+// It composes with check.Certifier through pass.Hooks.
+type Certifier struct {
+	// Options configures the equivalence check (zero value = defaults).
+	Options Options
+
+	// FailFast makes AfterPass return an error on the first refutation,
+	// aborting the pipeline with the failure attributed to the
+	// offending invocation. Without it the pipeline runs to completion
+	// and Violations accumulates.
+	FailFast bool
+
+	// Skip names passes exempt from validation (user-registered passes
+	// with intentional semantic changes). BeforePass still snapshots so
+	// the next validated pass diffs against the right baseline.
+	Skip map[string]bool
+
+	// Tracer, when non-nil, receives one KindVerify span per validated
+	// invocation.
+	Tracer *trace.Collector
+
+	// Violations collects every refutation, in pipeline order. The
+	// Diag's Msg carries the human-readable counterexample; its
+	// machine-readable form is in Invocations.
+	Violations []check.Violation
+
+	// Invocations records every validated invocation's full verdict,
+	// in pipeline order.
+	Invocations []InvocationResult
+
+	snapshot    *ir.Unit // pre-pass deep clone of the unit
+	snapErr     error
+	snapOf      *ir.Unit // live unit the snapshot was taken from
+	snapVersion int64    // live unit's List.Version at snapshot time
+}
+
+// takeSnapshot clones u as the next validation baseline, recording the
+// live unit's list version so an unchanged unit can reuse it.
+func (c *Certifier) takeSnapshot(u *ir.Unit) {
+	c.snapshot, c.snapErr = u.Clone()
+	c.snapOf, c.snapVersion = u, u.List.Version()
+}
+
+// BeforePass snapshots the unit. When the previous AfterPass already
+// cloned this unit and nothing has mutated it since (same list
+// version), the clone is reused — one snapshot per pass.
+func (c *Certifier) BeforePass(u *ir.Unit, name string, index int) error {
+	if c.snapshot != nil && c.snapOf == u && c.snapVersion == u.List.Version() {
+		return nil
+	}
+	c.takeSnapshot(u)
+	return nil
+}
+
+// AfterPass proves the post-pass unit equivalent to the snapshot and
+// attributes any refutation to the invocation that just ran. The live
+// unit serves as the after side directly — Equiv only reads it.
+func (c *Certifier) AfterPass(u *ir.Unit, name string, index int) error {
+	if c.Skip[name] {
+		c.takeSnapshot(u)
+		return nil
+	}
+	if c.snapErr != nil || c.snapshot == nil {
+		// No baseline (the pre-pass unit would not re-analyze): record
+		// the failure against this invocation and restart from here.
+		err := c.snapErr
+		c.takeSnapshot(u)
+		return c.record(u, name, index, nil, 0, err)
+	}
+	before := c.snapshot
+
+	start := c.Tracer.Now()
+	t0 := time.Now()
+	res := Equiv(before, u, &c.Options)
+	dur := time.Since(t0)
+
+	if c.Tracer.Enabled() {
+		counts := res.Counts()
+		stats := make(map[string]int, len(counts))
+		for st, n := range counts {
+			stats[string(st)] = n
+		}
+		c.Tracer.Add(trace.Span{
+			Kind:  trace.KindVerify,
+			Ref:   trace.Ref{Pass: name, Index: index},
+			Start: start,
+			Dur:   dur,
+			Stats: stats,
+		})
+	}
+
+	// The post-pass clone is the next pass's baseline: one clone per
+	// pass.
+	c.takeSnapshot(u)
+	return c.record(u, name, index, res, dur, nil)
+}
+
+// record appends the invocation verdict and any refutations, honoring
+// FailFast.
+func (c *Certifier) record(u *ir.Unit, name string, index int, res *Result, dur time.Duration, parseErr error) error {
+	before := len(c.Violations)
+	if parseErr != nil {
+		c.Violations = append(c.Violations, check.Violation{
+			Pass: name, Index: index,
+			Diag: check.Diag{
+				Rule:     "verify-parse",
+				Severity: check.SevError,
+				File:     u.FileName,
+				Msg:      fmt.Sprintf("pre-pass unit could not be snapshotted: %v", parseErr),
+			},
+		})
+	}
+	if res != nil {
+		c.Invocations = append(c.Invocations, InvocationResult{
+			Pass: name, Index: index, Result: res, Dur: dur,
+		})
+		for _, fr := range res.Funcs {
+			if fr.Status != StatusRefuted {
+				continue
+			}
+			msg := fmt.Sprintf("not observationally equivalent: %s", fr.Mismatch)
+			if cx, err := json.Marshal(fr.Mismatch); err == nil {
+				msg += " counterexample=" + string(cx)
+			}
+			c.Violations = append(c.Violations, check.Violation{
+				Pass: name, Index: index,
+				Diag: check.Diag{
+					Rule:     "verify-equiv",
+					Severity: check.SevError,
+					File:     u.FileName,
+					Func:     fr.Func,
+					Msg:      msg,
+				},
+			})
+		}
+	}
+	if c.FailFast && len(c.Violations) > before {
+		v := c.Violations[before]
+		return fmt.Errorf("verification failed (%d refutations): %s",
+			len(c.Violations)-before, v.Diag)
+	}
+	return nil
+}

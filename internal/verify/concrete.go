@@ -1,0 +1,169 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mao/internal/ir"
+	"mao/internal/relax"
+	"mao/internal/uarch/exec"
+	"mao/internal/x86"
+)
+
+// The concrete fallback: when symbolic normalization cannot decide,
+// both versions of the function run on the functional executor under
+// identical randomized inputs, and the architectural end-states must
+// agree. The comparison follows the differential-semantics harness:
+// code pointers compare as "both text addresses" (layout moves them),
+// the stack window and the final flags are dead at return, and every
+// address the before-version stored must hold an equivalent value.
+
+type concreteVerdict int
+
+const (
+	concreteAgree concreteVerdict = iota
+	concreteDisagree
+	concreteUnknown
+)
+
+const stackWindow = exec.StackTop - 0x100000
+
+func isStackAddr(a uint64) bool { return a >= stackWindow && a <= exec.StackTop }
+
+// isTextAddr reports whether v lies in the executor's text mapping.
+func isTextAddr(v uint64) bool { return v >= exec.TextBase && v < exec.DataBase }
+
+func equivalentValue(a, c uint64) bool {
+	return a == c || (isTextAddr(a) && isTextAddr(c))
+}
+
+// concreteRun is one execution's comparable outcome.
+type concreteRun struct {
+	state    *exec.State
+	stores   map[uint64]int // non-stack stored addr -> widest access
+	executed int64
+}
+
+func runConcrete(u *ir.Unit, layout *relax.Layout, entry string, regs map[x86.Reg]uint64, maxInsts int64) (*concreteRun, error) {
+	r := &concreteRun{stores: make(map[uint64]int)}
+	res, err := exec.Run(&exec.Config{
+		Unit: u, Layout: layout, Entry: entry,
+		MaxInsts:      maxInsts,
+		InitRegs:      regs,
+		ExternalCalls: true,
+		OnEvent: func(ev exec.Event) {
+			if ev.HasStore && !isStackAddr(ev.StoreAddr) {
+				if ev.AccessLen > r.stores[ev.StoreAddr] {
+					r.stores[ev.StoreAddr] = ev.AccessLen
+				}
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.state = res.State
+	r.executed = res.Executed
+	return r, nil
+}
+
+// randRegs draws one randomized input assignment for the integer
+// argument registers: a mix of small scalars and valid data-section
+// pointers, so functions that index, loop, and dereference all get
+// exercised.
+func randRegs(rng *rand.Rand) map[x86.Reg]uint64 {
+	regs := make(map[x86.Reg]uint64, 7)
+	for _, r := range []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9} {
+		switch rng.Intn(3) {
+		case 0:
+			regs[r] = uint64(rng.Intn(17))
+		case 1:
+			regs[r] = uint64(rng.Intn(1 << 20))
+		default:
+			regs[r] = uint64(exec.DataBase) + uint64(rng.Intn(0x2000))&^7
+		}
+	}
+	regs[x86.RAX] = uint64(rng.Intn(9))
+	return regs
+}
+
+// concreteEquiv executes fn in both units under Options.ConcreteRuns
+// randomized inputs. Runs where both sides fault identically are
+// uninformative; a run where exactly one side faults, or the end
+// states diverge, refutes. All-uninformative comes back unknown.
+func concreteEquiv(ub, ua *ir.Unit, fn string, o Options) (concreteVerdict, *Mismatch) {
+	if ub.FindLabel(fn) == nil || ua.FindLabel(fn) == nil {
+		return concreteUnknown, nil
+	}
+	lb, err := relax.Relax(ub, nil)
+	if err != nil {
+		return concreteUnknown, nil
+	}
+	la, err := relax.Relax(ua, nil)
+	if err != nil {
+		return concreteUnknown, nil
+	}
+
+	informative := 0
+	for run := 0; run < o.ConcreteRuns; run++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(run)*0x9e3779b9))
+		regs := randRegs(rng)
+
+		rb, errB := runConcrete(ub, lb, fn, regs, o.MaxInsts)
+		ra, errA := runConcrete(ua, la, fn, regs, o.MaxInsts)
+		switch {
+		case errB != nil && errA != nil:
+			continue // both faulted: this input decides nothing
+		case errB != nil || errA != nil:
+			be, ae := "completed", "completed"
+			if errB != nil {
+				be = errB.Error()
+			}
+			if errA != nil {
+				ae = errA.Error()
+			}
+			return concreteDisagree, &Mismatch{Func: fn,
+				What:   fmt.Sprintf("concrete execution (run %d)", run),
+				Before: be, After: ae}
+		}
+		informative++
+		if mm := compareConcrete(fn, run, rb, ra); mm != nil {
+			return concreteDisagree, mm
+		}
+	}
+	if informative == 0 {
+		return concreteUnknown, nil
+	}
+	return concreteAgree, nil
+}
+
+// compareConcrete diffs two completed runs' architectural end-states.
+func compareConcrete(fn string, run int, rb, ra *concreteRun) *Mismatch {
+	for i := 0; i < 16; i++ {
+		if !equivalentValue(rb.state.GPR[i], ra.state.GPR[i]) {
+			return &Mismatch{Func: fn,
+				What:   fmt.Sprintf("concrete reg %s (run %d)", x86.GPR64[i], run),
+				Before: fmt.Sprintf("%#x", rb.state.GPR[i]),
+				After:  fmt.Sprintf("%#x", ra.state.GPR[i])}
+		}
+		if rb.state.XMM[i] != ra.state.XMM[i] {
+			return &Mismatch{Func: fn,
+				What:   fmt.Sprintf("concrete reg xmm%d (run %d)", i, run),
+				Before: fmt.Sprintf("%#x", rb.state.XMM[i]),
+				After:  fmt.Sprintf("%#x", ra.state.XMM[i])}
+		}
+	}
+	// Every address the before-version stored must hold an equivalent
+	// value after (the after-version may store to additional addresses
+	// — instrumentation counters — without refuting).
+	for addr, width := range rb.stores {
+		vb := rb.state.ReadMem(addr, width)
+		va := ra.state.ReadMem(addr, width)
+		if !equivalentValue(vb, va) {
+			return &Mismatch{Func: fn,
+				What:   fmt.Sprintf("concrete mem[%#x]/%d (run %d)", addr, width, run),
+				Before: fmt.Sprintf("%#x", vb), After: fmt.Sprintf("%#x", va)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/corpus"
+	"mao/internal/pass"
+
+	_ "mao/internal/passes" // register the built-in pass catalog
+)
+
+// The self-verification sweep: every registered built-in pass runs over
+// the corpus fixtures under the certifier, at workers 1 and 8, and must
+// come back with zero refutations — the verifier's false-positive gate.
+
+// corpusFixtures mirrors the differential harness's corpus slice.
+func corpusFixtures() []corpus.Workload {
+	return corpus.Spec2000Int(0.05)[:3]
+}
+
+// builtinPasses returns the registered catalog minus this package's
+// deliberately broken TV* mutation passes.
+func builtinPasses() []string {
+	var out []string
+	for _, name := range pass.Names() {
+		if strings.HasPrefix(name, "TV") {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// corpusPassOptions returns per-pass options needed to run the pass
+// inertly (output passes write to the test's temp dir).
+func corpusPassOptions(t *testing.T, name string) *pass.Options {
+	switch name {
+	case "ASM":
+		return pass.NewOptions("o", filepath.Join(t.TempDir(), "out.s"))
+	}
+	return pass.NewOptions()
+}
+
+func TestCorpusSelfVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep in -short mode")
+	}
+	for _, workers := range []int{1, 8} {
+		for _, name := range builtinPasses() {
+			for _, wl := range corpusFixtures() {
+				t.Run(name+"/"+wl.Name+"/w"+string(rune('0'+workers)), func(t *testing.T) {
+					u, err := asm.ParseString(wl.Name+".s", corpus.Generate(wl))
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := pass.Lookup(name)
+					if p == nil {
+						t.Fatalf("pass %s vanished from the registry", name)
+					}
+					mgr := &pass.Manager{
+						Pipeline: []pass.Invocation{{Pass: p, Opts: corpusPassOptions(t, name)}},
+						Workers:  workers,
+					}
+					cert := &Certifier{}
+					mgr.Hook = cert
+					if _, err := mgr.Run(u); err != nil {
+						t.Fatalf("pipeline: %v", err)
+					}
+					for _, v := range cert.Violations {
+						t.Errorf("false positive: %v", v)
+					}
+					for _, inv := range cert.Invocations {
+						t.Logf("%s[%d]: %v", inv.Pass, inv.Index, inv.Result.Counts())
+						for _, fr := range inv.Result.Funcs {
+							if fr.Status == StatusInconclusive {
+								t.Logf("inconclusive: %s (%s)", fr.Func, fr.Note)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"mao/internal/cfg"
+	"mao/internal/x86"
+	"mao/internal/x86/sidefx"
+)
+
+// The high-bits-demanded analysis: a backward may-analysis computing,
+// per block, the GPR families whose bits 32–63 may be observed along
+// some path from block entry before being fully redefined. It is the
+// dual of zext32Facts and exists for the same pass: REDZEXT also
+// deletes zero-extending self-moves ("movl %eNN, %eNN") of faint
+// registers — ones whose upper half is about to die — where the
+// forward must-analysis cannot prove the upper half was already zero.
+// At a cut point, a register whose high bits are demanded by neither
+// side's continuation is observable only through its low 32 bits, so
+// the comparison may mask both sides (see compareCut). The soundness
+// argument is the liveness exemption's, refined to the upper half:
+// every way the model can observe bits 32–63 — a 64-bit register
+// read, an address computation, a call (full argument registers and
+// havoc tags), a return (the ABI-observable set) — is counted as a
+// demand, so "not demanded" means no later compared value can depend
+// on those bits.
+
+// demandFacts holds, indexed by block index, a bitmask over the 16
+// GPR families (bit i set means GPR64[i]'s bits 32–63 may be observed
+// from block entry on).
+type demandFacts []uint16
+
+// gprMask builds the family bitmask of a register list.
+func gprMask(regs []x86.Reg) uint16 {
+	var m uint16
+	for _, r := range regs {
+		if r.IsGPR() {
+			m |= 1 << gprIndex(r)
+		}
+	}
+	return m
+}
+
+// retDemand is what a return observes: the ABI-observable register
+// set compareExit checks. tailDemand adds the argument registers a
+// tail-called callee receives.
+var (
+	retDemand  = gprMask(observableAtRet)
+	tailDemand = retDemand | gprMask(abiArgRegs)
+)
+
+const allDemand = ^uint16(0)
+
+// upperHalfMasks resolves one instruction to the transfer masks of
+// BOTH upper-half analyses — the forward zext facts (facts' = (facts
+// &^ zclear) | zset) and the backward demand (demand-before =
+// (demand-after &^ dkill) | dgen) — from a single side-effect
+// resolution, the expensive part.
+//
+// Zext: the explicit destination (AT&T: last operand), when it is a
+// 32-bit GPR, zero-extends; 8/16-bit register writes preserve the
+// upper half; everything else written loses the fact. Demand kills:
+// the explicit destination fully defines its upper half when written
+// at 64 bits, or at 32 bits (zero-extension); implicit full writes
+// are left unkilled — conservative. Demand gens: every 64-bit
+// register read demands the upper half (the effect tables list
+// address components and implicit registers at their syntactic width,
+// so sub-64 reads correctly demand nothing). A ret kills everything
+// and generates the ABI-observable set; a barrier (call, unknown
+// instruction) clears every zext fact, kills everything and demands
+// everything.
+func upperHalfMasks(in *x86.Inst) (zclear, zset, dkill, dgen uint16) {
+	if in.Op == x86.OpRET {
+		return allDemand, 0, allDemand, retDemand
+	}
+	eff := sidefx.InstEffects(in)
+	if eff.Barrier {
+		return allDemand, 0, allDemand, allDemand
+	}
+	var dst x86.Reg
+	if n := len(in.Args); n > 0 && in.Args[n-1].Kind == x86.KindReg && !in.Args[n-1].Star {
+		dst = in.Args[n-1].Reg
+	}
+	for _, r := range eff.RegsWritten {
+		if !r.IsGPR() {
+			continue
+		}
+		bit := uint16(1) << gprIndex(r)
+		switch {
+		case r == dst && r.Width() == x86.W32 && in.Width == x86.W32:
+			zclear |= bit
+			zset |= bit
+			dkill |= bit
+		case r == dst && (r.Width() == x86.W8 || r.Width() == x86.W16):
+			// partial write: bits 32–63 survive on both analyses
+		default:
+			zclear |= bit
+			zset &^= bit
+			if r == dst && r.Width() == x86.W64 {
+				dkill |= bit
+			}
+		}
+	}
+	for _, r := range eff.RegsRead {
+		if r.IsGPR() && r.Width() == x86.W64 {
+			dgen |= 1 << gprIndex(r)
+		}
+	}
+	return
+}
+
+// upperHalfFacts composes both analyses' per-block transfer masks in
+// one instruction walk — zext composes forward (appending f gives
+// clear' = clear | c, set' = (set &^ c) | s), demand backward
+// (prepending f gives kill' = kill | k, gen' = (gen &^ k) | g) — and
+// solves the two fixpoints.
+func upperHalfFacts(g *cfg.Graph) (zextFacts, demandFacts) {
+	nb := len(g.Blocks)
+	zclear := make([]uint16, nb)
+	zset := make([]uint16, nb)
+	dkill := make([]uint16, nb)
+	dgen := make([]uint16, nb)
+	for i, b := range g.Blocks {
+		for j := len(b.Insts) - 1; j >= 0; j-- {
+			zc, zs, dk, dg := upperHalfMasks(b.Insts[j].Inst)
+			dkill[i] |= dk
+			dgen[i] = dgen[i]&^dk | dg
+			// The forward composite appends in program order; walking
+			// backward, instruction j precedes the composite built so
+			// far, so the accumulated masks win over j's.
+			zset[i] = zset[i] | zs&^zclear[i]
+			zclear[i] = zclear[i] | zc
+		}
+	}
+	return solveZext(g, zclear, zset), solveDemand(g, dkill, dgen)
+}
+
+// solveDemand solves the backward may-problem to a fixpoint: the
+// join over successors is union, exit blocks seed from their
+// terminator kind (ret/tail observe the ABI sets, unresolved indirect
+// branches observe everything). kill and gen are the per-block
+// composite transfer masks, so fixpoint iterations cost two mask
+// operations per block.
+func solveDemand(g *cfg.Graph, kill, gen []uint16) demandFacts {
+	nb := len(g.Blocks)
+	in := make([]uint16, nb)
+	changed := true
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			var d uint16
+			for _, s := range b.Succs {
+				d |= in[s.Index]
+			}
+			if len(b.Succs) == 0 {
+				d = exitDemand(b)
+			}
+			d = d&^kill[i] | gen[i]
+			if d != in[i] {
+				in[i] = d
+				changed = true
+			}
+		}
+	}
+	return demandFacts(in)
+}
+
+// exitDemand seeds the demand flowing into a successor-less block's
+// terminator from outside the function.
+func exitDemand(b *cfg.BasicBlock) uint16 {
+	term := b.Terminator()
+	if term == nil || term.Op == x86.OpRET {
+		return retDemand // explicit ret handled again by the transfer
+	}
+	if term.Op == x86.OpJMP {
+		if _, ok := term.BranchTarget(); ok {
+			return tailDemand // tail call to an out-of-function symbol
+		}
+		return allDemand // unresolved indirect branch
+	}
+	return allDemand
+}

@@ -1,0 +1,677 @@
+package verify
+
+import (
+	"strconv"
+
+	"mao/internal/x86"
+	"mao/internal/x86/sidefx"
+)
+
+// stepInst evaluates one non-control-flow instruction into the state.
+// Control transfers (jmp/jcc/ret) are block terminators the driver
+// interprets; calls are ordinary steps that havoc the caller-saved
+// state and append an observable call event.
+//
+// The modeled subset mirrors the symbolic core the paper's passes
+// touch: moves, lea, ALU with flag effects, push/pop, setcc/cmovcc and
+// the sign-extension idioms. Everything else — and every instruction
+// missing from the side-effect tables — falls through to havocInst,
+// which clobbers exactly what sidefx.InstEffects says it writes, with
+// deterministic fresh values: two evaluations of the same instruction
+// sequence agree on every havoc, so unmodeled code still proves equal
+// to itself.
+func (s *state) stepInst(in *x86.Inst) {
+	b := s.b
+	w := in.Width
+	if w == x86.W0 {
+		w = x86.W64
+	}
+
+	switch in.Op {
+	case x86.OpNOP, x86.OpPAUSE, x86.OpUD2, x86.OpHLT,
+		x86.OpPREFETCHNTA, x86.OpPREFETCHT0, x86.OpPREFETCHT1, x86.OpPREFETCHT2:
+		return
+
+	case x86.OpMOV, x86.OpMOVABS:
+		if in.Op == x86.OpMOV && len(in.Args) == 2 {
+			s.writeOperand(&in.Args[1], s.readOperand(&in.Args[0], w), w)
+			return
+		}
+		if len(in.Args) == 2 {
+			s.writeOperand(&in.Args[1], s.readOperand(&in.Args[0], x86.W64), x86.W64)
+			return
+		}
+
+	case x86.OpMOVZX:
+		if len(in.Args) == 2 {
+			v := s.readOperand(&in.Args[0], in.SrcWidth) // already masked to SrcWidth
+			s.writeOperand(&in.Args[1], v, w)
+			return
+		}
+
+	case x86.OpMOVSX:
+		if len(in.Args) == 2 {
+			v := b.sext(s.readOperand(&in.Args[0], in.SrcWidth), in.SrcWidth)
+			s.writeOperand(&in.Args[1], v, w)
+			return
+		}
+
+	case x86.OpLEA:
+		if len(in.Args) == 2 && in.Args[0].Kind == x86.KindMem {
+			s.writeOperand(&in.Args[1], b.trunc(s.addrExpr(in.Args[0].Mem), w), w)
+			return
+		}
+
+	case x86.OpPUSH:
+		if len(in.Args) == 1 {
+			size := int64(w)
+			v := s.readOperand(&in.Args[0], w)
+			sp := b.sub(s.reg(x86.RSP), b.konst(size))
+			s.writeReg(x86.RSP, sp)
+			s.mem = b.store(s.mem, sp, v, int(size))
+			return
+		}
+
+	case x86.OpPOP:
+		if len(in.Args) == 1 {
+			size := int64(w)
+			sp := s.reg(x86.RSP)
+			v := b.load(s.mem, sp, int(size))
+			s.writeReg(x86.RSP, b.add(sp, b.konst(size)))
+			s.writeOperand(&in.Args[0], v, w)
+			return
+		}
+
+	case x86.OpLEAVE:
+		bp := s.reg(x86.RBP)
+		s.writeReg(x86.RBP, b.load(s.mem, bp, 8))
+		s.writeReg(x86.RSP, b.add(bp, b.konst(8)))
+		return
+
+	case x86.OpXCHG:
+		if len(in.Args) == 2 {
+			va := s.readOperand(&in.Args[0], w)
+			vb := s.readOperand(&in.Args[1], w)
+			s.writeOperand(&in.Args[0], vb, w)
+			s.writeOperand(&in.Args[1], va, w)
+			return
+		}
+
+	case x86.OpADD, x86.OpADC, x86.OpSUB, x86.OpSBB, x86.OpCMP:
+		if len(in.Args) == 2 {
+			src := s.readOperand(&in.Args[0], w)
+			dst := s.readOperand(&in.Args[1], w)
+			s.alu2(in.Op, &in.Args[1], dst, src, w)
+			return
+		}
+
+	case x86.OpAND, x86.OpOR, x86.OpXOR, x86.OpTEST:
+		if len(in.Args) == 2 {
+			src := s.readOperand(&in.Args[0], w)
+			dst := s.readOperand(&in.Args[1], w)
+			var res *Expr
+			switch in.Op {
+			case x86.OpAND, x86.OpTEST:
+				res = b.and(dst, src)
+			case x86.OpOR:
+				res = b.or(dst, src)
+			case x86.OpXOR:
+				res = b.xor(dst, src)
+			}
+			res = b.trunc(res, w)
+			if in.Op != x86.OpTEST {
+				s.writeOperand(&in.Args[1], res, w)
+			}
+			// Logic ops clear CF/OF, set ZF/SF/PF from the result and
+			// leave AF undefined.
+			s.setFlag(x86.CF, b.konst(0))
+			s.setFlag(x86.OF, b.konst(0))
+			s.resultFlags(res, w)
+			s.undefFlag(x86.AF, "logic", w, dst, src)
+			return
+		}
+
+	case x86.OpINC, x86.OpDEC:
+		if len(in.Args) == 1 {
+			a := s.readOperand(&in.Args[0], w)
+			one := b.konst(1)
+			var res *Expr
+			tag := "add"
+			if in.Op == x86.OpDEC {
+				res = b.trunc(b.sub(a, one), w)
+				tag = "sub"
+			} else {
+				res = b.trunc(b.add(a, one), w)
+			}
+			s.writeOperand(&in.Args[0], res, w)
+			// inc/dec preserve CF.
+			s.resultFlags(res, w)
+			s.setFlag(x86.OF, s.opFlag(x86.OF, tag, w, a, one))
+			s.setFlag(x86.AF, s.opFlag(x86.AF, tag, w, a, one))
+			return
+		}
+
+	case x86.OpNEG:
+		if len(in.Args) == 1 {
+			a := s.readOperand(&in.Args[0], w)
+			res := b.trunc(b.neg(a), w)
+			s.writeOperand(&in.Args[0], res, w)
+			s.subFlags(b.konst(0), a, res, w)
+			return
+		}
+
+	case x86.OpNOT:
+		if len(in.Args) == 1 {
+			a := s.readOperand(&in.Args[0], w)
+			s.writeOperand(&in.Args[0], b.trunc(b.not(a), w), w)
+			return // not touches no flags
+		}
+
+	case x86.OpSHL, x86.OpSHR, x86.OpSAR, x86.OpROL, x86.OpROR:
+		s.shift(in, w)
+		return
+
+	case x86.OpIMUL:
+		switch len(in.Args) {
+		case 2: // imul src, dst
+			src := s.readOperand(&in.Args[0], w)
+			dst := s.readOperand(&in.Args[1], w)
+			s.imulFlags(src, dst, w)
+			s.writeOperand(&in.Args[1], b.trunc(b.mul(dst, src), w), w)
+			return
+		case 3: // imul $imm, src, dst
+			imm := s.readOperand(&in.Args[0], w)
+			src := s.readOperand(&in.Args[1], w)
+			s.imulFlags(imm, src, w)
+			s.writeOperand(&in.Args[2], b.trunc(b.mul(src, imm), w), w)
+			return
+		case 1:
+			s.mulWide(in, w, true)
+			return
+		}
+
+	case x86.OpMUL:
+		if len(in.Args) == 1 {
+			s.mulWide(in, w, false)
+			return
+		}
+
+	case x86.OpIDIV, x86.OpDIV:
+		if len(in.Args) == 1 {
+			s.divide(in, w)
+			return
+		}
+
+	case x86.OpSET:
+		if len(in.Args) == 1 {
+			s.writeOperand(&in.Args[0], s.condValue(in.Cond), x86.W8)
+			return
+		}
+
+	case x86.OpCMOV:
+		if len(in.Args) == 2 {
+			src := s.readOperand(&in.Args[0], w)
+			dst := s.readOperand(&in.Args[1], w)
+			// cmov writes its destination register unconditionally (the
+			// 32-bit form zero-extends even on a false condition).
+			s.writeOperand(&in.Args[1], b.sel(s.condValue(in.Cond), src, dst), w)
+			return
+		}
+
+	case x86.OpCLTQ: // rax = sext32(eax)
+		s.writeReg(x86.RAX, b.sext(b.trunc(s.reg(x86.RAX), x86.W32), x86.W32))
+		return
+	case x86.OpCWTL: // eax = sext16(ax)
+		s.writeReg(x86.EAX, b.sext(b.trunc(s.reg(x86.RAX), x86.W16), x86.W16))
+		return
+	case x86.OpCLTD: // edx = sign-fill of eax
+		sgn := b.shiftOp("sar", b.sext(b.trunc(s.reg(x86.RAX), x86.W32), x86.W32), b.konst(63), x86.W64)
+		s.writeReg(x86.EDX, sgn)
+		return
+	case x86.OpCQTO: // rdx = sign-fill of rax
+		s.writeReg(x86.RDX, b.shiftOp("sar", s.reg(x86.RAX), b.konst(63), x86.W64))
+		return
+
+	case x86.OpCALL:
+		s.call(in)
+		return
+	}
+
+	if in.Op.IsSSE() {
+		s.sse(in)
+		return
+	}
+
+	s.havocInst(in)
+}
+
+// alu2 implements the two-operand add/adc/sub/sbb/cmp family.
+func (s *state) alu2(op x86.Op, dst *x86.Operand, a, c *Expr, w x86.Width) {
+	b := s.b
+	var res *Expr
+	switch op {
+	case x86.OpADD:
+		res = b.trunc(b.add(a, c), w)
+		s.addFlags(a, c, res, w)
+	case x86.OpADC:
+		cf := s.flag(x86.CF)
+		res = b.trunc(b.add(b.add(a, c), cf), w)
+		s.resultFlags(res, w)
+		s.setFlag(x86.CF, s.opFlag(x86.CF, "adc", w, a, c, cf))
+		s.setFlag(x86.OF, s.opFlag(x86.OF, "adc", w, a, c, cf))
+		s.setFlag(x86.AF, s.opFlag(x86.AF, "adc", w, a, c, cf))
+	case x86.OpSUB, x86.OpCMP:
+		res = b.trunc(b.sub(a, c), w)
+		s.subFlags(a, c, res, w)
+	case x86.OpSBB:
+		cf := s.flag(x86.CF)
+		res = b.trunc(b.sub(b.sub(a, c), cf), w)
+		s.resultFlags(res, w)
+		s.setFlag(x86.CF, s.opFlag(x86.CF, "sbb", w, a, c, cf))
+		s.setFlag(x86.OF, s.opFlag(x86.OF, "sbb", w, a, c, cf))
+		s.setFlag(x86.AF, s.opFlag(x86.AF, "sbb", w, a, c, cf))
+	}
+	if op != x86.OpCMP {
+		s.writeOperand(dst, res, w)
+	}
+}
+
+// resultFlags sets ZF/SF/PF, which are pure functions of the masked
+// result — so "test %rax,%rax" and "cmp $0,%rax" agree on ZF and SF.
+func (s *state) resultFlags(res *Expr, w x86.Width) {
+	b := s.b
+	if v, ok := res.IsConst(); ok {
+		masked := uint64(v) & widthMask(w)
+		s.setFlag(x86.ZF, boolConst(b, masked == 0))
+		s.setFlag(x86.SF, boolConst(b, masked>>(uint(w)*8-1)&1 == 1))
+		s.setFlag(x86.PF, boolConst(b, evenParity(byte(masked))))
+		return
+	}
+	s.setFlag(x86.ZF, b.flagExpr(x86.ZF, "res", w, res))
+	s.setFlag(x86.SF, b.flagExpr(x86.SF, "res", w, res))
+	s.setFlag(x86.PF, b.flagExpr(x86.PF, "res", w, res))
+}
+
+func boolConst(b *builder, v bool) *Expr {
+	if v {
+		return b.konst(1)
+	}
+	return b.konst(0)
+}
+
+func evenParity(x byte) bool {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n%2 == 0
+}
+
+// addFlags sets the full flag state of an add. Carry-ish bits are kept
+// as uninterpreted functions of the (commutatively sorted) operands;
+// constant operands fold.
+func (s *state) addFlags(a, c, res *Expr, w x86.Width) {
+	s.resultFlags(res, w)
+	if c.id < a.id {
+		a, c = c, a
+	}
+	s.setFlag(x86.CF, s.opFlag(x86.CF, "add", w, a, c))
+	s.setFlag(x86.OF, s.opFlag(x86.OF, "add", w, a, c))
+	s.setFlag(x86.AF, s.opFlag(x86.AF, "add", w, a, c))
+}
+
+// subFlags sets the full flag state of a sub/cmp/neg (a - c).
+func (s *state) subFlags(a, c, res *Expr, w x86.Width) {
+	s.resultFlags(res, w)
+	s.setFlag(x86.CF, s.opFlag(x86.CF, "sub", w, a, c))
+	s.setFlag(x86.OF, s.opFlag(x86.OF, "sub", w, a, c))
+	s.setFlag(x86.AF, s.opFlag(x86.AF, "sub", w, a, c))
+}
+
+// opFlag builds one carry-family flag bit, constant-folding CF/OF of
+// add/sub when both operands are literal.
+func (s *state) opFlag(f x86.Flags, op string, w x86.Width, args ...*Expr) *Expr {
+	b := s.b
+	if len(args) == 2 {
+		av, aok := args[0].IsConst()
+		cv, cok := args[1].IsConst()
+		if aok && cok && (op == "add" || op == "sub") {
+			ua := uint64(av) & widthMask(w)
+			uc := uint64(cv) & widthMask(w)
+			bits := uint(w) * 8
+			switch {
+			case f == x86.CF && op == "add":
+				return boolConst(b, (ua+uc)>>bits != 0 || (w == x86.W64 && ua+uc < ua))
+			case f == x86.CF && op == "sub":
+				return boolConst(b, ua < uc)
+			case f == x86.OF && op == "add":
+				r := (ua + uc) & widthMask(w)
+				return boolConst(b, (ua^r)&(uc^r)>>(bits-1)&1 == 1)
+			case f == x86.OF && op == "sub":
+				r := (ua - uc) & widthMask(w)
+				return boolConst(b, (ua^uc)&(ua^r)>>(bits-1)&1 == 1)
+			}
+		}
+	}
+	return b.flagExpr(f, op, w, args...)
+}
+
+// undefFlag models an architecturally undefined flag as a
+// deterministic function of the instruction's inputs and the flag's
+// prior value. This is stricter than hardware (which may produce
+// anything) but congruent: identical code yields identical junk, and
+// a pass has no business depending on undefined bits either way.
+func (s *state) undefFlag(f x86.Flags, op string, w x86.Width, args ...*Expr) {
+	all := append(append([]*Expr(nil), args...), s.flag(f))
+	s.setFlag(f, s.b.flagUndefExpr(f, op, w, all...))
+}
+
+// shift implements the const- and variable-count shift/rotate family.
+func (s *state) shift(in *x86.Inst, w x86.Width) {
+	b := s.b
+	op := in.Op.String()
+	var cntOp, dstOp *x86.Operand
+	switch len(in.Args) {
+	case 1: // "shlq %rax" shifts by one
+		cntOp = &x86.Operand{Kind: x86.KindImm, Imm: 1}
+		dstOp = &in.Args[0]
+	case 2:
+		cntOp = &in.Args[0]
+		dstOp = &in.Args[1]
+	default:
+		s.havocInst(in)
+		return
+	}
+	a := s.readOperand(dstOp, w)
+	if cntOp.Kind == x86.KindImm {
+		mask := int64(63)
+		if w != x86.W64 {
+			mask = 31
+		}
+		n := cntOp.Imm & mask
+		if n == 0 {
+			return // zero count: no result change, no flag change
+		}
+		cnt := b.konst(n)
+		res := s.shiftResult(op, a, cnt, w)
+		s.writeOperand(dstOp, res, w)
+		if op == "rol" || op == "ror" {
+			// Rotates set only CF (and OF for count 1).
+			s.setFlag(x86.CF, s.opFlag(x86.CF, op, w, a, cnt))
+			if n == 1 {
+				s.setFlag(x86.OF, s.opFlag(x86.OF, op, w, a, cnt))
+			} else {
+				s.undefFlag(x86.OF, op, w, a, cnt)
+			}
+			return
+		}
+		s.resultFlags(res, w)
+		s.setFlag(x86.CF, s.opFlag(x86.CF, op, w, a, cnt))
+		if n == 1 {
+			s.setFlag(x86.OF, s.opFlag(x86.OF, op, w, a, cnt))
+		} else {
+			s.undefFlag(x86.OF, op, w, a, cnt)
+		}
+		s.undefFlag(x86.AF, op, w, a, cnt)
+		return
+	}
+	// Variable count: the result is a deterministic shift expression;
+	// every flag is undefined (a zero count would preserve them all),
+	// so each becomes a function of operands plus its prior value.
+	cnt := s.readOperand(cntOp, x86.W8)
+	res := s.shiftResult(op, a, cnt, w)
+	s.writeOperand(dstOp, res, w)
+	for _, fn := range flagNames {
+		s.undefFlag(fn.bit, op+"v", w, a, cnt)
+	}
+}
+
+func (s *state) shiftResult(op string, a, cnt *Expr, w x86.Width) *Expr {
+	b := s.b
+	switch op {
+	case "shl", "shr":
+		return b.trunc(b.shiftOp(op, b.trunc(a, w), cnt, w), w)
+	case "sar":
+		return b.trunc(b.shiftOp("sar", b.sext(b.trunc(a, w), w), cnt, x86.W64), w)
+	}
+	// Rotates stay fully uninterpreted.
+	return b.trunc(b.mk(op+"."+strconv.Itoa(int(w)), 0, "", b.trunc(a, w), cnt), w)
+}
+
+// imulFlags models the two/three-operand imul flag state: CF/OF are
+// defined (overflow of the truncated product), the rest undefined.
+func (s *state) imulFlags(a, c *Expr, w x86.Width) {
+	if c.id < a.id {
+		a, c = c, a
+	}
+	s.setFlag(x86.CF, s.opFlag(x86.CF, "imul", w, a, c))
+	s.setFlag(x86.OF, s.opFlag(x86.OF, "imul", w, a, c))
+	s.undefFlag(x86.ZF, "imul", w, a, c)
+	s.undefFlag(x86.SF, "imul", w, a, c)
+	s.undefFlag(x86.PF, "imul", w, a, c)
+	s.undefFlag(x86.AF, "imul", w, a, c)
+}
+
+// mulWide implements one-operand mul/imul: the double-width product
+// lands in rdx:rax (ax for byte multiplies).
+func (s *state) mulWide(in *x86.Inst, w x86.Width, signed bool) {
+	b := s.b
+	src := s.readOperand(&in.Args[0], w)
+	acc := b.trunc(s.reg(x86.RAX), w)
+	sign := "u"
+	lo, hiA, hiB := acc, acc, src
+	if signed {
+		sign = "s"
+		lo = b.sext(acc, w)
+		hiA, hiB = b.sext(acc, w), b.sext(src, w)
+		src = b.sext(src, w)
+	}
+	// The low half of the product is exact multiplication; the high
+	// half stays an uninterpreted (commutatively sorted) function.
+	prod := b.mul(lo, src)
+	if hiB.id < hiA.id {
+		hiA, hiB = hiB, hiA
+	}
+	hi := b.mk("mulhi."+sign+"."+strconv.Itoa(int(w)), 0, "", hiA, hiB)
+	if w == x86.W8 {
+		// imulb: the 16-bit product lands in AX.
+		s.writeReg(x86.AX, b.trunc(prod, x86.W16))
+	} else {
+		s.writeReg(x86.RAX.WithWidth(w), prod)
+		s.writeReg(x86.RDX.WithWidth(w), hi)
+	}
+	s.setFlag(x86.CF, s.opFlag(x86.CF, "mulw."+sign, w, hiA, hiB))
+	s.setFlag(x86.OF, s.opFlag(x86.OF, "mulw."+sign, w, hiA, hiB))
+	s.undefFlag(x86.ZF, "mulw", w, hiA, hiB)
+	s.undefFlag(x86.SF, "mulw", w, hiA, hiB)
+	s.undefFlag(x86.PF, "mulw", w, hiA, hiB)
+	s.undefFlag(x86.AF, "mulw", w, hiA, hiB)
+}
+
+// divide implements one-operand div/idiv as uninterpreted quotient and
+// remainder functions of (high, low, divisor).
+func (s *state) divide(in *x86.Inst, w x86.Width) {
+	b := s.b
+	src := s.readOperand(&in.Args[0], w)
+	sign := "u"
+	if in.Op == x86.OpIDIV {
+		sign = "s"
+	}
+	ws := strconv.Itoa(int(w))
+	var hi, lo *Expr
+	if w == x86.W8 {
+		// divb divides AX by the operand; quotient to AL, remainder AH.
+		ax := b.trunc(s.reg(x86.RAX), x86.W16)
+		q := b.mk("div.q."+sign+"."+ws, 0, "", ax, src)
+		r := b.mk("div.r."+sign+"."+ws, 0, "", ax, src)
+		s.writeReg(x86.AX, b.or(b.trunc(q, x86.W8), b.shiftOp("shl", b.trunc(r, x86.W8), b.konst(8), x86.W64)))
+	} else {
+		hi = b.trunc(s.reg(x86.RDX), w)
+		lo = b.trunc(s.reg(x86.RAX), w)
+		q := b.mk("div.q."+sign+"."+ws, 0, "", hi, lo, src)
+		r := b.mk("div.r."+sign+"."+ws, 0, "", hi, lo, src)
+		s.writeReg(x86.RAX.WithWidth(w), b.trunc(q, w))
+		s.writeReg(x86.RDX.WithWidth(w), b.trunc(r, w))
+	}
+	for _, fn := range flagNames {
+		if hi != nil {
+			s.undefFlag(fn.bit, "div", w, hi, lo, src)
+		} else {
+			s.undefFlag(fn.bit, "div", w, src)
+		}
+	}
+}
+
+// condValue builds the 0/1 value of a condition code over the current
+// flag state. Complementary codes over identical flags normalize to
+// expr and not(expr), so a pass that negates a branch and swaps its
+// arms still proves equal.
+func (s *state) condValue(c x86.Cond) *Expr {
+	base := c &^ 1
+	e := s.b.condExpr(base, s.flag)
+	if c&1 == 1 {
+		return s.b.xor(e, s.b.konst(1))
+	}
+	return e
+}
+
+// sseMemSize returns the memory footprint of an SSE move/op operand.
+func sseMemSize(op x86.Op) int {
+	switch op {
+	case x86.OpMOVSS, x86.OpADDSS, x86.OpSUBSS, x86.OpMULSS, x86.OpDIVSS,
+		x86.OpSQRTSS, x86.OpUCOMISS, x86.OpCOMISS, x86.OpMOVD,
+		x86.OpCVTSI2SS, x86.OpCVTTSS2SI, x86.OpCVTSS2SD:
+		return 4
+	case x86.OpMOVAPS, x86.OpMOVUPS, x86.OpMOVDQA, x86.OpMOVDQU,
+		x86.OpXORPS, x86.OpXORPD, x86.OpANDPS, x86.OpANDPD, x86.OpPXOR:
+		return 16
+	}
+	return 8
+}
+
+// sse evaluates the scalar-SSE subset: moves become loads/stores or
+// register copies, arithmetic becomes uninterpreted functions over the
+// operand lanes, compares set real flag bits.
+func (s *state) sse(in *x86.Inst) {
+	b := s.b
+	size := sseMemSize(in.Op)
+	readLane := func(a x86.Operand) *Expr {
+		if a.Kind == x86.KindMem {
+			return b.load(s.mem, s.addrExpr(a.Mem), size)
+		}
+		if a.Kind == x86.KindReg && a.Reg.IsGPR() {
+			return s.readReg(a.Reg)
+		}
+		return s.reg(a.Reg)
+	}
+	writeLane := func(a x86.Operand, v *Expr) {
+		if a.Kind == x86.KindMem {
+			s.mem = b.store(s.mem, s.addrExpr(a.Mem), v, size)
+			return
+		}
+		if a.Kind == x86.KindReg && a.Reg.IsGPR() {
+			w := a.Reg.Width()
+			s.writeReg(a.Reg, b.trunc(v, w))
+			return
+		}
+		s.regs[famIdx(a.Reg.Family())] = v
+	}
+	if len(in.Args) != 2 {
+		s.havocInst(in)
+		return
+	}
+	src, dst := in.Args[0], in.Args[1]
+
+	switch in.Op {
+	case x86.OpMOVAPS, x86.OpMOVUPS, x86.OpMOVDQA, x86.OpMOVDQU,
+		x86.OpMOVD, x86.OpMOVQX:
+		writeLane(dst, readLane(src))
+		return
+	case x86.OpMOVSS, x86.OpMOVSD:
+		v := readLane(src)
+		if src.Kind == x86.KindReg && dst.Kind == x86.KindReg {
+			// Register-to-register scalar moves merge into the low lane.
+			v = b.mk("sse.merge."+in.Op.String(), 0, "", v, readLane(dst))
+		}
+		writeLane(dst, v)
+		return
+	case x86.OpXORPS, x86.OpXORPD, x86.OpPXOR:
+		if src.Kind == x86.KindReg && dst.Kind == x86.KindReg && src.Reg == dst.Reg {
+			writeLane(dst, b.konst(0)) // the canonical zero idiom
+			return
+		}
+		writeLane(dst, b.xor(readLane(dst), readLane(src)))
+		return
+	case x86.OpUCOMISS, x86.OpUCOMISD, x86.OpCOMISS, x86.OpCOMISD:
+		a, c := readLane(dst), readLane(src)
+		op := in.Op.String()
+		s.setFlag(x86.ZF, b.flagExpr(x86.ZF, op, x86.W64, a, c))
+		s.setFlag(x86.PF, b.flagExpr(x86.PF, op, x86.W64, a, c))
+		s.setFlag(x86.CF, b.flagExpr(x86.CF, op, x86.W64, a, c))
+		s.setFlag(x86.OF, b.konst(0))
+		s.setFlag(x86.SF, b.konst(0))
+		s.setFlag(x86.AF, b.konst(0))
+		return
+	}
+	// Remaining SSE arithmetic/conversion: dst = f(op, src, dst).
+	writeLane(dst, b.mk("sse."+in.Op.String(), 0, "", readLane(src), readLane(dst)))
+}
+
+// call models a call instruction: the event is observable (target,
+// argument registers, memory), the caller-saved state is freshened
+// deterministically by call position, callee-saved registers and RSP
+// survive.
+func (s *state) call(in *x86.Inst) {
+	b := s.b
+	target := "<indirect>"
+	if t, ok := in.BranchTarget(); ok {
+		target = t
+	} else if len(in.Args) == 1 {
+		target = "*" + s.readOperand(&in.Args[0], x86.W64).String()
+	}
+	ev := callEvent{target: target, mem: s.mem}
+	for _, r := range abiArgRegs {
+		ev.args = append(ev.args, s.reg(r))
+	}
+	seq := int64(len(s.calls))
+	s.calls = append(s.calls, ev)
+
+	tag := "call." + target
+	for _, r := range callerSaved {
+		s.havocReg(r, tag, seq)
+	}
+	s.havocFlags(x86.AllFlags, tag, seq)
+	s.mem = b.havocMem(tag, seq, s.mem)
+}
+
+// havocInst clobbers exactly what the side-effect tables say an
+// unmodeled instruction writes, with fresh values keyed by the
+// instruction's text and a per-block sequence number — deterministic
+// across the two sides as long as the unmodeled code is unchanged.
+func (s *state) havocInst(in *x86.Inst) {
+	eff := sidefx.InstEffects(in)
+	tag := "op." + in.String()
+	seq := s.nextHavoc()
+	if eff.Barrier {
+		for _, r := range x86.GPR64 {
+			s.havocReg(r, tag, seq)
+		}
+		for f := x86.XMM0; f <= x86.XMM15; f++ {
+			s.havocReg(f, tag, seq)
+		}
+		s.havocFlags(x86.AllFlags, tag, seq)
+		s.mem = s.b.havocMem(tag, seq, s.mem)
+		return
+	}
+	for _, r := range eff.RegsWritten {
+		if r == x86.RFLAGS {
+			s.havocFlags(x86.AllFlags, tag, seq)
+			continue
+		}
+		s.havocReg(r, tag, seq)
+	}
+	s.havocFlags(eff.FlagsSet|eff.FlagsUndef, tag, seq)
+	if eff.MemWrite {
+		s.mem = s.b.havocMem(tag, seq, s.mem)
+	}
+}

@@ -1,0 +1,756 @@
+// Package verify is MAO's translation-validation subsystem: it proves,
+// per function, that the IR a pass produced is observationally
+// equivalent to the IR the pass was given.
+//
+// MAOCHECK (mao/internal/check) certifies syntactic invariants — no
+// new rule violations, no new live-in flags. That catches a pass that
+// breaks structure, but not one that miscompiles: swapping two operands
+// of a sub, dropping a mov, or retargeting a branch all sail through a
+// lint gate. This package closes that hole the way Minotaur-style
+// superoptimizers must: every rewrite is mechanically validated.
+//
+// The engine evaluates both versions of a function symbolically —
+// registers, flags and memory become expressions over the unknown
+// block-entry state — and requires matching end-states at every
+// control-flow cut point, modulo values the data-flow layer proves
+// dead. When symbolic normalization cannot decide (the expressions
+// differ but may still denote the same function), it falls back to
+// randomized concrete execution on mao/internal/uarch/exec and lets
+// the machine vote. The same Equiv API is the oracle a future SYNTH
+// rewrite-search pass calls before accepting a candidate.
+package verify
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"mao/internal/x86"
+)
+
+// Expr is one hash-consed symbolic value. Exprs are immutable and
+// interned per builder: two structurally equal expressions are the
+// same pointer, so equivalence checks are pointer comparisons and
+// normalization happens exactly once per distinct term.
+//
+// Every Expr denotes a 64-bit value; narrower operations mask through
+// ordinary "and" terms, which keeps the normalizer's algebra
+// width-free. Flag values are Exprs too (0/1-valued); memory is an
+// Expr chain of "store" terms over an opaque initial memory.
+type Expr struct {
+	op   string  // operator tag, e.g. "sum", "and", "load", "init"
+	c    int64   // constant payload (value, size, shift, havoc seq)
+	s    string  // symbol payload (register name, label, havoc tag)
+	args []*Expr // operands
+
+	// id is the creation order within the builder — the canonical
+	// ordering identity. Interning keys are built from child ids, not
+	// child renderings, so constructing a node is O(arity) instead of
+	// O(subtree).
+	id uint32
+
+	// base caches the address-base decomposition of sum nodes (the
+	// interned constant-free term set) for the O(1) memory
+	// disjointness test.
+	base *Expr
+}
+
+// renderBudget caps the diagnostic rendering of one expression; deep
+// store chains and shared subterms would otherwise explode the text.
+const renderBudget = 4096
+
+// Key returns the canonical rendering of the expression (capped).
+// Within one builder, equal expressions are equal pointers.
+func (e *Expr) Key() string { return e.String() }
+
+// String renders the expression for diagnostics: compact,
+// deterministic, stable across runs, and truncated with "…" beyond
+// renderBudget bytes.
+func (e *Expr) String() string {
+	var sb strings.Builder
+	e.render(&sb)
+	return sb.String()
+}
+
+func (e *Expr) render(sb *strings.Builder) {
+	if sb.Len() > renderBudget {
+		sb.WriteString("…")
+		return
+	}
+	sb.WriteString(e.op)
+	if e.c != 0 || e.op == "const" {
+		sb.WriteByte('#')
+		sb.WriteString(strconv.FormatInt(e.c, 10))
+	}
+	if e.s != "" {
+		sb.WriteByte('@')
+		sb.WriteString(e.s)
+	}
+	if len(e.args) > 0 {
+		sb.WriteByte('(')
+		for i, a := range e.args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			a.render(sb)
+			if sb.Len() > renderBudget {
+				break
+			}
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// IsConst reports whether the expression is a literal constant and
+// returns its value.
+func (e *Expr) IsConst() (int64, bool) {
+	if e.op == "const" {
+		return e.c, true
+	}
+	return 0, false
+}
+
+// builder interns and normalizes expressions. A builder is
+// single-goroutine; each function verification owns one so that the
+// intern table cannot grow without bound across a corpus run.
+//
+// The intern table is open-addressed and hashed over the node fields
+// directly (children by interned id), so constructing a node needs no
+// key material and the common already-interned case allocates nothing.
+type builder struct {
+	table  []*Expr
+	mask   uint32
+	count  int
+	nextID uint32
+}
+
+func newBuilder() *builder {
+	return &builder{table: make([]*Expr, 512), mask: 511}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func exprHash(op string, c int64, s string, args []*Expr) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(op); i++ {
+		h = (h ^ uint64(op[i])) * fnvPrime
+	}
+	h = (h ^ uint64(c)) * fnvPrime
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	for _, a := range args {
+		h = (h ^ uint64(a.id)) * fnvPrime
+	}
+	return h
+}
+
+func exprEq(e *Expr, op string, c int64, s string, args []*Expr) bool {
+	if e.c != c || e.op != op || e.s != s || len(e.args) != len(args) {
+		return false
+	}
+	for i, a := range args {
+		if e.args[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// mk interns the expression (op, c, s, args). The argument slice is
+// copied only when the node is new, so variadic call sites stay on the
+// caller's stack for the (dominant) already-interned case.
+func (b *builder) mk(op string, c int64, s string, args ...*Expr) *Expr {
+	h := exprHash(op, c, s, args)
+	i := uint32(h) & b.mask
+	for {
+		e := b.table[i]
+		if e == nil {
+			break
+		}
+		if exprEq(e, op, c, s, args) {
+			return e
+		}
+		i = (i + 1) & b.mask
+	}
+	b.nextID++
+	e := &Expr{op: op, c: c, s: s, id: b.nextID}
+	if len(args) > 0 {
+		e.args = make([]*Expr, len(args))
+		copy(e.args, args)
+	}
+	b.table[i] = e
+	b.count++
+	if b.count*4 >= len(b.table)*3 {
+		b.grow()
+	}
+	return e
+}
+
+func (b *builder) grow() {
+	old := b.table
+	b.table = make([]*Expr, len(old)*2)
+	b.mask = uint32(len(b.table) - 1)
+	for _, e := range old {
+		if e == nil {
+			continue
+		}
+		i := uint32(exprHash(e.op, e.c, e.s, e.args)) & b.mask
+		for b.table[i] != nil {
+			i = (i + 1) & b.mask
+		}
+		b.table[i] = e
+	}
+}
+
+// konst returns the literal constant v.
+func (b *builder) konst(v int64) *Expr { return b.mk("const", v, "") }
+
+// initReg returns the unknown block-entry value of a register family.
+func (b *builder) initReg(name string) *Expr { return b.mk("init", 0, name) }
+
+// initFlag returns the unknown block-entry value of one flag bit.
+func (b *builder) initFlag(name string) *Expr { return b.mk("initflag", 0, name) }
+
+// symAddr returns the link-time address of a symbol. Distinct symbols
+// are distinct bases for the memory disjointness test.
+func (b *builder) symAddr(sym string) *Expr { return b.mk("symaddr", 0, sym) }
+
+// havoc returns a fresh unknown, keyed by a deterministic tag and
+// sequence number: two evaluations that reach the same unmodeled
+// instruction in the same havoc order agree on its result.
+func (b *builder) havoc(tag string, seq int64) *Expr { return b.mk("havoc", seq, tag) }
+
+// widthMask returns the value mask of a width (0 means "64-bit", no
+// masking needed).
+func widthMask(w x86.Width) uint64 {
+	switch w {
+	case x86.W8:
+		return 0xFF
+	case x86.W16:
+		return 0xFFFF
+	case x86.W32:
+		return 0xFFFFFFFF
+	}
+	return ^uint64(0)
+}
+
+// sum-normalization -----------------------------------------------------
+//
+// Additive expressions are kept flat: op "sum" with a constant payload
+// and a sorted term multiset, where each term is either a plain Expr
+// or a "neg" of one. This one canonical form makes lea/add/sub/inc/dec
+// chains compare equal regardless of how a pass re-associated them,
+// and gives the memory model its (base, offset) decomposition.
+
+// add returns a+b in canonical sum form.
+func (b *builder) add(x, y *Expr) *Expr { return b.sum(0, x, y) }
+
+// sub returns a-b in canonical sum form.
+func (b *builder) sub(x, y *Expr) *Expr { return b.sum(0, x, b.neg(y)) }
+
+// neg returns -x.
+func (b *builder) neg(x *Expr) *Expr {
+	if v, ok := x.IsConst(); ok {
+		return b.konst(-v)
+	}
+	if x.op == "neg" {
+		return x.args[0]
+	}
+	if x.op == "sum" {
+		terms := make([]*Expr, 0, len(x.args))
+		for _, t := range x.args {
+			terms = append(terms, b.neg(t))
+		}
+		return b.sum(-x.c, terms...)
+	}
+	return b.mk("neg", 0, "", x)
+}
+
+// sum flattens, folds constants, cancels x + (-x) pairs and sorts the
+// remaining terms.
+func (b *builder) sum(c int64, parts ...*Expr) *Expr {
+	var terms []*Expr
+	var walk func(e *Expr)
+	walk = func(e *Expr) {
+		if v, ok := e.IsConst(); ok {
+			c += v
+			return
+		}
+		if e.op == "sum" {
+			c += e.c
+			for _, t := range e.args {
+				walk(t)
+			}
+			return
+		}
+		terms = append(terms, e)
+	}
+	for _, p := range parts {
+		walk(p)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].id < terms[j].id })
+	// Cancel adjacent x, neg(x) pairs (sorted order does not adjoin
+	// them, so cancel by interned-pointer lookup).
+	counts := make(map[*Expr]int, len(terms))
+	for _, t := range terms {
+		if t.op == "neg" {
+			counts[t.args[0]]--
+		} else {
+			counts[t]++
+		}
+	}
+	out := terms[:0]
+	for _, t := range terms {
+		k, pos := t, true
+		if t.op == "neg" {
+			k, pos = t.args[0], false
+		}
+		n := counts[k]
+		switch {
+		case n == 0:
+			continue // fully canceled
+		case n > 0 && !pos:
+			continue // a negative absorbed by surviving positives
+		case n < 0 && pos:
+			continue // a positive absorbed by surviving negatives
+		default:
+			out = append(out, t)
+			if pos {
+				counts[k]--
+			} else {
+				counts[k]++
+			}
+		}
+	}
+	terms = out
+	if len(terms) == 0 {
+		return b.konst(c)
+	}
+	if len(terms) == 1 && c == 0 && terms[0].op != "sum" {
+		return terms[0]
+	}
+	e := b.mk("sum", c, "", terms...)
+	if e.base == nil {
+		// Cache the constant-free base for address disjointness: a
+		// one-term sum's base is the term itself (matching the non-sum
+		// decomposition), a wider sum's base is the interned zero-
+		// constant node over the same canonical terms.
+		switch {
+		case c == 0:
+			e.base = e
+		case len(terms) == 1:
+			e.base = terms[0]
+		default:
+			e.base = b.mk("sum", 0, "", terms...)
+		}
+	}
+	return e
+}
+
+// bitwise / multiplicative ---------------------------------------------
+
+// commutative2 builds a commutative binary operator with constant
+// folding hook fold and identity/absorber handling done by callers.
+func (b *builder) commutative2(op string, x, y *Expr, fold func(a, c int64) int64) *Expr {
+	xv, xc := x.IsConst()
+	yv, yc := y.IsConst()
+	if xc && yc {
+		return b.konst(fold(xv, yv))
+	}
+	if y.id < x.id {
+		x, y = y, x
+	}
+	return b.mk(op, 0, "", x, y)
+}
+
+func (b *builder) and(x, y *Expr) *Expr {
+	if x == y {
+		return x
+	}
+	if v, ok := x.IsConst(); ok && v == 0 {
+		return b.konst(0)
+	}
+	if v, ok := y.IsConst(); ok && v == 0 {
+		return b.konst(0)
+	}
+	if v, ok := x.IsConst(); ok && uint64(v) == ^uint64(0) {
+		return y
+	}
+	if v, ok := y.IsConst(); ok && uint64(v) == ^uint64(0) {
+		return x
+	}
+	// and(and(e, c1), c2) -> and(e, c1&c2): collapses repeated width
+	// masking, the normalizer's hottest rewrite.
+	if yv, ok := y.IsConst(); ok && x.op == "and" {
+		if xv, ok2 := x.args[1].IsConst(); ok2 {
+			return b.and(x.args[0], b.konst(int64(uint64(xv)&uint64(yv))))
+		}
+	}
+	if xv, ok := x.IsConst(); ok && y.op == "and" {
+		if yv, ok2 := y.args[1].IsConst(); ok2 {
+			return b.and(y.args[0], b.konst(int64(uint64(xv)&uint64(yv))))
+		}
+	}
+	// and(sum(...), m) with m a contiguous low-bit mask: addition
+	// (and negation, and multiplication) mod 2^k ignores high bits of
+	// its terms, so inner masks that cover m are redundant. This is
+	// what makes a 32-bit add chain equal its folded form:
+	// ((x&M)+1&M)+1 & M  ≡  (x+2) & M.
+	if yv, ok := y.IsConst(); ok && x.op == "sum" && isLowMask(yv) {
+		if stripped, changed := b.stripMaskTerms(x, uint64(yv)); changed {
+			return b.and(stripped, y)
+		}
+	}
+	if xv, ok := x.IsConst(); ok && y.op == "sum" && isLowMask(xv) {
+		if stripped, changed := b.stripMaskTerms(y, uint64(xv)); changed {
+			return b.and(stripped, x)
+		}
+	}
+	e := b.commutative2("and", x, y, func(a, c int64) int64 { return a & c })
+	// Canonical operand order puts a constant mask second.
+	if e.op == "and" {
+		if _, ok := e.args[0].IsConst(); ok {
+			e = b.mk("and", 0, "", e.args[1], e.args[0])
+		}
+	}
+	return e
+}
+
+// isLowMask reports whether v is 2^k-1 for some k ≥ 1.
+func isLowMask(v int64) bool {
+	u := uint64(v)
+	return u != 0 && (u+1)&u == 0
+}
+
+// stripTerm removes a sum term's redundant inner mask under the outer
+// low mask m, or returns (t, false).
+func (b *builder) stripTerm(t *Expr, m uint64) (*Expr, bool) {
+	switch t.op {
+	case "and":
+		if mv, ok := t.args[1].IsConst(); ok && m&^uint64(mv) == 0 {
+			return t.args[0], true
+		}
+	case "neg":
+		if inner, ok := b.stripTerm(t.args[0], m); ok {
+			return b.neg(inner), true
+		}
+	case "mul":
+		for i := 0; i < 2; i++ {
+			if _, ok := t.args[1-i].IsConst(); !ok {
+				continue
+			}
+			if inner, ok := b.stripTerm(t.args[i], m); ok {
+				return b.mul(inner, t.args[1-i]), true
+			}
+		}
+	}
+	return t, false
+}
+
+// stripMaskTerms rewrites sum terms through stripTerm, reporting
+// whether anything changed.
+func (b *builder) stripMaskTerms(s *Expr, m uint64) (*Expr, bool) {
+	terms := make([]*Expr, 0, len(s.args))
+	changed := false
+	for _, t := range s.args {
+		nt, ch := b.stripTerm(t, m)
+		changed = changed || ch
+		terms = append(terms, nt)
+	}
+	if !changed {
+		return s, false
+	}
+	return b.sum(s.c, terms...), true
+}
+
+func (b *builder) or(x, y *Expr) *Expr {
+	if x == y {
+		return x
+	}
+	if v, ok := x.IsConst(); ok && v == 0 {
+		return y
+	}
+	if v, ok := y.IsConst(); ok && v == 0 {
+		return x
+	}
+	return b.commutative2("or", x, y, func(a, c int64) int64 { return a | c })
+}
+
+func (b *builder) xor(x, y *Expr) *Expr {
+	if x == y {
+		return b.konst(0)
+	}
+	if v, ok := x.IsConst(); ok && v == 0 {
+		return y
+	}
+	if v, ok := y.IsConst(); ok && v == 0 {
+		return x
+	}
+	return b.commutative2("xor", x, y, func(a, c int64) int64 { return a ^ c })
+}
+
+func (b *builder) mul(x, y *Expr) *Expr {
+	if v, ok := x.IsConst(); ok {
+		if v == 0 {
+			return b.konst(0)
+		}
+		if v == 1 {
+			return y
+		}
+	}
+	if v, ok := y.IsConst(); ok {
+		if v == 0 {
+			return b.konst(0)
+		}
+		if v == 1 {
+			return x
+		}
+		// c * sum(c0, t...) -> sum(c*c0, c*t...): keeps scaled address
+		// arithmetic (lea vs shift+add) in one canonical form.
+		if x.op == "sum" {
+			terms := make([]*Expr, 0, len(x.args))
+			for _, t := range x.args {
+				terms = append(terms, b.mul(t, y))
+			}
+			return b.sum(x.c*v, terms...)
+		}
+	}
+	if v, ok := x.IsConst(); ok && y.op == "sum" {
+		return b.mul(y, b.konst(v))
+	}
+	return b.commutative2("mul", x, y, func(a, c int64) int64 { return a * c })
+}
+
+func (b *builder) not(x *Expr) *Expr {
+	if v, ok := x.IsConst(); ok {
+		return b.konst(^v)
+	}
+	if x.op == "not" {
+		return x.args[0]
+	}
+	return b.mk("not", 0, "", x)
+}
+
+// shifts ----------------------------------------------------------------
+
+func (b *builder) shiftOp(op string, x, n *Expr, w x86.Width) *Expr {
+	xv, xc := x.IsConst()
+	nv, nc := n.IsConst()
+	if nc {
+		nv &= 63
+		if w != x86.W64 {
+			nv &= 31
+		}
+		if nv == 0 {
+			return b.trunc(x, w)
+		}
+		if xc {
+			bits := uint(nv)
+			val := uint64(xv) & widthMask(w)
+			switch op {
+			case "shl":
+				return b.konst(int64((val << bits) & widthMask(w)))
+			case "shr":
+				return b.konst(int64(val >> bits))
+			case "sar":
+				sw := 64 - int64(w)*8
+				return b.konst(int64(uint64(int64(val<<uint(sw))>>uint(sw)>>bits) & widthMask(w)))
+			}
+		}
+		// shl by a constant is multiplication: fold into the sum/mul
+		// algebra so "shl $3" and "lea (,r,8)" normalize identically.
+		if op == "shl" && w == x86.W64 && nv < 32 {
+			return b.mul(x, b.konst(1<<uint(nv)))
+		}
+	}
+	// Variable-count shift: uninterpreted, width distinguished by the
+	// constant payload.
+	return b.mk(op, int64(w), "", x, n)
+}
+
+// trunc masks x to width w (identity at W64).
+func (b *builder) trunc(x *Expr, w x86.Width) *Expr {
+	if w == x86.W64 || w == x86.W0 {
+		return x
+	}
+	return b.and(x, b.konst(int64(widthMask(w))))
+}
+
+// sext sign-extends the w-width value x to 64 bits.
+func (b *builder) sext(x *Expr, w x86.Width) *Expr {
+	if w == x86.W64 || w == x86.W0 {
+		return x
+	}
+	if v, ok := x.IsConst(); ok {
+		sw := uint(64 - int(w)*8)
+		return b.konst(int64(uint64(v)<<sw) >> sw)
+	}
+	return b.mk("sext", int64(w)*8, "", x)
+}
+
+// select is the symbolic conditional: cond ? a : b.
+func (b *builder) sel(cond, a, c *Expr) *Expr {
+	if a == c {
+		return a
+	}
+	if v, ok := cond.IsConst(); ok {
+		if v != 0 {
+			return a
+		}
+		return c
+	}
+	return b.mk("select", 0, "", cond, a, c)
+}
+
+// memory ---------------------------------------------------------------
+
+// mem0 is the opaque block-entry memory.
+func (b *builder) mem0() *Expr { return b.mk("mem0", 0, "") }
+
+// store appends one store to the chain, canonicalizing as it goes: a
+// store shadowing an earlier same-address same-size store deletes it,
+// and provably disjoint stores keep a sorted order — so a scheduler
+// that reorders independent stores produces the identical chain.
+func (b *builder) store(mem, addr, val *Expr, size int) *Expr {
+	return b.storeChain(mem, addr, b.truncBytes(val, size), size)
+}
+
+func (b *builder) storeChain(mem, addr, val *Expr, size int) *Expr {
+	if mem.op == "store" {
+		pMem, pAddr, pVal := mem.args[0], mem.args[1], mem.args[2]
+		pSize := int(mem.c)
+		if pAddr == addr && pSize == size {
+			return b.storeChain(pMem, addr, val, size) // shadowed
+		}
+		if disjoint(addr, int64(size), pAddr, int64(pSize)) && storeLess(addr, pAddr) {
+			inner := b.storeChain(pMem, addr, val, size)
+			return b.mk("store", int64(pSize), "", inner, pAddr, pVal)
+		}
+	}
+	return b.mk("store", int64(size), "", mem, addr, val)
+}
+
+// storeLess orders two provably disjoint store addresses (same
+// symbolic base) by constant offset.
+func storeLess(a, p *Expr) bool {
+	ab, ao := addrBase(a)
+	pb, po := addrBase(p)
+	if ab != pb {
+		return baseID(ab) < baseID(pb)
+	}
+	return ao < po
+}
+
+// baseID orders address bases canonically (nil, the pure-constant
+// base, first).
+func baseID(e *Expr) uint32 {
+	if e == nil {
+		return 0
+	}
+	return e.id
+}
+
+// havocMem models an opaque clobber of all memory (calls, unmodeled
+// stores). The prior chain stays an argument: two havocs agree only if
+// their histories agree.
+func (b *builder) havocMem(tag string, seq int64, mem *Expr) *Expr {
+	return b.mk("memhavoc", seq, tag, mem)
+}
+
+func (b *builder) truncBytes(x *Expr, size int) *Expr {
+	switch size {
+	case 1:
+		return b.trunc(x, x86.W8)
+	case 2:
+		return b.trunc(x, x86.W16)
+	case 4:
+		return b.trunc(x, x86.W32)
+	}
+	return x
+}
+
+// load reads size bytes at addr, looking through the store chain:
+// exact-address same-size stores forward their value, provably
+// disjoint stores are skipped, anything else stops the walk.
+func (b *builder) load(mem, addr *Expr, size int) *Expr {
+	m := mem
+	for m.op == "store" {
+		sAddr, sVal := m.args[1], m.args[2]
+		sSize := int(m.c)
+		if sAddr == addr && sSize == size {
+			return sVal
+		}
+		if disjoint(addr, int64(size), sAddr, int64(sSize)) {
+			m = m.args[0]
+			continue
+		}
+		break
+	}
+	return b.mk("load", int64(size), "", m, addr)
+}
+
+// addrBase decomposes an address expression into (base, constant
+// offset): sum#16(init@rsp) → (init@rsp, 16). Non-sum expressions are
+// their own base at offset 0; pure constants have the nil base. Bases
+// are interned, so "same symbolic base" is pointer equality.
+func addrBase(e *Expr) (*Expr, int64) {
+	if e.op == "sum" {
+		return e.base, e.c
+	}
+	if v, ok := e.IsConst(); ok {
+		return nil, v
+	}
+	return e, 0
+}
+
+// disjoint reports whether two accesses provably do not overlap: the
+// same symbolic base with non-overlapping constant ranges.
+func disjoint(a *Expr, an int64, c *Expr, cn int64) bool {
+	ab, ao := addrBase(a)
+	cb, co := addrBase(c)
+	if ab != cb {
+		return false
+	}
+	return ao+an <= co || co+cn <= ao
+}
+
+// flags -----------------------------------------------------------------
+
+var flagNames = []struct {
+	bit  x86.Flags
+	name string
+}{
+	{x86.CF, "CF"}, {x86.PF, "PF"}, {x86.AF, "AF"},
+	{x86.ZF, "ZF"}, {x86.SF, "SF"}, {x86.OF, "OF"},
+}
+
+// flagExpr builds the 0/1-valued expression of one flag bit produced
+// by an arithmetic operator. The expressions are uninterpreted — the
+// verifier never evaluates them, it only needs "same computation ⇒
+// same expression", which uninterpreted terms give for free. The
+// identity (flag bit, width, defined-vs-undef) packs into the constant
+// payload so that no per-evaluation string is built.
+func (b *builder) flagExpr(f x86.Flags, op string, w x86.Width, args ...*Expr) *Expr {
+	return b.mk("flag", int64(f)<<16|int64(w), op, args...)
+}
+
+// flagUndefExpr is flagExpr for a flag an operation leaves undefined:
+// a distinct unknown per (flag, operation, inputs).
+func (b *builder) flagUndefExpr(f x86.Flags, op string, w x86.Width, args ...*Expr) *Expr {
+	return b.mk("flag", int64(f)<<16|int64(w)|1<<8, op, args...)
+}
+
+// boolExpr wraps a 0/1 symbolic condition over flag values.
+func (b *builder) condExpr(c x86.Cond, read func(x86.Flags) *Expr) *Expr {
+	var args []*Expr
+	for _, fn := range flagNames {
+		if c.FlagsRead()&fn.bit != 0 {
+			args = append(args, read(fn.bit))
+		}
+	}
+	return b.mk("cond", int64(c), "", args...)
+}

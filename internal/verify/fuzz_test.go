@@ -1,0 +1,60 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+)
+
+// FuzzVerifyEquiv is the zero-false-positive fuzz gate: for any
+// parseable input, the verifier must never refute a byte-identical
+// copy, nor a copy differing only by inserted nops (the one edit whose
+// neutrality is known without an oracle). Refuting either would be a
+// verifier bug by construction, whatever the input program does.
+func FuzzVerifyEquiv(f *testing.F) {
+	f.Add("\tmovl $1, %eax\n\tret\n", uint8(0))
+	f.Add("f:\n\ttestl %edi, %edi\n\tjne f\n\tret\n", uint8(3))
+	f.Add("g:\n\tpushq %rbx\n\tmovq %rdi, %rbx\n\taddq $2, %rbx\n\tmovq %rbx, %rax\n\tpopq %rbx\n\tret\n", uint8(7))
+	f.Add("h:\n\tmovq %rsi, (%rdi)\n\tmovq (%rdi), %rax\n\tcall ext\n\tret\n", uint8(1))
+	f.Add("k:\n\tcmpq $3, %rdi\n\tje k2\n\tshlq $2, %rax\n\tret\nk2:\n\timull $3, %esi, %eax\n\tret\n", uint8(5))
+
+	f.Fuzz(func(t *testing.T, src string, edit uint8) {
+		if len(src) > 4096 {
+			return
+		}
+		before, err := asm.ParseString("fuzz.s", src)
+		if err != nil {
+			return
+		}
+		// Byte-level edit: insert a nop line at a line boundary chosen
+		// by the selector (0 = no edit, byte-identical copy).
+		after := src
+		if edit != 0 {
+			lines := strings.SplitAfter(src, "\n")
+			at := int(edit) % (len(lines) + 1)
+			var sb strings.Builder
+			for i, l := range lines {
+				if i == at {
+					sb.WriteString("\tnop\n")
+				}
+				sb.WriteString(l)
+			}
+			if at == len(lines) {
+				sb.WriteString("\tnop\n")
+			}
+			after = sb.String()
+		}
+		ua, err := asm.ParseString("fuzz.s", after)
+		if err != nil {
+			return
+		}
+		r := Equiv(before, ua, &Options{ConcreteRuns: 2, MaxInsts: 50_000})
+		for _, fr := range r.Funcs {
+			if fr.Status == StatusRefuted {
+				t.Fatalf("refuted a neutral edit: %s: %v\nsource:\n%s\nedited:\n%s",
+					fr.Func, fr.Mismatch, src, after)
+			}
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/check"
+	"mao/internal/ir"
+	"mao/internal/pass"
+	"mao/internal/trace"
+	"mao/internal/x86"
+)
+
+// The mutation suite: deliberately broken pass variants — one per
+// classic miscompile family — each of which the certifier must refute
+// and attribute to the exact NAME[idx] invocation.
+
+// synthInst parses one instruction line into an x86.Inst.
+func synthInst(line string) *x86.Inst {
+	u, err := asm.ParseString("synth.s", "\t"+line+"\n")
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range u.List.Nodes() {
+		if n.Kind == ir.NodeInst {
+			return n.Inst
+		}
+	}
+	panic("no instruction in " + line)
+}
+
+type mutBase struct{ name, desc string }
+
+func (m mutBase) Name() string        { return m.name }
+func (m mutBase) Description() string { return m.desc }
+
+// mutDrop deletes the first add — a dropped instruction.
+type mutDrop struct{ mutBase }
+
+func (mutDrop) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	for _, n := range f.Instructions() {
+		if n.Inst.Op == x86.OpADD {
+			ctx.Delete(n)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// mutSwap swaps the operands of the first two-register sub —
+// computing dst-src where src-dst was meant.
+type mutSwap struct{ mutBase }
+
+func (mutSwap) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	for _, n := range f.Instructions() {
+		in := n.Inst
+		if in.Op == x86.OpSUB && len(in.Args) == 2 &&
+			in.Args[0].Kind == x86.KindReg && in.Args[1].Kind == x86.KindReg {
+			in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+			ctx.Rewrite(n)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// mutClob overwrites a callee-saved register at function entry.
+type mutClob struct{ mutBase }
+
+func (mutClob) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	ctx.InsertAfter(ir.InstNode(synthInst("movq $777, %rbx")), f.EntryLabel())
+	return true, nil
+}
+
+// mutBranch retargets the first conditional branch at a different
+// label.
+type mutBranch struct{ mutBase }
+
+func (mutBranch) RunFunc(ctx *pass.Ctx, f *ir.Function) (bool, error) {
+	for _, n := range f.Instructions() {
+		in := n.Inst
+		if in.Op == x86.OpJCC && len(in.Args) == 1 && in.Args[0].Kind == x86.KindLabel {
+			in.Args[0].Sym = ".LVB"
+			ctx.Rewrite(n)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// mutGood changes nothing.
+type mutGood struct{ mutBase }
+
+func (mutGood) RunFunc(*pass.Ctx, *ir.Function) (bool, error) { return false, nil }
+
+func init() {
+	pass.Register(func() pass.Pass { return mutDrop{mutBase{"TVDROP", "mutation: drop an instruction"}} })
+	pass.Register(func() pass.Pass { return mutSwap{mutBase{"TVSWAP", "mutation: swap sub operands"}} })
+	pass.Register(func() pass.Pass { return mutClob{mutBase{"TVCLOB", "mutation: clobber a callee-save"}} })
+	pass.Register(func() pass.Pass { return mutBranch{mutBase{"TVBRANCH", "mutation: retarget a branch"}} })
+	pass.Register(func() pass.Pass { return mutGood{mutBase{"TVGOOD", "mutation: no-op"}} })
+}
+
+// mutationSrc exercises every mutation: an add to drop, a reg-reg sub
+// to swap, a conditional branch to retarget (taken for nearly every
+// random input), and a spare target .LVB whose behavior differs.
+const mutationSrc = `	.text
+	.type f,@function
+f:
+	movq %rdi, %rax
+	addq %rsi, %rax
+	subq %rdx, %rax
+	testq %rdi, %rdi
+	jne .LVA
+	movl $0, %eax
+	ret
+.LVA:
+	addq $1, %rax
+	ret
+.LVB:
+	movq $99, %rax
+	ret
+	.size f,.-f
+`
+
+func runMutation(t *testing.T, pipeline string) *Certifier {
+	t.Helper()
+	u, err := asm.ParseString("mut.s", mutationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pass.NewManager(pipeline)
+	if err != nil {
+		t.Fatalf("NewManager(%q): %v", pipeline, err)
+	}
+	cert := &Certifier{}
+	mgr.Hook = cert
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return cert
+}
+
+func TestMutationsRefuted(t *testing.T) {
+	cases := []struct {
+		pipeline  string
+		wantPass  string
+		wantIndex int
+	}{
+		{"TVDROP", "TVDROP", 0},
+		{"TVSWAP", "TVSWAP", 0},
+		{"TVCLOB", "TVCLOB", 0},
+		{"TVBRANCH", "TVBRANCH", 0},
+		// Attribution must name the guilty invocation, not its
+		// harmless neighbors.
+		{"TVGOOD:TVCLOB:TVGOOD", "TVCLOB", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pipeline, func(t *testing.T) {
+			cert := runMutation(t, tc.pipeline)
+			if len(cert.Violations) == 0 {
+				t.Fatal("mutation not refuted")
+			}
+			for _, v := range cert.Violations {
+				if v.Pass != tc.wantPass || v.Index != tc.wantIndex {
+					t.Errorf("attributed to %s[%d], want %s[%d]",
+						v.Pass, v.Index, tc.wantPass, tc.wantIndex)
+				}
+				if v.Diag.Rule != "verify-equiv" {
+					t.Errorf("rule = %s, want verify-equiv", v.Diag.Rule)
+				}
+				if v.Diag.Func != "f" {
+					t.Errorf("func = %s, want f", v.Diag.Func)
+				}
+				if !strings.Contains(v.Diag.Msg, "counterexample=") {
+					t.Errorf("diag carries no counterexample: %s", v.Diag.Msg)
+				}
+			}
+		})
+	}
+}
+
+func TestMutationCleanPipeline(t *testing.T) {
+	cert := runMutation(t, "TVGOOD:TVGOOD")
+	if len(cert.Violations) != 0 {
+		t.Fatalf("false positives on a no-op pipeline: %v", cert.Violations)
+	}
+	if len(cert.Invocations) != 2 {
+		t.Fatalf("got %d invocation records, want 2", len(cert.Invocations))
+	}
+	for _, inv := range cert.Invocations {
+		if !inv.Result.Clean() {
+			t.Errorf("%s[%d] not clean: %+v", inv.Pass, inv.Index, inv.Result)
+		}
+	}
+}
+
+func TestCertifierFailFast(t *testing.T) {
+	u, err := asm.ParseString("mut.s", mutationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pass.NewManager("TVGOOD:TVCLOB:TVGOOD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := &Certifier{FailFast: true}
+	mgr.Hook = cert
+	_, err = mgr.Run(u)
+	if err == nil {
+		t.Fatal("FailFast pipeline succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "TVCLOB[1]") ||
+		!strings.Contains(err.Error(), "verification failed") {
+		t.Errorf("error = %v, want TVCLOB[1] verification failure", err)
+	}
+}
+
+func TestCertifierSkip(t *testing.T) {
+	u, err := asm.ParseString("mut.s", mutationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pass.NewManager("TVCLOB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := &Certifier{Skip: map[string]bool{"TVCLOB": true}}
+	mgr.Hook = cert
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Violations) != 0 {
+		t.Errorf("skipped pass still refuted: %v", cert.Violations)
+	}
+}
+
+// TestCertifierComposesWithCheck: verify.Certifier and check.Certifier
+// stack through pass.Hooks, each attributing through its own rules.
+func TestCertifierComposesWithCheck(t *testing.T) {
+	u, err := asm.ParseString("mut.s", mutationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pass.NewManager("TVCLOB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcert := &Certifier{}
+	ccert := &check.Certifier{}
+	mgr.Hook = pass.Hooks{ccert, vcert}
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	if len(vcert.Violations) == 0 {
+		t.Error("verify certifier silent under composition")
+	}
+}
+
+// TestCertifierEmitsVerifySpans: each validated invocation lands one
+// KindVerify span with status counters.
+func TestCertifierEmitsVerifySpans(t *testing.T) {
+	u, err := asm.ParseString("mut.s", mutationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := pass.NewManager("TVGOOD:TVDROP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	mgr.Tracer = col
+	cert := &Certifier{Tracer: col}
+	mgr.Hook = cert
+	if _, err := mgr.Run(u); err != nil {
+		t.Fatal(err)
+	}
+	var verifySpans []trace.Span
+	for _, s := range col.Spans() {
+		if s.Kind == trace.KindVerify {
+			verifySpans = append(verifySpans, s)
+		}
+	}
+	if len(verifySpans) != 2 {
+		t.Fatalf("got %d verify spans, want 2", len(verifySpans))
+	}
+	if verifySpans[1].Ref.Pass != "TVDROP" || verifySpans[1].Stats["refuted"] != 1 {
+		t.Errorf("TVDROP span = %+v, want refuted=1", verifySpans[1])
+	}
+	if verifySpans[0].Ref.Pass != "TVGOOD" || verifySpans[0].Stats["proved"] != 1 {
+		t.Errorf("TVGOOD span = %+v, want proved=1", verifySpans[0])
+	}
+}

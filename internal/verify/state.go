@@ -1,0 +1,253 @@
+package verify
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"mao/internal/x86"
+)
+
+// callEvent records one observable call: the target, the symbolic
+// values of the ABI argument registers at the call site, and the
+// memory state passed in. Two evaluations are equivalent only if they
+// perform the same calls with the same arguments in the same order —
+// stricter than necessary for pure callees, but pass authors do not
+// reorder calls, and the concrete fallback recovers the rare false
+// alarm.
+type callEvent struct {
+	target string  // symbol, or the rendered expression of an indirect target
+	args   []*Expr // values of RDI,RSI,RDX,RCX,R8,R9,RAX,RSP at the call
+	mem    *Expr   // memory chain entering the call
+}
+
+func (c callEvent) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("call %s(%s)", c.target, strings.Join(parts, ","))
+}
+
+// abiArgRegs are the registers whose values at a call site are
+// observable by the callee (integer argument registers, the AL
+// vararg count in RAX, and the stack pointer for stack arguments).
+var abiArgRegs = []x86.Reg{x86.RDI, x86.RSI, x86.RDX, x86.RCX, x86.R8, x86.R9, x86.RAX, x86.RSP}
+
+// callerSaved are the register families a call may clobber under the
+// SysV ABI. XMM registers are all caller-saved.
+var callerSaved = []x86.Reg{
+	x86.RAX, x86.RCX, x86.RDX, x86.RSI, x86.RDI,
+	x86.R8, x86.R9, x86.R10, x86.R11,
+	x86.XMM0, x86.XMM1, x86.XMM2, x86.XMM3, x86.XMM4, x86.XMM5, x86.XMM6, x86.XMM7,
+	x86.XMM8, x86.XMM9, x86.XMM10, x86.XMM11, x86.XMM12, x86.XMM13, x86.XMM14, x86.XMM15,
+}
+
+// state is the symbolic machine state at one program point: one
+// 64-bit expression per register family, one 0/1 expression per flag
+// bit, a store-chain expression for memory, and the ordered list of
+// calls performed since block entry. Registers and flags live in dense
+// arrays (nil = the untouched block-entry unknown, materialized
+// lazily) — states are created per chain evaluation, so construction
+// and access must not hash.
+type state struct {
+	b     *builder
+	regs  [numFams]*Expr // indexed by famIdx(Family())
+	flags [8]*Expr       // indexed by flag bit position
+	mem   *Expr
+	calls []callEvent
+
+	// havocSeq numbers havoc events within the block so that the same
+	// instruction sequence deterministically produces the same fresh
+	// unknowns on both sides of the comparison.
+	havocSeq int64
+}
+
+// newEntryState builds the canonical unknown state at a block entry.
+func newEntryState(b *builder) *state {
+	return &state{b: b, mem: b.mem0()}
+}
+
+// flagIdx converts one flag bit to its dense array slot.
+func flagIdx(f x86.Flags) int { return bits.TrailingZeros8(uint8(f)) }
+
+// numFams sizes the state's register file: 16 GPR families, 16 XMM,
+// RIP, RFLAGS, and one shared slot for everything else.
+const numFams = 35
+
+// famIdx converts a register FAMILY (the result of Reg.Family()) to
+// its dense slot.
+func famIdx(f x86.Reg) int {
+	switch {
+	case f >= x86.RAX && f <= x86.R15:
+		return int(f - x86.RAX)
+	case f.IsXMM():
+		return 16 + f.Num()
+	case f == x86.RIP:
+		return 32
+	case f == x86.RFLAGS:
+		return 33
+	}
+	return 34
+}
+
+// reg returns the full 64-bit (or 128-bit lane, for XMM) value of the
+// register's family, lazily materializing the block-entry unknown.
+func (s *state) reg(r x86.Reg) *Expr {
+	f := r.Family()
+	i := famIdx(f)
+	if e := s.regs[i]; e != nil {
+		return e
+	}
+	e := s.b.initReg(f.String())
+	s.regs[i] = e
+	return e
+}
+
+// readReg returns the value of r at its own width: sub-64 reads mask
+// the family value, high-byte reads shift first.
+func (s *state) readReg(r x86.Reg) *Expr {
+	v := s.reg(r)
+	if r.IsHighByte() {
+		return s.b.trunc(s.b.shiftOp("shr", v, s.b.konst(8), x86.W64), x86.W8)
+	}
+	w := r.Width()
+	if w == x86.W128 {
+		return v // XMM values are opaque 128-bit lanes
+	}
+	return s.b.trunc(v, w)
+}
+
+// writeReg stores v into r with hardware merge semantics: 64/32-bit
+// writes replace the family value (32-bit zero-extends), 16/8-bit
+// writes merge into the old value, high-byte writes merge shifted.
+func (s *state) writeReg(r x86.Reg, v *Expr) {
+	f := famIdx(r.Family())
+	if r.IsXMM() {
+		s.regs[f] = v
+		return
+	}
+	switch r.Width() {
+	case x86.W64:
+		s.regs[f] = v
+	case x86.W32:
+		s.regs[f] = s.b.trunc(v, x86.W32)
+	case x86.W16:
+		old := s.reg(r)
+		s.regs[f] = s.b.or(s.b.and(old, s.b.konst(^int64(0xFFFF))), s.b.trunc(v, x86.W16))
+	case x86.W8:
+		old := s.reg(r)
+		if r.IsHighByte() {
+			v8 := s.b.shiftOp("shl", s.b.trunc(v, x86.W8), s.b.konst(8), x86.W64)
+			s.regs[f] = s.b.or(s.b.and(old, s.b.konst(^int64(0xFF00))), v8)
+		} else {
+			s.regs[f] = s.b.or(s.b.and(old, s.b.konst(^int64(0xFF))), s.b.trunc(v, x86.W8))
+		}
+	default:
+		s.regs[f] = v
+	}
+}
+
+// flag returns the value of one flag bit.
+func (s *state) flag(f x86.Flags) *Expr {
+	i := flagIdx(f)
+	if e := s.flags[i]; e != nil {
+		return e
+	}
+	e := s.b.initFlag(flagName(f))
+	s.flags[i] = e
+	return e
+}
+
+func (s *state) setFlag(f x86.Flags, v *Expr) { s.flags[flagIdx(f)] = v }
+
+func flagName(f x86.Flags) string {
+	for _, fn := range flagNames {
+		if fn.bit == f {
+			return fn.name
+		}
+	}
+	return f.String()
+}
+
+// nextHavoc allocates the next deterministic havoc sequence number.
+func (s *state) nextHavoc() int64 {
+	s.havocSeq++
+	return s.havocSeq
+}
+
+// havocReg replaces a register family with a fresh unknown.
+func (s *state) havocReg(r x86.Reg, tag string, seq int64) {
+	f := r.Family()
+	s.regs[famIdx(f)] = s.b.havoc(tag+"."+f.String(), seq)
+}
+
+// havocFlags replaces the given flag bits with fresh unknowns.
+func (s *state) havocFlags(fl x86.Flags, tag string, seq int64) {
+	for _, fn := range flagNames {
+		if fl&fn.bit != 0 {
+			s.flags[flagIdx(fn.bit)] = s.b.havoc(tag+"."+fn.name, seq)
+		}
+	}
+}
+
+// addrExpr evaluates a memory operand's effective address.
+func (s *state) addrExpr(m x86.Mem) *Expr {
+	b := s.b
+	e := b.konst(m.Disp)
+	if m.Sym != "" {
+		e = b.add(e, b.symAddr(m.Sym))
+	}
+	if m.Base != x86.RegNone && m.Base != x86.RIP {
+		e = b.add(e, s.reg(m.Base))
+	}
+	if m.Index != x86.RegNone {
+		idx := s.reg(m.Index)
+		if m.Scale > 1 {
+			idx = b.mul(idx, b.konst(int64(m.Scale)))
+		}
+		e = b.add(e, idx)
+	}
+	return e
+}
+
+// readOperand evaluates a source operand at the given access width.
+func (s *state) readOperand(a *x86.Operand, w x86.Width) *Expr {
+	switch a.Kind {
+	case x86.KindImm:
+		return s.b.trunc(s.b.konst(a.Imm), w)
+	case x86.KindReg:
+		return s.readReg(a.Reg)
+	case x86.KindMem:
+		size := int(w)
+		if size == 0 {
+			size = 8
+		}
+		return s.b.load(s.mem, s.addrExpr(a.Mem), size)
+	case x86.KindLabel:
+		e := s.b.symAddr(a.Sym)
+		if a.Off != 0 {
+			e = s.b.add(e, s.b.konst(a.Off))
+		}
+		return e
+	}
+	return s.b.konst(0)
+}
+
+// writeOperand stores v into a destination operand at width w.
+func (s *state) writeOperand(a *x86.Operand, v *Expr, w x86.Width) {
+	switch a.Kind {
+	case x86.KindReg:
+		r := a.Reg
+		if r.IsGPR() && w != x86.W0 && w <= x86.W64 && r.Width() != w && !r.IsHighByte() {
+			r = r.WithWidth(w)
+		}
+		s.writeReg(r, v)
+	case x86.KindMem:
+		size := int(w)
+		if size == 0 {
+			size = 8
+		}
+		s.mem = s.b.store(s.mem, s.addrExpr(a.Mem), v, size)
+	}
+}

@@ -1,0 +1,751 @@
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mao/internal/cfg"
+	"mao/internal/dataflow"
+	"mao/internal/ir"
+	"mao/internal/x86"
+)
+
+// Status classifies one function's verification outcome.
+type Status string
+
+// Verification outcomes.
+const (
+	// StatusProved means the symbolic evaluator proved observational
+	// equivalence (or the function is textually unchanged).
+	StatusProved Status = "proved"
+	// StatusConcrete means symbolic normalization could not decide but
+	// randomized concrete execution agreed on every trial.
+	StatusConcrete Status = "concrete"
+	// StatusRefuted means concrete execution produced diverging
+	// architectural end-states: the transformation is a miscompile.
+	StatusRefuted Status = "refuted"
+	// StatusInconclusive means neither the symbolic evaluator nor the
+	// concrete fallback could reach a verdict (e.g. the function is not
+	// executable in the sandbox). Inconclusive is not a refutation.
+	StatusInconclusive Status = "inconclusive"
+)
+
+// Mismatch is a structured counterexample: the first observable
+// disagreement between the two versions of a function.
+type Mismatch struct {
+	Func   string `json:"func"`
+	Block  string `json:"block,omitempty"` // before-side block (label or B-index)
+	What   string `json:"what"`            // "reg rax", "flag ZF", "memory", "calls", "cfg", ...
+	Before string `json:"before"`
+	After  string `json:"after"`
+}
+
+func (m *Mismatch) String() string {
+	loc := m.Func
+	if m.Block != "" {
+		loc += "/" + m.Block
+	}
+	return fmt.Sprintf("%s: %s: before=%s after=%s", loc, m.What, m.Before, m.After)
+}
+
+// FuncResult is one function's verdict.
+type FuncResult struct {
+	Func     string    `json:"func"`
+	Status   Status    `json:"status"`
+	Mismatch *Mismatch `json:"mismatch,omitempty"`
+	// Note records why the symbolic engine handed off to the concrete
+	// fallback (first symbolic disagreement or structural bailout).
+	Note string `json:"note,omitempty"`
+}
+
+// Result is the verdict of one Equiv call over a whole unit.
+type Result struct {
+	Funcs []FuncResult `json:"funcs"`
+}
+
+// Clean reports whether no function was refuted.
+func (r *Result) Clean() bool { return len(r.Refuted()) == 0 }
+
+// Refuted returns the refuted functions.
+func (r *Result) Refuted() []FuncResult {
+	var out []FuncResult
+	for _, f := range r.Funcs {
+		if f.Status == StatusRefuted {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of functions per status.
+func (r *Result) Counts() map[Status]int {
+	m := make(map[Status]int, 4)
+	for _, f := range r.Funcs {
+		m[f.Status]++
+	}
+	return m
+}
+
+// Options tunes an equivalence check.
+type Options struct {
+	// ConcreteRuns is the number of randomized concrete executions the
+	// fallback performs per function (default 4).
+	ConcreteRuns int
+	// Seed seeds the fallback's input randomization; runs derive their
+	// seeds deterministically from it.
+	Seed int64
+	// MaxInsts caps each concrete execution (default 400,000).
+	MaxInsts int64
+	// SkipConcrete disables the concrete fallback: undecided functions
+	// come back StatusInconclusive. Used by tests probing the symbolic
+	// engine alone.
+	SkipConcrete bool
+	// Workers bounds the number of functions verified concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Each function's check is
+	// independent: the units are only read, and every symbolic builder
+	// is private to its function.
+	Workers int
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.ConcreteRuns == 0 {
+		out.ConcreteRuns = 4
+	}
+	if out.MaxInsts == 0 {
+		out.MaxInsts = 400_000
+	}
+	return out
+}
+
+// Equiv proves, function by function, that after is observationally
+// equivalent to before. This is the oracle API the SYNTH roadmap item
+// builds on: a rewrite search proposes a transformed unit and accepts
+// it only when Equiv comes back clean.
+//
+// Three engines run in sequence per function: a textual fast path
+// (unchanged functions are trivially equal), block-level symbolic
+// bisimulation (see equivFunc), and randomized concrete execution.
+// Only concrete divergence refutes — a symbolic mismatch alone falls
+// through to execution, so incomplete normalization can never produce
+// a false positive.
+func Equiv(before, after *ir.Unit, opts *Options) *Result {
+	o := opts.withDefaults()
+	afterFns := make(map[string]*ir.Function)
+	for _, f := range after.Functions() {
+		afterFns[f.Name] = f
+	}
+	fns := before.Functions()
+	res := &Result{Funcs: make([]FuncResult, len(fns))}
+	// The expression builder is shared across the function pairs one
+	// worker decides: interned constants and block-entry unknowns carry
+	// over, and the hash table is zeroed once per worker, not per
+	// function.
+	decide := func(i int, bld *builder) {
+		fb := fns[i]
+		fa, ok := afterFns[fb.Name]
+		if !ok {
+			res.Funcs[i] = FuncResult{
+				Func: fb.Name, Status: StatusRefuted,
+				Mismatch: &Mismatch{Func: fb.Name, What: "function",
+					Before: "present", After: "missing"},
+			}
+			return
+		}
+		res.Funcs[i] = equivFunc(before, after, fb, fa, o, bld)
+	}
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	if workers <= 1 {
+		bld := newBuilder()
+		for i := range fns {
+			decide(i, bld)
+		}
+		return res
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bld := newBuilder()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(fns) {
+					return
+				}
+				decide(i, bld)
+			}
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+// entriesEqual is the structural fast path: two functions whose node
+// spans are field-for-field identical are trivially equivalent, with
+// no rendering, no slices and no symbolic evaluation.
+func entriesEqual(fb, fa *ir.Function) bool {
+	nb, na := fb.EntryLabel(), fa.EntryLabel()
+	endB, endA := fb.End(), fa.End()
+	for nb != nil && na != nil {
+		if !nodeEqual(nb, na) {
+			return false
+		}
+		doneB, doneA := nb == endB, na == endA
+		if doneB || doneA {
+			return doneB == doneA
+		}
+		nb, na = nb.Next(), na.Next()
+	}
+	return nb == na
+}
+
+func nodeEqual(a, b *ir.Node) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case ir.NodeInst:
+		return instEqual(a.Inst, b.Inst)
+	case ir.NodeLabel:
+		return a.Label == b.Label
+	case ir.NodeDirective:
+		if a.Dir.Name != b.Dir.Name || len(a.Dir.Args) != len(b.Dir.Args) {
+			return false
+		}
+		for i := range a.Dir.Args {
+			if a.Dir.Args[i] != b.Dir.Args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func instEqual(a, b *x86.Inst) bool {
+	if a.Op != b.Op || a.Cond != b.Cond || a.Width != b.Width ||
+		a.SrcWidth != b.SrcWidth || a.Lock != b.Lock || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equivFunc decides one function.
+func equivFunc(ub, ua *ir.Unit, fb, fa *ir.Function, o Options, bld *builder) FuncResult {
+	if entriesEqual(fb, fa) {
+		return FuncResult{Func: fb.Name, Status: StatusProved}
+	}
+	mm := symEquiv(bld, fb, fa)
+	if mm == nil {
+		return FuncResult{Func: fb.Name, Status: StatusProved}
+	}
+	note := mm.String()
+	if o.SkipConcrete {
+		return FuncResult{Func: fb.Name, Status: StatusInconclusive, Mismatch: mm, Note: note}
+	}
+	verdict, cmm := concreteEquiv(ub, ua, fb.Name, o)
+	switch verdict {
+	case concreteAgree:
+		return FuncResult{Func: fb.Name, Status: StatusConcrete, Note: note}
+	case concreteDisagree:
+		return FuncResult{Func: fb.Name, Status: StatusRefuted, Mismatch: cmm, Note: note}
+	}
+	return FuncResult{Func: fb.Name, Status: StatusInconclusive, Mismatch: mm, Note: note}
+}
+
+// termKind classifies a canonicalized block terminator.
+type termKind int
+
+const (
+	termRet   termKind = iota // ret (or fell off the function end)
+	termGoto                  // unconditional transfer to one in-function block
+	termCond                  // two-way conditional branch
+	termTail                  // jmp to an out-of-function symbol (tail call)
+	termTable                 // resolved indirect jump through a table
+	termOther                 // anything the engine cannot align
+)
+
+// termInfo is one block chain's canonicalized exit: a fallthrough and
+// an explicit "jmp next" both become termGoto, so branch-elimination
+// and block-splitting passes compare structurally.
+type termInfo struct {
+	kind    termKind
+	cond    x86.Cond
+	taken   *cfg.BasicBlock
+	fall    *cfg.BasicBlock
+	sym     string
+	targets []*cfg.BasicBlock
+	tval    *Expr
+}
+
+// observableAtRet lists the register families compared at function
+// exit: the ABI return registers, the stack pointer and every
+// callee-saved register. Flags are dead at ret by ABI contract.
+var observableAtRet = []x86.Reg{
+	x86.RAX, x86.RDX, x86.RSP, x86.RBX, x86.RBP,
+	x86.R12, x86.R13, x86.R14, x86.R15, x86.XMM0, x86.XMM1,
+}
+
+// allFamilies enumerates every register family the liveness layer
+// tracks (16 GPR + 16 XMM).
+var allFamilies = func() []x86.Reg {
+	fams := append([]x86.Reg(nil), x86.GPR64...)
+	for r := x86.XMM0; r <= x86.XMM15; r++ {
+		fams = append(fams, r)
+	}
+	return fams
+}()
+
+// pairState is the bisimulation worklist entry: chain heads that must
+// be observationally equal when entered with identical states.
+type pairState struct{ b, a *cfg.BasicBlock }
+
+// symEquiv runs block-level symbolic bisimulation over the two CFGs.
+// It returns nil when equivalence is proved, or the first mismatch —
+// which the caller treats as "undecided", never as a refutation.
+//
+// Corresponding blocks are evaluated from fresh symbolic entry states
+// (so loops need no unrolling) and must agree, at every cut point, on:
+// the canonicalized terminator, the branch condition value, every
+// register family live into either side's successors, every flag bit
+// live into either side's successors, the memory store chain, and the
+// ordered list of calls. At ret cuts the live sets collapse to the ABI
+// observable set and stores below the entry stack pointer are
+// discarded as dead.
+func symEquiv(b *builder, fb, fa *ir.Function) *Mismatch {
+	gb, ga := cfg.Build(fb), cfg.Build(fa)
+	name := fb.Name
+	if len(gb.Unresolved) > 0 || len(ga.Unresolved) > 0 {
+		return &Mismatch{Func: name, What: "cfg", Before: "unresolved indirect branch", After: ""}
+	}
+	if len(gb.Blocks) == 0 || len(ga.Blocks) == 0 {
+		if len(gb.Blocks) == len(ga.Blocks) {
+			return nil
+		}
+		return &Mismatch{Func: name, What: "cfg", Before: fmt.Sprint(len(gb.Blocks)), After: fmt.Sprint(len(ga.Blocks))}
+	}
+	lb, la := dataflow.LiveBlocks(gb), dataflow.LiveBlocks(ga)
+	zb, db := upperHalfFacts(gb)
+	za, da := upperHalfFacts(ga)
+
+	paired := make(map[*cfg.BasicBlock]*cfg.BasicBlock)
+	paired[gb.Blocks[0]] = ga.Blocks[0]
+	work := []pairState{{gb.Blocks[0], ga.Blocks[0]}}
+	push := func(pb, pa *cfg.BasicBlock) *Mismatch {
+		if pb == nil || pa == nil {
+			return &Mismatch{Func: name, What: "cfg", Before: blockName(pb), After: blockName(pa)}
+		}
+		if prev, ok := paired[pb]; ok {
+			if prev != pa {
+				return &Mismatch{Func: name, Block: blockName(pb), What: "cfg",
+					Before: "pairs with " + blockName(prev), After: "also pairs with " + blockName(pa)}
+			}
+			return nil
+		}
+		paired[pb] = pa
+		work = append(work, pairState{pb, pa})
+		return nil
+	}
+
+	for len(work) > 0 {
+		p := work[0]
+		work = work[1:]
+
+		chainB := extendChain(gb, p.b)
+		chainA := extendChain(ga, p.a)
+
+		// Structural fast path: two chains with identical instruction
+		// sequences evaluate identically from the (identical) fresh entry
+		// states — the evaluator is deterministic, havoc numbering
+		// included — so every observable at this cut is equal by
+		// construction and only the successor pairing remains. Successor
+		// order is determined by the (identical) terminator: branch target
+		// first, fallthrough second, table targets in table order. A succ
+		// count mismatch (e.g. a branch-to-fallthrough dedup on one side
+		// only) falls through to symbolic evaluation. Pairing asserts
+		// equivalence obligations checked later; it never assumes them.
+		if chainsIdentical(chainB, chainA) {
+			tailB, tailA := chainB[len(chainB)-1], chainA[len(chainA)-1]
+			if len(tailB.Succs) == len(tailA.Succs) {
+				for i := range tailB.Succs {
+					if mm := push(tailB.Succs[i], tailA.Succs[i]); mm != nil {
+						return mm
+					}
+				}
+				continue
+			}
+		}
+
+		// Paired blocks are entered with equal concrete states, so an
+		// upper-32-zero fact proven on either side holds for the shared
+		// entry value; both chains seed the same masked unknowns.
+		zmask := zb[p.b.Index] | za[p.a.Index]
+		sb, tb := evalChain(b, gb, chainB, zmask)
+		sa, ta := evalChain(b, ga, chainA, zmask)
+		blk := blockName(p.b)
+
+		if mm := compareCut(name, blk, sb, sa, tb, ta, lb, la, db, da, push); mm != nil {
+			return mm
+		}
+	}
+	return nil
+}
+
+func blockName(b *cfg.BasicBlock) string {
+	if b == nil {
+		return "<none>"
+	}
+	return b.String()
+}
+
+// compareCut checks one cut point: terminator alignment, then the
+// liveness-exempted state comparison, then successor pairing via push.
+func compareCut(name, blk string, sb, sa *state, tb, ta termInfo,
+	lb, la *dataflow.Liveness, db, da demandFacts,
+	push func(pb, pa *cfg.BasicBlock) *Mismatch) *Mismatch {
+
+	if tb.kind == termOther || ta.kind == termOther {
+		return &Mismatch{Func: name, Block: blk, What: "cfg",
+			Before: termName(tb), After: termName(ta)}
+	}
+	if tb.kind != ta.kind {
+		// One side branches where the other falls through or returns:
+		// no alignment (jump threading, tail duplication). Undecided.
+		return &Mismatch{Func: name, Block: blk, What: "cfg",
+			Before: termName(tb), After: termName(ta)}
+	}
+
+	var succs []pairState
+	switch tb.kind {
+	case termRet:
+		return compareExit(name, blk, sb, sa)
+
+	case termTail:
+		if tb.sym != ta.sym {
+			return &Mismatch{Func: name, Block: blk, What: "tail-call target",
+				Before: tb.sym, After: ta.sym}
+		}
+		// A tail call hands the callee the argument registers too.
+		for _, r := range abiArgRegs {
+			if vb, va := sb.reg(r), sa.reg(r); vb != va {
+				return &Mismatch{Func: name, Block: blk, What: "reg " + r.String() + " at tail call",
+					Before: vb.String(), After: va.String()}
+			}
+		}
+		return compareExit(name, blk, sb, sa)
+
+	case termGoto:
+		succs = []pairState{{tb.taken, ta.taken}}
+
+	case termCond:
+		cvb := sb.condValue(tb.cond)
+		cva := sa.condValue(tb.cond)
+		if cvb != cva {
+			return &Mismatch{Func: name, Block: blk,
+				What:   "branch condition " + tb.cond.String(),
+				Before: cvb.String(), After: cva.String()}
+		}
+		switch ta.cond {
+		case tb.cond:
+			succs = []pairState{{tb.taken, ta.taken}, {tb.fall, ta.fall}}
+		case tb.cond.Negate():
+			succs = []pairState{{tb.taken, ta.fall}, {tb.fall, ta.taken}}
+		default:
+			return &Mismatch{Func: name, Block: blk, What: "branch condition",
+				Before: tb.cond.String(), After: ta.cond.String()}
+		}
+
+	case termTable:
+		if tb.tval != ta.tval {
+			return &Mismatch{Func: name, Block: blk, What: "indirect jump target",
+				Before: tb.tval.String(), After: ta.tval.String()}
+		}
+		if len(tb.targets) != len(ta.targets) {
+			return &Mismatch{Func: name, Block: blk, What: "jump table arity",
+				Before: fmt.Sprint(len(tb.targets)), After: fmt.Sprint(len(ta.targets))}
+		}
+		for i := range tb.targets {
+			succs = append(succs, pairState{tb.targets[i], ta.targets[i]})
+		}
+	}
+
+	// Exemptions: only registers and flags live into some paired
+	// successor — on either side — are observable at this cut.
+	var liveRegs dataflow.RegSet
+	var liveFlags x86.Flags
+	for _, sp := range succs {
+		liveRegs = liveRegs.Union(lb.BlockLiveIn(sp.b)).Union(la.BlockLiveIn(sp.a))
+		liveFlags |= lb.BlockFlagsIn(sp.b) | la.BlockFlagsIn(sp.a)
+	}
+	for _, fam := range allFamilies {
+		if !liveRegs.Has(fam) {
+			continue
+		}
+		// A family neither side ever wrote or read is still the shared
+		// entry unknown on both — skip without materializing it.
+		if i := famIdx(fam); sb.regs[i] == nil && sa.regs[i] == nil {
+			continue
+		}
+		vb, va := sb.reg(fam), sa.reg(fam)
+		if vb == va {
+			continue
+		}
+		// A GPR whose bits 32–63 are demanded by neither side's
+		// continuation is observable only through its low half: compare
+		// the masked values instead (see demand.go for the argument).
+		if fam.IsGPR() && !highDemanded(fam, succs, db, da) {
+			mask := sb.b.konst(0xFFFFFFFF)
+			if sb.b.and(vb, mask) == sb.b.and(va, mask) {
+				continue
+			}
+		}
+		return &Mismatch{Func: name, Block: blk, What: "reg " + fam.String(),
+			Before: vb.String(), After: va.String()}
+	}
+	for _, fn := range flagNames {
+		if liveFlags&fn.bit == 0 {
+			continue
+		}
+		if sb.flags[flagIdx(fn.bit)] == nil && sa.flags[flagIdx(fn.bit)] == nil {
+			continue
+		}
+		if vb, va := sb.flag(fn.bit), sa.flag(fn.bit); vb != va {
+			return &Mismatch{Func: name, Block: blk, What: "flag " + fn.name,
+				Before: vb.String(), After: va.String()}
+		}
+	}
+	if mm := compareMemCalls(name, blk, sb, sa, false); mm != nil {
+		return mm
+	}
+	for _, sp := range succs {
+		if mm := push(sp.b, sp.a); mm != nil {
+			return mm
+		}
+	}
+	return nil
+}
+
+// compareExit checks a ret (or tail-call) cut: the ABI observable
+// register set, calls, and the store chain minus dead stack slots.
+func compareExit(name, blk string, sb, sa *state) *Mismatch {
+	for _, r := range observableAtRet {
+		if i := famIdx(r.Family()); sb.regs[i] == nil && sa.regs[i] == nil {
+			continue
+		}
+		if vb, va := sb.reg(r), sa.reg(r); vb != va {
+			return &Mismatch{Func: name, Block: blk, What: "reg " + r.String() + " at exit",
+				Before: vb.String(), After: va.String()}
+		}
+	}
+	return compareMemCalls(name, blk, sb, sa, true)
+}
+
+func compareMemCalls(name, blk string, sb, sa *state, atExit bool) *Mismatch {
+	mb, ma := sb.mem, sa.mem
+	if atExit {
+		rsp := sb.b.initReg("rsp")
+		mb = pruneDeadStack(sb.b, mb, rsp)
+		ma = pruneDeadStack(sa.b, ma, rsp)
+	}
+	if mb != ma {
+		return &Mismatch{Func: name, Block: blk, What: "memory",
+			Before: mb.String(), After: ma.String()}
+	}
+	if len(sb.calls) != len(sa.calls) {
+		return &Mismatch{Func: name, Block: blk, What: "calls",
+			Before: fmt.Sprint(len(sb.calls)), After: fmt.Sprint(len(sa.calls))}
+	}
+	for i := range sb.calls {
+		cb, ca := sb.calls[i], sa.calls[i]
+		if cb.target != ca.target || cb.mem != ca.mem || !equalExprs(cb.args, ca.args) {
+			return &Mismatch{Func: name, Block: blk, What: fmt.Sprintf("call #%d", i),
+				Before: cb.String(), After: ca.String()}
+		}
+	}
+	return nil
+}
+
+// highDemanded reports whether some paired successor's continuation,
+// on either side, may observe bits 32–63 of fam.
+func highDemanded(fam x86.Reg, succs []pairState, db, da demandFacts) bool {
+	bit := uint16(1) << gprIndex(fam)
+	for _, sp := range succs {
+		if db[sp.b.Index]&bit != 0 || da[sp.a.Index]&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func equalExprs(a, b []*Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pruneDeadStack drops stores wholly below the entry stack pointer —
+// the function's own frame and red zone, dead once it returns. The
+// walk stops at the first non-store link (call havoc, block entry).
+func pruneDeadStack(b *builder, mem, rsp *Expr) *Expr {
+	if mem.op != "store" {
+		return mem
+	}
+	rest := pruneDeadStack(b, mem.args[0], rsp)
+	base, off := addrBase(mem.args[1])
+	if base == rsp && off+mem.c <= 0 {
+		return rest
+	}
+	if rest == mem.args[0] {
+		return mem
+	}
+	return b.mk("store", mem.c, "", rest, mem.args[1], mem.args[2])
+}
+
+// extendChain canonicalizes block structure: starting from head, keep
+// absorbing the fallthrough successor while it is the only way in —
+// so a pass that splits a block with a fresh label, or merges two,
+// still aligns chain-for-chain with the original.
+// chainsIdentical reports whether two chains carry field-for-field
+// identical instruction sequences, ignoring block boundaries and
+// labels (neither affects evaluation).
+func chainsIdentical(cb, ca []*cfg.BasicBlock) bool {
+	bi, bj, ai, aj := 0, 0, 0, 0
+	for {
+		for bi < len(cb) && bj >= len(cb[bi].Insts) {
+			bi, bj = bi+1, 0
+		}
+		for ai < len(ca) && aj >= len(ca[ai].Insts) {
+			ai, aj = ai+1, 0
+		}
+		doneB, doneA := bi >= len(cb), ai >= len(ca)
+		if doneB || doneA {
+			return doneB && doneA
+		}
+		if !instEqual(cb[bi].Insts[bj].Inst, ca[ai].Insts[aj].Inst) {
+			return false
+		}
+		bj++
+		aj++
+	}
+}
+
+func extendChain(g *cfg.Graph, head *cfg.BasicBlock) []*cfg.BasicBlock {
+	chain := []*cfg.BasicBlock{head}
+	cur := head
+	for cur.Terminator() == nil && len(cur.Succs) == 1 {
+		next := cur.Succs[0]
+		if len(next.Preds) != 1 || next == g.Blocks[0] || next == head {
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain
+}
+
+// evalChain symbolically executes one block chain from a fresh entry
+// state and canonicalizes its terminator. zmask seeds GPR families
+// whose upper halves are provably zero on entry (see zext32Facts) as
+// pre-masked unknowns.
+func evalChain(b *builder, g *cfg.Graph, chain []*cfg.BasicBlock, zmask uint16) (*state, termInfo) {
+	s := newEntryState(b)
+	for i := 0; i < 16; i++ {
+		if zmask&(1<<i) != 0 {
+			fam := x86.GPR64[i]
+			s.regs[famIdx(fam)] = b.and(b.initReg(fam.String()), b.konst(0xFFFFFFFF))
+		}
+	}
+	last := chain[len(chain)-1]
+	term := last.Terminator()
+	for _, blk := range chain {
+		for _, n := range blk.Insts {
+			if blk == last && term != nil && n == last.Last() {
+				continue
+			}
+			s.stepInst(n.Inst)
+		}
+	}
+	return s, canonTerm(g, last, term, s)
+}
+
+// canonTerm canonicalizes a chain's exit into a termInfo.
+func canonTerm(g *cfg.Graph, last *cfg.BasicBlock, term *x86.Inst, s *state) termInfo {
+	next := func() *cfg.BasicBlock {
+		if last.Index+1 < len(g.Blocks) {
+			return g.Blocks[last.Index+1]
+		}
+		return nil
+	}
+	if term == nil {
+		if n := next(); n != nil {
+			return termInfo{kind: termGoto, taken: n}
+		}
+		return termInfo{kind: termRet}
+	}
+	switch term.Op {
+	case x86.OpRET:
+		return termInfo{kind: termRet}
+	case x86.OpJMP:
+		if tgt, ok := term.BranchTarget(); ok {
+			if tb := g.BlockByLabel(tgt); tb != nil {
+				return termInfo{kind: termGoto, taken: tb}
+			}
+			return termInfo{kind: termTail, sym: tgt}
+		}
+		if term.IsIndirectBranch() && len(last.Succs) > 0 && len(term.Args) == 1 {
+			return termInfo{kind: termTable,
+				targets: last.Succs,
+				tval:    s.readOperand(&term.Args[0], x86.W64)}
+		}
+	case x86.OpJCC:
+		if tgt, ok := term.BranchTarget(); ok {
+			taken := g.BlockByLabel(tgt)
+			fall := next()
+			if taken != nil && fall != nil {
+				return termInfo{kind: termCond, cond: term.Cond, taken: taken, fall: fall}
+			}
+		}
+	}
+	return termInfo{kind: termOther}
+}
+
+func termName(t termInfo) string {
+	switch t.kind {
+	case termRet:
+		return "ret"
+	case termGoto:
+		return "goto " + blockName(t.taken)
+	case termCond:
+		return "j" + t.cond.String() + " " + blockName(t.taken)
+	case termTail:
+		return "tail " + t.sym
+	case termTable:
+		return fmt.Sprintf("table[%d]", len(t.targets))
+	}
+	return "unaligned"
+}

@@ -1,0 +1,262 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/ir"
+)
+
+// parseUnit wraps body in a minimal .text function f.
+func parseUnit(t *testing.T, body string) *ir.Unit {
+	t.Helper()
+	src := "\t.text\n\t.type f,@function\nf:\n" + body + "\t.size f,.-f\n"
+	u, err := asm.ParseString("t.s", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return u
+}
+
+// symOnly runs Equiv with the concrete fallback disabled, so the test
+// probes exactly what the symbolic engine can prove.
+func symOnly(t *testing.T, before, after string) *Result {
+	t.Helper()
+	ub := parseUnit(t, before)
+	ua := parseUnit(t, after)
+	return Equiv(ub, ua, &Options{SkipConcrete: true})
+}
+
+func onlyFunc(t *testing.T, r *Result) FuncResult {
+	t.Helper()
+	if len(r.Funcs) != 1 {
+		t.Fatalf("got %d function results, want 1: %+v", len(r.Funcs), r.Funcs)
+	}
+	return r.Funcs[0]
+}
+
+// TestSymbolicProves is the catalog of transformations the symbolic
+// engine must prove without falling back to execution — one entry per
+// rewrite family the built-in passes perform.
+func TestSymbolicProves(t *testing.T) {
+	cases := []struct {
+		name          string
+		before, after string
+	}{
+		{"identical",
+			"\tmovl $1, %eax\n\tret\n",
+			"\tmovl $1, %eax\n\tret\n"},
+		{"redundant-test-vs-cmp", // REDTEST: sub already set the flags
+			"\tsubl $16, %edi\n\ttestl %edi, %edi\n\tjne .L1\n\tmovl $1, %eax\n.L1:\n\tret\n",
+			"\tsubl $16, %edi\n\tjne .L1\n\tmovl $1, %eax\n.L1:\n\tret\n"},
+		{"test-equals-cmp-zero",
+			"\ttestl %edi, %edi\n\tje .L1\n\tmovl $1, %eax\n.L1:\n\tret\n",
+			"\tcmpl $0, %edi\n\tje .L1\n\tmovl $1, %eax\n.L1:\n\tret\n"},
+		{"add-add-fold", // ADDADD: consecutive immediates merge
+			"\taddq $8, %rax\n\taddq $16, %rax\n\tret\n",
+			"\taddq $24, %rax\n\tret\n"},
+		{"sub-as-negative-add",
+			"\tsubq $8, %rax\n\tret\n",
+			"\taddq $-8, %rax\n\tret\n"},
+		{"constfold", // CONSTFOLD: mov-imm + arith -> mov-imm
+			"\tmovl $6, %eax\n\taddl $7, %eax\n\tret\n",
+			"\tmovl $13, %eax\n\tret\n"},
+		{"redundant-zext", // REDZEXT: 32-bit def already zero-extends
+			"\tmovl %edi, %eax\n\tmovl %eax, %eax\n\tret\n",
+			"\tmovl %edi, %eax\n\tret\n"},
+		{"redundant-mov", // REDMOV: load forwarding
+			"\tmovq %rdi, %rax\n\tmovq %rax, %rdx\n\tret\n",
+			"\tmovq %rdi, %rax\n\tmovq %rdi, %rdx\n\tret\n"},
+		{"nop-insertion", // NOPIN / BRALIGN padding
+			"\tmovl $1, %eax\n\tret\n",
+			"\tnop\n\tmovl $1, %eax\n\tnop\n\tret\n"},
+		{"prefetch-insertion", // PREFNTA
+			"\tmovq (%rdi), %rax\n\tret\n",
+			"\tprefetchnta 64(%rdi)\n\tmovq (%rdi), %rax\n\tret\n"},
+		{"sched-independent-alu", // SCHED: reorder independent ops
+			"\taddq $1, %rax\n\taddq $2, %rdx\n\tret\n",
+			"\taddq $2, %rdx\n\taddq $1, %rax\n\tret\n"},
+		{"sched-disjoint-stores",
+			"\tmovl $1, (%rdi)\n\tmovl $2, 8(%rdi)\n\tret\n",
+			"\tmovl $2, 8(%rdi)\n\tmovl $1, (%rdi)\n\tret\n"},
+		{"store-forwarded-load",
+			"\tmovq %rsi, (%rdi)\n\tmovq (%rdi), %rax\n\tret\n",
+			"\tmovq %rsi, (%rdi)\n\tmovq %rsi, %rax\n\tret\n"},
+		{"shadowed-store",
+			"\tmovq $1, (%rdi)\n\tmovq %rsi, (%rdi)\n\tret\n",
+			"\tmovq %rsi, (%rdi)\n\tret\n"},
+		{"lea-vs-add-dead-flags",
+			"\taddq $4, %rax\n\tret\n",
+			"\tleaq 4(%rax), %rax\n\tret\n"},
+		{"shl-vs-mul",
+			"\tshlq $3, %rax\n\tret\n",
+			"\timulq $8, %rax, %rax\n\tret\n"},
+		{"xor-zero-idiom",
+			"\tmovl $0, %eax\n\tret\n",
+			"\txorl %eax, %eax\n\tret\n"},
+		{"negated-branch-swapped-arms",
+			"\tcmpl $0, %edi\n\tje .LZ\n\tmovl $1, %eax\n\tret\n.LZ:\n\tmovl $2, %eax\n\tret\n",
+			"\tcmpl $0, %edi\n\tjne .LNZ\n\tmovl $2, %eax\n\tret\n.LNZ:\n\tmovl $1, %eax\n\tret\n"},
+		{"block-split-fresh-label",
+			"\tmovl $1, %eax\n\taddl $2, %eax\n\tret\n",
+			"\tmovl $1, %eax\n.Lsplit:\n\taddl $2, %eax\n\tret\n"},
+		{"explicit-jmp-vs-fallthrough",
+			"\tcmpl $0, %edi\n\tje .LA\n\tmovl $1, %eax\n.LA:\n\tret\n",
+			"\tcmpl $0, %edi\n\tje .LA\n\tmovl $1, %eax\n\tjmp .LA\n.LA:\n\tret\n"},
+		{"push-pop-save-restore",
+			"\tmovl $7, %eax\n\tret\n",
+			"\tpushq %rbx\n\tmovl $7, %eax\n\tpopq %rbx\n\tret\n"},
+		{"dead-stack-spill",
+			"\tmovl $7, %eax\n\tret\n",
+			"\tmovq %rdi, -8(%rsp)\n\tmovl $7, %eax\n\tret\n"},
+		{"loop-no-unrolling", // fresh per-block states handle back edges
+			".LT:\n\tsubl $1, %edi\n\tjne .LT\n\tret\n",
+			".LT:\n\tsubl $1, %edi\n\tjne .LT\n\tret\n"},
+		{"loop-body-rewrite",
+			".LT:\n\taddl $1, %eax\n\taddl $1, %eax\n\tsubl $1, %edi\n\tjne .LT\n\tret\n",
+			".LT:\n\taddl $2, %eax\n\tsubl $1, %edi\n\tjne .LT\n\tret\n"},
+		{"call-preserving-rewrite",
+			"\tmovl $3, %edi\n\tcall g\n\taddq $1, %rax\n\taddq $1, %rax\n\tret\n",
+			"\tmovl $3, %edi\n\tcall g\n\taddq $2, %rax\n\tret\n"},
+		{"dead-code-after-jmp", // DCE: unreachable block removed
+			"\tmovl $1, %eax\n\tjmp .LE\n\tmovl $9, %eax\n.LE:\n\tret\n",
+			"\tmovl $1, %eax\n\tjmp .LE\n.LE:\n\tret\n"},
+		{"alignment-directives", // LOOP16/BRALIGN: directives don't execute
+			"\tmovl $1, %eax\n\tret\n",
+			"\t.p2align 4\n\tmovl $1, %eax\n\tret\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fr := onlyFunc(t, symOnly(t, tc.before, tc.after))
+			if fr.Status != StatusProved {
+				t.Errorf("status = %s (note: %s), want proved", fr.Status, fr.Note)
+			}
+		})
+	}
+}
+
+// TestConcreteRefutes is the catalog of genuine miscompiles: the
+// pipeline must end at StatusRefuted with a populated counterexample.
+func TestConcreteRefutes(t *testing.T) {
+	cases := []struct {
+		name          string
+		before, after string
+		wantWhat      string // substring of the counterexample's What
+	}{
+		{"wrong-constant",
+			"\tmovl $1, %eax\n\tret\n",
+			"\tmovl $2, %eax\n\tret\n",
+			"rax"},
+		{"dropped-instruction",
+			"\tmovq %rdi, %rax\n\taddq %rsi, %rax\n\tret\n",
+			"\tmovq %rdi, %rax\n\tret\n",
+			"rax"},
+		{"swapped-operands",
+			"\tmovq %rdi, %rax\n\tsubq %rsi, %rax\n\tret\n",
+			"\tmovq %rsi, %rax\n\tsubq %rdi, %rax\n\tret\n",
+			"rax"},
+		{"clobbered-callee-save",
+			"\tmovl $1, %eax\n\tret\n",
+			"\tmovq $5, %rbx\n\tmovl $1, %eax\n\tret\n",
+			"rbx"},
+		{"corrupted-store",
+			"\tmovl $1, (%rdi)\n\tret\n",
+			"\tmovl $9, (%rdi)\n\tret\n",
+			"mem"},
+		{"wrong-branch-sense",
+			"\tcmpq $3, %rdi\n\tje .LA\n\tmovl $1, %eax\n\tret\n.LA:\n\tmovl $2, %eax\n\tret\n",
+			"\tcmpq $3, %rdi\n\tjne .LA\n\tmovl $1, %eax\n\tret\n.LA:\n\tmovl $2, %eax\n\tret\n",
+			"rax"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ub := parseUnit(t, tc.before)
+			ua := parseUnit(t, tc.after)
+			fr := onlyFunc(t, Equiv(ub, ua, nil))
+			if fr.Status != StatusRefuted {
+				t.Fatalf("status = %s (note: %s), want refuted", fr.Status, fr.Note)
+			}
+			if fr.Mismatch == nil {
+				t.Fatal("refuted without a counterexample")
+			}
+			if !strings.Contains(fr.Mismatch.What, tc.wantWhat) {
+				t.Errorf("counterexample %q does not mention %q", fr.Mismatch, tc.wantWhat)
+			}
+		})
+	}
+}
+
+// TestConcreteFallbackAgrees: rewrites beyond the symbolic engine's
+// normalization must settle at StatusConcrete, not refute.
+func TestConcreteFallbackAgrees(t *testing.T) {
+	cases := []struct {
+		name          string
+		before, after string
+	}{
+		// mulhi is uninterpreted symbolically, and the two encodings
+		// place operands differently.
+		{"mul-strength",
+			"\tmovq %rdi, %rax\n\timulq $3, %rax, %rax\n\tret\n",
+			"\tmovq %rdi, %rax\n\tleaq (%rax,%rax,2), %rax\n\tret\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ub := parseUnit(t, tc.before)
+			ua := parseUnit(t, tc.after)
+			fr := onlyFunc(t, Equiv(ub, ua, nil))
+			if fr.Status != StatusConcrete && fr.Status != StatusProved {
+				t.Errorf("status = %s (note: %s; mismatch: %v), want concrete/proved",
+					fr.Status, fr.Note, fr.Mismatch)
+			}
+		})
+	}
+}
+
+// TestEquivMissingFunction: a pass deleting a whole function refutes.
+func TestEquivMissingFunction(t *testing.T) {
+	ub := parseUnit(t, "\tret\n")
+	ua, err := asm.ParseString("t.s", "\t.text\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Equiv(ub, ua, &Options{SkipConcrete: true})
+	fr := onlyFunc(t, r)
+	if fr.Status != StatusRefuted || fr.Mismatch == nil || fr.Mismatch.What != "function" {
+		t.Errorf("got %+v, want function-missing refutation", fr)
+	}
+	if r.Clean() {
+		t.Error("Clean() on a refuted result")
+	}
+}
+
+// TestSymbolicNeverRefutes: with the fallback disabled, a symbolic
+// mismatch must come back inconclusive — never refuted — because
+// normalization incompleteness is not a counterexample.
+func TestSymbolicNeverRefutes(t *testing.T) {
+	fr := onlyFunc(t, symOnly(t,
+		"\tmovq %rdi, %rax\n\timulq $3, %rax, %rax\n\tret\n",
+		"\tmovq %rdi, %rax\n\tleaq (%rax,%rax,2), %rax\n\tret\n"))
+	if fr.Status != StatusInconclusive {
+		t.Errorf("status = %s, want inconclusive", fr.Status)
+	}
+}
+
+// TestResultCounts exercises the aggregate helpers.
+func TestResultCounts(t *testing.T) {
+	r := &Result{Funcs: []FuncResult{
+		{Func: "a", Status: StatusProved},
+		{Func: "b", Status: StatusProved},
+		{Func: "c", Status: StatusRefuted},
+	}}
+	c := r.Counts()
+	if c[StatusProved] != 2 || c[StatusRefuted] != 1 {
+		t.Errorf("Counts() = %v", c)
+	}
+	if r.Clean() {
+		t.Error("Clean() with a refutation")
+	}
+	if got := r.Refuted(); len(got) != 1 || got[0].Func != "c" {
+		t.Errorf("Refuted() = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"mao/internal/cfg"
+	"mao/internal/x86"
+)
+
+// The upper-32-zero analysis: a forward must-analysis computing, per
+// block, the GPR families whose bits 32–63 are provably zero on block
+// entry (every reaching definition was a 32-bit register write, which
+// zero-extends on x86-64). REDZEXT's whole premise is this fact — it
+// deletes "mov %eNN, %eNN" when the fact holds — so the symbolic
+// engine must know it too: chain-entry states seed such registers as
+// and(init, 0xffffffff), making the deleted self-move a no-op.
+
+// zextFacts holds, indexed by block index, a bitmask over the 16 GPR
+// families (bit i set means GPR64[i]'s upper half is zero on entry).
+type zextFacts []uint16
+
+// gprIndex returns the family index of a GPR within x86.GPR64.
+func gprIndex(r x86.Reg) int {
+	f := r.Family()
+	for i, g := range x86.GPR64 {
+		if g == f {
+			return i
+		}
+	}
+	return 0
+}
+
+// solveZext solves the forward must-problem to a fixpoint: entry
+// starts empty (the ABI leaves argument upper halves undefined), the
+// meet over predecessors is intersection. clear and set are the
+// per-block composite transfer masks (facts' = (facts &^ clear) |
+// set), so fixpoint iterations cost two mask operations per block.
+func solveZext(g *cfg.Graph, clear, set []uint16) zextFacts {
+	nb := len(g.Blocks)
+	in := make([]uint16, nb)
+	out := make([]uint16, nb)
+	for i := range in {
+		in[i] = ^uint16(0) // top, lowered by the first visit
+		out[i] = ^uint16(0)
+	}
+	in[0] = 0
+
+	changed := true
+	for changed {
+		changed = false
+		for i, b := range g.Blocks {
+			entry := in[i]
+			if i != 0 {
+				entry = ^uint16(0)
+				if len(b.Preds) == 0 {
+					entry = 0 // unreachable-from-entry: no guarantees
+				}
+				for _, p := range b.Preds {
+					entry &= out[p.Index]
+				}
+			}
+			facts := entry&^clear[i] | set[i]
+			if entry != in[i] || facts != out[i] {
+				in[i], out[i] = entry, facts
+				changed = true
+			}
+		}
+	}
+	return zextFacts(in)
+}

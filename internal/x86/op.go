@@ -116,6 +116,11 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined opcodes (including OpInvalid); valid
+// Op values are strictly below it. Dense per-opcode tables size
+// themselves with it.
+const NumOps = int(numOps)
+
 var opNames = map[Op]string{
 	OpMOV: "mov", OpMOVABS: "movabs", OpMOVZX: "movz", OpMOVSX: "movs",
 	OpLEA: "lea", OpPUSH: "push", OpPOP: "pop", OpXCHG: "xchg", OpCMOV: "cmov",

@@ -128,6 +128,10 @@ const (
 	numRegs
 )
 
+// NumRegs is one past the largest register encoding — the size for
+// dense per-register tables.
+const NumRegs = int(numRegs)
+
 // Width is an operand width in bytes: 1, 2, 4, 8, or 16 for XMM.
 type Width uint8
 

@@ -70,9 +70,44 @@ func containsFamily(rs []x86.Reg, r x86.Reg) bool {
 	return false
 }
 
+// maxCachedArity bounds the dense (opcode, arity) resolution cache; no
+// x86 instruction this front end accepts has more than three operands.
+const maxCachedArity = 4
+
+type cachedSpec struct {
+	s  Spec
+	ok bool
+}
+
+// specCache resolves (opcode, arity) → Spec without per-call string
+// building: the "name/arity" and bare-name lookups of specFor, run
+// once per combination at package init. InstEffects sits on the hot
+// path of every data-flow analysis, so the lookup must be an array
+// index.
+var specCache = func() [x86.NumOps][maxCachedArity + 1]cachedSpec {
+	var t [x86.NumOps][maxCachedArity + 1]cachedSpec
+	for op := 1; op < x86.NumOps; op++ {
+		name := x86.Op(op).String()
+		for ar := 0; ar <= maxCachedArity; ar++ {
+			if s, ok := genTable[specKey(name, ar)]; ok {
+				t[op][ar] = cachedSpec{s, true}
+				continue
+			}
+			if s, ok := genTable[name]; ok {
+				t[op][ar] = cachedSpec{s, true}
+			}
+		}
+	}
+	return t
+}()
+
 // specFor finds the Spec for an instruction: first "name/arity", then
 // the bare opcode name.
 func specFor(in *x86.Inst) (Spec, bool) {
+	if op, ar := int(in.Op), len(in.Args); op > 0 && op < x86.NumOps && ar <= maxCachedArity {
+		e := &specCache[op][ar]
+		return e.s, e.ok
+	}
 	name := in.Op.String()
 	if s, ok := genTable[specKey(name, len(in.Args))]; ok {
 		return s, true
@@ -107,8 +142,14 @@ func InstEffects(in *x86.Inst) Effects {
 	if spec.CondRead {
 		e.FlagsRead |= in.Cond.FlagsRead()
 	}
-	e.RegsRead = append(e.RegsRead, spec.ImpReads...)
-	e.RegsWritten = append(e.RegsWritten, spec.ImpWrites...)
+	// Exact-capacity preallocation: InstEffects runs per instruction in
+	// every analysis, so the two slices must not regrow.
+	if rcap := len(spec.ImpReads) + 2*len(in.Args) + len(spec.Reads); rcap > 0 {
+		e.RegsRead = append(make([]x86.Reg, 0, rcap), spec.ImpReads...)
+	}
+	if wcap := len(spec.ImpWrites) + len(spec.Writes); wcap > 0 {
+		e.RegsWritten = append(make([]x86.Reg, 0, wcap), spec.ImpWrites...)
+	}
 
 	addRead := func(r x86.Reg) {
 		if r != x86.RegNone && r != x86.RIP {
