@@ -17,7 +17,15 @@
 #   fuzz smoke  the parser fuzz target runs briefly, so the committed
 #               seeds keep passing and the harness cannot rot; the
 #               verifier's zero-false-positive fuzz gate
-#               (FuzzVerifyEquiv) runs briefly for the same reason
+#               (FuzzVerifyEquiv) and the decoder's decode↔encode
+#               oracle (FuzzDecodeEncodeRoundtrip) run briefly for the
+#               same reason
+#   decode-roundtrip
+#               every corpus fixture is assembled to raw machine code
+#               (mao -emit-binary), lifted back through the binary
+#               front end (mao -binary), and re-emitted — the image
+#               must be byte-identical, closing the
+#               decode→IR→encode loop on real input
 #   maod smoke  boot the daemon, probe /healthz and /metrics, run one
 #               optimization, then SIGTERM and require a clean drain
 #               (exit 0)
@@ -79,6 +87,9 @@ go test -run '^$' -fuzz FuzzParseString -fuzztime 10s ./internal/asm/
 echo "== fuzz smoke: verifier zero-false-positive gate"
 go test -run '^$' -fuzz FuzzVerifyEquiv -fuzztime 10s ./internal/verify/
 
+echo "== fuzz smoke: decode↔encode oracle"
+go test -run '^$' -fuzz FuzzDecodeEncodeRoundtrip -fuzztime 10s ./internal/x86/decode/
+
 echo "== benchmark smoke run"
 go test -run '^$' -bench . -benchtime=1x ./...
 
@@ -100,6 +111,16 @@ echo "== self-verify corpus fixtures (mao -verify, full pipeline)"
 for f in internal/corpus/testdata/*.s; do
 	echo "-- $f"
 	"$bin" -verify --mao=REDTEST:REDMOV:REDZEXT:ADDADD:SCHED "$f" >/dev/null
+done
+
+echo "== decode-roundtrip: corpus assembled, lifted back, re-emitted byte-identically"
+bindir=$(dirname "$bin")
+for f in internal/corpus/testdata/*.s; do
+	echo "-- $f"
+	"$bin" -emit-binary "$bindir/rt.bin" "$f"
+	"$bin" -binary -emit-binary "$bindir/rt2.bin" "$bindir/rt.bin"
+	cmp "$bindir/rt.bin" "$bindir/rt2.bin" ||
+		{ echo "decode roundtrip not byte-identical for $f" >&2; exit 1; }
 done
 
 echo "== trace smoke: --explain and Chrome trace export validate against their schemas"

@@ -49,6 +49,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -85,6 +86,10 @@ func main() {
 	traceChrome := flag.String("trace-chrome", "", "write pipeline spans in Chrome trace-event format to `file` (chrome://tracing, Perfetto)")
 	list := flag.Bool("passes", false, "list registered passes")
 	workers := flag.Int("j", 0, "worker pool for parallel-safe function passes (0 = GOMAXPROCS, 1 = sequential)")
+	binMode := binaryFlag{}
+	flag.Var(&binMode, "binary", "treat the input as raw x86-64 machine code instead of assembly; -binary=hex for hex text input")
+	base := flag.Int64("base", 0, "load `address` of the first byte of -binary input (shapes synthetic label names)")
+	emitBin := flag.String("emit-binary", "", "after the pipeline, write the relaxed .text image as raw machine code to `file`")
 	flag.Parse()
 
 	// Dynamically loaded passes, as in the original MAO ("passes can
@@ -108,10 +113,20 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: mao [--mao=PIPELINE]... input.s")
+		log.Fatal("usage: mao [--mao=PIPELINE]... input.s  (or: mao -binary [--mao=...] input.bin)")
 	}
 
-	u, err := mao.ParseFile(flag.Arg(0))
+	// The span collector is created before the input is read so the
+	// binary front end's KindDecode span lands on it. Collection is
+	// byte- and stats-transparent, but the collector is only attached
+	// when an observer asked for it — the default run stays at the
+	// nil-check fast path.
+	var tracer *trace.Collector
+	if *timings || *traceJSON != "" || *traceChrome != "" {
+		tracer = trace.NewCollector()
+	}
+
+	u, err := loadInput(flag.Arg(0), binMode, *base, tracer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,11 +154,8 @@ func main() {
 	default:
 		mgr.Hook = hooks
 	}
-	// Span collection is byte- and stats-transparent, but the collector
-	// is only attached when an observer asked for it — the default run
-	// stays at the nil-check fast path.
-	if *timings || *traceJSON != "" || *traceChrome != "" {
-		mgr.Tracer = trace.NewCollector()
+	if tracer != nil {
+		mgr.Tracer = tracer
 		if vcert != nil {
 			vcert.Tracer = mgr.Tracer
 		}
@@ -157,6 +169,15 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, st.String())
+	}
+	if *emitBin != "" {
+		layout, err := mao.Relax(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*emitBin, layout.Image(u, ".text"), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *timings {
 		if err := trace.WriteSummary(os.Stderr, mgr.Tracer); err != nil {
@@ -227,6 +248,87 @@ func main() {
 	}
 	os.Exit(exit)
 }
+
+// loadInput reads the input file as assembly or, under -binary, as a
+// raw (or hex-text) machine-code blob lifted through the decoder.
+// "-" reads standard input, so JIT buffers pipe straight in.
+func loadInput(path string, bin binaryFlag, base int64, tracer *trace.Collector) (*mao.Unit, error) {
+	if !bin.set {
+		if path == "-" {
+			b, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				return nil, err
+			}
+			return mao.ParseString("<stdin>", string(b))
+		}
+		return mao.ParseFile(path)
+	}
+	name := path
+	var raw []byte
+	var err error
+	if path == "-" {
+		name = "<stdin>"
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if bin.hex {
+		if raw, err = decodeHexText(raw); err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+	}
+	return mao.DecodeBinary(name, raw, base, tracer)
+}
+
+// decodeHexText turns hex text (whitespace and newlines ignored, an
+// optional leading 0x) into bytes.
+func decodeHexText(b []byte) ([]byte, error) {
+	s := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			return -1
+		}
+		return r
+	}, string(b))
+	s = strings.TrimPrefix(s, "0x")
+	return hex.DecodeString(s)
+}
+
+// binaryFlag implements -binary as an optional-value boolean flag:
+// bare -binary reads raw bytes, -binary=hex reads hex text.
+type binaryFlag struct {
+	set bool
+	hex bool
+}
+
+func (b *binaryFlag) String() string {
+	switch {
+	case b.hex:
+		return "hex"
+	case b.set:
+		return "true"
+	}
+	return ""
+}
+
+func (b *binaryFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		b.set, b.hex = true, false
+	case "false":
+		b.set, b.hex = false, false
+	case "hex":
+		b.set, b.hex = true, true
+	default:
+		return fmt.Errorf("invalid -binary mode %q (want hex)", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets the flag package accept the bare form.
+func (b *binaryFlag) IsBoolFlag() bool { return true }
 
 // violationDiags projects certifier violations onto plain diagnostics
 // for the merged stream, stamping the offending invocation into Origin

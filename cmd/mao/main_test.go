@@ -342,3 +342,107 @@ func TestDriverMergedStream(t *testing.T) {
 			both, checkOnly)
 	}
 }
+
+// TestDriverBinaryRoundtrip: -emit-binary assembles a fixture to raw
+// machine code; -binary lifts that blob back, runs a pipeline over it,
+// and both the assembly and re-emitted image reflect the
+// optimization.
+func TestDriverBinaryRoundtrip(t *testing.T) {
+	bin := buildDriver(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.s")
+	blob := filepath.Join(dir, "in.bin")
+	outS := filepath.Join(dir, "out.s")
+	outBin := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(in, []byte(driverInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if out, err := exec.Command(bin, "-emit-binary", blob, in).CombinedOutput(); err != nil {
+		t.Fatalf("emit-binary failed: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("empty machine-code image")
+	}
+
+	// Decode with no pipeline: the re-emitted image is byte-identical.
+	if out, err := exec.Command(bin, "-binary", "-emit-binary", outBin, blob).CombinedOutput(); err != nil {
+		t.Fatalf("binary roundtrip failed: %v\n%s", err, out)
+	}
+	round, err := os.ReadFile(outBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != string(raw) {
+		t.Errorf("decode→re-encode not byte-identical: %x vs %x", round, raw)
+	}
+
+	// Decode with a pipeline: REDTEST fires on the lifted unit and the
+	// optimized image shrinks.
+	out, err := exec.Command(bin, "-binary", "-stats", "-emit-binary", outBin,
+		"--mao=REDTEST:ASM=o["+outS+"]", blob).CombinedOutput()
+	if err != nil {
+		t.Fatalf("binary pipeline failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "REDTEST.removed = 1") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	text, err := os.ReadFile(outS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(text), "testl") {
+		t.Errorf("redundant test survived the decoded pipeline:\n%s", text)
+	}
+	if !strings.Contains(string(text), ".Lmaodec_") {
+		t.Errorf("no synthetic labels in decoded assembly:\n%s", text)
+	}
+	opt, err := os.ReadFile(outBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt) >= len(raw) {
+		t.Errorf("optimized image did not shrink: %d -> %d bytes", len(raw), len(opt))
+	}
+}
+
+// TestDriverBinaryHexStdin: -binary=hex reads hex text (here from
+// stdin via "-"), and -base shapes the synthetic label names.
+func TestDriverBinaryHexStdin(t *testing.T) {
+	bin := buildDriver(t)
+	outS := filepath.Join(t.TempDir(), "out.s")
+	// 0: xorl %eax,%eax; 2: decl %eax; 4: jne 2; 6: ret
+	cmd := exec.Command(bin, "-binary=hex", "-base", "0x401000", "--mao=ASM=o["+outS+"]", "-")
+	cmd.Stdin = strings.NewReader("31c0 ffc8 75fc c3\n")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("mao failed: %v\n%s", err, out)
+	}
+	text, err := os.ReadFile(outS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "jne\t.Lmaodec_401002") {
+		t.Errorf("branch not lifted to a base-relative label:\n%s", text)
+	}
+}
+
+// TestDriverBinaryDecodeError: malformed machine code fails with the
+// decoder's structured offset-carrying message, not a panic.
+func TestDriverBinaryDecodeError(t *testing.T) {
+	bin := buildDriver(t)
+	blob := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(blob, []byte{0x90, 0x48}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-binary", blob).CombinedOutput()
+	if code := exitCode(t, err); code == 0 {
+		t.Fatalf("truncated input exited 0\n%s", out)
+	}
+	if !strings.Contains(string(out), "offset 0x1") || !strings.Contains(string(out), "truncated") {
+		t.Errorf("error lacks offset/cause: %s", out)
+	}
+}

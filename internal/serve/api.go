@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"mao/internal/check"
 	"mao/internal/pass"
 	"mao/internal/trace"
+	"mao/internal/x86/decode"
 )
 
 // OptimizeRequest is the body of POST /v1/optimize.
@@ -186,9 +189,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeRequest reads, parses and validates the request body. The
-// returned status classifies the failure (413 oversize, 400 anything
-// else malformed).
+// returned status classifies the failure (413 oversize, 422 a binary
+// body that does not decode, 400 anything else malformed). A body of
+// Content-Type application/octet-stream is raw x86-64 machine code:
+// it is decoded and lifted to assembly here, so the rest of the
+// service — including the result-cache key — operates on the decoded
+// form.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, int, error) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/octet-stream") {
+		return s.decodeBinaryRequest(w, r)
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -204,24 +214,93 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 	if req.Source == "" {
 		return nil, http.StatusBadRequest, errors.New("source is required")
 	}
+	if status, err := s.validateRequest(r, &req); err != nil {
+		return nil, status, err
+	}
+	return &req, 0, nil
+}
+
+// decodeBinaryRequest handles the octet-stream form of /v1/optimize:
+// the body is a raw .text blob, the request knobs ride in query
+// parameters (name, spec, base, check, explain, verify, no_cache,
+// deadline_ms). The blob is decoded and lifted immediately; the
+// resulting assembly becomes the request Source, so binary requests
+// share the JSON path's pipeline, batching and result cache — two
+// blobs that decode to the same unit under the same spec share a
+// cache entry.
+func (s *Server) decodeBinaryRequest(w http.ResponseWriter, r *http.Request) (*OptimizeRequest, int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, http.StatusBadRequest, errors.New("machine-code body is required")
+	}
+	q := r.URL.Query()
+	req := OptimizeRequest{Name: q.Get("name"), Spec: q.Get("spec")}
+	if req.Name == "" {
+		req.Name = "request.bin"
+	}
+	var base int64
+	if v := q.Get("base"); v != "" {
+		if base, err = strconv.ParseInt(v, 0, 64); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("invalid base %q", v)
+		}
+	}
+	u, err := decode.ToUnit(raw, decode.UnitOptions{FileName: req.Name, Base: base})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	req.Source = u.String()
+	for _, p := range []struct {
+		name string
+		dst  *bool
+	}{{"check", &req.Options.Check}, {"no_cache", &req.Options.NoCache}} {
+		if v := q.Get(p.name); v == "1" || v == "true" {
+			*p.dst = true
+		}
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("invalid deadline_ms %q", v)
+		}
+		req.Options.DeadlineMS = ms
+	}
+	if status, err := s.validateRequest(r, &req); err != nil {
+		return nil, status, err
+	}
+	return &req, 0, nil
+}
+
+// validateRequest applies the path-independent request checks: the
+// pipeline spec, the deadline, and the query-parameter spellings of
+// the explain/verify options.
+func (s *Server) validateRequest(r *http.Request, req *OptimizeRequest) (int, error) {
 	invs, err := pass.ParsePipeline(req.Spec)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return http.StatusBadRequest, err
 	}
 	for _, inv := range invs {
 		if inv.Pass.Name() == "ASM" {
-			return nil, http.StatusBadRequest,
+			return http.StatusBadRequest,
 				errors.New("the ASM pass is CLI-only: the service returns assembly in the response body")
 		}
 		for _, opt := range []string{"dump_before", "dump_after"} {
 			if inv.Opts.String(opt, "\x00") != "\x00" {
-				return nil, http.StatusBadRequest,
+				return http.StatusBadRequest,
 					fmt.Errorf("the %s option is CLI-only (it writes files on the server)", opt)
 			}
 		}
 	}
 	if req.Options.DeadlineMS < 0 {
-		return nil, http.StatusBadRequest, errors.New("deadline_ms must be >= 0")
+		return http.StatusBadRequest, errors.New("deadline_ms must be >= 0")
 	}
 	// ?explain=1 and ?verify=1 are the curl-friendly spellings of the
 	// corresponding body options.
@@ -231,7 +310,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Optimiz
 	if v := r.URL.Query().Get("verify"); v == "1" || v == "true" {
 		req.Options.Verify = true
 	}
-	return &req, 0, nil
+	return 0, nil
 }
 
 // deadlineFor resolves the effective deadline of a request.

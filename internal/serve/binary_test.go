@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// countdownBlob is a 7-byte loop the binary tests decode:
+//
+//	0: xorl %eax,%eax;  2: decl %eax;  4: jne 2;  6: ret
+var countdownBlob = []byte{0x31, 0xc0, 0xff, 0xc8, 0x75, 0xfc, 0xc3}
+
+// redTestBlob ends a flag-setting subl with a redundant testl, so
+// REDTEST fires on the decoded unit:
+//
+//	0: subl $16,%ebx;  3: testl %ebx,%ebx;  5: je 7;  7: ret
+var redTestBlob = []byte{0x83, 0xeb, 0x10, 0x85, 0xdb, 0x74, 0x00, 0xc3}
+
+// postBinary sends one octet-stream request (knobs in the query
+// string) and decodes the response body.
+func postBinary(t *testing.T, url, query string, blob []byte) (int, *OptimizeResponse, *errorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/optimize"+query, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out OptimizeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding 200 body: %v", err)
+		}
+		return resp.StatusCode, &out, nil
+	}
+	var out errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %d body: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, nil, &out
+}
+
+func TestBinaryOptimizeBasic(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, out, _ := postBinary(t, ts.URL, "", countdownBlob)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"text:", ".Lmaodec_2:", "jne\t.Lmaodec_2", "xorl\t%eax, %eax"} {
+		if !strings.Contains(out.Assembly, want) {
+			t.Errorf("assembly missing %q:\n%s", want, out.Assembly)
+		}
+	}
+	if out.Cached {
+		t.Error("first request reported cached")
+	}
+}
+
+func TestBinaryOptimizeRunsPasses(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, out, _ := postBinary(t, ts.URL, "?spec=REDTEST&explain=1&verify=1", redTestBlob)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if strings.Contains(out.Assembly, "testl") {
+		t.Errorf("redundant testl survived REDTEST:\n%s", out.Assembly)
+	}
+	if out.Stats["REDTEST"]["removed"] != 1 {
+		t.Errorf("stats = %v", out.Stats)
+	}
+	// explain=1: the service runs the pipeline on a fresh parse of the
+	// decoded listing, so lineage attributes surviving instructions to
+	// lines of that listing (byte-range MAODEC provenance is the
+	// in-process — CLI — form). Every surviving instruction must carry
+	// a source line of the decoded assembly.
+	sawInst := false
+	for _, lin := range out.Lineage {
+		if lin.Kind != "inst" {
+			continue
+		}
+		sawInst = true
+		if lin.SourceLine == 0 && lin.Origin == "" {
+			t.Errorf("instruction %q has neither source line nor origin", lin.Text)
+		}
+	}
+	if !sawInst {
+		t.Errorf("no instructions in lineage: %+v", out.Lineage)
+	}
+	// verify=1 translation-validates the decoded pipeline.
+	if len(out.Verify) != 1 || out.Verify[0].Pass != "REDTEST" {
+		t.Fatalf("verify verdicts = %+v", out.Verify)
+	}
+	if len(out.Verify[0].Refuted) != 0 {
+		t.Errorf("REDTEST refuted on decoded unit: %v", out.Verify[0].Refuted)
+	}
+}
+
+// TestBinaryCacheKey: identical blobs share a result-cache entry; a
+// different base address changes the decoded form and must miss.
+func TestBinaryCacheKey(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	if code, out, _ := postBinary(t, ts.URL, "?spec=REDTEST", redTestBlob); code != 200 || out.Cached {
+		t.Fatalf("first: status %d, cached %v", code, out != nil && out.Cached)
+	}
+	if code, out, _ := postBinary(t, ts.URL, "?spec=REDTEST", redTestBlob); code != 200 || !out.Cached {
+		t.Fatalf("identical blob missed the result cache (status %d)", code)
+	}
+	code, out, _ := postBinary(t, ts.URL, "?spec=REDTEST&base=0x400000", redTestBlob)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Cached {
+		t.Error("different base address shared a cache entry")
+	}
+	if !strings.Contains(out.Assembly, ".Lmaodec_400007") {
+		t.Errorf("base address not reflected in labels:\n%s", out.Assembly)
+	}
+}
+
+// TestBinaryJSONCacheSharing: a binary request and a JSON request
+// whose source is the decoded assembly are the same unit under the
+// same spec, so they share a cache entry.
+func TestBinaryJSONCacheSharing(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	code, out, _ := postBinary(t, ts.URL, "?name=request.bin", countdownBlob)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	// The decoded assembly is canonical: submitting it via the JSON
+	// path reproduces the same result key.
+	code, jout, _ := postOptimize(t, ts.URL, &OptimizeRequest{Name: "request.bin", Source: out.Assembly})
+	if code != 200 {
+		t.Fatalf("JSON status = %d", code)
+	}
+	if !jout.Cached {
+		t.Error("decoded assembly resubmitted as JSON missed the cache")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name  string
+		query string
+		blob  []byte
+		code  int
+		want  string
+	}{
+		{"undecodable", "", []byte{0x48}, 422, "truncated"},
+		{"error carries offset", "", append(append([]byte{}, countdownBlob...), 0x8b), 422, "offset 0x7"},
+		{"empty body", "", nil, 400, "machine-code body is required"},
+		{"bad base", "?base=zzz", countdownBlob, 400, "invalid base"},
+		{"bad spec", "?spec=NOSUCH", countdownBlob, 400, "NOSUCH"},
+		{"bad deadline", "?deadline_ms=x", countdownBlob, 400, "deadline_ms"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, errResp := postBinary(t, ts.URL, c.query, c.blob)
+			if code != c.code {
+				t.Fatalf("status = %d, want %d", code, c.code)
+			}
+			if !strings.Contains(errResp.Error, c.want) {
+				t.Errorf("error %q does not contain %q", errResp.Error, c.want)
+			}
+		})
+	}
+}
+
+func TestBinaryOversize(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSourceBytes: 4})
+	code, _, errResp := postBinary(t, ts.URL, "", countdownBlob)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", code)
+	}
+	if !strings.Contains(errResp.Error, "exceeds") {
+		t.Errorf("error = %q", errResp.Error)
+	}
+}

@@ -51,6 +51,10 @@ const (
 	// one pass invocation when the pipeline runs under a
 	// verify.Certifier.
 	KindVerify Kind = "verify"
+	// KindDecode covers lifting a machine-code buffer into IR (the
+	// binary front end, decode.ToUnit). Its Stats carry the byte and
+	// instruction counts of the decoded buffer.
+	KindDecode Kind = "decode"
 )
 
 // Span is one timed region of a pipeline run.

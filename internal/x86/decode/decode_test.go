@@ -1,0 +1,206 @@
+package decode
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"mao/internal/x86/encode"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// reencode re-encodes a decoded instruction at its original position,
+// resolving the placeholder branch label to the recorded target and
+// pinning the rel8/rel32 choice to the decoded form.
+func reencode(t *testing.T, r *Decoded) []byte {
+	t.Helper()
+	ctx := &encode.Ctx{Addr: int64(r.Off), ForceLong: r.Long}
+	if r.IsRel {
+		target := r.RelTarget
+		ctx.SymAddr = func(string) (int64, bool) { return target, true }
+	}
+	b, err := encode.Encode(r.Inst, ctx)
+	if err != nil {
+		t.Fatalf("re-encode %s: %v", r.Inst, err)
+	}
+	return b
+}
+
+// TestGolden pins byte patterns to their decoded rendering and proves
+// each re-encodes byte-identically (the streams below are canonical:
+// they are what the encoder itself emits for these instructions).
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		hex  string
+		want string
+	}{
+		// Stack / frame idiom.
+		{"55", "pushq\t%rbp"},
+		{"4889e5", "movq\t%rsp, %rbp"},
+		{"5d", "popq\t%rbp"},
+		{"c3", "ret"},
+		{"c9", "leave"},
+		{"4157", "pushq\t%r15"},
+		// MOV forms.
+		{"488b4708", "movq\t8(%rdi), %rax"},
+		{"89d0", "movl\t%edx, %eax"},
+		{"8a07", "movb\t(%rdi), %al"},
+		{"b001", "movb\t$1, %al"},
+		{"b402", "movb\t$2, %ah"},
+		{"40b602", "movb\t$2, %sil"},
+		{"b878563412", "movl\t$305419896, %eax"},
+		{"48c7c02a000000", "movq\t$42, %rax"},
+		{"48b8efcdab8967452301", "movabsq\t$81985529216486895, %rax"},
+		{"66b83412", "movw\t$4660, %ax"},
+		{"c604255000000007", "movb\t$7, 80"},
+		// ALU.
+		{"4801d8", "addq\t%rbx, %rax"},
+		{"01d8", "addl\t%ebx, %eax"},
+		{"83c001", "addl\t$1, %eax"},
+		{"0534120000", "addl\t$4660, %eax"},
+		{"2c05", "subb\t$5, %al"},
+		{"4183e87f", "subl\t$127, %r8d"},
+		{"813c24d2040000", "cmpl\t$1234, (%rsp)"},
+		{"4531ed", "xorl\t%r13d, %r13d"},
+		{"662b4702", "subw\t2(%rdi), %ax"},
+		// Addressing forms.
+		{"8b0cb8", "movl\t(%rax,%rdi,4), %ecx"},
+		{"8b0c8500000000", "movl\t(,%rax,4), %ecx"},
+		{"488d05ffffffff", "leaq\t-1(%rip), %rax"},
+		{"488d0500000000", "leaq\t(%rip), %rax"},
+		{"418b442410", "movl\t16(%r12), %eax"},
+		{"498b4500", "movq\t(%r13), %rax"},
+		{"8b8424e8030000", "movl\t1000(%rsp), %eax"},
+		// Shift group.
+		{"d1f8", "sarl\t%eax"},
+		{"48c1e71f", "shlq\t$31, %rdi"},
+		{"d3e8", "shrl\t%cl, %eax"},
+		{"41c0ed03", "shrb\t$3, %r13b"},
+		// Group 3 / inc-dec.
+		{"f7d8", "negl\t%eax"},
+		{"48f7d1", "notq\t%rcx"},
+		{"f7ef", "imull\t%edi"},
+		{"48f7f6", "divq\t%rsi"},
+		{"ffc0", "incl\t%eax"},
+		{"48ffc8", "decq\t%rax"},
+		{"fec0", "incb\t%al"},
+		// IMUL and TEST.
+		{"0fafc7", "imull\t%edi, %eax"},
+		{"486bc710", "imulq\t$16, %rdi, %rax"},
+		{"4869c7e8030000", "imulq\t$1000, %rdi, %rax"},
+		{"a901000000", "testl\t$1, %eax"},
+		{"a880", "testb\t$-128, %al"},
+		{"4885c0", "testq\t%rax, %rax"},
+		{"f6c301", "testb\t$1, %bl"},
+		// XCHG.
+		{"4891", "xchgq\t%rcx, %rax"},
+		{"91", "xchgl\t%ecx, %eax"},
+		{"4887d9", "xchgq\t%rbx, %rcx"},
+		{"8607", "xchgb\t%al, (%rdi)"},
+		// CMOV / SET.
+		{"480f44c1", "cmove\t%rcx, %rax"},
+		{"0f95c0", "setne\t%al"},
+		{"410f94c4", "sete\t%r12b"},
+		// Sign extension.
+		{"0fb6c0", "movzbl\t%al, %eax"},
+		{"480fbfc0", "movswq\t%ax, %rax"},
+		{"4863c7", "movslq\t%edi, %rax"},
+		{"4898", "cltq"},
+		{"99", "cltd"},
+		{"4899", "cqto"},
+		// NOP forms and friends.
+		{"90", "nop"},
+		{"6690", "nopw"},
+		{"f390", "pause"},
+		{"0f1f00", "nopl\t(%rax)"},
+		{"660f1f0400", "nopw\t(%rax,%rax,1)"},
+		{"0f0b", "ud2"},
+		{"f4", "hlt"},
+		// Branches.
+		{"ebfe", "jmp\t"},
+		{"e900010000", "jmp\t"},
+		{"7405", "je\t"},
+		{"0f8480000000", "je\t"},
+		{"e800000000", "call\t"},
+		{"ffd0", "call\t*%rax"},
+		{"ff2425a0860100", "jmp\t*100000"},
+		{"ff17", "call\t*(%rdi)"},
+		// Push/pop r/m and immediates.
+		{"6a05", "pushq\t$5"},
+		{"6800010000", "pushq\t$256"},
+		{"ff7708", "pushq\t8(%rdi)"},
+		{"8f4010", "popq\t16(%rax)"},
+		// Prefetch.
+		{"0f1807", "prefetchnta\t(%rdi)"},
+		{"0f185340", "prefetcht1\t64(%rbx)"},
+		// SSE moves.
+		{"f30f10442404", "movss\t4(%rsp), %xmm0"},
+		{"f20f1107", "movsd\t%xmm0, (%rdi)"},
+		{"0f28c8", "movaps\t%xmm0, %xmm1"},
+		{"660f6f00", "movdqa\t(%rax), %xmm0"},
+		{"f30f7f0411", "movdqu\t%xmm0, (%rcx,%rdx,1)"},
+		{"660f6ec7", "movd\t%edi, %xmm0"},
+		{"66480f7ec0", "movq\t%xmm0, %rax"},
+		{"f30f7ec1", "movq\t%xmm1, %xmm0"},
+		{"660fd60424", "movq\t%xmm0, (%rsp)"},
+		// SSE arithmetic and conversions.
+		{"f20f58c1", "addsd\t%xmm1, %xmm0"},
+		{"f30f5ec8", "divss\t%xmm0, %xmm1"},
+		{"660fefc0", "pxor\t%xmm0, %xmm0"},
+		{"0f57c0", "xorps\t%xmm0, %xmm0"},
+		{"660f2ec1", "ucomisd\t%xmm1, %xmm0"},
+		{"f2480f2ac7", "cvtsi2sdq\t%rdi, %xmm0"},
+		{"f30f2cc1", "cvttss2sil\t%xmm1, %eax"},
+		// Lock prefix.
+		{"f0830c2400", "lock orl\t$0, (%rsp)"},
+	}
+	for _, c := range cases {
+		b := mustHex(t, c.hex)
+		r, err := One(b, 0)
+		if err != nil {
+			t.Errorf("%s: decode error: %v", c.hex, err)
+			continue
+		}
+		if r.Len != len(b) {
+			t.Errorf("%s: decoded %d of %d bytes", c.hex, r.Len, len(b))
+			continue
+		}
+		if got := r.Inst.String(); got != c.want {
+			t.Errorf("%s: decoded %q, want %q", c.hex, got, c.want)
+		}
+		if got := reencode(t, r); string(got) != string(b) {
+			t.Errorf("%s: re-encodes to %x", c.hex, got)
+		}
+	}
+}
+
+// TestAllPositions checks that All reports correct per-instruction
+// offsets and that relative branches resolve to buffer offsets.
+func TestAllPositions(t *testing.T) {
+	// 0: xorl %eax,%eax; 2: decl %eax; 4: jne 2; 6: ret
+	b := mustHex(t, "31c0ffc875fcc3")
+	decs, err := All(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != 4 {
+		t.Fatalf("decoded %d instructions, want 4", len(decs))
+	}
+	wantOff := []int{0, 2, 4, 6}
+	for i, r := range decs {
+		if r.Off != wantOff[i] {
+			t.Errorf("inst %d at offset %d, want %d", i, r.Off, wantOff[i])
+		}
+	}
+	j := decs[2]
+	if !j.IsRel || j.RelTarget != 2 || j.Long {
+		t.Errorf("jne: IsRel=%v RelTarget=%d Long=%v, want true 2 false", j.IsRel, j.RelTarget, j.Long)
+	}
+}

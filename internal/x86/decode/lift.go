@@ -1,0 +1,127 @@
+package decode
+
+import (
+	"fmt"
+
+	"mao/internal/ir"
+	"mao/internal/trace"
+)
+
+// LiftPass is the pass name stamped as provenance origin on lifted
+// nodes. The invocation index carries the node's byte offset in the
+// decoded buffer, so `mao --explain` renders byte-range provenance as
+// MAODEC[offset].
+const LiftPass = "MAODEC"
+
+// UnitOptions configures ToUnit.
+type UnitOptions struct {
+	// FileName names the synthesized unit ("<binary>" when empty).
+	FileName string
+	// FuncName is the symbol given to the single function wrapping the
+	// decoded buffer ("text" when empty).
+	FuncName string
+	// Base is the load address of the buffer's first byte. It offsets
+	// the synthetic label names (.Lmaodec_<addr>) only; decoding is
+	// position-independent.
+	Base int64
+	// Tracer, when enabled, receives one KindDecode span covering the
+	// lift.
+	Tracer *trace.Collector
+}
+
+// ToUnit decodes a raw machine-code buffer and lifts it into an IR
+// unit the rest of the pipeline consumes unchanged: byte offsets that
+// are branch targets become synthetic local labels (.Lmaodec_<addr>),
+// relative branches are re-targeted to those labels, and the whole
+// buffer is wrapped as one .text function so Unit.Analyze, the passes,
+// MAOCHECK, MAOVERIFY and relaxation all see an ordinary unit.
+// Every lifted instruction node carries MAODEC[byte-offset] origin
+// provenance.
+func ToUnit(code []byte, opts UnitOptions) (*ir.Unit, error) {
+	start := opts.Tracer.Now()
+
+	decs, err := All(code)
+	if err != nil {
+		return nil, err
+	}
+
+	fileName := opts.FileName
+	if fileName == "" {
+		fileName = "<binary>"
+	}
+	fn := opts.FuncName
+	if fn == "" {
+		fn = "text"
+	}
+
+	// First pass over the decoded stream: collect branch targets and
+	// check every one lands on an instruction boundary (or exactly at
+	// the end of the buffer, where the encoder's unresolved-symbol
+	// rel32 of zero points).
+	starts := make(map[int64]bool, len(decs))
+	for _, r := range decs {
+		starts[int64(r.Off)] = true
+	}
+	starts[int64(len(code))] = true
+	labels := make(map[int64]string)
+	for _, r := range decs {
+		if !r.IsRel {
+			continue
+		}
+		if r.RelTarget < 0 || r.RelTarget > int64(len(code)) {
+			return nil, &Error{Offset: r.Off, Msg: fmt.Sprintf(
+				"branch target %#x outside the buffer [0, %#x]", r.RelTarget, len(code))}
+		}
+		if !starts[r.RelTarget] {
+			return nil, &Error{Offset: r.Off, Msg: fmt.Sprintf(
+				"branch target %#x is not an instruction boundary", r.RelTarget)}
+		}
+		if _, ok := labels[r.RelTarget]; !ok {
+			labels[r.RelTarget] = fmt.Sprintf(".Lmaodec_%x", opts.Base+r.RelTarget)
+		}
+	}
+
+	u := ir.NewUnit(fileName)
+	u.Append(ir.DirectiveNode(".text"))
+	u.Append(ir.DirectiveNode(".type", fn, "@function"))
+	u.Append(ir.LabelNode(fn))
+	for _, r := range decs {
+		if l, ok := labels[int64(r.Off)]; ok {
+			u.Append(ir.LabelNode(l))
+		}
+		if r.IsRel {
+			// The decoder left a placeholder empty label; point it at
+			// the synthetic target label.
+			r.Inst.Args[len(r.Inst.Args)-1].Sym = labels[r.RelTarget]
+		}
+		n := ir.InstNode(r.Inst)
+		n.Prov = &ir.Provenance{Origin: ir.PassRef{Pass: LiftPass, Index: r.Off}}
+		u.Append(n)
+	}
+	if l, ok := labels[int64(len(code))]; ok {
+		u.Append(ir.LabelNode(l))
+	}
+	u.Append(ir.DirectiveNode(".size", fn, ".-"+fn))
+
+	if err := u.Analyze(); err != nil {
+		return nil, err
+	}
+
+	if opts.Tracer.Enabled() {
+		opts.Tracer.Add(trace.Span{
+			Kind:       trace.KindDecode,
+			Ref:        trace.Ref{Pass: LiftPass, Index: 0},
+			Start:      start,
+			Dur:        opts.Tracer.Now() - start,
+			NodesAfter: u.List.Len(),
+			Changed:    true,
+			Parent:     -1,
+			Stats: map[string]int{
+				"bytes":         len(code),
+				"instructions":  len(decs),
+				"branch_labels": len(labels),
+			},
+		})
+	}
+	return u, nil
+}

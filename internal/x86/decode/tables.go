@@ -1,0 +1,66 @@
+package decode
+
+import (
+	"mao/internal/x86"
+	"mao/internal/x86/encode"
+)
+
+// The decoder's group dispatch tables are not hand-written: they are
+// the encoder's own form tables (encode.ALUForms and friends) reversed
+// at init time. An opcode added to an encoder group therefore decodes
+// with no decoder change, and the sync test in sync_test.go pins the
+// remaining, non-tabular forms against the encoder behaviorally.
+var (
+	// aluByRow maps a 00-3F opcode row (opcode>>3) to its ALU op.
+	aluByRow [8]x86.Op
+	// aluByDigit maps the /digit of the 80/81/83 immediate group.
+	aluByDigit [8]x86.Op
+	// shiftByDigit maps the /digit of the C0/C1/D0-D3 shift group.
+	shiftByDigit [8]x86.Op
+	// group3ByDigit maps the /digit of the F6/F7 group (digits 0 and 1
+	// stay OpInvalid: /0 is the TEST immediate form, handled apart).
+	group3ByDigit [8]x86.Op
+	// prefetchByDigit maps the /digit of the 0F 18 prefetch hints.
+	prefetchByDigit [8]x86.Op
+	// sseByPrefOpc maps mandatory-prefix<<8|opcode to the regular SSE
+	// arithmetic op.
+	sseByPrefOpc map[uint16]x86.Op
+)
+
+func init() {
+	for op, f := range encode.ALUForms() {
+		aluByRow[f.Base>>3] = op
+		aluByDigit[f.Digit] = op
+	}
+	for op, d := range encode.ShiftDigits() {
+		shiftByDigit[d] = op
+	}
+	for op, d := range encode.Group3Digits() {
+		group3ByDigit[d] = op
+	}
+	for op, d := range encode.PrefetchDigits() {
+		prefetchByDigit[d] = op
+	}
+	sseByPrefOpc = make(map[uint16]x86.Op)
+	for op, f := range encode.SSEArithForms() {
+		sseByPrefOpc[uint16(f.Prefix)<<8|uint16(f.Opc)] = op
+	}
+}
+
+// GroupOps returns every opcode the derived group tables cover. The
+// sync test compares this set against the encoder's group tables to
+// prove the two sides can never drift.
+func GroupOps() map[x86.Op]bool {
+	out := make(map[x86.Op]bool)
+	for _, t := range [][8]x86.Op{aluByRow, shiftByDigit, group3ByDigit, prefetchByDigit} {
+		for _, op := range t {
+			if op != x86.OpInvalid {
+				out[op] = true
+			}
+		}
+	}
+	for _, op := range sseByPrefOpc {
+		out[op] = true
+	}
+	return out
+}

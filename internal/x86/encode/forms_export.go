@@ -1,0 +1,70 @@
+package encode
+
+import "mao/internal/x86"
+
+// The accessors below expose read-only copies of the encoder's form
+// tables. They exist for exactly one consumer: the decoder
+// (mao/internal/x86/decode) derives its reverse dispatch tables from
+// them at init time, so the two sides of the decode↔encode oracle can
+// never drift — an opcode added to a group here decodes without any
+// decoder change, and the sync test fails if structural coverage ever
+// diverges.
+
+// ALUForm is one member of the two-operand ALU group: the /digit used
+// by the 80/81/83 immediate forms and the 00-3F opcode row base.
+type ALUForm struct {
+	Digit byte
+	Base  byte
+}
+
+// ALUForms returns a copy of the ALU group table (add/or/adc/sbb/and/
+// sub/xor/cmp).
+func ALUForms() map[x86.Op]ALUForm {
+	out := make(map[x86.Op]ALUForm, len(aluInfo))
+	for op, f := range aluInfo {
+		out[op] = ALUForm{Digit: f.digit, Base: f.base}
+	}
+	return out
+}
+
+// ShiftDigits returns a copy of the shift/rotate group's /digit table
+// (the C0/C1/D0-D3 forms).
+func ShiftDigits() map[x86.Op]byte {
+	return copyDigits(shiftDigit)
+}
+
+// Group3Digits returns a copy of the F6/F7 group's /digit table
+// (not/neg/mul/imul/div/idiv).
+func Group3Digits() map[x86.Op]byte {
+	return copyDigits(group3Digit)
+}
+
+// PrefetchDigits returns a copy of the 0F 18 prefetch-hint /digit
+// table.
+func PrefetchDigits() map[x86.Op]byte {
+	return copyDigits(prefetchDigit)
+}
+
+// SSEForm is one regular xmm <- xmm/m SSE arithmetic form: the
+// mandatory prefix (0 = none) and the 0F xx opcode byte.
+type SSEForm struct {
+	Prefix byte
+	Opc    byte
+}
+
+// SSEArithForms returns a copy of the regular SSE arithmetic table.
+func SSEArithForms() map[x86.Op]SSEForm {
+	out := make(map[x86.Op]SSEForm, len(sseInfo))
+	for op, f := range sseInfo {
+		out[op] = SSEForm{Prefix: f.prefix, Opc: f.opc}
+	}
+	return out
+}
+
+func copyDigits(src map[x86.Op]byte) map[x86.Op]byte {
+	out := make(map[x86.Op]byte, len(src))
+	for op, d := range src {
+		out[op] = d
+	}
+	return out
+}

@@ -36,6 +36,7 @@ import (
 	"mao/internal/uarch"
 	"mao/internal/uarch/exec"
 	"mao/internal/uarch/sim"
+	"mao/internal/x86/decode"
 )
 
 // Core IR types.
@@ -68,6 +69,20 @@ type Counters = sim.Counters
 // ParseString parses AT&T-syntax assembly into an analyzed unit.
 func ParseString(name, src string) (*Unit, error) {
 	return asm.ParseString(name, src)
+}
+
+// DecodeBinary decodes raw x86-64 machine code and lifts it into an
+// analyzed unit: the buffer becomes one .text function, branch-target
+// byte offsets become synthetic local labels, and every instruction
+// node carries MAODEC[offset] provenance. base is the load address of
+// code[0] (it shapes the synthetic label names). The returned unit
+// flows through the same passes, checks and relaxation as parsed
+// assembly; tracer (optional, may be nil) receives one KindDecode
+// span.
+func DecodeBinary(name string, code []byte, base int64, tracer *TraceCollector) (*Unit, error) {
+	return decode.ToUnit(code, decode.UnitOptions{
+		FileName: name, Base: base, Tracer: tracer,
+	})
 }
 
 // ParseFile parses the assembly file at path.
