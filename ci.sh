@@ -29,6 +29,13 @@
 #   maod smoke  boot the daemon, probe /healthz and /metrics, run one
 #               optimization, then SIGTERM and require a clean drain
 #               (exit 0)
+#   fleet smoke boot 2 maod shards behind a real maorouter, stream the
+#               corpus as a maoar1 archive through the router and
+#               byte-compare the records against a direct single
+#               daemon (topology must be invisible in the bytes), then
+#               SIGTERM one shard mid maoload run and require hitless
+#               rerouting (no 5xx, no transport errors, rebalances
+#               counted on the router's metrics)
 #   bench smoke every benchmark runs once, so the committed benchmarks
 #               (including the worker-scaling and cache benchmarks)
 #               cannot silently rot
@@ -159,5 +166,91 @@ printf '{"source":"\\t.text\\nf:\\n\\tsubl $16, %%r15d\\n\\ttestl %%r15d, %%r15d
 kill -TERM "$maod_pid"
 wait "$maod_pid" || { echo "maod did not drain cleanly (exit $?)" >&2; cat "$maod_log" >&2; exit 1; }
 grep -q drained "$maod_log" || { echo "maod drain not logged" >&2; cat "$maod_log" >&2; exit 1; }
+
+echo "== fleet smoke: 2 shards + maorouter, archive parity, reroute on shard death"
+fleet=$(dirname "$bin")
+go build -o "$fleet/maorouter" ./cmd/maorouter
+go build -o "$fleet/maoload" ./cmd/maoload
+
+# start_maod <logfile>: boots a daemon in the background, leaving its
+# base URL in $maod_url and its pid in $maod_started_pid (no command
+# substitution — a subshell would lose $!).
+start_maod() {
+	_log=$1
+	"$maod_bin" -addr 127.0.0.1:0 -quiet >"$_log" 2>&1 &
+	maod_started_pid=$!
+	_a=""
+	for _ in $(seq 1 100); do
+		_a=$(sed -n 's/^maod: listening on //p' "$_log")
+		[ -n "$_a" ] && break
+		sleep 0.1
+	done
+	[ -n "$_a" ] || { echo "maod never announced its address" >&2; cat "$_log" >&2; exit 1; }
+	maod_url="http://$_a"
+}
+
+start_maod "$fleet/shard1.log"; shard1=$maod_url; shard1_pid=$maod_started_pid
+start_maod "$fleet/shard2.log"; shard2=$maod_url; shard2_pid=$maod_started_pid
+start_maod "$fleet/direct.log"; direct=$maod_url; direct_pid=$maod_started_pid
+
+"$fleet/maorouter" -addr 127.0.0.1:0 -shards "$shard1,$shard2" \
+	-probe-interval 100ms >"$fleet/router.log" 2>&1 &
+router_pid=$!
+router=""
+for _ in $(seq 1 100); do
+	router=$(sed -n 's/^maorouter: listening on \([^ ]*\).*/\1/p' "$fleet/router.log")
+	[ -n "$router" ] && break
+	sleep 0.1
+done
+[ -n "$router" ] || { echo "maorouter never announced its address" >&2; cat "$fleet/router.log" >&2; exit 1; }
+router="http://$router"
+
+# Frame the corpus as one maoar1 archive: magic, name length, source
+# length, newline, then name and source bytes back to back.
+archive=$fleet/corpus.maoar
+: >"$archive"
+for f in internal/corpus/testdata/*.s; do
+	printf 'maoar1 %d %d\n' "$(printf %s "$f" | wc -c)" "$(wc -c <"$f")" >>"$archive"
+	printf %s "$f" >>"$archive"
+	cat "$f" >>"$archive"
+done
+
+# The same archive through the router and through a single direct
+# daemon must carry identical per-unit records. Completion order is
+# timing-dependent and the cached flag varies, so: drop the trailer,
+# strip "cached", sort by record.
+stream_records() {
+	curl -fsS -X POST -H 'Content-Type: application/x-mao-archive' \
+		--data-binary @"$archive" "$1/v1/optimize/archive?spec=REDTEST:REDMOV" |
+		grep -v '"done"' | sed 's/,"cached":true//' | sort
+}
+stream_records "$router" >"$fleet/via_router.ndjson"
+stream_records "$direct" >"$fleet/via_direct.ndjson"
+[ -s "$fleet/via_router.ndjson" ] || { echo "empty archive stream via router" >&2; exit 1; }
+cmp "$fleet/via_router.ndjson" "$fleet/via_direct.ndjson" ||
+	{ echo "archive via router differs from direct daemon" >&2; exit 1; }
+
+# Kill shard1 mid maoload run: maod drains gracefully (503 to new
+# work), the router fails the drained shard over, and the run must
+# stay hitless — every request 200, rebalances visible on /metrics.
+"$fleet/maoload" -addr "$router" -router -c 4 -duration 3s -n 0 \
+	-clients 8 -zipf 1.2 -spec REDTEST internal/corpus/testdata/*.s \
+	>"$fleet/load.log" 2>&1 &
+load_pid=$!
+sleep 1
+kill -TERM "$shard1_pid"
+wait "$load_pid" || { echo "maoload through the router failed" >&2; cat "$fleet/load.log" >&2; exit 1; }
+grep -Eq 'classes: 2xx [0-9]+  4xx 0  5xx 0  transport-errors 0' "$fleet/load.log" ||
+	{ echo "shard death was not hitless" >&2; cat "$fleet/load.log" >&2; exit 1; }
+wait "$shard1_pid" || { echo "shard1 did not drain cleanly" >&2; cat "$fleet/shard1.log" >&2; exit 1; }
+curl -fsS "$router/metrics" >"$fleet/router_metrics.txt"
+grep -Eq 'maorouter_rebalances_total [1-9]' "$fleet/router_metrics.txt" ||
+	{ echo "router never rebalanced after shard death" >&2; cat "$fleet/router_metrics.txt" >&2; exit 1; }
+grep -q "maorouter_shard_healthy{shard=\"$shard1\"} 0" "$fleet/router_metrics.txt" ||
+	{ echo "dead shard still marked healthy" >&2; cat "$fleet/router_metrics.txt" >&2; exit 1; }
+
+kill -TERM "$router_pid" "$shard2_pid" "$direct_pid"
+wait "$router_pid" || { echo "maorouter did not drain cleanly" >&2; cat "$fleet/router.log" >&2; exit 1; }
+wait "$shard2_pid" "$direct_pid" 2>/dev/null || true
 
 echo "CI OK"

@@ -5,10 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/optimize  optimize one assembly unit (JSON in/out)
-//	GET  /metrics      Prometheus text-format metrics
-//	GET  /healthz      liveness
-//	GET  /readyz       readiness (503 once draining)
+//	POST /v1/optimize          optimize one assembly unit (JSON in/out)
+//	POST /v1/optimize/archive  optimize a multi-unit archive (maoar1
+//	                           framing in, streamed NDJSON out)
+//	GET  /metrics              Prometheus text-format metrics
+//	GET  /healthz              liveness
+//	GET  /readyz               readiness (503 once draining)
 //
 // Every request carries an X-Request-ID (honored inbound, generated
 // otherwise), echoed in the response, the access log, and the pipeline
@@ -51,6 +53,9 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "default per-request deadline (0 = default)")
 		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = default)")
 		maxBody     = flag.Int64("max-source-bytes", 0, "max request body size (0 = default)")
+		maxUnits    = flag.Int("max-archive-units", 0, "max units per archive request (0 = default)")
+		quotaRate   = flag.Float64("quota-rate", 0, "per-client quota tokens per second (0 = quotas disabled)")
+		quotaBurst  = flag.Int("quota-burst", 0, "per-client quota bucket capacity (0 = default)")
 		drainWait   = flag.Duration("drain-timeout", 5*time.Minute, "how long to wait for in-flight requests on shutdown")
 		quiet       = flag.Bool("quiet", false, "suppress access logs")
 		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener for net/http/pprof (empty = disabled); bind it to localhost")
@@ -72,6 +77,9 @@ func main() {
 		DefaultDeadline:    *deadline,
 		MaxDeadline:        *maxDeadline,
 		MaxSourceBytes:     *maxBody,
+		MaxArchiveUnits:    *maxUnits,
+		QuotaRate:          *quotaRate,
+		QuotaBurst:         *quotaBurst,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

@@ -1,12 +1,28 @@
-// Command maoload drives load against a running maod daemon and
-// reports throughput and latency percentiles.
+// Command maoload drives load against a running maod daemon (or a
+// maorouter-fronted fleet) and reports throughput, latency
+// percentiles, result-cache hit rate, and — in router mode — the
+// per-shard breakdown.
 //
 //	maoload -addr http://localhost:7950 -c 8 -n 200 \
 //	        -spec REDTEST:REDMOV internal/corpus/testdata/*.s
 //
-// Each worker cycles through the given assembly fixtures, POSTing them
-// to /v1/optimize. The run is bounded by -n (total requests) or
-// -duration, whichever is set; with both, the first reached wins.
+//	maoload -addr http://localhost:7960 -router -clients 16 -zipf 1.2 \
+//	        -n 2000 internal/corpus/testdata/*.s
+//
+// Each worker POSTs assembly fixtures to /v1/optimize. By default it
+// cycles through them uniformly; -zipf s (s > 1) switches to a
+// zipf-skewed traffic model — a few hot fixtures dominate, as real
+// build traffic does — and -clients N spreads requests over N tenants
+// (zipf-mixed too, via the X-Mao-Client header) to exercise per-client
+// quotas. -seed makes the mix reproducible.
+//
+// The run is bounded by -n (total requests) or -duration, whichever is
+// set; with both, the first reached wins.
+//
+// Cache disposition is read from the X-Mao-Cache response header and
+// the serving shard from X-Mao-Shard (set by maorouter); -router
+// requires the latter and fails the run if it is absent, so a
+// misconfigured target cannot masquerade as a fleet.
 package main
 
 import (
@@ -15,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -26,6 +43,8 @@ import (
 type result struct {
 	status  int
 	latency time.Duration
+	cache   string // X-Mao-Cache: "hit", "miss", or ""
+	shard   string // X-Mao-Shard, when fronted by maorouter
 	err     error
 }
 
@@ -34,13 +53,17 @@ func main() {
 	log.SetPrefix("maoload: ")
 
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:7950", "maod base URL")
+		addr     = flag.String("addr", "http://127.0.0.1:7950", "maod (or maorouter) base URL")
 		conc     = flag.Int("c", 4, "concurrent workers")
 		total    = flag.Int("n", 100, "total requests (0 = unbounded, use -duration)")
 		duration = flag.Duration("duration", 0, "stop after this long (0 = unbounded, use -n)")
 		spec     = flag.String("spec", "REDTEST:REDMOV", "pass pipeline sent with every request")
 		check    = flag.Bool("check", false, "request static-checker diagnostics")
 		noCache  = flag.Bool("no-cache", false, "bypass the server's result cache")
+		clients  = flag.Int("clients", 1, "distinct tenants to spread requests over (X-Mao-Client)")
+		zipfS    = flag.Float64("zipf", 0, "zipf skew s (> 1) for fixture and client selection; 0 = uniform cycling")
+		seed     = flag.Int64("seed", 1, "seed for the zipf traffic model")
+		router   = flag.Bool("router", false, "target is a maorouter: require X-Mao-Shard and report the per-shard breakdown")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -50,6 +73,12 @@ func main() {
 	}
 	if *total <= 0 && *duration <= 0 {
 		log.Fatal("one of -n or -duration must be positive")
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		log.Fatal("-zipf must be > 1 (Go's zipf generator requires s > 1)")
+	}
+	if *clients < 1 {
+		log.Fatal("-clients must be >= 1")
 	}
 
 	// Pre-encode one request body per fixture.
@@ -94,16 +123,42 @@ func main() {
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Per-worker generators keep the mix reproducible for a
+			// given (-seed, -c) without cross-worker locking.
+			var fixturePick, clientPick *rand.Zipf
+			if *zipfS > 1 {
+				rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+				fixturePick = rand.NewZipf(rng, *zipfS, 1, uint64(len(bodies)-1))
+				if *clients > 1 {
+					clientPick = rand.NewZipf(rng, *zipfS, 1, uint64(*clients-1))
+				}
+			}
 			for {
 				i := seq.Add(1) - 1
 				if stop(i) {
 					return
 				}
-				body := bodies[i%int64(len(bodies))]
+				fixture := int(i % int64(len(bodies)))
+				if fixturePick != nil {
+					fixture = int(fixturePick.Uint64())
+				}
+				tenant := int(i % int64(*clients))
+				if clientPick != nil {
+					tenant = int(clientPick.Uint64())
+				}
+				req, err := http.NewRequest("POST", *addr+"/v1/optimize", bytes.NewReader(bodies[fixture]))
+				if err != nil {
+					results <- result{err: err}
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *clients > 1 {
+					req.Header.Set("X-Mao-Client", fmt.Sprintf("tenant-%02d", tenant))
+				}
 				t0 := time.Now()
-				resp, err := client.Post(*addr+"/v1/optimize", "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				lat := time.Since(t0)
 				if err != nil {
 					results <- result{err: err, latency: lat}
@@ -113,19 +168,26 @@ func main() {
 				var sink json.RawMessage
 				json.NewDecoder(resp.Body).Decode(&sink)
 				resp.Body.Close()
-				results <- result{status: resp.StatusCode, latency: lat}
+				results <- result{
+					status:  resp.StatusCode,
+					latency: lat,
+					cache:   resp.Header.Get("X-Mao-Cache"),
+					shard:   resp.Header.Get("X-Mao-Shard"),
+				}
 			}
-		}()
+		}(w)
 	}
 	go func() { wg.Wait(); close(results) }()
 
+	type shardTally struct{ reqs, hits, misses int }
 	var (
-		lats     []time.Duration
-		byStatus = map[int]int{}
-		errCount int
-		firstErr error
+		lats       []time.Duration
+		byStatus   = map[int]int{}
+		shardStats = map[string]*shardTally{}
+		errCount   int
+		firstErr   error
 	)
-	var total2xx, total4xx, total5xx int
+	var total2xx, total4xx, total5xx, cacheHits, cacheMisses int
 	for r := range results {
 		if r.err != nil {
 			errCount++
@@ -142,6 +204,26 @@ func main() {
 			// turned around in microseconds would otherwise drag p50 down
 			// and make an overloaded server look fast.
 			lats = append(lats, r.latency)
+			switch r.cache {
+			case "hit":
+				cacheHits++
+			case "miss":
+				cacheMisses++
+			}
+			if r.shard != "" {
+				st := shardStats[r.shard]
+				if st == nil {
+					st = &shardTally{}
+					shardStats[r.shard] = st
+				}
+				st.reqs++
+				switch r.cache {
+				case "hit":
+					st.hits++
+				case "miss":
+					st.misses++
+				}
+			}
 		case r.status >= 400 && r.status < 500:
 			total4xx++
 		case r.status >= 500:
@@ -175,6 +257,31 @@ func main() {
 		fmt.Printf("latency (2xx only): p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(.50).Round(time.Microsecond), pct(.90).Round(time.Microsecond),
 			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if cacheHits+cacheMisses > 0 {
+		fmt.Printf("result cache: %d hits, %d misses (%.1f%% hit rate)\n",
+			cacheHits, cacheMisses, 100*float64(cacheHits)/float64(cacheHits+cacheMisses))
+	}
+	if len(shardStats) > 0 {
+		var shards []string
+		for s := range shardStats {
+			shards = append(shards, s)
+		}
+		sort.Strings(shards)
+		fmt.Printf("shards: %d served this run\n", len(shards))
+		for _, s := range shards {
+			st := shardStats[s]
+			rate := 0.0
+			if st.hits+st.misses > 0 {
+				rate = 100 * float64(st.hits) / float64(st.hits+st.misses)
+			}
+			fmt.Printf("  shard %s: %d reqs, %d hits, %d misses (%.1f%% hit rate)\n",
+				s, st.reqs, st.hits, st.misses, rate)
+		}
+	}
+	if *router && len(shardStats) == 0 && total2xx > 0 {
+		fmt.Println("-router set but no X-Mao-Shard header seen: target is not a maorouter")
+		os.Exit(1)
 	}
 	if n == errCount || byStatus[http.StatusOK] == 0 {
 		os.Exit(1)

@@ -1,14 +1,20 @@
 package main
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"mao/internal/router"
 	"mao/internal/serve"
 )
 
@@ -87,6 +93,164 @@ func TestLoadGeneratorReportsErrorClasses(t *testing.T) {
 	}
 	if strings.Contains(report, "latency (2xx only):") {
 		t.Errorf("latency line fabricated from non-2xx turnarounds:\n%s", report)
+	}
+}
+
+// TestLoadGeneratorReportsCacheHitRate: with the server cache on and
+// fixtures repeated, the report carries the hit/miss split read from
+// X-Mao-Cache.
+func TestLoadGeneratorReportsCacheHitRate(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "internal", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	// Serial workers + uniform cycling: every fixture misses once,
+	// every repeat hits.
+	n := 3 * len(fixtures)
+	bin := buildMaoload(t)
+	args := append([]string{
+		"-addr", ts.URL, "-c", "1", "-n", strconv.Itoa(n), "-spec", "REDTEST",
+	}, fixtures...)
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("maoload: %v\n%s", err, out)
+	}
+	want := fmt.Sprintf("result cache: %d hits, %d misses", n-len(fixtures), len(fixtures))
+	if !strings.Contains(string(out), want) {
+		t.Errorf("report missing %q:\n%s", want, out)
+	}
+}
+
+// newFleet builds f fresh maod shards and returns their URLs.
+func newFleet(t *testing.T, f int) []string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < f; i++ {
+		s := serve.New(serve.Config{Workers: 2})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		urls = append(urls, ts.URL)
+	}
+	return urls
+}
+
+// roundRobinProxy is the unrouted baseline: an affinity-free front end
+// that alternates shards per request, stamping X-Mao-Shard like the
+// real router so maoload can attribute responses.
+func roundRobinProxy(t *testing.T, shards []string) *httptest.Server {
+	t.Helper()
+	var proxies []*httputil.ReverseProxy
+	for _, s := range shards {
+		u, err := url.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := s
+		p := httputil.NewSingleHostReverseProxy(u)
+		p.ModifyResponse = func(resp *http.Response) error {
+			resp.Header.Set("X-Mao-Shard", shard)
+			return nil
+		}
+		proxies = append(proxies, p)
+	}
+	var next atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		proxies[int(next.Add(1))%len(proxies)].ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// hitsMisses parses "result cache: H hits, M misses" from a report.
+func hitsMisses(t *testing.T, report string) (int, int) {
+	t.Helper()
+	m := regexp.MustCompile(`result cache: (\d+) hits, (\d+) misses`).FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("no cache line in report:\n%s", report)
+	}
+	h, _ := strconv.Atoi(m[1])
+	mi, _ := strconv.Atoi(m[2])
+	return h, mi
+}
+
+// TestRouterModeConcentratesCacheHits is the fleet-efficiency proof:
+// the same zipf-skewed multi-tenant run scores a strictly better
+// fleet-wide cache hit rate through the key-affinity router than
+// through an affinity-free round-robin front end, because the router
+// never computes a fixture on more than one shard.
+func TestRouterModeConcentratesCacheHits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet comparison under -short")
+	}
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "internal", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) < 2 {
+		t.Fatalf("need ≥ 2 corpus fixtures: %v", err)
+	}
+	bin := buildMaoload(t)
+	run := func(front string, routerMode bool) string {
+		args := []string{
+			"-addr", front, "-c", "1", "-n", "150",
+			"-spec", "REDTEST", "-clients", "8", "-zipf", "1.1", "-seed", "7",
+		}
+		if routerMode {
+			args = append(args, "-router")
+		}
+		out, err := exec.Command(bin, append(args, fixtures...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("maoload against %s: %v\n%s", front, err, out)
+		}
+		return string(out)
+	}
+
+	// Routed fleet: 2 fresh shards behind the real key-affinity router.
+	routedShards := newFleet(t, 2)
+	rt, err := router.New(router.Config{Shards: routedShards, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt)
+	t.Cleanup(func() { front.Close(); rt.Close() })
+	routedReport := run(front.URL, true)
+
+	// Unrouted baseline: 2 fresh shards behind round-robin.
+	baseReport := run(roundRobinProxy(t, newFleet(t, 2)).URL, false)
+
+	routedHits, routedMisses := hitsMisses(t, routedReport)
+	baseHits, baseMisses := hitsMisses(t, baseReport)
+	// Key affinity means each distinct fixture misses on exactly one
+	// shard; round-robin pays a cold miss per fixture per shard.
+	if routedMisses > len(fixtures) {
+		t.Errorf("routed fleet missed %d times for %d fixtures — affinity broken:\n%s",
+			routedMisses, len(fixtures), routedReport)
+	}
+	if routedHits <= baseHits {
+		t.Errorf("routed hit count %d not above unrouted baseline %d\nrouted:\n%s\nbaseline:\n%s",
+			routedHits, baseHits, routedReport, baseReport)
+	}
+	if !strings.Contains(routedReport, "shards: 2 served this run") {
+		t.Errorf("per-shard breakdown missing:\n%s", routedReport)
+	}
+	_ = baseMisses
+}
+
+// TestRouterModeRequiresShardHeader: -router against a plain daemon
+// (no X-Mao-Shard) fails the run.
+func TestRouterModeRequiresShardHeader(t *testing.T) {
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	fixtures, _ := filepath.Glob(filepath.Join("..", "..", "internal", "corpus", "testdata", "*.s"))
+	bin := buildMaoload(t)
+	out, err := exec.Command(bin, "-addr", ts.URL, "-router", "-n", "4", "-spec", "REDTEST", fixtures[0]).CombinedOutput()
+	if err == nil {
+		t.Errorf("-router against a shardless daemon exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "not a maorouter") {
+		t.Errorf("missing diagnosis:\n%s", out)
 	}
 }
 

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mao/internal/serve"
+)
+
+func buildMaorouter(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "maorouter")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startMaorouter boots the router binary against the given shard URLs
+// and returns its base URL and the running command.
+func startMaorouter(t *testing.T, shardURLs []string, extraFlags ...string) (string, *exec.Cmd) {
+	t.Helper()
+	bin := buildMaorouter(t)
+	args := append([]string{"-addr", "127.0.0.1:0", "-shards", strings.Join(shardURLs, ",")}, extraFlags...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	sc := bufio.NewScanner(stderr)
+	if !sc.Scan() {
+		t.Fatalf("router exited before announcing its address: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line: %q", line)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return "http://" + addr, cmd
+}
+
+const routerSource = `	.text
+	.type f,@function
+f:
+	subl $16, %r15d
+	testl %r15d, %r15d
+	je .Lz
+	movq 24(%rsp), %rdx
+	movq 24(%rsp), %rcx
+.Lz:
+	ret
+	.size f,.-f
+`
+
+// TestRouterBinaryEndToEnd: the built binary fronts two in-process
+// maod shards; an optimize round-trips with shard/request-ID headers
+// and the router's /metrics and /healthz answer.
+func TestRouterBinaryEndToEnd(t *testing.T) {
+	var shardURLs []string
+	for i := 0; i < 2; i++ {
+		s := serve.New(serve.Config{})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		shardURLs = append(shardURLs, ts.URL)
+	}
+	base, _ := startMaorouter(t, shardURLs)
+
+	body, _ := json.Marshal(map[string]any{"source": routerSource, "spec": "REDTEST:REDMOV"})
+	resp, err := http.Post(base+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/v1/optimize via router = %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Assembly string `json:"assembly"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.Assembly, "testl") {
+		t.Error("redundant test survived the routed pipeline")
+	}
+	if got := resp.Header.Get("X-Mao-Shard"); got != shardURLs[0] && got != shardURLs[1] {
+		t.Errorf("X-Mao-Shard = %q", got)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID on routed response")
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "maorouter_requests_total") {
+		t.Errorf("/metrics missing router series:\n%s", mb)
+	}
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 {
+		t.Errorf("/healthz = %d", hresp.StatusCode)
+	}
+}
+
+// TestRouterBinaryGracefulDrain: SIGTERM mid-idle exits 0.
+func TestRouterBinaryGracefulDrain(t *testing.T) {
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	_, cmd := startMaorouter(t, []string{ts.URL})
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("router exit status after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router never exited after SIGTERM")
+	}
+}
+
+// TestRouterBinaryRejectsBadUsage: missing -shards and positional args
+// both fail fast.
+func TestRouterBinaryRejectsBadUsage(t *testing.T) {
+	bin := buildMaorouter(t)
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Errorf("missing -shards must fail:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-shards", "http://x:1", "positional").CombinedOutput(); err == nil {
+		t.Errorf("positional args must fail:\n%s", out)
+	}
+}

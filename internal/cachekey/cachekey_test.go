@@ -1,0 +1,72 @@
+package cachekey
+
+import "testing"
+
+// TestGoldenVectors pins the key derivation to fixed hex digests. The
+// daemon's result cache and the router's shard hashing both call Key;
+// a change that breaks any vector here would silently scatter cache
+// hits across the fleet (old entries unreachable, router affinity
+// pointing at shards that cached under the old key). Changing the
+// derivation therefore must be deliberate: update the vectors AND
+// accept a fleet-wide cold cache on rollout.
+func TestGoldenVectors(t *testing.T) {
+	const src = "\t.text\nf:\n\tret\n"
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"zero value", Request{},
+			"16e045c1c4dcbc210998c8cf4a51eb715aa69eec540898b46b2828ce27361cef"},
+		{"unnamed source", Request{Source: src},
+			"3d7506780e91b160bff96bf83634ef44425b98dee901713812158f562ec0adf3"},
+		{"explicit default name", Request{Name: "request.s", Source: src},
+			"3d7506780e91b160bff96bf83634ef44425b98dee901713812158f562ec0adf3"},
+		{"named with spec", Request{Name: "a.s", Source: src, Spec: "REDTEST:REDMOV"},
+			"5f4307157a1311e565ccc998d309e807e20de2eff8c84738edf31edab0ebeca4"},
+		{"check flag", Request{Name: "a.s", Source: src, Spec: "REDTEST:REDMOV", Check: true},
+			"b21703375499503d64890167ba41e790cb88434676e700332d2d158b7ad1768b"},
+		{"explain flag", Request{Name: "a.s", Source: src, Spec: "REDTEST:REDMOV", Explain: true},
+			"819da1403cb44e945186b978cc1e24983e75d46006086c624765227816964891"},
+		{"verify flag", Request{Name: "a.s", Source: src, Spec: "REDTEST:REDMOV", Verify: true},
+			"5bd8f917abf300f1022e7b2efebff2f3d0224bbb38c8567f7843059a3bed2be3"},
+		{"colon in source", Request{Name: "x", Source: "abc:def"},
+			"78267ee04ef948d72a4e12b2481b9f47378f217817603e013bf554b87c1966fa"},
+		{"colon shifted into name+spec", Request{Name: "x:spec", Source: "abc", Spec: "def"},
+			"4fa980ec328060c3a0749adc0b92cff11f86ff87d66445010ec3251ff06d46c4"},
+	}
+	for _, c := range cases {
+		if got := Key(c.req); got != c.want {
+			t.Errorf("%s: Key = %s, want %s", c.name, got, c.want)
+		}
+	}
+	// The length prefix makes the field encoding non-ambiguous: moving
+	// bytes between source and name/spec must change the key.
+	if Key(Request{Name: "x", Source: "abc:def"}) == Key(Request{Name: "x:spec", Source: "abc", Spec: "def"}) {
+		t.Error("field-boundary shift collided")
+	}
+}
+
+// TestEveryFlagMatters asserts each option flag independently perturbs
+// the key — a flag that stopped participating would serve explain-less
+// cached responses to explain requests.
+func TestEveryFlagMatters(t *testing.T) {
+	base := Request{Name: "a.s", Source: "x", Spec: "REDTEST"}
+	seen := map[string]string{"base": Key(base)}
+	for name, req := range map[string]Request{
+		"check":   {Name: "a.s", Source: "x", Spec: "REDTEST", Check: true},
+		"explain": {Name: "a.s", Source: "x", Spec: "REDTEST", Explain: true},
+		"verify":  {Name: "a.s", Source: "x", Spec: "REDTEST", Verify: true},
+		"name":    {Name: "b.s", Source: "x", Spec: "REDTEST"},
+		"source":  {Name: "a.s", Source: "y", Spec: "REDTEST"},
+		"spec":    {Name: "a.s", Source: "x", Spec: "REDMOV"},
+	} {
+		k := Key(req)
+		for prev, pk := range seen {
+			if k == pk {
+				t.Errorf("flag %s does not perturb the key (collides with %s)", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+}

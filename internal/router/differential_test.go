@@ -1,0 +1,191 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mao/internal/serve"
+)
+
+// buildMao compiles the cmd/mao driver once per test invocation.
+func buildMao(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mao")
+	cmd := exec.Command("go", "build", "-o", bin, "mao/cmd/mao")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build cmd/mao: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// diffSpecs mirrors the serve-package differential matrix: the fleet
+// is held byte-identical to the CLI over the same pipelines.
+var diffSpecs = []string{
+	"",
+	"REDTEST:REDMOV",
+	"DCE:CONSTFOLD",
+	"NOPKILL:REDZEXT",
+	"SCHED",
+	"LOOP16",
+}
+
+func corpusFixtures(t *testing.T) []string {
+	t.Helper()
+	fixtures, err := filepath.Glob(filepath.Join("..", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	return fixtures
+}
+
+// cliOutputs runs cmd/mao over every fixture × diffSpecs and returns
+// the emitted assembly keyed by "fixture|spec".
+func cliOutputs(t *testing.T, bin string, fixtures []string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	want := make(map[string]string)
+	for i, fx := range fixtures {
+		for j, spec := range diffSpecs {
+			out := filepath.Join(dir, fmt.Sprintf("out_%d_%d.s", i, j))
+			cliSpec := "ASM=o[" + out + "]"
+			if spec != "" {
+				cliSpec = spec + ":" + cliSpec
+			}
+			cmd := exec.Command(bin, "--mao="+cliSpec, fx)
+			if msg, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("mao --mao=%s %s: %v\n%s", cliSpec, fx, err, msg)
+			}
+			b, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[fx+"|"+spec] = string(b)
+		}
+	}
+	return want
+}
+
+func optimizeThrough(url string, req *serve.OptimizeRequest) (*serve.OptimizeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out serve.OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TestFleetDifferentialAgainstCLI is the fleet acceptance criterion:
+// the same request answered through router→shards is byte-identical
+// to a direct single maod and to what cmd/mao emits, at shard counts
+// 1, 2 and 4 and worker counts 1 and 8 — topology must be invisible
+// in the bytes.
+func TestFleetDifferentialAgainstCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds cmd/mao and runs the corpus matrix across fleet topologies")
+	}
+	bin := buildMao(t)
+	fixtures := corpusFixtures(t)
+	want := cliOutputs(t, bin, fixtures)
+	sources := make(map[string]string)
+	for _, fx := range fixtures {
+		b, err := os.ReadFile(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[fx] = string(b)
+	}
+
+	// The direct single-daemon reference, checked once against the CLI.
+	direct := serve.New(serve.Config{})
+	directTS := httptest.NewServer(direct.Handler())
+	t.Cleanup(func() { directTS.Close(); direct.Close() })
+	for _, fx := range fixtures {
+		for _, spec := range diffSpecs {
+			resp, err := optimizeThrough(directTS.URL, &serve.OptimizeRequest{
+				Name: fx, Source: sources[fx], Spec: spec,
+			})
+			if err != nil {
+				t.Fatalf("direct maod %s spec=%q: %v", fx, spec, err)
+			}
+			if resp.Assembly != want[fx+"|"+spec] {
+				t.Fatalf("direct maod differs from cmd/mao for %s spec=%q", fx, spec)
+			}
+		}
+	}
+
+	for _, shardCount := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("shards-%d-workers-%d", shardCount, workers)
+			t.Run(name, func(t *testing.T) {
+				var shardURLs []string
+				for i := 0; i < shardCount; i++ {
+					s := serve.New(serve.Config{Workers: workers, QueueDepth: 256})
+					ts := httptest.NewServer(s.Handler())
+					t.Cleanup(func() { ts.Close(); s.Close() })
+					shardURLs = append(shardURLs, ts.URL)
+				}
+				rt, err := New(Config{Shards: shardURLs, ProbeInterval: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				front := httptest.NewServer(rt)
+				t.Cleanup(func() { front.Close(); rt.Close() })
+
+				var wg sync.WaitGroup
+				errs := make(chan string, len(fixtures)*len(diffSpecs)*2)
+				for _, fx := range fixtures {
+					for _, spec := range diffSpecs {
+						// Two replicas: the first populates the owning
+						// shard's cache, the second must return the same
+						// bytes from it.
+						for rep := 0; rep < 2; rep++ {
+							wg.Add(1)
+							go func(fx, spec string, rep int) {
+								defer wg.Done()
+								resp, err := optimizeThrough(front.URL, &serve.OptimizeRequest{
+									Name: fx, Source: sources[fx], Spec: spec,
+								})
+								if err != nil {
+									errs <- fmt.Sprintf("%s: %s spec=%q rep=%d: %v", name, fx, spec, rep, err)
+									return
+								}
+								if resp.Assembly != want[fx+"|"+spec] {
+									errs <- fmt.Sprintf("%s: %s spec=%q rep=%d: routed output differs from cmd/mao (cached=%v)",
+										name, fx, spec, rep, resp.Cached)
+								}
+							}(fx, spec, rep)
+						}
+					}
+				}
+				wg.Wait()
+				close(errs)
+				for e := range errs {
+					t.Error(e)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Each shard owns
+// vnodes points on a 64-bit circle; a key routes to the shard owning
+// the first point clockwise of the key's hash. Virtual nodes flatten
+// the ownership distribution (with v points per shard, the expected
+// imbalance shrinks as 1/sqrt(v)), and consistency means adding or
+// losing one shard moves only ~1/N of the keyspace — the property
+// that keeps result caches warm across fleet resizes.
+//
+// The ring is immutable after construction. Shard health is NOT ring
+// state: seq returns the full clockwise preference order and the
+// caller skips unhealthy shards, which is exactly the "replicated"
+// behavior — the keys of a dead shard spill onto its clockwise
+// successors and return home the moment it recovers.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int // index into the router's backend slice
+}
+
+// defaultVNodes per shard; 128 keeps the per-shard ownership within a
+// few percent of uniform for small fleets.
+const defaultVNodes = 128
+
+// newRing builds the ring over the shard names (their URLs): vnode
+// positions derive from the name, not the list index, so reordering
+// the -shards flag does not reshuffle key ownership.
+func newRing(names []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(names)*vnodes), shards: len(names)}
+	for s, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", name, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// seq returns every shard index exactly once, in clockwise preference
+// order from key's ring position: seq[0] is the owner, seq[1] the
+// first failover target, and so on. Deterministic for a given key and
+// ring, independent of health — the caller filters.
+func (r *ring) seq(key string) []int {
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; len(out) < r.shards && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -29,6 +29,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the wrapped writer to http.NewResponseController, so
+// the archive stream's per-record Flush reaches the real connection
+// through the instrumentation layer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // accessRecord is one structured access-log line.
 type accessRecord struct {
 	Time       string  `json:"time"`

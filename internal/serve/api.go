@@ -112,16 +112,19 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP handler:
 //
-//	POST /v1/optimize  optimize one unit
-//	GET  /metrics      Prometheus text-format metrics
-//	GET  /healthz      liveness (200 while the process runs)
-//	GET  /readyz       readiness (503 once draining)
+//	POST /v1/optimize          optimize one unit
+//	POST /v1/optimize/archive  optimize a multi-unit archive, streaming
+//	                           one NDJSON record per unit as it finishes
+//	GET  /metrics              Prometheus text-format metrics
+//	GET  /healthz              liveness (200 while the process runs)
+//	GET  /readyz               readiness (503 once draining)
 //
 // Every request is access-logged (Config.AccessLog) and measured into
 // the request metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/optimize/archive", s.handleArchive)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -139,10 +142,22 @@ func (s *Server) Handler() http.Handler {
 	return s.instrument(mux)
 }
 
-// handleOptimize is POST /v1/optimize: validate, consult the result
-// cache, admit into the queue, and wait for the worker's answer (or
-// the request deadline).
+// cacheHeader reports result-cache disposition on every /v1/optimize
+// answer; load generators read it to measure fleet-wide hit rates.
+const cacheHeader = "X-Mao-Cache"
+
+// handleOptimize is POST /v1/optimize: check the client's quota,
+// validate, consult the result cache, admit into the queue, and wait
+// for the worker's answer (or the request deadline).
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	// The per-client quota gates everything, including cache hits: it
+	// is a request-rate bound, and a 429 here consumes no global queue
+	// slot — tenant isolation sits UNDER the shared admission control.
+	if ok, retryAfter := s.quota.take(clientID(r)); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeError(w, http.StatusTooManyRequests, errors.New("client quota exhausted"))
+		return
+	}
 	req, status, err := s.decodeRequest(w, r)
 	if err != nil {
 		writeError(w, status, err)
@@ -155,10 +170,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			cached := *resp
 			cached.Cached = true
 			cached.BatchSize = 0
+			w.Header().Set(cacheHeader, "hit")
 			writeJSON(w, http.StatusOK, &cached)
 			return
 		}
 	}
+	w.Header().Set(cacheHeader, "miss")
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req))
 	defer cancel()

@@ -265,6 +265,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeMetric("Per-pass transformation counters, aggregated over all completed requests.",
 		"counter", "maod_pass_counters_total", passPairs...)
 
+	// Per-client quotas (present only when Config.QuotaRate > 0).
+	if s.quota != nil {
+		perClient, clients := s.quota.snapshot()
+		var ids []string
+		for id := range perClient {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var grantPairs, rejectPairs []string
+		for _, id := range ids {
+			label := fmt.Sprintf(`{client=%q}`, id)
+			grantPairs = append(grantPairs, label, strconv.FormatInt(perClient[id][0], 10))
+			rejectPairs = append(rejectPairs, label, strconv.FormatInt(perClient[id][1], 10))
+		}
+		writeMetric("Requests granted a quota token, by client.", "counter",
+			"maod_quota_granted_total", grantPairs...)
+		writeMetric("Requests refused by the per-client quota (429), by client.", "counter",
+			"maod_quota_rejects_total", rejectPairs...)
+		writeMetric("Clients with a resident quota bucket.", "gauge",
+			"maod_quota_clients", "", strconv.Itoa(clients))
+	}
+
 	writeMetric("Seconds since the server started.", "gauge",
 		"maod_uptime_seconds", "", strconv.FormatFloat(time.Since(s.started).Seconds(), 'f', 3, 64))
 }

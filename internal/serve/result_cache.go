@@ -2,24 +2,27 @@ package serve
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"mao/internal/cachekey"
 )
 
 // resultKey builds the content address of a request: the SHA-256 of
 // the source plus every request field the response depends on. Two
 // requests with the same key are guaranteed the same response, so a
-// cached answer is exact, not approximate.
+// cached answer is exact, not approximate. The derivation itself lives
+// in internal/cachekey (golden-vector pinned) because the shard router
+// must compute the identical key to concentrate cache hits per shard.
 func resultKey(req *OptimizeRequest) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "src:%d:", len(req.Source))
-	h.Write([]byte(req.Source))
-	fmt.Fprintf(h, ":name:%s:spec:%s:check:%t:explain:%t:verify:%t",
-		req.unitName(), req.Spec, req.Options.Check, req.Options.Explain, req.Options.Verify)
-	return hex.EncodeToString(h.Sum(nil))
+	return cachekey.Key(cachekey.Request{
+		Name:    req.Name,
+		Source:  req.Source,
+		Spec:    req.Spec,
+		Check:   req.Options.Check,
+		Explain: req.Options.Explain,
+		Verify:  req.Options.Verify,
+	})
 }
 
 // resultCache is the content-addressed response cache: an LRU map

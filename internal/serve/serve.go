@@ -91,6 +91,18 @@ type Config struct {
 	MaxDeadline     time.Duration
 	// MaxSourceBytes caps the request body (0 = 16 MiB).
 	MaxSourceBytes int64
+	// MaxArchiveUnits caps the number of units one archive request may
+	// carry (0 = 256).
+	MaxArchiveUnits int
+	// QuotaRate enables per-client token-bucket quotas: each client
+	// (X-Mao-Client header, fallback remote address) accrues QuotaRate
+	// tokens per second up to QuotaBurst, and each request consumes
+	// one. A client out of tokens is answered 429 + Retry-After
+	// BEFORE global admission — it consumes no queue slot, so one hot
+	// tenant cannot starve the rest (0 = quotas disabled).
+	QuotaRate float64
+	// QuotaBurst is the per-client bucket capacity (0 = 16).
+	QuotaBurst int
 	// AccessLog, when non-nil, receives one JSON line per completed
 	// HTTP request.
 	AccessLog io.Writer
@@ -124,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = 16 << 20
 	}
+	if c.MaxArchiveUnits <= 0 {
+		c.MaxArchiveUnits = 256
+	}
 	return c
 }
 
@@ -150,6 +165,7 @@ type Server struct {
 	relaxCache *relax.Cache
 	results    *resultCache
 	met        *metrics
+	quota      *quotas // nil when Config.QuotaRate == 0
 
 	queue   chan *job
 	batches chan *batch
@@ -176,6 +192,7 @@ func New(cfg Config) *Server {
 		relaxCache:   relax.NewCacheLimits(cfg.RelaxNodeEntries, cfg.RelaxContentEntries),
 		results:      newResultCache(cfg.ResultCacheEntries),
 		met:          newMetrics(),
+		quota:        newQuotas(cfg.QuotaRate, cfg.QuotaBurst),
 		queue:        make(chan *job, cfg.QueueDepth),
 		batches:      make(chan *batch, cfg.QueueDepth),
 		accepting:    true,
