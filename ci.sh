@@ -36,6 +36,15 @@
 #               SIGTERM one shard mid maoload run and require hitless
 #               rerouting (no 5xx, no transport errors, rebalances
 #               counted on the router's metrics)
+#   scope smoke boot 2 shards (debug planes on) behind a maorouter,
+#               run zipf maoload with tracing originated at the
+#               client, then validate the whole observability surface
+#               against checked-in schemas: the cross-process
+#               ?trace=1 / ?trace=chrome span trees (router hop span
+#               present, inbound trace ID preserved), the
+#               /debug/scope flight-recorder views on every plane,
+#               the access-log shard/cache stamps, the queue-wait +
+#               runtime-health metrics series, and maotop -once -json
 #   bench smoke every benchmark runs once, so the committed benchmarks
 #               (including the worker-scaling and cache benchmarks)
 #               cannot silently rot
@@ -217,12 +226,14 @@ done
 
 # The same archive through the router and through a single direct
 # daemon must carry identical per-unit records. Completion order is
-# timing-dependent and the cached flag varies, so: drop the trailer,
-# strip "cached", sort by record.
+# timing-dependent and the cached flag / cache verdict vary, so: drop
+# the trailer, strip "cached" and "cache", sort by record.
 stream_records() {
 	curl -fsS -X POST -H 'Content-Type: application/x-mao-archive' \
 		--data-binary @"$archive" "$1/v1/optimize/archive?spec=REDTEST:REDMOV" |
-		grep -v '"done"' | sed 's/,"cached":true//' | sort
+		grep -v '"done"' |
+		sed -e 's/,"cached":true//' -e 's/,"cache":"hit"//' -e 's/,"cache":"miss"//' |
+		sort
 }
 stream_records "$router" >"$fleet/via_router.ndjson"
 stream_records "$direct" >"$fleet/via_direct.ndjson"
@@ -252,5 +263,119 @@ grep -q "maorouter_shard_healthy{shard=\"$shard1\"} 0" "$fleet/router_metrics.tx
 kill -TERM "$router_pid" "$shard2_pid" "$direct_pid"
 wait "$router_pid" || { echo "maorouter did not drain cleanly" >&2; cat "$fleet/router.log" >&2; exit 1; }
 wait "$shard2_pid" "$direct_pid" 2>/dev/null || true
+
+echo "== scope smoke: fleet tracing, flight recorders, maotop vs checked-in schemas"
+go build -o "$fleet/maotop" ./cmd/maotop
+
+# start_scoped_maod <logfile>: a shard with its debug plane on, both
+# addresses parsed from the log ($maod_url, $maod_debug).
+start_scoped_maod() {
+	_log=$1
+	"$maod_bin" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -quiet >"$_log" 2>&1 &
+	maod_started_pid=$!
+	_a=""
+	_d=""
+	for _ in $(seq 1 100); do
+		_a=$(sed -n 's/^maod: listening on //p' "$_log")
+		_d=$(sed -n 's/^maod: debug (pprof, scope) listening on //p' "$_log")
+		[ -n "$_a" ] && [ -n "$_d" ] && break
+		sleep 0.1
+	done
+	[ -n "$_a" ] && [ -n "$_d" ] ||
+		{ echo "maod never announced its addresses" >&2; cat "$_log" >&2; exit 1; }
+	maod_url="http://$_a"
+	maod_debug="http://$_d"
+}
+
+start_scoped_maod "$fleet/sshard1.log"; sshard1=$maod_url; sshard1_dbg=$maod_debug; sshard1_pid=$maod_started_pid
+start_scoped_maod "$fleet/sshard2.log"; sshard2=$maod_url; sshard2_dbg=$maod_debug; sshard2_pid=$maod_started_pid
+
+"$fleet/maorouter" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -shards "$sshard1,$sshard2" \
+	-probe-interval 100ms >"$fleet/srouter.log" 2>&1 &
+srouter_pid=$!
+srouter=""
+srouter_dbg=""
+for _ in $(seq 1 100); do
+	srouter=$(sed -n 's/^maorouter: listening on \([^ ]*\).*/\1/p' "$fleet/srouter.log")
+	srouter_dbg=$(sed -n 's/^maorouter: debug (pprof, scope) listening on //p' "$fleet/srouter.log")
+	[ -n "$srouter" ] && [ -n "$srouter_dbg" ] && break
+	sleep 0.1
+done
+[ -n "$srouter" ] && [ -n "$srouter_dbg" ] ||
+	{ echo "maorouter never announced its addresses" >&2; cat "$fleet/srouter.log" >&2; exit 1; }
+srouter="http://$srouter"
+srouter_dbg="http://$srouter_dbg"
+
+# Zipf load with tracing on: maoload originates X-Mao-Trace per
+# request and fails itself if no response carries a span tree.
+"$fleet/maoload" -addr "$srouter" -router -trace -c 4 -n 40 \
+	-clients 4 -zipf 1.2 -spec REDTEST internal/corpus/testdata/*.s \
+	>"$fleet/sload.log" 2>&1 ||
+	{ echo "traced maoload through the router failed" >&2; cat "$fleet/sload.log" >&2; exit 1; }
+grep -q 'traces: .* responses carried a span tree' "$fleet/sload.log" ||
+	{ echo "maoload reported no traces" >&2; cat "$fleet/sload.log" >&2; exit 1; }
+
+# Archive streaming latency: time-to-first-record is reported
+# separately from total latency.
+"$fleet/maoload" -addr "$srouter" -archive -c 2 -n 4 \
+	-spec REDTEST internal/corpus/testdata/*.s >"$fleet/sarchive.log" 2>&1 ||
+	{ echo "archive maoload failed" >&2; cat "$fleet/sarchive.log" >&2; exit 1; }
+grep -q 'time-to-first-record: p50' "$fleet/sarchive.log" ||
+	{ echo "no time-to-first-record report" >&2; cat "$fleet/sarchive.log" >&2; exit 1; }
+
+# One traced request with a pinned context: the cross-process span
+# tree must validate against the checked-in schemas, contain the
+# router's hop span, and keep the inbound trace ID end to end.
+trace_id=00112233445566778899aabbccddeeff
+printf '{"source":"\\t.text\\nf:\\n\\tsubl $16, %%r15d\\n\\ttestl %%r15d, %%r15d\\n\\tret\\n","spec":"REDTEST"}' >"$fleet/req.json"
+curl -fsS -X POST -H 'Content-Type: application/json' -H "X-Mao-Trace: $trace_id-0123456789abcdef" \
+	--data-binary @"$fleet/req.json" "$srouter/v1/optimize?trace=1" >"$fleet/strace.json"
+go run ./internal/trace/schemacheck -schema internal/scope/testdata/scope_trace.schema.json \
+	"$fleet/strace.json"
+grep -q '"kind":"hop"' "$fleet/strace.json" ||
+	{ echo "trace lacks the router hop span" >&2; cat "$fleet/strace.json" >&2; exit 1; }
+grep -q "\"trace_id\":\"$trace_id\"" "$fleet/strace.json" ||
+	{ echo "inbound trace ID lost across the fleet" >&2; cat "$fleet/strace.json" >&2; exit 1; }
+curl -fsS -X POST -H 'Content-Type: application/json' -H "X-Mao-Trace: $trace_id-0123456789abcdef" \
+	--data-binary @"$fleet/req.json" "$srouter/v1/optimize?trace=chrome" >"$fleet/strace_chrome.json"
+go run ./internal/trace/schemacheck -schema internal/scope/testdata/scope_chrome.schema.json \
+	"$fleet/strace_chrome.json"
+
+# Router access log: every proxied request is stamped with its shard
+# and cache verdict.
+grep -q '"shard":"http' "$fleet/srouter.log" ||
+	{ echo "router access log lacks shard stamps" >&2; cat "$fleet/srouter.log" >&2; exit 1; }
+grep -Eq '"cache":"(hit|miss)"' "$fleet/srouter.log" ||
+	{ echo "router access log lacks cache verdicts" >&2; cat "$fleet/srouter.log" >&2; exit 1; }
+
+# Both exposition planes carry the queue-wait split and Go runtime
+# health series.
+curl -fsS "$sshard1/metrics" >"$fleet/sshard1_metrics.txt"
+grep -q '^maod_queue_wait_seconds_bucket' "$fleet/sshard1_metrics.txt" ||
+	{ echo "no maod_queue_wait_seconds histogram" >&2; exit 1; }
+grep -q '^maod_go_goroutines' "$fleet/sshard1_metrics.txt" ||
+	{ echo "no maod runtime health series" >&2; exit 1; }
+curl -fsS "$srouter/metrics" | grep -q '^maorouter_go_goroutines' ||
+	{ echo "no maorouter runtime health series" >&2; exit 1; }
+
+# Flight recorders on every plane validate against the pinned schema.
+for dbg in "$srouter_dbg" "$sshard1_dbg" "$sshard2_dbg"; do
+	for view in recent slowest errors; do
+		curl -fsS "$dbg/debug/scope/$view" >"$fleet/flight.json"
+		go run ./internal/trace/schemacheck -schema internal/scope/testdata/scope_flight.schema.json \
+			"$fleet/flight.json"
+	done
+done
+
+# maotop aggregates the whole fleet; its -once -json output (which
+# also fails on any unparseable /metrics page) matches its schema.
+"$fleet/maotop" -router "$srouter" -debug "$srouter_dbg,$sshard1_dbg,$sshard2_dbg" \
+	-once -json >"$fleet/maotop.json" ||
+	{ echo "maotop -once failed" >&2; cat "$fleet/maotop.json" >&2; exit 1; }
+go run ./internal/trace/schemacheck -schema internal/scope/testdata/maotop.schema.json \
+	"$fleet/maotop.json"
+
+kill -TERM "$srouter_pid" "$sshard1_pid" "$sshard2_pid"
+wait "$srouter_pid" "$sshard1_pid" "$sshard2_pid" 2>/dev/null || true
 
 echo "CI OK"

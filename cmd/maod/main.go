@@ -58,7 +58,8 @@ func main() {
 		quotaBurst  = flag.Int("quota-burst", 0, "per-client quota bucket capacity (0 = default)")
 		drainWait   = flag.Duration("drain-timeout", 5*time.Minute, "how long to wait for in-flight requests on shutdown")
 		quiet       = flag.Bool("quiet", false, "suppress access logs")
-		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener for net/http/pprof (empty = disabled); bind it to localhost")
+		debugAddr   = flag.String("debug-addr", "", "opt-in debug listener for net/http/pprof and /debug/scope (empty = disabled); bind it to localhost")
+		flightSize  = flag.Int("flight-records", 0, "flight-recorder ring size, 0 = default, -1 disables")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -80,6 +81,7 @@ func main() {
 		MaxArchiveUnits:    *maxUnits,
 		QuotaRate:          *quotaRate,
 		QuotaBurst:         *quotaBurst,
+		FlightRecords:      *flightSize,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
@@ -104,8 +106,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("debug listen: %v", err)
 		}
-		debugSrv = &http.Server{Handler: serve.DebugHandler()}
-		log.Printf("debug (pprof) listening on %s", dln.Addr())
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		log.Printf("debug (pprof, scope) listening on %s", dln.Addr())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
 				log.Printf("debug serve: %v", err)

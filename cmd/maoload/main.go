@@ -23,9 +23,18 @@
 // the serving shard from X-Mao-Shard (set by maorouter); -router
 // requires the latter and fails the run if it is absent, so a
 // misconfigured target cannot masquerade as a fleet.
+//
+// -trace originates a fresh MAOSCOPE X-Mao-Trace context per request
+// and asks for the span tree back (?trace=1), reporting how many
+// spans each response stitched — through a router that includes the
+// hop span. -archive switches each request to one maoar1 archive of
+// all fixtures against /v1/optimize/archive and reports
+// time-to-first-record percentiles alongside total latency, so
+// streaming responsiveness is no longer hidden inside stream totals.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -33,18 +42,25 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mao/internal/scope"
 )
 
 type result struct {
 	status  int
 	latency time.Duration
-	cache   string // X-Mao-Cache: "hit", "miss", or ""
-	shard   string // X-Mao-Shard, when fronted by maorouter
+	ttfr    time.Duration // archive mode: time to first NDJSON record
+	cache   string        // X-Mao-Cache: "hit", "miss", or ""
+	shard   string        // X-Mao-Shard, when fronted by maorouter
+	spans   int           // -trace: spans in the response's tree
+	hits    int           // archive mode: per-record cache verdicts
+	misses  int
 	err     error
 }
 
@@ -64,6 +80,8 @@ func main() {
 		zipfS    = flag.Float64("zipf", 0, "zipf skew s (> 1) for fixture and client selection; 0 = uniform cycling")
 		seed     = flag.Int64("seed", 1, "seed for the zipf traffic model")
 		router   = flag.Bool("router", false, "target is a maorouter: require X-Mao-Shard and report the per-shard breakdown")
+		traced   = flag.Bool("trace", false, "originate an X-Mao-Trace context per request and fetch the span tree (?trace=1)")
+		archive  = flag.Bool("archive", false, "send all fixtures as one maoar1 archive per request; report time-to-first-record")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -81,26 +99,45 @@ func main() {
 		log.Fatal("-clients must be >= 1")
 	}
 
-	// Pre-encode one request body per fixture.
+	// Pre-encode one request body per fixture — and, in archive mode,
+	// one maoar1 archive of all of them.
 	var bodies [][]byte
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			log.Fatal(err)
+	var archiveBody []byte
+	{
+		var ar bytes.Buffer
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := json.Marshal(map[string]any{
+				"name":   path,
+				"source": string(src),
+				"spec":   *spec,
+				"options": map[string]any{
+					"check":    *check,
+					"no_cache": *noCache,
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bodies = append(bodies, b)
+			fmt.Fprintf(&ar, "maoar1 %d %d\n", len(path), len(src))
+			ar.WriteString(path)
+			ar.Write(src)
 		}
-		b, err := json.Marshal(map[string]any{
-			"name":   path,
-			"source": string(src),
-			"spec":   *spec,
-			"options": map[string]any{
-				"check":    *check,
-				"no_cache": *noCache,
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		bodies = append(bodies, b)
+		archiveBody = ar.Bytes()
+	}
+	archiveURL := *addr + "/v1/optimize/archive?" + url.Values{
+		"spec":     {*spec},
+		"check":    {boolParam(*check)},
+		"no_cache": {boolParam(*noCache)},
+	}.Encode()
+	optimizeURL := *addr + "/v1/optimize"
+	if *traced {
+		archiveURL += "&trace=1"
+		optimizeURL += "?trace=1"
 	}
 
 	var (
@@ -148,32 +185,58 @@ func main() {
 				if clientPick != nil {
 					tenant = int(clientPick.Uint64())
 				}
-				req, err := http.NewRequest("POST", *addr+"/v1/optimize", bytes.NewReader(bodies[fixture]))
+				var req *http.Request
+				var err error
+				if *archive {
+					req, err = http.NewRequest("POST", archiveURL, bytes.NewReader(archiveBody))
+					if req != nil {
+						req.Header.Set("Content-Type", "application/x-mao-archive")
+					}
+				} else {
+					req, err = http.NewRequest("POST", optimizeURL, bytes.NewReader(bodies[fixture]))
+					if req != nil {
+						req.Header.Set("Content-Type", "application/json")
+					}
+				}
 				if err != nil {
 					results <- result{err: err}
 					continue
 				}
-				req.Header.Set("Content-Type", "application/json")
 				if *clients > 1 {
 					req.Header.Set("X-Mao-Client", fmt.Sprintf("tenant-%02d", tenant))
 				}
+				if *traced {
+					// Originate the trace context: this process is the
+					// root of the cross-process span tree.
+					req.Header.Set(scope.TraceHeader, scope.NewContext().Header())
+				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
-				lat := time.Since(t0)
 				if err != nil {
-					results <- result{err: err, latency: lat}
+					results <- result{err: err, latency: time.Since(t0)}
 					continue
 				}
-				// Drain so the connection is reused.
-				var sink json.RawMessage
-				json.NewDecoder(resp.Body).Decode(&sink)
-				resp.Body.Close()
-				results <- result{
-					status:  resp.StatusCode,
-					latency: lat,
-					cache:   resp.Header.Get("X-Mao-Cache"),
-					shard:   resp.Header.Get("X-Mao-Shard"),
+				res := result{
+					status: resp.StatusCode,
+					cache:  resp.Header.Get("X-Mao-Cache"),
+					shard:  resp.Header.Get("X-Mao-Shard"),
 				}
+				if *archive {
+					readArchiveStream(resp, t0, &res)
+				} else if *traced {
+					var out struct {
+						Trace []json.RawMessage `json:"trace"`
+					}
+					json.NewDecoder(resp.Body).Decode(&out)
+					res.spans = len(out.Trace)
+				} else {
+					// Drain so the connection is reused.
+					var sink json.RawMessage
+					json.NewDecoder(resp.Body).Decode(&sink)
+				}
+				resp.Body.Close()
+				res.latency = time.Since(t0)
+				results <- res
 			}
 		}(w)
 	}
@@ -182,12 +245,13 @@ func main() {
 	type shardTally struct{ reqs, hits, misses int }
 	var (
 		lats       []time.Duration
+		ttfrs      []time.Duration
 		byStatus   = map[int]int{}
 		shardStats = map[string]*shardTally{}
 		errCount   int
 		firstErr   error
 	)
-	var total2xx, total4xx, total5xx, cacheHits, cacheMisses int
+	var total2xx, total4xx, total5xx, cacheHits, cacheMisses, tracedN, tracedSpans int
 	for r := range results {
 		if r.err != nil {
 			errCount++
@@ -209,6 +273,17 @@ func main() {
 				cacheHits++
 			case "miss":
 				cacheMisses++
+			}
+			// Archive streams report per-record verdicts instead of a
+			// response-level header.
+			cacheHits += r.hits
+			cacheMisses += r.misses
+			if r.ttfr > 0 {
+				ttfrs = append(ttfrs, r.ttfr)
+			}
+			if r.spans > 0 {
+				tracedN++
+				tracedSpans += r.spans
 			}
 			if r.shard != "" {
 				st := shardStats[r.shard]
@@ -258,6 +333,17 @@ func main() {
 			pct(.50).Round(time.Microsecond), pct(.90).Round(time.Microsecond),
 			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}
+	if len(ttfrs) > 0 {
+		sort.Slice(ttfrs, func(i, j int) bool { return ttfrs[i] < ttfrs[j] })
+		fpct := func(p float64) time.Duration { return ttfrs[int(p*float64(len(ttfrs)-1))] }
+		fmt.Printf("time-to-first-record: p50 %v  p90 %v  p99 %v  max %v\n",
+			fpct(.50).Round(time.Microsecond), fpct(.90).Round(time.Microsecond),
+			fpct(.99).Round(time.Microsecond), ttfrs[len(ttfrs)-1].Round(time.Microsecond))
+	}
+	if tracedN > 0 {
+		fmt.Printf("traces: %d responses carried a span tree (avg %.1f spans)\n",
+			tracedN, float64(tracedSpans)/float64(tracedN))
+	}
 	if cacheHits+cacheMisses > 0 {
 		fmt.Printf("result cache: %d hits, %d misses (%.1f%% hit rate)\n",
 			cacheHits, cacheMisses, 100*float64(cacheHits)/float64(cacheHits+cacheMisses))
@@ -283,7 +369,42 @@ func main() {
 		fmt.Println("-router set but no X-Mao-Shard header seen: target is not a maorouter")
 		os.Exit(1)
 	}
+	if *traced && !*archive && total2xx > 0 && tracedN == 0 {
+		fmt.Println("-trace set but no response carried a span tree")
+		os.Exit(1)
+	}
 	if n == errCount || byStatus[http.StatusOK] == 0 {
 		os.Exit(1)
+	}
+}
+
+func boolParam(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// readArchiveStream consumes one NDJSON archive response, stamping
+// the time the first record arrived (the streaming-latency number a
+// total hides) and tallying per-record cache verdicts.
+func readArchiveStream(resp *http.Response, t0 time.Time, res *result) {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		if res.ttfr == 0 {
+			res.ttfr = time.Since(t0)
+		}
+		var rec struct {
+			Cache string `json:"cache"`
+		}
+		if json.Unmarshal(sc.Bytes(), &rec) == nil {
+			switch rec.Cache {
+			case "hit":
+				res.hits++
+			case "miss":
+				res.misses++
+			}
+		}
 	}
 }

@@ -19,6 +19,16 @@
 //	GET /healthz   router liveness (independent of shard health)
 //	*              everything else proxies to a shard
 //
+// Every proxied request carries a MAOSCOPE trace context: an inbound
+// X-Mao-Trace header is adopted (originated otherwise), the shard
+// receives it re-parented under the router's hop span, and a traced
+// /v1/optimize response comes back with the hop span — shard choice,
+// attempt count, failover attribution — spliced into the span tree.
+// A JSON access log line per request (shard, cache verdict, trace ID)
+// goes to stderr unless -quiet; the flight recorder of recent,
+// slowest, and errored requests is served from the opt-in -debug-addr
+// listener under /debug/scope/.
+//
 // On SIGTERM or SIGINT the router stops accepting connections, lets
 // in-flight proxied requests (including NDJSON archive streams)
 // finish, then exits 0.
@@ -52,6 +62,9 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "timeout of one /readyz probe")
 		maxBody       = flag.Int64("max-body-bytes", 0, "max proxied request body size (0 = default)")
 		drainWait     = flag.Duration("drain-timeout", 5*time.Minute, "how long to wait for in-flight requests on shutdown")
+		quiet         = flag.Bool("quiet", false, "suppress the JSON access log")
+		debugAddr     = flag.String("debug-addr", "", "opt-in debug listener for net/http/pprof and /debug/scope (empty = disabled); bind it to localhost")
+		flightSize    = flag.Int("flight-records", 0, "flight-recorder ring size, 0 = default, -1 disables")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 || *shards == "" {
@@ -66,14 +79,19 @@ func main() {
 			shardList = append(shardList, s)
 		}
 	}
-	rt, err := router.New(router.Config{
+	cfg := router.Config{
 		Shards:        shardList,
 		VNodes:        *vnodes,
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		MaxBodyBytes:  *maxBody,
+		FlightRecords: *flightSize,
 		Logf:          log.Printf,
-	})
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	rt, err := router.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,6 +112,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	// The debug plane (pprof + flight recorder) is a separate, opt-in
+	// listener: it exposes process internals and other clients'
+	// request metadata, so it never rides the proxy port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		debugSrv = &http.Server{Handler: rt.DebugHandler()}
+		log.Printf("debug (pprof, scope) listening on %s", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug serve: %v", err)
+			}
+		}()
+	}
+
 	select {
 	case sig := <-sigc:
 		log.Printf("received %s, draining", sig)
@@ -108,5 +144,8 @@ func main() {
 		os.Exit(1)
 	}
 	rt.Close()
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	log.Printf("drained, exiting")
 }

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"mao/internal/scope"
 )
 
 // routerMetrics is the router's observability plane, rendered in
@@ -135,4 +137,9 @@ func (r *Router) handleMetrics(w http.ResponseWriter) {
 		"maorouter_no_shard_total", "", strconv.FormatInt(m.unrouted.Load(), 10))
 	writeMetric("Seconds since the router started.", "gauge",
 		"maorouter_uptime_seconds", "", strconv.FormatFloat(time.Since(r.started).Seconds(), 'f', 3, 64))
+
+	// Go runtime health: goroutine count, heap in use, GC pause
+	// distribution — the signals that say "the router itself is sick"
+	// when per-shard numbers look fine.
+	scope.WriteRuntimeMetrics(w, "maorouter")
 }

@@ -37,11 +37,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"mao/internal/cachekey"
+	"mao/internal/scope"
 )
 
 // Config parameterizes a Router.
@@ -63,6 +65,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logf, when non-nil, receives shard health transitions.
 	Logf func(format string, args ...any)
+	// AccessLog, when non-nil, receives one JSON line per proxied
+	// request (shard, cache verdict, trace ID, retries).
+	AccessLog io.Writer
+	// FlightRecords sizes the router's flight-recorder ring (0 = 512,
+	// negative disables). Served from DebugHandler under /debug/scope/.
+	FlightRecords int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.FlightRecords == 0 {
+		c.FlightRecords = 512
 	}
 	return c
 }
@@ -104,6 +115,7 @@ type Router struct {
 	backends []*backend
 	client   *http.Client
 	met      *routerMetrics
+	flight   *scope.Recorder
 
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
@@ -136,6 +148,7 @@ func New(cfg Config) (*Router, error) {
 		// cut long archive streams short).
 		client:    &http.Client{},
 		met:       newRouterMetrics(names),
+		flight:    newFlightRecorder(cfg.FlightRecords),
 		stopProbe: make(chan struct{}),
 		started:   time.Now(),
 	}
@@ -290,8 +303,21 @@ func routeKey(req *http.Request, body []byte) string {
 
 // proxy forwards req to the shard owning its routing key, retrying
 // once on the next ring candidate if the owner is down, dies before
-// answering, or is draining (503).
+// answering, or is draining (503). Each forward is one MAOSCOPE hop
+// span: the shard receives the router's trace context (parented under
+// the hop), and a traced /v1/optimize response gets the hop span
+// spliced in so the client sees the full cross-process tree.
 func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	rid := req.Header.Get(requestIDHeader)
+	if rid == "" || len(rid) > 128 {
+		rid = newRequestID()
+	}
+	w.Header().Set(requestIDHeader, rid)
+	tc := scopeContext(req)
+	w.Header().Set(scope.TraceHeader, tc.Header())
+	hop := hopSpan(tc, rid)
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -300,13 +326,9 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		writeError(w, status, fmt.Errorf("reading request body: %w", err))
+		r.finishProxy(req, start, rid, tc, "", "", status, 0, "reading request body: "+err.Error())
 		return
 	}
-	rid := req.Header.Get(requestIDHeader)
-	if rid == "" || len(rid) > 128 {
-		rid = newRequestID()
-	}
-	w.Header().Set(requestIDHeader, rid)
 
 	seq := r.ring.seq(routeKey(req, body))
 	// Candidates: healthy shards in ring preference order. If every
@@ -327,13 +349,20 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 		candidates = candidates[:2]
 	}
 
+	// A ?trace= optimize response is buffered (never streamed) so the
+	// router can splice its hop span into the span tree. Archive
+	// streams stay passthrough: their per-unit traces ride the NDJSON
+	// records untouched.
+	wantSplice := req.URL.Path == "/v1/optimize" && req.URL.Query().Get("trace") != ""
+
 	var lastErr error
+	var failedOver string
 	for attempt, b := range candidates {
 		if attempt > 0 {
 			r.met.retries.Add(1)
 		}
-		start := time.Now()
-		resp, err := r.forward(req, b, body, rid)
+		fwdStart := time.Now()
+		resp, err := r.forward(req, b, body, rid, tc.Child(hop.SpanID))
 		if err != nil {
 			// Transport-level death before a response: the shard is
 			// gone or unreachable. Mark it and try the next candidate;
@@ -342,6 +371,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 			r.setHealthy(b, false, "forward failed: "+err.Error())
 			r.met.shard(b.name).errors.Add(1)
 			lastErr = err
+			failedOver = b.name
 			continue
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt < len(candidates)-1 {
@@ -354,26 +384,60 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 			resp.Body.Close()
 			r.setHealthy(b, false, "shard draining (503)")
 			lastErr = fmt.Errorf("shard %s answered 503 (draining)", b.name)
+			failedOver = b.name
 			continue
 		}
 		r.met.shard(b.name).requests.Add(1)
 		w.Header().Set(shardHeader, b.name)
+		cache := resp.Header.Get(cacheHeader)
 		copyHeaders(w.Header(), resp.Header)
-		w.WriteHeader(resp.StatusCode)
-		streamBody(w, resp.Body)
-		resp.Body.Close()
-		r.met.shard(b.name).latency.observe(time.Since(start).Seconds())
+		if wantSplice && resp.StatusCode == http.StatusOK {
+			respBody, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil && attempt < len(candidates)-1 {
+				// The shard died mid-body; nothing is committed yet
+				// (the body was fully buffered), so fail over.
+				r.setHealthy(b, false, "response read failed: "+rerr.Error())
+				r.met.shard(b.name).errors.Add(1)
+				lastErr = rerr
+				failedOver = b.name
+				continue
+			}
+			hop.DurNS = time.Since(start).Nanoseconds()
+			hop.Attrs = map[string]string{
+				"shard":   b.name,
+				"attempt": strconv.Itoa(attempt + 1),
+				"healthy": strconv.Itoa(r.Healthy()),
+			}
+			if failedOver != "" {
+				hop.Attrs["failover_from"] = failedOver
+				hop.Attrs["failover_reason"] = lastErr.Error()
+			}
+			respBody = spliceTrace(respBody, hop)
+			w.Header().Del("Content-Length")
+			w.WriteHeader(resp.StatusCode)
+			w.Write(respBody)
+		} else {
+			w.WriteHeader(resp.StatusCode)
+			streamBody(w, resp.Body)
+			resp.Body.Close()
+		}
+		r.met.shard(b.name).latency.observe(time.Since(fwdStart).Seconds())
+		r.finishProxy(req, start, rid, tc, b.name, cache, resp.StatusCode, attempt, "")
 		return
 	}
 	r.met.unrouted.Add(1)
 	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusBadGateway, fmt.Errorf("no shard reachable: %w", lastErr))
+	err = fmt.Errorf("no shard reachable: %w", lastErr)
+	writeError(w, http.StatusBadGateway, err)
+	r.finishProxy(req, start, rid, tc, "", "", http.StatusBadGateway, len(candidates)-1, err.Error())
 }
 
 // forward sends one copy of the request to b. The request context is
 // the client's: a client that disconnects or times out cancels the
-// shard hop too.
-func (r *Router) forward(req *http.Request, b *backend, body []byte, rid string) (*http.Response, error) {
+// shard hop too. The shard sees the router's trace context — the hop
+// span as parent — so its span tree stitches under the hop.
+func (r *Router) forward(req *http.Request, b *backend, body []byte, rid string, tc scope.Context) (*http.Response, error) {
 	target := *b.url
 	target.Path = strings.TrimSuffix(target.Path, "/") + req.URL.Path
 	target.RawQuery = req.URL.RawQuery
@@ -383,16 +447,21 @@ func (r *Router) forward(req *http.Request, b *backend, body []byte, rid string)
 	}
 	out.Header = req.Header.Clone()
 	out.Header.Set(requestIDHeader, rid)
+	out.Header.Set(scope.TraceHeader, tc.Header())
 	return r.client.Do(out)
 }
 
 // copyHeaders copies the shard's response headers, leaving the
-// router's own (X-Request-ID, X-Mao-Shard) in place. Comparison is
+// router's own (X-Request-ID, X-Mao-Shard, X-Mao-Trace) in place.
+// X-Mao-Trace is router-owned because the shard echoes the re-parented
+// context it received (hop span as parent); the client must see the
+// context it sent (or the one the router originated). Comparison is
 // against canonical keys — http.Header stores "X-Request-Id", not
 // the constant's spelling.
 var routerOwnedHeaders = map[string]bool{
-	http.CanonicalHeaderKey(requestIDHeader): true,
-	http.CanonicalHeaderKey(shardHeader):     true,
+	http.CanonicalHeaderKey(requestIDHeader):   true,
+	http.CanonicalHeaderKey(shardHeader):       true,
+	http.CanonicalHeaderKey(scope.TraceHeader): true,
 }
 
 func copyHeaders(dst, src http.Header) {

@@ -1,0 +1,216 @@
+package scope
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mao/internal/trace"
+)
+
+func TestParseHeaderRoundTrip(t *testing.T) {
+	tc := NewContext()
+	if !tc.Valid() {
+		t.Fatalf("NewContext invalid: %+v", tc)
+	}
+	got, ok := ParseHeader(tc.Header())
+	if !ok || got != tc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+
+	// Origin context: empty parent renders as the zero span ID and
+	// parses back to empty.
+	origin := Context{TraceID: tc.TraceID}
+	h := origin.Header()
+	if !strings.HasSuffix(h, "-0000000000000000") {
+		t.Fatalf("origin header = %q", h)
+	}
+	got, ok = ParseHeader(h)
+	if !ok || got.ParentSpanID != "" || got.TraceID != tc.TraceID {
+		t.Fatalf("origin round trip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseHeaderRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"short",
+		strings.Repeat("a", 32), // no span part
+		strings.Repeat("a", 32) + ":" + strings.Repeat("b", 16), // wrong separator
+		strings.Repeat("g", 32) + "-" + strings.Repeat("b", 16), // non-hex trace
+		strings.Repeat("a", 32) + "-" + strings.Repeat("G", 16), // non-hex span
+		strings.Repeat("A", 32) + "-" + strings.Repeat("b", 16), // uppercase
+		strings.Repeat("a", 33) + "-" + strings.Repeat("b", 16), // too long
+		strings.Repeat("a", 32) + "-" + strings.Repeat("b", 17),
+	}
+	for _, v := range bad {
+		if _, ok := ParseHeader(v); ok {
+			t.Errorf("ParseHeader(%q) accepted", v)
+		}
+	}
+}
+
+func TestSpanIDDeterministicAndDistinct(t *testing.T) {
+	a := SpanID("t", "p", "s", 0)
+	if a != SpanID("t", "p", "s", 0) {
+		t.Fatal("SpanID not deterministic")
+	}
+	if len(a) != 16 || !isHex(a, 16) {
+		t.Fatalf("SpanID shape: %q", a)
+	}
+	seen := map[string]string{a: "base"}
+	variants := map[string]string{
+		"index": SpanID("t", "p", "s", 1),
+		"salt":  SpanID("t", "p", "s2", 0),
+		"trace": SpanID("t2", "p", "s", 0),
+		"paren": SpanID("t", "p2", "s", 0),
+		// Length-delimited inputs: shifting a byte across the boundary
+		// must not collide.
+		"shift": SpanID("tp", "", "s", 0),
+	}
+	for name, id := range variants {
+		if prev, dup := seen[id]; dup {
+			t.Errorf("SpanID collision between %s and %s: %s", name, prev, id)
+		}
+		seen[id] = name
+	}
+}
+
+func TestProjectStitchesParents(t *testing.T) {
+	tc := Context{TraceID: strings.Repeat("a", 32), ParentSpanID: "00000000000000ff"}
+	spans := []trace.Span{
+		{Kind: trace.KindQueue, Parent: -1, Dur: 5 * time.Millisecond},
+		{Kind: trace.KindBatch, Parent: 0, Stats: map[string]int{"jobs": 2}},
+		{Kind: trace.KindPipeline, Parent: 1},
+		{Kind: trace.KindInvocation, Ref: trace.Ref{Pass: "REDTEST"}, Parent: 2},
+		{Kind: trace.KindFunction, Ref: trace.Ref{Pass: "REDTEST"}, Function: "f", Worker: 3, Parent: 3},
+	}
+	out := Project(spans, tc, "maod", "salt")
+	if len(out) != len(spans) {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Root parents under the inbound context.
+	if out[0].ParentID != tc.ParentSpanID {
+		t.Fatalf("root parent = %q, want %q", out[0].ParentID, tc.ParentSpanID)
+	}
+	// Index parents become span-ID parents.
+	for i := 1; i < len(out); i++ {
+		if out[i].ParentID != out[i-1].SpanID {
+			t.Fatalf("span %d parent = %q, want %q", i, out[i].ParentID, out[i-1].SpanID)
+		}
+	}
+	for i, s := range out {
+		if s.TraceID != tc.TraceID || s.Process != "maod" {
+			t.Fatalf("span %d: %+v", i, s)
+		}
+	}
+	if out[4].Worker != 3 || out[4].Function != "f" {
+		t.Fatalf("function span fields lost: %+v", out[4])
+	}
+	if out[1].Stats["jobs"] != 2 {
+		t.Fatalf("batch stats lost: %+v", out[1])
+	}
+	// Same input → byte-identical projection (determinism is the whole
+	// point of derived span IDs).
+	again := Project(spans, tc, "maod", "salt")
+	if !reflect.DeepEqual(out, again) {
+		t.Fatal("Project not deterministic")
+	}
+	// A different salt must shift every span ID (archive units share a
+	// trace context but must not collide).
+	salted := Project(spans, tc, "maod", "other")
+	for i := range out {
+		if salted[i].SpanID == out[i].SpanID {
+			t.Fatalf("span %d ID identical across salts", i)
+		}
+	}
+}
+
+func TestChromeEventsTracks(t *testing.T) {
+	spans := []Span{
+		{TraceID: "t", SpanID: "a", Process: "maorouter", Kind: "hop", Name: "http://s1",
+			Attrs: map[string]string{"shard": "http://s1", "attempt": "1"}},
+		{TraceID: "t", SpanID: "b", ParentID: "a", Process: "maod", Kind: "function",
+			Name: "REDTEST[0]", Function: "f", Worker: 2, StartNS: int64(3 * time.Microsecond)},
+	}
+	ev := ChromeEvents(spans)
+	if len(ev) != 2 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	if ev[0].PID != 2 || ev[1].PID != 3 {
+		t.Fatalf("pids = %d, %d", ev[0].PID, ev[1].PID)
+	}
+	if ev[1].TID != 3 { // worker+1
+		t.Fatalf("function tid = %d", ev[1].TID)
+	}
+	if ev[0].Args["shard"] != "http://s1" {
+		t.Fatalf("attrs not in args: %+v", ev[0].Args)
+	}
+	if ev[1].Args["parent_id"] != "a" {
+		t.Fatalf("parent not in args: %+v", ev[1].Args)
+	}
+	if ev[1].TS != 3 {
+		t.Fatalf("ts = %v, want microseconds", ev[1].TS)
+	}
+}
+
+// TestSchemasPinPayloads validates representative payloads against the
+// checked-in schemas — the same files CI uses against live fleet
+// output.
+func TestSchemasPinPayloads(t *testing.T) {
+	tc := Context{TraceID: strings.Repeat("a", 32), ParentSpanID: "00000000000000ff"}
+	spans := Project([]trace.Span{
+		{Kind: trace.KindQueue, Parent: -1},
+		{Kind: trace.KindBatch, Parent: 0, Stats: map[string]int{"jobs": 1}},
+		{Kind: trace.KindPipeline, Parent: 1},
+		{Kind: trace.KindInvocation, Ref: trace.Ref{Pass: "REDTEST"}, Parent: 2, Changed: true, NodesBefore: 3, NodesAfter: 2},
+	}, tc, "maod", "salt")
+	hop := Span{TraceID: tc.TraceID, SpanID: "00000000000000ff", Process: "maorouter",
+		Kind: "hop", Name: "http://s1", Attrs: map[string]string{"shard": "http://s1"}}
+	all := append([]Span{hop}, spans...)
+
+	schema := readFileT(t, "testdata/scope_trace.schema.json")
+	doc, _ := json.Marshal(map[string]any{"trace": all})
+	if err := trace.ValidateJSON(schema, doc); err != nil {
+		t.Errorf("trace schema: %v", err)
+	}
+
+	schema = readFileT(t, "testdata/scope_chrome.schema.json")
+	doc, _ = json.Marshal(map[string]any{"trace_chrome": ChromeEvents(all)})
+	if err := trace.ValidateJSON(schema, doc); err != nil {
+		t.Errorf("chrome schema: %v", err)
+	}
+
+	rec := FlightRecord{
+		Seq: 1, TimeUnixNS: 1, TraceID: tc.TraceID, RequestID: "0011223344556677",
+		Client: "c", Shard: "http://s1", Path: "/v1/optimize", Cache: "miss",
+		Status: 200, DurNS: 1000, QueueNS: 10,
+		Passes: []PassNS{{Pass: "REDTEST[0]", DurNS: 900}},
+	}
+	schema = readFileT(t, "testdata/scope_flight.schema.json")
+	doc, _ = json.Marshal(map[string]any{
+		"process": "maod", "view": "recent", "records": []FlightRecord{rec},
+	})
+	if err := trace.ValidateJSON(schema, doc); err != nil {
+		t.Errorf("flight schema: %v", err)
+	}
+	doc, _ = json.Marshal(map[string]any{
+		"process": "maorouter", "view": "errors", "errors_seen": 3,
+		"records": []FlightRecord{{Seq: 2, TimeUnixNS: 1, Status: 502, Err: "no shard", DurNS: 5}},
+	})
+	if err := trace.ValidateJSON(schema, doc); err != nil {
+		t.Errorf("flight errors schema: %v", err)
+	}
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -3,7 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"time"
+
+	"mao/internal/scope"
 )
 
 // statusWriter captures the status code and body size a handler wrote.
@@ -44,19 +47,32 @@ type accessRecord struct {
 	Bytes      int64   `json:"bytes"`
 	Remote     string  `json:"remote"`
 	RequestID  string  `json:"request_id"`
+	// TraceID is the distributed-trace ID (X-Mao-Trace), correlating
+	// the log line with the fleet-wide span tree; Cache is the
+	// result-cache verdict on /v1/* requests.
+	TraceID string `json:"trace_id,omitempty"`
+	Cache   string `json:"cache,omitempty"`
 }
 
-// instrument wraps the service mux with request-ID propagation,
-// request metrics and, when configured, structured JSON access
-// logging. The effective request ID (inbound X-Request-ID or freshly
-// generated) is echoed on the response, logged, and available to
-// handlers via requestIDFrom, which carries it into the spans of the
-// request's pipeline run.
+// instrument wraps the service mux with request-ID and trace-context
+// propagation, request metrics, flight recording and, when configured,
+// structured JSON access logging. The effective request ID (inbound
+// X-Request-ID or freshly generated) is echoed on the response,
+// logged, and available to handlers via requestIDFrom, which carries
+// it into the spans of the request's pipeline run; the trace context
+// (inbound X-Mao-Trace or freshly originated) travels the same way via
+// scopeContextFrom.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r, rid := withRequestID(r)
 		w.Header().Set(requestIDHeader, rid)
+		r, tc := withScopeContext(r)
+		w.Header().Set(scope.TraceHeader, tc.Header())
+		var fi *flightInfo
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			r, fi = withFlightInfo(r)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
@@ -64,6 +80,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		d := time.Since(start)
 		s.met.observeRequest(sw.status, d)
+		if fi != nil {
+			s.recordFlight(r, sw.status, d.Nanoseconds(), start.Add(d).UnixNano(), fi)
+		}
 		if s.cfg.AccessLog != nil {
 			rec := accessRecord{
 				Time:       start.UTC().Format(time.RFC3339Nano),
@@ -74,6 +93,10 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				Bytes:      sw.bytes,
 				Remote:     r.RemoteAddr,
 				RequestID:  rid,
+				TraceID:    tc.TraceID,
+			}
+			if fi != nil {
+				rec.Cache = fi.cache
 			}
 			line, err := json.Marshal(rec)
 			if err == nil {

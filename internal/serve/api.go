@@ -13,6 +13,7 @@ import (
 
 	"mao/internal/check"
 	"mao/internal/pass"
+	"mao/internal/scope"
 	"mao/internal/trace"
 	"mao/internal/x86/decode"
 )
@@ -55,6 +56,13 @@ type OptimizeOptions struct {
 	// verdict per invocation, and any refutation appears in Diags with
 	// rule verify-equiv. Also settable as the verify=1 query parameter.
 	Verify bool `json:"verify,omitempty"`
+	// Trace returns the request's distributed span tree: "spans"
+	// (?trace=1) attaches the stitched cross-process spans, "chrome"
+	// (?trace=chrome) additionally renders Chrome trace events. Trace
+	// requests bypass the result-cache lookup — spans describe one
+	// execution, not the content-addressed result — but the trace-free
+	// result is still cached. Deliberately not part of the cache key.
+	Trace string `json:"trace,omitempty"`
 }
 
 // VerifyVerdict is one pass invocation's translation-validation
@@ -103,6 +111,16 @@ type OptimizeResponse struct {
 	// invocation, in pipeline order, when options.verify (or
 	// ?verify=1) was set. Refutations additionally surface in Diags.
 	Verify []VerifyVerdict `json:"verify,omitempty"`
+	// Trace is the stitched distributed span tree of this execution
+	// (queue → batch → pipeline → invocation → function → verify,
+	// parented under the inbound X-Mao-Trace context), present when
+	// options.trace (or ?trace=1) was set. Span IDs are derived
+	// deterministically, so the tree is byte-identical at any worker
+	// count modulo recorded wall times.
+	Trace []scope.Span `json:"trace,omitempty"`
+	// TraceChrome is the same tree as Chrome trace events
+	// (?trace=chrome), loadable in chrome://tracing and Perfetto.
+	TraceChrome []scope.ChromeEvent `json:"trace_chrome,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx answer.
@@ -153,56 +171,88 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// The per-client quota gates everything, including cache hits: it
 	// is a request-rate bound, and a 429 here consumes no global queue
 	// slot — tenant isolation sits UNDER the shared admission control.
+	fi := flightFrom(r.Context())
 	if ok, retryAfter := s.quota.take(clientID(r)); !ok {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-		writeError(w, http.StatusTooManyRequests, errors.New("client quota exhausted"))
+		writeFlightError(w, fi, http.StatusTooManyRequests, errors.New("client quota exhausted"))
 		return
 	}
 	req, status, err := s.decodeRequest(w, r)
 	if err != nil {
-		writeError(w, status, err)
+		writeFlightError(w, fi, status, err)
 		return
 	}
 
 	key := resultKey(req)
-	if !req.Options.NoCache {
+	// Trace requests bypass the cache lookup: spans describe one
+	// execution, and a cached answer has none to offer. The fresh
+	// (trace-free) result is still stored, so tracing never degrades
+	// the cache for other callers.
+	if !req.Options.NoCache && req.Options.Trace == "" {
 		if resp, ok := s.results.get(key); ok {
 			cached := *resp
 			cached.Cached = true
 			cached.BatchSize = 0
 			w.Header().Set(cacheHeader, "hit")
+			if fi != nil {
+				fi.cache = "hit"
+			}
 			writeJSON(w, http.StatusOK, &cached)
 			return
 		}
 	}
 	w.Header().Set(cacheHeader, "miss")
+	if fi != nil {
+		fi.cache = "miss"
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req))
 	defer cancel()
-	j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1)}
+	col := trace.NewCollector()
+	col.TraceID = requestIDFrom(ctx)
+	j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1),
+		col: col, admitted: col.Now()}
 	if ok, retryAfter := s.admit(j); !ok {
 		if retryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-			writeError(w, http.StatusTooManyRequests, errors.New("optimization queue is full"))
+			writeFlightError(w, fi, http.StatusTooManyRequests, errors.New("optimization queue is full"))
 		} else {
-			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			writeFlightError(w, fi, http.StatusServiceUnavailable, errors.New("server is draining"))
 		}
 		return
 	}
 
 	select {
 	case res := <-j.done:
+		if fi != nil {
+			fi.queueNS = res.queueNS
+			fi.spans = res.spans
+		}
 		if res.err != nil {
-			writeError(w, res.status, res.err)
+			writeFlightError(w, fi, res.status, res.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res.resp)
+		resp := res.resp
+		if mode := req.Options.Trace; mode != "" {
+			resp = traceResponse(resp, res.spans, scopeContextFrom(r.Context()), key, mode)
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		// Deadline expired (or client went away) while the job was
 		// still queued or running; the worker will observe the same
 		// context and discard the job.
-		writeError(w, statusForCtx(ctx.Err()), fmt.Errorf("request abandoned: %w", ctx.Err()))
+		writeFlightError(w, fi, statusForCtx(ctx.Err()), fmt.Errorf("request abandoned: %w", ctx.Err()))
 	}
+}
+
+// writeFlightError reports err on the wire and into the request's
+// flight carrier, so errored requests land in the recorder's error
+// reservoir with their reason.
+func writeFlightError(w http.ResponseWriter, fi *flightInfo, status int, err error) {
+	if fi != nil {
+		fi.errMsg = err.Error()
+	}
+	writeError(w, status, err)
 }
 
 // decodeRequest reads, parses and validates the request body. The
@@ -319,13 +369,26 @@ func (s *Server) validateRequest(r *http.Request, req *OptimizeRequest) (int, er
 	if req.Options.DeadlineMS < 0 {
 		return http.StatusBadRequest, errors.New("deadline_ms must be >= 0")
 	}
-	// ?explain=1 and ?verify=1 are the curl-friendly spellings of the
-	// corresponding body options.
+	// ?explain=1, ?verify=1 and ?trace=1|chrome are the curl-friendly
+	// spellings of the corresponding body options.
 	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
 		req.Options.Explain = true
 	}
 	if v := r.URL.Query().Get("verify"); v == "1" || v == "true" {
 		req.Options.Verify = true
+	}
+	if v := r.URL.Query().Get("trace"); v != "" {
+		mode, ok := parseTraceMode(v)
+		if !ok {
+			return http.StatusBadRequest, fmt.Errorf("invalid trace mode %q (want 1 or chrome)", v)
+		}
+		req.Options.Trace = mode
+	}
+	switch req.Options.Trace {
+	case "", scope.TraceSpans, scope.TraceChrome:
+	default:
+		return http.StatusBadRequest,
+			fmt.Errorf("invalid options.trace %q (want %q or %q)", req.Options.Trace, scope.TraceSpans, scope.TraceChrome)
 	}
 	return 0, nil
 }

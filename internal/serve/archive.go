@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"mao/internal/check"
+	"mao/internal/scope"
+	"mao/internal/trace"
 )
 
 // The archive request path: POST /v1/optimize/archive accepts a whole
@@ -69,7 +71,16 @@ type ArchiveRecord struct {
 	Diags    []check.Diag              `json:"diags,omitempty"`
 	Verify   []VerifyVerdict           `json:"verify,omitempty"`
 	Cached   bool                      `json:"cached,omitempty"`
-	Error    string                    `json:"error,omitempty"`
+	// Cache is the result-cache verdict ("hit"/"miss") of completed
+	// units, the same disposition the X-Mao-Cache header reports for
+	// single requests.
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Trace is the unit's stitched span tree when ?trace= was set on
+	// the archive request. Each unit salts its span IDs with its own
+	// content address, so units sharing the archive's trace context
+	// never collide.
+	Trace []scope.Span `json:"trace,omitempty"`
 }
 
 // ArchiveTrailer is the final NDJSON line: per-archive accounting and,
@@ -194,7 +205,7 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	enc.SetEscapeHTML(false)
 
 	outcomes := make(chan ArchiveRecord, len(units))
-	go s.submitArchive(ctx, client, units, &proto, outcomes)
+	go s.submitArchive(ctx, client, units, &proto, scopeContextFrom(r.Context()), outcomes)
 
 	trailer := ArchiveTrailer{Units: len(units)}
 	for i := 0; i < len(units); i++ {
@@ -243,7 +254,7 @@ func (s *Server) archiveWindow() int {
 // retried while the context lives, drain (503) and context death
 // abort the remaining units with one record each — which is what lets
 // the writer loop, and therefore Server.Close, always terminate.
-func (s *Server) submitArchive(ctx context.Context, client string, units []archiveUnit, proto *OptimizeRequest, outcomes chan<- ArchiveRecord) {
+func (s *Server) submitArchive(ctx context.Context, client string, units []archiveUnit, proto *OptimizeRequest, tc scope.Context, outcomes chan<- ArchiveRecord) {
 	window := make(chan struct{}, s.archiveWindow())
 	abort := func(i int, status int, why string) {
 		outcomes <- ArchiveRecord{Index: i, Name: units[i].name, Status: status, Error: why}
@@ -262,7 +273,10 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 		}
 		req := &OptimizeRequest{Name: u.name, Source: u.source, Spec: proto.Spec, Options: proto.Options}
 		key := resultKey(req)
-		if !req.Options.NoCache {
+		// Traced archives bypass the cache lookup exactly like traced
+		// single requests: every unit executes, so every record carries
+		// a span tree.
+		if !req.Options.NoCache && req.Options.Trace == "" {
 			if resp, ok := s.results.get(key); ok {
 				outcomes <- recordFor(i, u.name, resp, true)
 				continue
@@ -274,7 +288,10 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 			abortRest(i, statusForCtx(ctx.Err()), "archive aborted: "+ctx.Err().Error())
 			return
 		}
-		j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1)}
+		col := trace.NewCollector()
+		col.TraceID = requestIDFrom(ctx)
+		j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1),
+			col: col, admitted: col.Now()}
 		if !s.admitArchiveJob(ctx, j) {
 			<-window
 			if ctx.Err() != nil {
@@ -284,7 +301,7 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 			}
 			return
 		}
-		go func(i int, name string) {
+		go func(i int, name, key string) {
 			defer func() { <-window }()
 			select {
 			case res := <-j.done:
@@ -292,14 +309,21 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 					outcomes <- ArchiveRecord{Index: i, Name: name, Status: res.status, Error: res.err.Error()}
 					return
 				}
-				outcomes <- recordFor(i, name, res.resp, false)
+				rec := recordFor(i, name, res.resp, false)
+				if proto.Options.Trace != "" {
+					// The unit's content address salts its span IDs, so
+					// sibling units under the shared trace context get
+					// disjoint ID spaces.
+					rec.Trace = scope.Project(res.spans, tc, "maod", key)
+				}
+				outcomes <- rec
 			case <-ctx.Done():
 				outcomes <- ArchiveRecord{
 					Index: i, Name: name, Status: statusForCtx(ctx.Err()),
 					Error: "unit abandoned: " + ctx.Err().Error(),
 				}
 			}
-		}(i, u.name)
+		}(i, u.name, key)
 	}
 }
 
@@ -330,6 +354,10 @@ func (s *Server) admitArchiveJob(ctx context.Context, j *job) bool {
 // timing, and archive records are byte-compared across fleet
 // topologies by the differential suite.
 func recordFor(index int, name string, resp *OptimizeResponse, cached bool) ArchiveRecord {
+	verdict := "miss"
+	if cached {
+		verdict = "hit"
+	}
 	return ArchiveRecord{
 		Index:    index,
 		Name:     name,
@@ -339,5 +367,6 @@ func recordFor(index int, name string, resp *OptimizeResponse, cached bool) Arch
 		Diags:    resp.Diags,
 		Verify:   resp.Verify,
 		Cached:   cached,
+		Cache:    verdict,
 	}
 }

@@ -7,17 +7,28 @@ import (
 
 // DebugHandler returns the debug plane served on maod's opt-in debug
 // listener (-debug-addr): the net/http/pprof profiling endpoints under
-// /debug/pprof/. It is deliberately a separate handler instead of
-// extra routes on Handler(): profiles expose internals (memory
-// contents, goroutine stacks, timing side channels) that must never
-// ride on the service port. The main handler serves nothing under
-// /debug/, which the tests pin.
-func DebugHandler() http.Handler {
+// /debug/pprof/ and the MAOSCOPE flight recorder under /debug/scope/.
+// It is deliberately a separate handler instead of extra routes on
+// Handler(): profiles and flight records expose internals (memory
+// contents, goroutine stacks, other tenants' request metadata, timing
+// side channels) that must never ride on the service port. The main
+// handler serves nothing under /debug/, which the tests pin.
+func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/scope/recent", func(w http.ResponseWriter, r *http.Request) {
+		writeFlightView(w, "maod", "recent", s.flight.Recent(), 0)
+	})
+	mux.HandleFunc("GET /debug/scope/slowest", func(w http.ResponseWriter, r *http.Request) {
+		writeFlightView(w, "maod", "slowest", s.flight.Slowest(), 0)
+	})
+	mux.HandleFunc("GET /debug/scope/errors", func(w http.ResponseWriter, r *http.Request) {
+		recs, seen := s.flight.Errors()
+		writeFlightView(w, "maod", "errors", recs, seen)
+	})
 	return mux
 }

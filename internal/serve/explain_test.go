@@ -90,21 +90,23 @@ func TestMetricsPassHistograms(t *testing.T) {
 // TestDebugHandlerSeparation: pprof is reachable on the debug handler
 // and absent from the service handler.
 func TestDebugHandlerSeparation(t *testing.T) {
-	_, ts := testServer(t, Config{Workers: 1})
-	resp, err := http.Get(ts.URL + "/debug/pprof/")
-	if err != nil {
-		t.Fatal(err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("service handler exposes /debug/pprof/: status %d", resp.StatusCode)
+	s, ts := testServer(t, Config{Workers: 1})
+	for _, path := range []string{"/debug/pprof/", "/debug/scope/recent"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("service handler exposes %s: status %d", path, resp.StatusCode)
+		}
 	}
 
 	// The debug handler serves the pprof index.
 	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
 	rec := httptest.NewRecorder()
-	DebugHandler().ServeHTTP(rec, req)
+	s.DebugHandler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
 		t.Errorf("debug handler pprof index: status %d body %q", rec.Code, rec.Body.String())
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mao/internal/pass"
+	"mao/internal/scope"
 	"mao/internal/trace"
 )
 
@@ -21,6 +22,12 @@ import (
 type metrics struct {
 	requestsByCode sync.Map // int (status code) → *atomic.Int64
 	latency        histogram
+
+	// queueWait is the admission-to-pickup wait, split out from the
+	// request latency so queueing pressure is visible separately from
+	// service time (one observation per executed job; cache hits never
+	// queue and are absent).
+	queueWait histogram
 
 	// passLatency histograms per pass name, fed by the invocation
 	// spans of every request's pipeline run.
@@ -43,6 +50,7 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		latency:       newHistogram(latencyBuckets),
+		queueWait:     newHistogram(latencyBuckets),
 		verifyLatency: newHistogram(passLatencyBuckets),
 		passStats:     pass.NewStats(),
 	}
@@ -167,6 +175,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		math.Float64frombits(m.latency.sumBits.Load()))
 	fmt.Fprintf(w, "maod_request_duration_seconds_count %d\n", total)
 
+	// Queue wait, split from service time (MAOSCOPE): how long
+	// admitted requests sat before a worker picked them up.
+	fmt.Fprintf(w, "# HELP maod_queue_wait_seconds Admission-to-pickup wait of executed requests.\n")
+	fmt.Fprintf(w, "# TYPE maod_queue_wait_seconds histogram\n")
+	qcum := int64(0)
+	for i, ub := range m.queueWait.buckets {
+		qcum += m.queueWait.counts[i].Load()
+		fmt.Fprintf(w, "maod_queue_wait_seconds_bucket{le=\"%s\"} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), qcum)
+	}
+	qtotal := m.queueWait.count.Load()
+	fmt.Fprintf(w, "maod_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", qtotal)
+	fmt.Fprintf(w, "maod_queue_wait_seconds_sum %g\n",
+		math.Float64frombits(m.queueWait.sumBits.Load()))
+	fmt.Fprintf(w, "maod_queue_wait_seconds_count %d\n", qtotal)
+
 	// Per-pass latency histograms, one series set per pass name,
 	// deterministically ordered.
 	var passNames []string
@@ -289,4 +313,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	writeMetric("Seconds since the server started.", "gauge",
 		"maod_uptime_seconds", "", strconv.FormatFloat(time.Since(s.started).Seconds(), 'f', 3, 64))
+
+	// Go runtime health (MAOSCOPE): goroutines, GC pauses, heap in use.
+	scope.WriteRuntimeMetrics(w, "maod")
 }

@@ -53,6 +53,7 @@ import (
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the pass catalog
 	"mao/internal/relax"
+	"mao/internal/scope"
 	"mao/internal/trace"
 	"mao/internal/verify"
 )
@@ -106,6 +107,11 @@ type Config struct {
 	// AccessLog, when non-nil, receives one JSON line per completed
 	// HTTP request.
 	AccessLog io.Writer
+	// FlightRecords sizes the flight recorder's ring of recently
+	// completed requests, served on the debug listener as
+	// /debug/scope/{recent,slowest,errors} (0 = 512, negative
+	// disables the recorder).
+	FlightRecords int
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxArchiveUnits <= 0 {
 		c.MaxArchiveUnits = 256
 	}
+	if c.FlightRecords == 0 {
+		c.FlightRecords = 512
+	}
 	return c
 }
 
@@ -149,6 +158,12 @@ type job struct {
 	key  string // content address; "" when the result cache is off
 	ctx  context.Context
 	done chan jobResult // buffered(1); the worker always sends exactly once
+
+	// col is the request's span collector, created at admission so its
+	// epoch anchors the queue-wait span; admitted is the admission
+	// instant as a collector offset.
+	col      *trace.Collector
+	admitted time.Duration
 }
 
 // jobResult is what a worker posts back to the waiting handler.
@@ -156,6 +171,12 @@ type jobResult struct {
 	resp   *OptimizeResponse
 	status int // HTTP status (200, or the error class)
 	err    error
+	// spans is the request's full span stream (queue → batch →
+	// pipeline → ...); the handler projects it into the ?trace=
+	// payload and the flight record's pass-latency vector.
+	spans []trace.Span
+	// queueNS is the admission-to-pickup wait.
+	queueNS int64
 }
 
 // Server is the MAOD service: construct with New, expose via Handler,
@@ -165,7 +186,8 @@ type Server struct {
 	relaxCache *relax.Cache
 	results    *resultCache
 	met        *metrics
-	quota      *quotas // nil when Config.QuotaRate == 0
+	quota      *quotas         // nil when Config.QuotaRate == 0
+	flight     *scope.Recorder // nil when Config.FlightRecords < 0
 
 	queue   chan *job
 	batches chan *batch
@@ -193,6 +215,7 @@ func New(cfg Config) *Server {
 		results:      newResultCache(cfg.ResultCacheEntries),
 		met:          newMetrics(),
 		quota:        newQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		flight:       newFlightRecorder(cfg.FlightRecords),
 		queue:        make(chan *job, cfg.QueueDepth),
 		batches:      make(chan *batch, cfg.QueueDepth),
 		accepting:    true,
@@ -311,40 +334,70 @@ func (s *Server) runJob(j *job, batchSize int, st *relax.State) {
 		j.done <- jobResult{status: statusForCtx(err), err: err}
 		return
 	}
+	// Every request's pipeline is traced: the collector carries the
+	// request's trace ID (X-Request-ID) into the spans, and the
+	// invocation spans feed the per-pass latency histograms on /metrics.
+	// The handler created the collector at admission, so its epoch
+	// anchors the queue-wait span; a missing one (direct runJob callers
+	// in tests) is created here with zero queue time.
+	col := j.col
+	if col == nil {
+		col = trace.NewCollector()
+		col.TraceID = requestIDFrom(j.ctx)
+	}
+	// The daemon-side span tree roots at the queue span: admitted →
+	// picked up, then the batch span covers this request's execution
+	// slot, and the pipeline root (added by pass.Manager) is re-parented
+	// under it after the run.
+	wait := col.Now() - j.admitted
+	s.met.queueWait.observe(wait.Seconds())
+	queueIdx := col.Add(trace.Span{Kind: trace.KindQueue, Start: j.admitted, Dur: wait, Parent: -1})
+	batchIdx := col.Add(trace.Span{
+		Kind: trace.KindBatch, Start: col.Now(), Parent: queueIdx,
+		Stats: map[string]int{"jobs": batchSize},
+	})
+	finish := func(res jobResult) {
+		col.Update(batchIdx, func(sp *trace.Span) { sp.Dur = col.Now() - sp.Start })
+		res.spans = col.Spans()
+		res.queueNS = int64(wait)
+		s.met.observePassSpans(res.spans)
+		j.done <- res
+	}
 	u, err := asm.ParseString(j.req.unitName(), j.req.Source)
 	if err != nil {
-		j.done <- jobResult{status: 422, err: err}
+		finish(jobResult{status: 422, err: err})
 		return
 	}
 	mgr, err := pass.NewManager(j.req.Spec)
 	if err != nil {
 		// Unreachable for admitted jobs (the handler validated the
 		// spec), but kept as defense in depth.
-		j.done <- jobResult{status: 400, err: err}
+		finish(jobResult{status: 400, err: err})
 		return
 	}
 	mgr.Workers = s.cfg.PipelineWorkers
 	mgr.Cache = s.relaxCache
 	mgr.RelaxState = st
-	// Every request's pipeline is traced: the collector carries the
-	// request's trace ID (X-Request-ID) into the spans, and the
-	// invocation spans feed the per-pass latency histograms on /metrics.
-	col := trace.NewCollector()
-	col.TraceID = requestIDFrom(j.ctx)
 	mgr.Tracer = col
 	var vcert *verify.Certifier
 	if j.req.Options.Verify {
-		vcert = &verify.Certifier{Tracer: col}
+		vcert = &verify.Certifier{Tracer: col, SpanParent: batchIdx + 1}
 		mgr.Hook = vcert
 	}
 	stats, err := mgr.RunContext(j.ctx, u)
-	s.met.observePassSpans(col.Spans())
+	// pass.Manager added its pipeline root right after the batch span
+	// with Parent -1; stitch it under the batch span.
+	col.Update(batchIdx+1, func(sp *trace.Span) {
+		if sp.Kind == trace.KindPipeline {
+			sp.Parent = batchIdx
+		}
+	})
 	if err != nil {
-		j.done <- jobResult{status: statusForRun(err), err: err}
+		finish(jobResult{status: statusForRun(err), err: err})
 		return
 	}
 	if err := u.Analyze(); err != nil {
-		j.done <- jobResult{status: 422, err: err}
+		finish(jobResult{status: 422, err: err})
 		return
 	}
 	resp := &OptimizeResponse{
@@ -375,7 +428,7 @@ func (s *Server) runJob(j *job, batchSize int, st *relax.State) {
 	}
 	s.met.mergePassStats(stats)
 	s.results.put(j.key, resp)
-	j.done <- jobResult{resp: resp, status: 200}
+	finish(jobResult{resp: resp, status: 200})
 }
 
 // verifyVerdicts projects the certifier's per-invocation results onto

@@ -55,6 +55,16 @@ const (
 	// binary front end, decode.ToUnit). Its Stats carry the byte and
 	// instruction counts of the decoded buffer.
 	KindDecode Kind = "decode"
+	// KindQueue covers the time a service request spent admitted but
+	// waiting for a worker (maod's queue). It is the root of the
+	// daemon-side span tree: queue → batch → pipeline.
+	KindQueue Kind = "queue"
+	// KindBatch covers a request's execution slot inside a same-spec
+	// batch; its Stats carry the batch's job count.
+	KindBatch Kind = "batch"
+	// KindHop covers one router forward (maorouter → shard), stamped
+	// by the router with shard choice and failover attribution.
+	KindHop Kind = "hop"
 )
 
 // Span is one timed region of a pipeline run.

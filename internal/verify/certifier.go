@@ -54,6 +54,12 @@ type Certifier struct {
 	// invocation.
 	Tracer *trace.Collector
 
+	// SpanParent is the collector index the KindVerify spans parent
+	// under. The default 0 is the pipeline root when the collector is
+	// private to one manager run; embedders that add spans before the
+	// run (maod's queue/batch spans) point it at the shifted root.
+	SpanParent int
+
 	// Violations collects every refutation, in pipeline order. The
 	// Diag's Msg carries the human-readable counterexample; its
 	// machine-readable form is in Invocations.
@@ -116,11 +122,12 @@ func (c *Certifier) AfterPass(u *ir.Unit, name string, index int) error {
 			stats[string(st)] = n
 		}
 		c.Tracer.Add(trace.Span{
-			Kind:  trace.KindVerify,
-			Ref:   trace.Ref{Pass: name, Index: index},
-			Start: start,
-			Dur:   dur,
-			Stats: stats,
+			Kind:   trace.KindVerify,
+			Ref:    trace.Ref{Pass: name, Index: index},
+			Start:  start,
+			Dur:    dur,
+			Stats:  stats,
+			Parent: c.SpanParent,
 		})
 	}
 
