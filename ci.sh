@@ -49,12 +49,18 @@
 #               (including the worker-scaling and cache benchmarks)
 #               cannot silently rot
 #   bench regression
-#               maobench -json re-measures the repeated-relaxation and
-#               repeated-pipeline benchmarks and fails on a >2x ns/op
-#               regression against the checked-in BENCH_relax.json /
-#               BENCH_pipeline.json baselines — the guard that
-#               incremental relaxation never silently degrades back to
-#               full rebuilds
+#               maobench -json re-measures the repeated-relaxation,
+#               repeated-pipeline and warm-memo benchmarks and fails
+#               on a >2x ns/op regression against the checked-in
+#               BENCH_relax.json / BENCH_pipeline.json /
+#               BENCH_memo.json baselines — the guard that incremental
+#               relaxation and pipeline memoization never silently
+#               degrade back to full rebuilds
+#   memo verify maobench -memo replays the corpus through the memo
+#               repeatedly and fails unless every replay is
+#               byte-identical to its cold run with a hit rate
+#               above 0.9 — memoized answers must be observationally
+#               indistinguishable from recomputation
 #   self-lint   mao --check over the committed corpus fixtures: the
 #               checker must parse and lint generator output without
 #               error-severity diagnostics (warnings are expected —
@@ -113,6 +119,9 @@ echo "== bench regression: relaxation + pipeline vs checked-in baselines"
 benchdir=$(mktemp -d)
 go run ./cmd/maobench -json -outdir "$benchdir" -baseline .
 rm -rf "$benchdir"
+
+echo "== memo verify: warm replays byte-identical to cold runs, hit rate > 0.9"
+go run ./cmd/maobench -memo -scale 0.05
 
 echo "== self-lint corpus fixtures (mao --check)"
 bin=$(mktemp -d)/mao
@@ -226,13 +235,15 @@ done
 
 # The same archive through the router and through a single direct
 # daemon must carry identical per-unit records. Completion order is
-# timing-dependent and the cached flag / cache verdict vary, so: drop
+# timing-dependent and the cached flag / cache verdict vary (a unit
+# can hit, miss, or coalesce onto a sibling's in-flight run), so: drop
 # the trailer, strip "cached" and "cache", sort by record.
 stream_records() {
 	curl -fsS -X POST -H 'Content-Type: application/x-mao-archive' \
 		--data-binary @"$archive" "$1/v1/optimize/archive?spec=REDTEST:REDMOV" |
 		grep -v '"done"' |
-		sed -e 's/,"cached":true//' -e 's/,"cache":"hit"//' -e 's/,"cache":"miss"//' |
+		sed -e 's/,"cached":true//' -e 's/,"cache":"hit"//' -e 's/,"cache":"miss"//' \
+			-e 's/,"cache":"coalesced"//' |
 		sort
 }
 stream_records "$router" >"$fleet/via_router.ndjson"
@@ -345,7 +356,7 @@ go run ./internal/trace/schemacheck -schema internal/scope/testdata/scope_chrome
 # and cache verdict.
 grep -q '"shard":"http' "$fleet/srouter.log" ||
 	{ echo "router access log lacks shard stamps" >&2; cat "$fleet/srouter.log" >&2; exit 1; }
-grep -Eq '"cache":"(hit|miss)"' "$fleet/srouter.log" ||
+grep -Eq '"cache":"(hit|miss|coalesced)"' "$fleet/srouter.log" ||
 	{ echo "router access log lacks cache verdicts" >&2; cat "$fleet/srouter.log" >&2; exit 1; }
 
 # Both exposition planes carry the queue-wait split and Go runtime

@@ -8,9 +8,10 @@
 //	maobench -experiment fig1-nop
 //	maobench -list
 //	maobench -scale 0.1          # shrink corpora for a quick pass
-//	maobench -json               # write BENCH_relax.json / BENCH_pipeline.json
+//	maobench -json               # write BENCH_relax/pipeline/memo.json
 //	maobench -json -baseline .   # also fail on >2x ns/op regression
 //	maobench -verify             # measure translation-validation overhead
+//	maobench -memo -scale 0.1    # verify the pipeline memo on the corpus
 package main
 
 import (
@@ -32,10 +33,40 @@ import (
 // machine-to-machine noise.
 const regressionFactor = 2.0
 
-// runBenchJSON measures the repeated-relaxation and repeated-pipeline
-// benchmarks, writes BENCH_relax.json and BENCH_pipeline.json into
-// outDir, and — when baselineDir is set — fails on a >2x ns/op
-// regression against the baselines checked in there.
+// memoHitRateFloor is the memo hit rate `maobench -memo` demands from
+// the repeat-corpus replay: with the default 20 rounds only the fill
+// round may miss, so anything at or below 0.9 means functions failed
+// to memoize at all (or the memo silently invalidated between rounds).
+const memoHitRateFloor = 0.9
+
+// memoVerifyRounds is how often -memo replays each corpus unit through
+// the shared memo (round 1 fills, every later round must hit).
+const memoVerifyRounds = 20
+
+// runMemoVerify replays the corpus through a shared pipeline memo,
+// failing on any output that differs from a cold run or on a hit rate
+// at or below memoHitRateFloor.
+func runMemoVerify(scale float64) error {
+	results, err := bench.MemoCorpusVerify(scale, memoVerifyRounds)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("memo %-28s %3d units %5d functions %3d rounds  hit-rate %.3f  byte-identical\n",
+			r.Spec, r.Sources, r.Functions, r.Rounds, r.HitRate)
+		if r.HitRate <= memoHitRateFloor {
+			return fmt.Errorf("memo %s: hit rate %.3f is not above %.1f",
+				r.Spec, r.HitRate, memoHitRateFloor)
+		}
+	}
+	return nil
+}
+
+// runBenchJSON measures the repeated-relaxation, repeated-pipeline and
+// warm-memo benchmarks, writes BENCH_relax.json, BENCH_pipeline.json
+// and BENCH_memo.json into outDir, and — when baselineDir is set —
+// fails on a >2x ns/op regression against the baselines checked in
+// there.
 func runBenchJSON(outDir, baselineDir string) error {
 	relaxRes, err := bench.MeasureRelaxBench()
 	if err != nil {
@@ -45,12 +76,17 @@ func runBenchJSON(outDir, baselineDir string) error {
 	if err != nil {
 		return err
 	}
+	memoRes, err := bench.MeasureMemoBench(pipeRes)
+	if err != nil {
+		return err
+	}
 	for _, e := range []struct {
 		file string
 		res  *bench.BenchResult
 	}{
 		{"BENCH_relax.json", relaxRes},
 		{"BENCH_pipeline.json", pipeRes},
+		{"BENCH_memo.json", memoRes},
 	} {
 		out := filepath.Join(outDir, e.file)
 		if err := bench.WriteBenchJSON(out, e.res); err != nil {
@@ -84,6 +120,7 @@ func main() {
 	timings := flag.Bool("timings", false, "print an aggregate per-pass timing table for all pipelines run")
 	jsonOut := flag.Bool("json", false, "measure relaxation/pipeline benchmarks and write BENCH_relax.json + BENCH_pipeline.json")
 	verifyOH := flag.Bool("verify", false, "measure the translation-validation overhead of a verified pipeline")
+	memoVerify := flag.Bool("memo", false, "replay the corpus through a shared pipeline memo; fail unless hit rate > 0.9 and output is byte-identical to cold runs")
 	outDir := flag.String("outdir", ".", "directory BENCH_*.json files are written to (with -json)")
 	baseline := flag.String("baseline", "", "directory holding baseline BENCH_*.json; exit non-zero on >2x ns/op regression (with -json)")
 	flag.Parse()
@@ -95,6 +132,13 @@ func main() {
 
 	if *jsonOut {
 		if err := runBenchJSON(*outDir, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *memoVerify {
+		if err := runMemoVerify(*scale); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -22,7 +22,11 @@
 // Cache disposition is read from the X-Mao-Cache response header and
 // the serving shard from X-Mao-Shard (set by maorouter); -router
 // requires the latter and fails the run if it is absent, so a
-// misconfigured target cannot masquerade as a fleet.
+// misconfigured target cannot masquerade as a fleet. The report splits
+// verdicts three ways — hit, miss, coalesced (the request rode another
+// identical in-flight run) — and -dup-rate p makes fraction p of
+// requests re-send the hottest fixture, piling identical requests up
+// in flight to exercise coalescing deliberately.
 //
 // -trace originates a fresh MAOSCOPE X-Mao-Trace context per request
 // and asks for the span tree back (?trace=1), reporting how many
@@ -53,15 +57,16 @@ import (
 )
 
 type result struct {
-	status  int
-	latency time.Duration
-	ttfr    time.Duration // archive mode: time to first NDJSON record
-	cache   string        // X-Mao-Cache: "hit", "miss", or ""
-	shard   string        // X-Mao-Shard, when fronted by maorouter
-	spans   int           // -trace: spans in the response's tree
-	hits    int           // archive mode: per-record cache verdicts
-	misses  int
-	err     error
+	status    int
+	latency   time.Duration
+	ttfr      time.Duration // archive mode: time to first NDJSON record
+	cache     string        // X-Mao-Cache: "hit", "miss", "coalesced", or ""
+	shard     string        // X-Mao-Shard, when fronted by maorouter
+	spans     int           // -trace: spans in the response's tree
+	hits      int           // archive mode: per-record cache verdicts
+	misses    int
+	coalesced int
+	err       error
 }
 
 func main() {
@@ -77,6 +82,7 @@ func main() {
 		check    = flag.Bool("check", false, "request static-checker diagnostics")
 		noCache  = flag.Bool("no-cache", false, "bypass the server's result cache")
 		clients  = flag.Int("clients", 1, "distinct tenants to spread requests over (X-Mao-Client)")
+		dupRate  = flag.Float64("dup-rate", 0, "fraction [0,1] of requests that re-send the hottest fixture, so identical requests overlap in flight and exercise miss coalescing")
 		zipfS    = flag.Float64("zipf", 0, "zipf skew s (> 1) for fixture and client selection; 0 = uniform cycling")
 		seed     = flag.Int64("seed", 1, "seed for the zipf traffic model")
 		router   = flag.Bool("router", false, "target is a maorouter: require X-Mao-Shard and report the per-shard breakdown")
@@ -97,6 +103,9 @@ func main() {
 	}
 	if *clients < 1 {
 		log.Fatal("-clients must be >= 1")
+	}
+	if *dupRate < 0 || *dupRate > 1 {
+		log.Fatal("-dup-rate must be in [0, 1]")
 	}
 
 	// Pre-encode one request body per fixture — and, in archive mode,
@@ -164,9 +173,9 @@ func main() {
 			defer wg.Done()
 			// Per-worker generators keep the mix reproducible for a
 			// given (-seed, -c) without cross-worker locking.
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			var fixturePick, clientPick *rand.Zipf
 			if *zipfS > 1 {
-				rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 				fixturePick = rand.NewZipf(rng, *zipfS, 1, uint64(len(bodies)-1))
 				if *clients > 1 {
 					clientPick = rand.NewZipf(rng, *zipfS, 1, uint64(*clients-1))
@@ -180,6 +189,11 @@ func main() {
 				fixture := int(i % int64(len(bodies)))
 				if fixturePick != nil {
 					fixture = int(fixturePick.Uint64())
+				}
+				if *dupRate > 0 && rng.Float64() < *dupRate {
+					// Duplicate traffic: collapse onto the first fixture
+					// so concurrent identical requests pile up in flight.
+					fixture = 0
 				}
 				tenant := int(i % int64(*clients))
 				if clientPick != nil {
@@ -242,7 +256,7 @@ func main() {
 	}
 	go func() { wg.Wait(); close(results) }()
 
-	type shardTally struct{ reqs, hits, misses int }
+	type shardTally struct{ reqs, hits, misses, coalesced int }
 	var (
 		lats       []time.Duration
 		ttfrs      []time.Duration
@@ -251,7 +265,7 @@ func main() {
 		errCount   int
 		firstErr   error
 	)
-	var total2xx, total4xx, total5xx, cacheHits, cacheMisses, tracedN, tracedSpans int
+	var total2xx, total4xx, total5xx, cacheHits, cacheMisses, cacheCoalesced, tracedN, tracedSpans int
 	for r := range results {
 		if r.err != nil {
 			errCount++
@@ -273,11 +287,14 @@ func main() {
 				cacheHits++
 			case "miss":
 				cacheMisses++
+			case "coalesced":
+				cacheCoalesced++
 			}
 			// Archive streams report per-record verdicts instead of a
 			// response-level header.
 			cacheHits += r.hits
 			cacheMisses += r.misses
+			cacheCoalesced += r.coalesced
 			if r.ttfr > 0 {
 				ttfrs = append(ttfrs, r.ttfr)
 			}
@@ -297,6 +314,8 @@ func main() {
 					st.hits++
 				case "miss":
 					st.misses++
+				case "coalesced":
+					st.coalesced++
 				}
 			}
 		case r.status >= 400 && r.status < 500:
@@ -344,9 +363,14 @@ func main() {
 		fmt.Printf("traces: %d responses carried a span tree (avg %.1f spans)\n",
 			tracedN, float64(tracedSpans)/float64(tracedN))
 	}
-	if cacheHits+cacheMisses > 0 {
-		fmt.Printf("result cache: %d hits, %d misses (%.1f%% hit rate)\n",
-			cacheHits, cacheMisses, 100*float64(cacheHits)/float64(cacheHits+cacheMisses))
+	if cacheHits+cacheMisses+cacheCoalesced > 0 {
+		// Coalesced requests rode another request's run: neither a hit
+		// (nothing was cached yet) nor a miss (no pipeline run of their
+		// own). The hit rate stays hits/(hits+misses) so adding -dup-rate
+		// cannot flatter it.
+		fmt.Printf("result cache: %d hits, %d misses, %d coalesced (%.1f%% hit rate)\n",
+			cacheHits, cacheMisses, cacheCoalesced,
+			100*float64(cacheHits)/float64(max(cacheHits+cacheMisses, 1)))
 	}
 	if len(shardStats) > 0 {
 		var shards []string
@@ -361,8 +385,8 @@ func main() {
 			if st.hits+st.misses > 0 {
 				rate = 100 * float64(st.hits) / float64(st.hits+st.misses)
 			}
-			fmt.Printf("  shard %s: %d reqs, %d hits, %d misses (%.1f%% hit rate)\n",
-				s, st.reqs, st.hits, st.misses, rate)
+			fmt.Printf("  shard %s: %d reqs, %d hits, %d misses, %d coalesced (%.1f%% hit rate)\n",
+				s, st.reqs, st.hits, st.misses, st.coalesced, rate)
 		}
 	}
 	if *router && len(shardStats) == 0 && total2xx > 0 {
@@ -404,6 +428,8 @@ func readArchiveStream(resp *http.Response, t0 time.Time, res *result) {
 				res.hits++
 			case "miss":
 				res.misses++
+			case "coalesced":
+				res.coalesced++
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/http/httputil"
@@ -13,7 +14,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"mao/internal/pass"
 	"mao/internal/router"
 	"mao/internal/serve"
 )
@@ -251,6 +254,95 @@ func TestRouterModeRequiresShardHeader(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "not a maorouter") {
 		t.Errorf("missing diagnosis:\n%s", out)
+	}
+}
+
+// sleepPass mirrors the serve package's test pass: it pins a worker
+// for ms[N] milliseconds, so concurrent identical requests reliably
+// overlap in flight — the window miss coalescing needs.
+type sleepPass struct{}
+
+func (sleepPass) Name() string        { return "SLEEPTEST" }
+func (sleepPass) Description() string { return "test pass that sleeps" }
+func (sleepPass) Effectful() bool     { return true }
+func (sleepPass) RunUnit(ctx *pass.Ctx) (bool, error) {
+	d := time.Duration(ctx.Opts.Int("ms", 10)) * time.Millisecond
+	select {
+	case <-time.After(d):
+		return false, nil
+	case <-ctx.Context().Done():
+		return false, ctx.Context().Err()
+	}
+}
+
+func init() {
+	if pass.Lookup("SLEEPTEST") == nil {
+		pass.Register(func() pass.Pass { return sleepPass{} })
+	}
+}
+
+// scrapeCounter reads one counter's value off a maod /metrics page.
+func scrapeCounter(t *testing.T, baseURL, name string) int {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(string(body))
+	if m == nil {
+		t.Fatalf("%s not found in /metrics:\n%s", name, body)
+	}
+	v, _ := strconv.Atoi(m[1])
+	return v
+}
+
+// TestDupRateCoalescingReducesPipelineRuns is the coalescing
+// regression proof: the same duplicate-heavy load (-dup-rate 1, every
+// request identical, result cache off) costs strictly fewer shard-side
+// pipeline runs with coalescing on than with it disabled, and the
+// report carries the coalesced verdicts that explain the difference.
+func TestDupRateCoalescingReducesPipelineRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coalescing comparison under -short")
+	}
+	fixtures, err := filepath.Glob(filepath.Join("..", "..", "internal", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	bin := buildMaoload(t)
+
+	run := func(cfg serve.Config) (report string, pipelineRuns int) {
+		s := serve.New(cfg)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		args := []string{
+			"-addr", ts.URL, "-c", "8", "-n", "24", "-dup-rate", "1",
+			"-spec", "SLEEPTEST=ms[150]:REDTEST",
+		}
+		out, err := exec.Command(bin, append(args, fixtures[0])...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("maoload: %v\n%s", err, out)
+		}
+		return string(out), scrapeCounter(t, ts.URL, "maod_batch_jobs_total")
+	}
+
+	// The result cache is disabled on both servers: only in-flight
+	// coalescing can deduplicate the identical requests.
+	coalescedReport, coalescedRuns := run(serve.Config{ResultCacheEntries: -1})
+	_, disabledRuns := run(serve.Config{ResultCacheEntries: -1, DisableCoalesce: true})
+
+	if coalescedRuns >= disabledRuns {
+		t.Errorf("coalescing did not reduce pipeline runs: %d with vs %d without\n%s",
+			coalescedRuns, disabledRuns, coalescedReport)
+	}
+	m := regexp.MustCompile(`result cache: \d+ hits, \d+ misses, (\d+) coalesced`).FindStringSubmatch(coalescedReport)
+	if m == nil {
+		t.Fatalf("coalesced breakdown missing from report:\n%s", coalescedReport)
+	}
+	if n, _ := strconv.Atoi(m[1]); n == 0 {
+		t.Errorf("report shows 0 coalesced requests despite -dup-rate 1:\n%s", coalescedReport)
 	}
 }
 

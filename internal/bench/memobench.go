@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/check"
+	"mao/internal/corpus"
+	"mao/internal/memo"
+	"mao/internal/pass"
+	"mao/internal/relax"
+	"mao/internal/verify"
+)
+
+// This file holds the pipeline-memo benchmark and verification bodies:
+// BENCH_memo.json measures the warm repeat-pipeline against the
+// unmemoized PipelineRepeated reference, and `maobench -memo` replays
+// the synthetic corpus through a shared memo asserting hit rate and
+// byte-identity for ci.sh.
+
+// benchMemo builds a memo salted exactly like mao.NewMemo, so the
+// measured keys pay the same derivation cost production pays.
+func benchMemo() *memo.Memo {
+	return memo.New(0, pass.CatalogVersion(), check.Version, verify.Version)
+}
+
+// MemoWarm measures the warm memoized repeat-pipeline: the identical
+// workload, spec and manager configuration as PipelineRepeated, plus a
+// pipeline memo. Two warm-up runs reach steady state — the first
+// optimizes to the fixpoint and fills the memo under the pre-run
+// content, the second fills identity entries for the optimized content
+// and arms the repeat fast path — after which every timed run is
+// answered from the memo without touching the unit.
+func MemoWarm(b *testing.B) {
+	u, err := relaxBenchUnit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := pass.NewManager("LOOP16:LSD:BRALIGN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr.Workers = 1
+	mgr.Cache = relax.NewCache()
+	mgr.RelaxState = relax.NewState()
+	mgr.Memo = benchMemo()
+	for i := 0; i < 2; i++ {
+		if _, err := mgr.Run(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Run(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	h, m := mgr.Memo.Counters()
+	if h+m > 0 {
+		b.ReportMetric(float64(h)/float64(h+m), "memo-hit-rate")
+	}
+}
+
+// MeasureMemoBench runs the warm-memo benchmark through
+// testing.Benchmark and records the unmemoized repeat-pipeline result
+// as the reference, yielding the memoization speedup.
+func MeasureMemoBench(pipeline *BenchResult) (*BenchResult, error) {
+	res := testing.Benchmark(MemoWarm)
+	if res.N == 0 {
+		return nil, fmt.Errorf("MemoWarm benchmark failed to run")
+	}
+	r := &BenchResult{
+		Benchmark:   "MemoWarm",
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if pipeline != nil && r.NsPerOp > 0 {
+		r.ReferenceNsPerOp = pipeline.NsPerOp
+		r.Speedup = r.ReferenceNsPerOp / r.NsPerOp
+	}
+	return r, nil
+}
+
+// MemoVerifyResult summarizes one MemoCorpusVerify run.
+type MemoVerifyResult struct {
+	Spec      string  // pipeline verified
+	Sources   int     // corpus units replayed per round
+	Functions int     // functions per round
+	Rounds    int     // repeat rounds (round 1 fills, the rest hit)
+	HitRate   float64 // memo hits / (hits + misses) across all rounds
+}
+
+// MemoCorpusVerify replays the synthetic corpus repeatedly through one
+// shared memo: for each spec it runs every workload cold (no memo) to
+// pin the expected bytes, then rounds× from a fresh parse through the
+// memo, failing on the first output that is not byte-identical to the
+// cold run. The returned results carry the observed hit rates; policy
+// (ci.sh demands > 0.9) lives in the caller.
+func MemoCorpusVerify(scale float64, rounds int) ([]MemoVerifyResult, error) {
+	if rounds < 2 {
+		rounds = 2
+	}
+	specs := []string{"REDTEST:REDMOV:DCE:CONSTFOLD", "LOOP16:LSD:BRALIGN"}
+	type source struct {
+		name, src, want string
+		functions       int
+	}
+	var out []MemoVerifyResult
+	for _, spec := range specs {
+		var sources []source
+		for _, w := range corpus.Spec2000Int(scale) {
+			u, err := asm.ParseString(w.Name+".s", corpus.Generate(w))
+			if err != nil {
+				return nil, err
+			}
+			mgr, err := pass.NewManager(spec)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := mgr.Run(u); err != nil {
+				return nil, fmt.Errorf("%s %s: cold run: %w", spec, w.Name, err)
+			}
+			sources = append(sources, source{
+				name:      w.Name,
+				src:       corpus.Generate(w),
+				want:      u.String(),
+				functions: len(u.Functions()),
+			})
+		}
+		m := benchMemo()
+		res := MemoVerifyResult{Spec: spec, Sources: len(sources), Rounds: rounds}
+		for _, s := range sources {
+			res.Functions += s.functions
+		}
+		for round := 1; round <= rounds; round++ {
+			for _, s := range sources {
+				u, err := asm.ParseString(s.name+".s", s.src)
+				if err != nil {
+					return nil, err
+				}
+				mgr, err := pass.NewManager(spec)
+				if err != nil {
+					return nil, err
+				}
+				mgr.Memo = m
+				if _, err := mgr.Run(u); err != nil {
+					return nil, fmt.Errorf("%s %s round %d: %w", spec, s.name, round, err)
+				}
+				if got := u.String(); got != s.want {
+					return nil, fmt.Errorf("%s %s round %d: memoized output differs from cold run",
+						spec, s.name, round)
+				}
+			}
+		}
+		h, miss := m.Counters()
+		if h+miss > 0 {
+			res.HitRate = float64(h) / float64(h+miss)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -9,6 +9,12 @@ import (
 	"mao/internal/ir"
 )
 
+// Version identifies the rule catalog's semantics; bump it when a
+// rule is added, removed or changes meaning. The pipeline memo folds
+// it into its keys so memoized results never outlive the checker that
+// (implicitly) vetted them.
+const Version = "check/1"
+
 // Rule is one table-driven static check. Rules are function-scoped:
 // the engine builds the CFG (and, lazily, liveness) once per function
 // and runs every rule over it.

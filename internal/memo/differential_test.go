@@ -1,0 +1,104 @@
+package memo_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mao/internal/asm"
+	"mao/internal/corpus"
+	"mao/internal/memo"
+	"mao/internal/pass"
+)
+
+// The acceptance criterion for memoization: across every corpus
+// fixture, a representative pipeline matrix and worker counts 1 and
+// 8, a memoized run — both the run that fills the memo and the run
+// answered from it — emits assembly byte-identical to a cold,
+// unmemoized run.
+
+var diffSpecs = []string{
+	"",                   // parse + canonical re-emission
+	"REDTEST:REDMOV",     // local keys (ParallelSafe only)
+	"DCE:CONSTFOLD",      // local keys
+	"SCHED",              // local keys
+	"LOOP16",             // unit keys (whole-unit layout)
+	"LOOP16:LSD:BRALIGN", // unit keys, the BENCH_memo pipeline
+}
+
+func diffSources(t *testing.T) map[string]string {
+	t.Helper()
+	fixtures, err := filepath.Glob(filepath.Join("..", "corpus", "testdata", "*.s"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no corpus fixtures: %v", err)
+	}
+	out := make(map[string]string)
+	for _, fx := range fixtures {
+		b, err := os.ReadFile(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(fx)] = string(b)
+	}
+	// One generated mid-size workload on top of the checked-in corpus.
+	w := corpus.Spec2000Int(0.1)[0]
+	out[w.Name+".gen.s"] = corpus.Generate(w)
+	return out
+}
+
+func TestMemoDifferentialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the corpus × spec × workers matrix three times over")
+	}
+	sources := diffSources(t)
+	for _, spec := range diffSpecs {
+		for _, workers := range []int{1, 8} {
+			m := memo.New(0, "diff")
+			for name, src := range sources {
+				cold, err := asm.ParseString(name, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgrCold, err := pass.NewManager(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgrCold.Workers = workers
+				if _, err := mgrCold.Run(cold); err != nil {
+					t.Fatalf("%s spec=%q: cold run: %v", name, spec, err)
+				}
+				want := cold.String()
+
+				run := func(label string) *pass.Stats {
+					u, err := asm.ParseString(name, src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mgr, err := pass.NewManager(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mgr.Workers = workers
+					mgr.Memo = m
+					stats, err := mgr.Run(u)
+					if err != nil {
+						t.Fatalf("%s spec=%q workers=%d: %s run: %v",
+							name, spec, workers, label, err)
+					}
+					if got := u.String(); got != want {
+						t.Errorf("%s spec=%q workers=%d: %s run differs from cold run",
+							name, spec, workers, label)
+					}
+					return stats
+				}
+				run("fill")
+				stats := run("warm")
+				if fns := len(cold.Functions()); fns > 0 &&
+					stats.Get("MEMO", "functions") != fns {
+					t.Errorf("%s spec=%q workers=%d: warm run did not hit (%d of %d functions), stats:\n%s",
+						name, spec, workers, stats.Get("MEMO", "functions"), fns, stats)
+				}
+			}
+		}
+	}
+}

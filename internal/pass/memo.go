@@ -1,0 +1,179 @@
+package pass
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mao/internal/ir"
+	"mao/internal/memo"
+)
+
+// This file wires the content-addressed pipeline memo (internal/memo)
+// into the manager. A memoized manager fingerprints the unit's
+// functions before running; when every function hits, the pipeline is
+// skipped and the memoized optimized spans are spliced in as cloned
+// IR — byte-identical to a cold run, which the differential suites
+// pin across corpus × specs × worker counts.
+
+// Effectful marks passes whose invocation has effects outside the
+// unit's IR — file emission (ASM), diagnostic output (CHECK). Their
+// presence in a pipeline disables memoization of the run: skipping
+// the pipeline would skip the effect.
+type Effectful interface {
+	Effectful() bool
+}
+
+func isEffectful(p Pass) bool {
+	e, ok := p.(Effectful)
+	return ok && e.Effectful()
+}
+
+// CatalogVersion returns a fingerprint of the registered pass
+// catalog. It changes whenever the set of registered passes does, so
+// memo keys composed with it can never resurrect results produced by
+// a different catalog. (Semantic changes to a pass's implementation
+// are covered by the memo package's format version, bumped on
+// incompatible changes.)
+func CatalogVersion() string {
+	h := sha256.New()
+	for _, n := range Names() {
+		fmt.Fprintf(h, "pass:%d:%s", len(n), n)
+	}
+	return "catalog/" + hex.EncodeToString(h.Sum(nil))
+}
+
+// memoSeen records the outcome of the last memoized run that left the
+// unit's content untouched, keyed by the list version. While the
+// version is unchanged, re-running the pipeline is provably a no-op
+// (every list edit — structural or reported via BumpVersion — bumps
+// it; unnotified in-place edits are outside the IR mutation contract,
+// exactly as for incremental relaxation), so repeat runs return
+// immediately with a copy of the recorded statistics.
+type memoSeen struct {
+	unit    *ir.Unit
+	version int64
+	nfns    int
+	stats   map[string]map[string]int
+}
+
+// memoState is the manager's lazily computed memoization config plus
+// the repeat-run record.
+type memoState struct {
+	once      sync.Once
+	signature string // canonical pipeline spec baked into keys
+	enabled   bool   // no effectful passes, no dump options
+	local     bool   // every pass is a ParallelSafe FuncPass
+
+	mu   sync.Mutex
+	last *memoSeen
+}
+
+// memoConfig resolves (and caches) whether this pipeline is
+// memoizable and in which key mode.
+func (m *Manager) memoConfig() (signature string, local, enabled bool) {
+	m.memoState.once.Do(func() {
+		st := &m.memoState
+		st.enabled = true
+		st.local = true
+		var sig strings.Builder
+		for i, inv := range m.Pipeline {
+			if isEffectful(inv.Pass) {
+				st.enabled = false
+				return
+			}
+			if _, ok := inv.Opts.m["dump_before"]; ok {
+				st.enabled = false
+				return
+			}
+			if _, ok := inv.Opts.m["dump_after"]; ok {
+				st.enabled = false
+				return
+			}
+			switch inv.Pass.(type) {
+			case UnitPass:
+				st.local = false
+			case FuncPass:
+				if !isParallelSafe(inv.Pass) {
+					st.local = false
+				}
+			default:
+				st.enabled = false
+				return
+			}
+			if i > 0 {
+				sig.WriteByte(':')
+			}
+			sig.WriteString(inv.Pass.Name())
+			keys := make([]string, 0, len(inv.Opts.m))
+			for k := range inv.Opts.m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for j, k := range keys {
+				if j == 0 {
+					sig.WriteByte('=')
+				} else {
+					sig.WriteByte(',')
+				}
+				fmt.Fprintf(&sig, "%s[%s]", k, inv.Opts.m[k])
+			}
+		}
+		st.signature = sig.String()
+	})
+	return m.memoState.signature, m.memoState.local, m.memoState.enabled
+}
+
+// memoPlan fingerprints u for this pipeline, or returns nil when the
+// run is not memoizable (effectful passes, dump options, hooks, or a
+// unit with no functions).
+func (m *Manager) memoPlan(u *ir.Unit) *memo.Plan {
+	sig, local, enabled := m.memoConfig()
+	if !enabled {
+		return nil
+	}
+	return m.Memo.NewPlan(u, sig, local)
+}
+
+// memoFast answers a repeat run over the same, unedited unit from the
+// last recorded outcome: same unit pointer, same list version — the
+// content cannot have changed, so neither can the result.
+func (m *Manager) memoFast(u *ir.Unit) (*Stats, bool) {
+	st := &m.memoState
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.last == nil || st.last.unit != u || st.last.version != u.List.Version() {
+		return nil, false
+	}
+	m.Memo.CountHits(st.last.nfns)
+	out := NewStats()
+	for p, kv := range st.last.stats {
+		for k, v := range kv {
+			out.Add(p, k, v)
+		}
+	}
+	return out, true
+}
+
+// memoRemember records this run's outcome for the repeat-run fast
+// path. Only runs that left the unit's version untouched qualify —
+// the caller checks that.
+func (m *Manager) memoRemember(u *ir.Unit, nfns int, stats *Stats) {
+	st := &m.memoState
+	st.mu.Lock()
+	st.last = &memoSeen{unit: u, version: u.List.Version(), nfns: nfns, stats: stats.Map()}
+	st.mu.Unlock()
+}
+
+// memoForget drops the repeat-run record (the unit changed during the
+// run, so the record would never match anyway; dropping it keeps the
+// manager from pinning the unit).
+func (m *Manager) memoForget() {
+	st := &m.memoState
+	st.mu.Lock()
+	st.last = nil
+	st.mu.Unlock()
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"mao/internal/ir"
+	"mao/internal/memo"
 	"mao/internal/relax"
 	"mao/internal/trace"
 )
@@ -518,6 +519,23 @@ type Manager struct {
 	// reuse fragment partitions without any sharing across goroutines.
 	relaxPool sync.Pool
 
+	// Memo, when non-nil, is the content-addressed per-function
+	// pipeline memo (see internal/memo). Before running, the manager
+	// fingerprints every function of the unit; if all of them hit, the
+	// pipeline is skipped and the memoized optimized spans are spliced
+	// in — byte-identical to running cold. After a successful cold run
+	// the manager fills the memo. Memoization silently disengages for
+	// runs it cannot shortcut faithfully: pipelines with effectful
+	// passes (ASM, CHECK) or dump options, managers with a Hook (the
+	// certifier must observe every invocation), and units whose runs
+	// mutate content outside function spans. Memoized runs report the
+	// pseudo-pass MEMO in their Stats instead of per-pass counters.
+	Memo *memo.Memo
+
+	// memoState caches the pipeline's memoizability and the
+	// repeat-run record backing the version fast path.
+	memoState memoState
+
 	// Tracer, when non-nil, collects structured spans: one for the
 	// pipeline run, one per pass invocation, and one per function of
 	// each function-pass invocation. Span collection is byte- and
@@ -569,6 +587,23 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 	stats := NewStats()
 	baseHits, baseMisses := m.Cache.Counters()
 
+	// Memo consult. The version fast path answers a repeat run over
+	// the same, unedited unit without even re-fingerprinting it; the
+	// content path computes per-function fingerprints and, when every
+	// function hits, splices the memoized spans instead of running the
+	// pipeline. Hooked runs bypass the memo entirely: the certifier
+	// and validator must observe every invocation.
+	var plan *memo.Plan
+	memoHit := false
+	startVersion := int64(0)
+	if m.Memo != nil && m.Hook == nil {
+		if s, ok := m.memoFast(u); ok {
+			return s, nil
+		}
+		startVersion = u.List.Version()
+		plan = m.memoPlan(u)
+	}
+
 	// The relaxation state serial contexts of this run share: the
 	// manager's configured one, or a pooled state so repeated runs
 	// through the same manager still relax incrementally.
@@ -605,7 +640,25 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 		}()
 	}
 
-	for idx, inv := range m.Pipeline {
+	if plan != nil {
+		if hit, ok := m.Memo.Lookup(plan); ok {
+			spliced, err := hit.Splice(u)
+			if err != nil {
+				return stats, fmt.Errorf("memo: splice: %w", err)
+			}
+			stats.Add("MEMO", "functions", plan.Functions())
+			stats.Add("MEMO", "spliced", spliced)
+			memoHit = true
+		}
+	}
+
+	// A memo hit empties the pipeline for this run: the spliced unit
+	// already is the pipeline's output.
+	pipeline := m.Pipeline
+	if memoHit {
+		pipeline = nil
+	}
+	for idx, inv := range pipeline {
 		name := inv.Pass.Name()
 		if err := runCtx.Err(); err != nil {
 			return stats, fmt.Errorf("%s[%d]: %w", name, idx, err)
@@ -702,6 +755,19 @@ func (m *Manager) RunContext(runCtx context.Context, u *ir.Unit) (*Stats, error)
 		hits, misses := m.Cache.Counters()
 		stats.Add("RELAXCACHE", "hits", int(hits-baseHits))
 		stats.Add("RELAXCACHE", "misses", int(misses-baseMisses))
+	}
+	if plan != nil {
+		if !memoHit {
+			m.Memo.Fill(plan, u)
+		}
+		// A run that left the unit's version untouched proved the
+		// pipeline is a no-op on this content; remember it so repeat
+		// runs skip even the fingerprinting.
+		if u.List.Version() == startVersion {
+			m.memoRemember(u, plan.Functions(), stats)
+		} else {
+			m.memoForget()
+		}
 	}
 	return stats, nil
 }

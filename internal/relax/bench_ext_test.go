@@ -22,3 +22,8 @@ func BenchmarkRelaxRepeatedReference(b *testing.B) { bench.RelaxRepeatedReferenc
 // BenchmarkPipelineRepeated measures repeated alignment pipelines over
 // one unit through one manager with a persistent relaxation state.
 func BenchmarkPipelineRepeated(b *testing.B) { bench.PipelineRepeated(b) }
+
+// BenchmarkMemoWarm is BenchmarkPipelineRepeated plus a pipeline memo:
+// after warm-up, every run is answered from the memo. The ratio of the
+// two is the memoization speedup recorded in BENCH_memo.json.
+func BenchmarkMemoWarm(b *testing.B) { bench.MemoWarm(b) }

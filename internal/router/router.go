@@ -14,6 +14,12 @@
 // by a factor of N — cmd/maoload's zipf mode measures exactly this
 // concentration.
 //
+// Identical in-flight misses coalesce (see coalesce.go): concurrent
+// duplicate optimize requests share a single shard forward, with the
+// followers replaying the buffered response under an
+// X-Mao-Cache: coalesced verdict — a thundering herd of one hot
+// request costs the fleet one pipeline run, total.
+//
 // Failure handling: shards are health-checked via their /readyz
 // (which flips to 503 the moment a shard starts draining) and marked
 // passively on transport errors. A request whose shard is down —
@@ -63,6 +69,14 @@ type Config struct {
 	// MaxBodyBytes caps a proxied request body; bodies are buffered
 	// for key computation and retry (0 = 64 MiB).
 	MaxBodyBytes int64
+	// DisableCoalesce turns off in-flight miss coalescing (on by
+	// default): concurrent identical optimize requests share one shard
+	// forward, followers replaying the buffered response as
+	// X-Mao-Cache: coalesced. Sound because maod is deterministic.
+	DisableCoalesce bool
+	// CoalesceTimeout bounds a coalesced shard forward, which runs
+	// detached from the leader's client context (0 = 2m).
+	CoalesceTimeout time.Duration
 	// Logf, when non-nil, receives shard health transitions.
 	Logf func(format string, args ...any)
 	// AccessLog, when non-nil, receives one JSON line per proxied
@@ -88,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightRecords == 0 {
 		c.FlightRecords = 512
+	}
+	if c.CoalesceTimeout <= 0 {
+		c.CoalesceTimeout = 2 * time.Minute
 	}
 	return c
 }
@@ -116,6 +133,7 @@ type Router struct {
 	client   *http.Client
 	met      *routerMetrics
 	flight   *scope.Recorder
+	flights  *routerFlightGroup // nil when coalescing is disabled
 
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
@@ -151,6 +169,9 @@ func New(cfg Config) (*Router, error) {
 		flight:    newFlightRecorder(cfg.FlightRecords),
 		stopProbe: make(chan struct{}),
 		started:   time.Now(),
+	}
+	if !cfg.DisableCoalesce {
+		r.flights = newRouterFlightGroup()
 	}
 	if cfg.ProbeInterval > 0 {
 		r.probeWG.Add(1)
@@ -330,7 +351,16 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	seq := r.ring.seq(routeKey(req, body))
+	key := routeKey(req, body)
+	// Identical in-flight misses share one forward (coalesce.go);
+	// everything else — archives, traces, no_cache — takes the
+	// streaming path below.
+	if r.flights != nil && coalescible(req, body) {
+		r.coalesce(w, req, key, body, rid, tc, hop, start)
+		return
+	}
+
+	seq := r.ring.seq(key)
 	// Candidates: healthy shards in ring preference order. If every
 	// shard looks down, try the primary anyway — passive marks can be
 	// stale, and an honest 502 beats a guessed 503.
@@ -362,7 +392,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 			r.met.retries.Add(1)
 		}
 		fwdStart := time.Now()
-		resp, err := r.forward(req, b, body, rid, tc.Child(hop.SpanID))
+		resp, err := r.forward(req.Context(), req, b, body, rid, tc.Child(hop.SpanID))
 		if err != nil {
 			// Transport-level death before a response: the shard is
 			// gone or unreachable. Mark it and try the next candidate;
@@ -433,15 +463,17 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 	r.finishProxy(req, start, rid, tc, "", "", http.StatusBadGateway, len(candidates)-1, err.Error())
 }
 
-// forward sends one copy of the request to b. The request context is
-// the client's: a client that disconnects or times out cancels the
-// shard hop too. The shard sees the router's trace context — the hop
-// span as parent — so its span tree stitches under the hop.
-func (r *Router) forward(req *http.Request, b *backend, body []byte, rid string, tc scope.Context) (*http.Response, error) {
+// forward sends one copy of the request to b under ctx. On the
+// streaming path ctx is the client's — a client that disconnects or
+// times out cancels the shard hop too; a coalesced forward passes a
+// detached context instead, because followers may outlive the leader's
+// client. The shard sees the router's trace context — the hop span as
+// parent — so its span tree stitches under the hop.
+func (r *Router) forward(ctx context.Context, req *http.Request, b *backend, body []byte, rid string, tc scope.Context) (*http.Response, error) {
 	target := *b.url
 	target.Path = strings.TrimSuffix(target.Path, "/") + req.URL.Path
 	target.RawQuery = req.URL.RawQuery
-	out, err := http.NewRequestWithContext(req.Context(), req.Method, target.String(), bytes.NewReader(body))
+	out, err := http.NewRequestWithContext(ctx, req.Method, target.String(), bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

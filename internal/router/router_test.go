@@ -26,6 +26,10 @@ type sleepPass struct{}
 
 func (sleepPass) Name() string        { return "SLEEPTEST" }
 func (sleepPass) Description() string { return "test pass that sleeps" }
+
+// Effectful: the sleep is the point — memoizing it away would let
+// repeat content skip the delay the timing tests depend on.
+func (sleepPass) Effectful() bool { return true }
 func (sleepPass) RunUnit(ctx *pass.Ctx) (bool, error) {
 	d := time.Duration(ctx.Opts.Int("ms", 10)) * time.Millisecond
 	select {
@@ -337,10 +341,23 @@ func TestRouterFailsOverDrainingShard(t *testing.T) {
 	front := httptest.NewServer(r)
 	t.Cleanup(func() { front.Close(); r.Close() })
 
-	// Spread keys so some are owned by the draining shard; every one
+	// Ring ownership hashes the shard URLs, which carry ephemeral
+	// httptest ports — so probe the ring for names the draining shard
+	// actually owns instead of hoping a fixed set spreads. Every one
 	// must still come back 200, served by the live shard.
-	for i := 0; i < 8; i++ {
-		resp, out := optimizeVia(t, front.URL, fmt.Sprintf("drain-%d.s", i))
+	var names []string
+	for i := 0; len(names) < 4 && i < 4096; i++ {
+		name := fmt.Sprintf("drain-%d.s", i)
+		key := cachekey.Key(cachekey.Request{Name: name, Source: testSource, Spec: "REDTEST"})
+		if r.ring.seq(key)[0] == 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("draining shard owns none of 4096 probe keys")
+	}
+	for i, name := range names {
+		resp, out := optimizeVia(t, front.URL, name)
 		if out.Assembly == "" {
 			t.Fatalf("empty assembly for unit %d", i)
 		}

@@ -44,7 +44,8 @@ type FlightRecord struct {
 	// Shard is the backend that served the request (router-side).
 	Shard string `json:"shard,omitempty"`
 	Path  string `json:"path,omitempty"`
-	// Cache is the result-cache verdict: "hit", "miss", or "".
+	// Cache is the result-cache verdict: "hit", "miss", "coalesced"
+	// (the request rode another in-flight identical run), or "".
 	Cache  string `json:"cache,omitempty"`
 	Status int    `json:"status"`
 	Err    string `json:"error,omitempty"`

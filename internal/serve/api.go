@@ -201,46 +201,115 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	w.Header().Set(cacheHeader, "miss")
+	// In-flight miss coalescing: identical misses share one pipeline
+	// run. Followers consume no queue slot and answer the moment the
+	// leader's run lands; no_cache and ?trace requests never coalesce
+	// (the first asked for a fresh run, the second needs its own span
+	// tree).
+	var f *flight
+	leader := true
+	if s.flights != nil && !req.Options.NoCache && req.Options.Trace == "" {
+		f, leader = s.flights.join(key)
+	}
+	verdict := "miss"
+	if !leader {
+		verdict = "coalesced"
+		s.met.coalescedTotal.Add(1)
+	}
+	w.Header().Set(cacheHeader, verdict)
 	if fi != nil {
-		fi.cache = "miss"
+		fi.cache = verdict
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req))
 	defer cancel()
-	col := trace.NewCollector()
-	col.TraceID = requestIDFrom(ctx)
-	j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1),
-		col: col, admitted: col.Now()}
-	if ok, retryAfter := s.admit(j); !ok {
-		if retryAfter > 0 {
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-			writeFlightError(w, fi, http.StatusTooManyRequests, errors.New("optimization queue is full"))
-		} else {
-			writeFlightError(w, fi, http.StatusServiceUnavailable, errors.New("server is draining"))
+
+	if f == nil {
+		// Uncoalescible: this request owns its run, start to finish.
+		col := trace.NewCollector()
+		col.TraceID = requestIDFrom(ctx)
+		j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1),
+			col: col, admitted: col.Now()}
+		if ok, retryAfter := s.admit(j); !ok {
+			if retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+				writeFlightError(w, fi, http.StatusTooManyRequests, errors.New("optimization queue is full"))
+			} else {
+				writeFlightError(w, fi, http.StatusServiceUnavailable, errors.New("server is draining"))
+			}
+			return
+		}
+
+		select {
+		case res := <-j.done:
+			if fi != nil {
+				fi.queueNS = res.queueNS
+				fi.spans = res.spans
+			}
+			if res.err != nil {
+				writeFlightError(w, fi, res.status, res.err)
+				return
+			}
+			resp := res.resp
+			if mode := req.Options.Trace; mode != "" {
+				resp = traceResponse(resp, res.spans, scopeContextFrom(r.Context()), key, mode)
+			}
+			writeJSON(w, http.StatusOK, resp)
+		case <-ctx.Done():
+			// Deadline expired (or client went away) while the job was
+			// still queued or running; the worker will observe the same
+			// context and discard the job.
+			writeFlightError(w, fi, statusForCtx(ctx.Err()), fmt.Errorf("request abandoned: %w", ctx.Err()))
 		}
 		return
 	}
 
+	if leader {
+		// The shared run is detached from this request's context —
+		// followers may outlive this handler — but bounded by the same
+		// deadline; the last waiter to leave cancels it. WithoutCancel
+		// keeps the request-ID/trace values for the spans.
+		runCtx, runCancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.deadlineFor(req))
+		f.setCancel(runCancel)
+		col := trace.NewCollector()
+		col.TraceID = requestIDFrom(runCtx)
+		j := &job{req: req, key: key, ctx: runCtx, done: make(chan jobResult, 1),
+			col: col, admitted: col.Now()}
+		if ok, retryAfter := s.admit(j); !ok {
+			// The leader publishes on every path — a refusal becomes the
+			// shared result, so no waiter ever hangs on a run that never
+			// started.
+			if retryAfter > 0 {
+				f.publish(jobResult{status: http.StatusTooManyRequests, err: errors.New("optimization queue is full")})
+			} else {
+				f.publish(jobResult{status: http.StatusServiceUnavailable, err: errors.New("server is draining")})
+			}
+		} else {
+			// The driver outlives this handler. Close drains every
+			// admitted job — j.done always receives exactly once — so
+			// every waiter gets a result or a clean error even when the
+			// server shuts down mid-flight.
+			go func() { f.publish(<-j.done) }()
+		}
+	}
+
 	select {
-	case res := <-j.done:
+	case <-f.done:
+		res := f.res
 		if fi != nil {
 			fi.queueNS = res.queueNS
 			fi.spans = res.spans
 		}
 		if res.err != nil {
+			if res.status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
 			writeFlightError(w, fi, res.status, res.err)
 			return
 		}
-		resp := res.resp
-		if mode := req.Options.Trace; mode != "" {
-			resp = traceResponse(resp, res.spans, scopeContextFrom(r.Context()), key, mode)
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, res.resp)
 	case <-ctx.Done():
-		// Deadline expired (or client went away) while the job was
-		// still queued or running; the worker will observe the same
-		// context and discard the job.
+		f.leave()
 		writeFlightError(w, fi, statusForCtx(ctx.Err()), fmt.Errorf("request abandoned: %w", ctx.Err()))
 	}
 }

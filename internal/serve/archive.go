@@ -71,9 +71,10 @@ type ArchiveRecord struct {
 	Diags    []check.Diag              `json:"diags,omitempty"`
 	Verify   []VerifyVerdict           `json:"verify,omitempty"`
 	Cached   bool                      `json:"cached,omitempty"`
-	// Cache is the result-cache verdict ("hit"/"miss") of completed
-	// units, the same disposition the X-Mao-Cache header reports for
-	// single requests.
+	// Cache is the result-cache verdict of completed units — "hit",
+	// "miss", or "coalesced" (the unit rode another in-flight
+	// identical run) — the same disposition the X-Mao-Cache header
+	// reports for single requests.
 	Cache string `json:"cache,omitempty"`
 	Error string `json:"error,omitempty"`
 	// Trace is the unit's stitched span tree when ?trace= was set on
@@ -282,17 +283,66 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 				continue
 			}
 		}
+		// In-flight miss coalescing, archive grain: a unit identical to
+		// one already running — in this archive or any concurrent
+		// request — waits on the shared run instead of admitting its
+		// own. Followers consume neither a queue slot nor a window slot.
+		var f *flight
+		leader := true
+		if s.flights != nil && !req.Options.NoCache && req.Options.Trace == "" {
+			f, leader = s.flights.join(key)
+		}
+		if f != nil && !leader {
+			s.met.coalescedTotal.Add(1)
+			go func(i int, name string) {
+				select {
+				case <-f.done:
+					outcomes <- flightRecord(i, name, f.res, "coalesced")
+				case <-ctx.Done():
+					f.leave()
+					outcomes <- ArchiveRecord{
+						Index: i, Name: name, Status: statusForCtx(ctx.Err()),
+						Error: "unit abandoned: " + ctx.Err().Error(),
+					}
+				}
+			}(i, u.name)
+			continue
+		}
 		select {
 		case window <- struct{}{}:
 		case <-ctx.Done():
+			if f != nil {
+				// The leader publishes on every path, so cross-request
+				// waiters never hang on a run that will not start.
+				f.publish(jobResult{status: statusForCtx(ctx.Err()),
+					err: fmt.Errorf("archive aborted: %w", ctx.Err())})
+			}
 			abortRest(i, statusForCtx(ctx.Err()), "archive aborted: "+ctx.Err().Error())
 			return
 		}
 		col := trace.NewCollector()
 		col.TraceID = requestIDFrom(ctx)
-		j := &job{req: req, key: key, ctx: ctx, done: make(chan jobResult, 1),
+		runCtx := ctx
+		if f != nil {
+			// The shared run must survive this archive's cancellation
+			// for waiters on other requests; the last waiter out
+			// cancels it.
+			rc, rcancel := context.WithTimeout(context.WithoutCancel(ctx), s.deadlineFor(proto))
+			f.setCancel(rcancel)
+			runCtx = rc
+		}
+		j := &job{req: req, key: key, ctx: runCtx, done: make(chan jobResult, 1),
 			col: col, admitted: col.Now()}
 		if !s.admitArchiveJob(ctx, j) {
+			if f != nil {
+				if ctx.Err() != nil {
+					f.publish(jobResult{status: statusForCtx(ctx.Err()),
+						err: fmt.Errorf("archive aborted: %w", ctx.Err())})
+				} else {
+					f.publish(jobResult{status: http.StatusServiceUnavailable,
+						err: errors.New("server is draining")})
+				}
+			}
 			<-window
 			if ctx.Err() != nil {
 				abortRest(i, statusForCtx(ctx.Err()), "archive aborted: "+ctx.Err().Error())
@@ -301,8 +351,24 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 			}
 			return
 		}
-		go func(i int, name, key string) {
+		if f != nil {
+			go func(f *flight, j *job) { f.publish(<-j.done) }(f, j)
+		}
+		go func(i int, name, key string, f *flight) {
 			defer func() { <-window }()
+			if f != nil {
+				select {
+				case <-f.done:
+					outcomes <- flightRecord(i, name, f.res, "miss")
+				case <-ctx.Done():
+					f.leave()
+					outcomes <- ArchiveRecord{
+						Index: i, Name: name, Status: statusForCtx(ctx.Err()),
+						Error: "unit abandoned: " + ctx.Err().Error(),
+					}
+				}
+				return
+			}
 			select {
 			case res := <-j.done:
 				if res.err != nil {
@@ -323,8 +389,20 @@ func (s *Server) submitArchive(ctx context.Context, client string, units []archi
 					Error: "unit abandoned: " + ctx.Err().Error(),
 				}
 			}
-		}(i, u.name, key)
+		}(i, u.name, key, f)
 	}
+}
+
+// flightRecord projects a shared-flight outcome onto the record
+// schema: verdict is "miss" for the unit that led the run, "coalesced"
+// for units that rode along.
+func flightRecord(i int, name string, res jobResult, verdict string) ArchiveRecord {
+	if res.err != nil {
+		return ArchiveRecord{Index: i, Name: name, Status: res.status, Error: res.err.Error()}
+	}
+	rec := recordFor(i, name, res.resp, false)
+	rec.Cache = verdict
+	return rec
 }
 
 // admitArchiveJob admits j, retrying while the queue is full. It

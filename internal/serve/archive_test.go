@@ -102,7 +102,10 @@ func TestArchiveBasic(t *testing.T) {
 		if rec.Assembly != single.Assembly {
 			t.Errorf("unit %d assembly differs from single-request output", rec.Index)
 		}
-		if rec.Stats["REDTEST"]["removed"] != 1 {
+		// The first unit runs the pipeline (REDTEST removes the
+		// redundant test); its siblings carry identical functions, so
+		// they may legitimately answer from the shared pipeline memo.
+		if rec.Stats["REDTEST"]["removed"] != 1 && rec.Stats["MEMO"]["functions"] != 1 {
 			t.Errorf("unit %d stats = %v", rec.Index, rec.Stats)
 		}
 	}

@@ -51,7 +51,7 @@ func scopeContextFrom(ctx context.Context) scope.Context {
 // flightInfo is the per-request carrier the handler fills and the
 // instrument middleware drains into the flight recorder.
 type flightInfo struct {
-	cache   string // result-cache verdict: "hit", "miss", ""
+	cache   string // result-cache verdict: "hit", "miss", "coalesced", ""
 	queueNS int64
 	errMsg  string
 	spans   []trace.Span // the request's span stream (pass latency vector)

@@ -50,6 +50,7 @@ import (
 
 	"mao/internal/asm"
 	"mao/internal/check"
+	"mao/internal/memo"
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the pass catalog
 	"mao/internal/relax"
@@ -76,6 +77,16 @@ type Config struct {
 	// ResultCacheEntries caps the content-addressed result cache
 	// (0 = 512, negative disables the cache).
 	ResultCacheEntries int
+	// MemoEntries caps the shared function-granular pipeline memo:
+	// a unit whose functions were all optimized before (under the same
+	// spec, by any request) skips the pipeline and splices the memoized
+	// spans, byte-identical to a cold run (0 = the memo default 65536,
+	// negative disables memoization).
+	MemoEntries int
+	// DisableCoalesce turns off in-flight miss coalescing (concurrent
+	// identical misses sharing one pipeline run). On by default: the
+	// optimizer is deterministic, so sharing a run is always sound.
+	DisableCoalesce bool
 	// RelaxNodeEntries / RelaxContentEntries bound the shared
 	// relaxation/encoding cache tiers (0 = relax defaults).
 	RelaxNodeEntries    int
@@ -185,6 +196,8 @@ type Server struct {
 	cfg        Config
 	relaxCache *relax.Cache
 	results    *resultCache
+	memo       *memo.Memo   // nil when Config.MemoEntries < 0
+	flights    *flightGroup // nil when Config.DisableCoalesce
 	met        *metrics
 	quota      *quotas         // nil when Config.QuotaRate == 0
 	flight     *scope.Recorder // nil when Config.FlightRecords < 0
@@ -221,6 +234,14 @@ func New(cfg Config) *Server {
 		accepting:    true,
 		dispatchDone: make(chan struct{}),
 		started:      time.Now(),
+	}
+	if cfg.MemoEntries >= 0 {
+		// Salted exactly like mao.NewMemo: entries never outlive the
+		// pass catalog or validator semantics they were filled under.
+		s.memo = memo.New(cfg.MemoEntries, pass.CatalogVersion(), check.Version, verify.Version)
+	}
+	if !cfg.DisableCoalesce {
+		s.flights = newFlightGroup()
 	}
 	s.grouper = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.batches)
 	go s.dispatch()
@@ -379,6 +400,15 @@ func (s *Server) runJob(j *job, batchSize int, st *relax.State) {
 	mgr.Cache = s.relaxCache
 	mgr.RelaxState = st
 	mgr.Tracer = col
+	// The shared pipeline memo makes repeat content O(splice). Verified
+	// runs install a Hook (the manager disables memoization under one —
+	// the certifier must observe every invocation); traced runs bypass
+	// so ?trace= always describes a full execution (its span tree is
+	// pinned byte-identical across worker counts by the differential
+	// suite, and a memo hit has no invocation spans to offer).
+	if s.memo != nil && !j.req.Options.Verify && j.req.Options.Trace == "" {
+		mgr.Memo = s.memo
+	}
 	var vcert *verify.Certifier
 	if j.req.Options.Verify {
 		vcert = &verify.Certifier{Tracer: col, SpanParent: batchIdx + 1}

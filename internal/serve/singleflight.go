@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// In-flight miss coalescing (MAOMEMO): concurrent requests with the
+// same result-cache key that all miss share ONE pipeline run. The
+// first misser — the leader — admits a job as usual; everyone arriving
+// while that run is in flight waits on it instead of consuming a queue
+// slot, and receives the shared result the moment it lands. The run is
+// detached from any single waiter's context: one waiter canceling (or
+// its deadline expiring) never aborts the run for the others, and only
+// the LAST waiter leaving cancels it. Requests with no_cache or ?trace
+// never coalesce — the first asked for a fresh run, the second needs
+// its own span tree.
+
+// flightGroup indexes in-flight shared runs by result-cache key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// flight is one shared run. Waiters block on done; res is valid once
+// done closes. refs counts participants (leader included) still
+// waiting; published flips when the result lands.
+type flight struct {
+	g    *flightGroup
+	key  string
+	done chan struct{}
+	res  jobResult
+
+	refs      int
+	published bool
+	cancel    context.CancelFunc
+}
+
+// join returns the in-flight run for key, creating one when absent.
+// The second result reports leadership: the leader must drive the run
+// and publish exactly once on every path; any participant that stops
+// waiting before the publish must leave.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.refs++
+		return f, false
+	}
+	f := &flight{g: g, key: key, done: make(chan struct{}), refs: 1}
+	g.m[key] = f
+	return f, true
+}
+
+// setCancel installs the shared run's cancel func. Leader only, before
+// admission — so by the time any follower can observe a flight worth
+// canceling, the func is in place.
+func (f *flight) setCancel(cancel context.CancelFunc) {
+	f.g.mu.Lock()
+	f.cancel = cancel
+	f.g.mu.Unlock()
+}
+
+// publish posts the shared result, wakes every waiter and retires the
+// flight: later same-key arrivals hit the result cache or start a
+// fresh run. Exactly one publish per flight.
+func (f *flight) publish(res jobResult) {
+	g := f.g
+	g.mu.Lock()
+	f.res = res
+	f.published = true
+	cancel := f.cancel
+	if g.m[f.key] == f {
+		delete(g.m, f.key)
+	}
+	g.mu.Unlock()
+	close(f.done)
+	if cancel != nil {
+		cancel() // release the detached run context's deadline timer
+	}
+}
+
+// leave drops one waiter before the publish (its own request died).
+// The last waiter out cancels the shared run — nobody is left to
+// consume it — and unmaps the flight so a later arrival starts fresh
+// instead of adopting a doomed run. The canceled job still posts a
+// result (workers always do), which publish then delivers to no one.
+func (f *flight) leave() {
+	g := f.g
+	g.mu.Lock()
+	f.refs--
+	var cancel context.CancelFunc
+	if f.refs == 0 && !f.published {
+		if g.m[f.key] == f {
+			delete(g.m, f.key)
+		}
+		cancel = f.cancel
+	}
+	g.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}

@@ -12,6 +12,12 @@ import (
 	"mao/internal/x86"
 )
 
+// Version identifies the translation validator's semantics; bump it
+// when the proof rules or exemptions change. The pipeline memo folds
+// it into its keys so memoized results never outlive the validator
+// they were produced under.
+const Version = "verify/1"
+
 // Status classifies one function's verification outcome.
 type Status string
 

@@ -29,6 +29,7 @@ import (
 	"mao/internal/asm"
 	"mao/internal/check"
 	"mao/internal/ir"
+	"mao/internal/memo"
 	"mao/internal/pass"
 	_ "mao/internal/passes" // register the pass catalog
 	"mao/internal/relax"
@@ -36,6 +37,7 @@ import (
 	"mao/internal/uarch"
 	"mao/internal/uarch/exec"
 	"mao/internal/uarch/sim"
+	"mao/internal/verify"
 	"mao/internal/x86/decode"
 )
 
@@ -118,6 +120,22 @@ type Cache = relax.Cache
 // NewCache returns an empty relaxation/encoding cache.
 func NewCache() *Cache { return relax.NewCache() }
 
+// Memo is the content-addressed, function-granular pipeline memo:
+// every function's optimized form is keyed by a sha256 fingerprint of
+// its content, the pipeline spec and the pass-catalog/check/verify
+// versions. A unit whose functions all hit skips the pipeline and
+// splices the memoized spans — byte-identical to a cold run. Share
+// one memo across runs (and goroutines) via Options.Memo; the maod
+// service shares one across all requests.
+type Memo = memo.Memo
+
+// NewMemo returns an empty pipeline memo bounded to maxEntries
+// function entries (<= 0 selects the default), versioned against the
+// current pass catalog and validator semantics.
+func NewMemo(maxEntries int) *Memo {
+	return memo.New(maxEntries, pass.CatalogVersion(), check.Version, verify.Version)
+}
+
 // Relaxer is reusable fragment-based relaxation state: repeated
 // relaxation of the same (possibly edited) unit rescans only the
 // fragments that changed instead of re-walking the whole unit. A
@@ -178,6 +196,11 @@ type Options struct {
 	// relaxations rescan only what earlier edits touched. Do not run
 	// pipelines sharing one Relaxer concurrently.
 	Relaxer *Relaxer
+	// Memo, when non-nil, memoizes per-function pipeline results by
+	// content: a unit whose functions were all optimized before (by
+	// any run sharing the memo) skips the pipeline and splices the
+	// memoized spans. Output is byte-identical to a cold run.
+	Memo *Memo
 }
 
 // RunPipelineParallel is RunPipeline with an explicit worker count and
@@ -202,6 +225,7 @@ func RunPipelineContext(ctx context.Context, u *Unit, spec string, opts Options)
 	mgr.Cache = opts.Cache
 	mgr.Tracer = opts.Tracer
 	mgr.RelaxState = opts.Relaxer
+	mgr.Memo = opts.Memo
 	stats, err := mgr.RunContext(ctx, u)
 	if err != nil {
 		return nil, err
